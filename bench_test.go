@@ -1,0 +1,417 @@
+// Package sevsim's root benchmark harness regenerates every table and
+// figure of the paper. Each BenchmarkFigXX / BenchmarkTableX function
+// (a) prints the corresponding figure's rows from a shared scaled-down
+// study, and (b) times a representative unit of the underlying work
+// (one golden run, one fault injection, one aggregation) so ns/op is
+// meaningful.
+//
+// Environment knobs:
+//
+//	SEV_FAULTS  faults per campaign cell (default 8 so the full harness fits a single-core laptop run; paper scale 2000)
+//	SEV_SEED    master sampling seed (default 2021)
+//
+// The full-scale campaign is cmd/sevrepro.
+package sevsim_test
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"sevsim/internal/campaign"
+	"sevsim/internal/compiler"
+	"sevsim/internal/core"
+	"sevsim/internal/faultinj"
+	"sevsim/internal/lang"
+	"sevsim/internal/machine"
+	"sevsim/internal/report"
+	"sevsim/internal/workloads"
+)
+
+func envInt(name string, def int) int {
+	if v := os.Getenv(name); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
+
+var (
+	studyOnce sync.Once
+	studyVal  *core.Study
+	studyErr  error
+)
+
+// theStudy runs (once) the scaled-down full study behind every figure.
+func theStudy(b *testing.B) *core.Study {
+	b.Helper()
+	studyOnce.Do(func() {
+		spec := core.DefaultSpec(envInt("SEV_FAULTS", 8))
+		spec.Seed = int64(envInt("SEV_SEED", 2021))
+		fmt.Printf("[study] running: 2 microarchitectures x 8 benchmarks x 4 levels x 15 fields x %d faults\n",
+			spec.Faults)
+		studyVal, studyErr = spec.Run()
+	})
+	if studyErr != nil {
+		b.Fatal(studyErr)
+	}
+	return studyVal
+}
+
+var printedFigures sync.Map
+
+// printFigure renders a figure once per process.
+func printFigure(key string, render func()) {
+	if _, loaded := printedFigures.LoadOrStore(key, true); !loaded {
+		render()
+	}
+}
+
+// injectionExperiment builds a reusable experiment for per-iteration
+// injection timing.
+var (
+	expOnce sync.Once
+	expVal  *faultinj.Experiment
+)
+
+func injectionUnit(b *testing.B) *faultinj.Experiment {
+	b.Helper()
+	expOnce.Do(func() {
+		bench, _ := workloads.ByName("qsort")
+		cfg := machine.CortexA15Like()
+		prog, err := compiler.Compile(bench.Source(bench.TestSize), "qsort", compiler.O2,
+			compiler.Target{XLEN: 32, NumArchRegs: 16})
+		if err != nil {
+			panic(err)
+		}
+		expVal, err = faultinj.NewExperiment(cfg, prog)
+		if err != nil {
+			panic(err)
+		}
+	})
+	return expVal
+}
+
+// benchInjections times single end-to-end injections into a target
+// after printing the figure.
+func benchInjections(b *testing.B, target string) {
+	exp := injectionUnit(b)
+	t, ok := faultinj.TargetByName(target)
+	if !ok {
+		b.Fatalf("unknown target %s", target)
+	}
+	inj := exp.Sample(t, 256, 99)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exp.Inject(t, inj[i%len(inj)])
+	}
+}
+
+func BenchmarkTable1_Configs(b *testing.B) {
+	printFigure("table1", func() { report.TableI(os.Stdout) })
+	// Unit: constructing one full machine (core + hierarchy).
+	bench, _ := workloads.ByName("qsort")
+	prog, err := compiler.Compile(bench.Source(bench.TestSize), "qsort", compiler.O1,
+		compiler.Target{XLEN: 64, NumArchRegs: 32})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := machine.CortexA72Like()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		machine.New(cfg, prog)
+	}
+}
+
+func BenchmarkFig01_RelativePerformance(b *testing.B) {
+	st := theStudy(b)
+	printFigure("fig1", func() { report.Fig1Performance(os.Stdout, st) })
+	// Unit: one golden run of qsort at O2 on the A72-like machine.
+	bench, _ := workloads.ByName("qsort")
+	prog, err := compiler.Compile(bench.Source(bench.TestSize), "qsort", compiler.O2,
+		compiler.Target{XLEN: 64, NumArchRegs: 32})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := machine.CortexA72Like()
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		res := machine.New(cfg, prog).Run(1 << 30)
+		cycles += res.Cycles
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "simcycles/s")
+}
+
+func BenchmarkFig02_L1I_AVF(b *testing.B) {
+	st := theStudy(b)
+	printFigure("fig2", func() {
+		report.FigAVF(os.Stdout, st, "Figure 2: AVF of the L1 instruction cache (data field)", "L1I.data")
+		report.FigAVF(os.Stdout, st, "Figure 2 (cont.): AVF of the L1 instruction cache (tag field)", "L1I.tag")
+	})
+	benchInjections(b, "L1I.data")
+}
+
+func BenchmarkFig03_L1D_AVF(b *testing.B) {
+	st := theStudy(b)
+	printFigure("fig3", func() {
+		report.FigAVF(os.Stdout, st, "Figure 3: AVF of the L1 data cache (data field)", "L1D.data")
+		report.FigAVF(os.Stdout, st, "Figure 3 (cont.): AVF of the L1 data cache (tag field)", "L1D.tag")
+	})
+	benchInjections(b, "L1D.data")
+}
+
+func BenchmarkFig04_L2_AVF(b *testing.B) {
+	st := theStudy(b)
+	printFigure("fig4", func() {
+		report.FigAVF(os.Stdout, st, "Figure 4: AVF of the L2 cache (data field)", "L2.data")
+		report.FigAVF(os.Stdout, st, "Figure 4 (cont.): AVF of the L2 cache (tag field)", "L2.tag")
+	})
+	benchInjections(b, "L2.data")
+}
+
+func BenchmarkFig05_RF_AVF(b *testing.B) {
+	st := theStudy(b)
+	printFigure("fig5", func() {
+		report.FigAVF(os.Stdout, st, "Figure 5: AVF of the physical register file", "RF")
+	})
+	benchInjections(b, "RF")
+}
+
+func BenchmarkFig06_LQSQ_AVF(b *testing.B) {
+	st := theStudy(b)
+	printFigure("fig6", func() {
+		report.FigAVF(os.Stdout, st, "Figure 6: AVF of the load queue", "LQ")
+		report.FigAVF(os.Stdout, st, "Figure 6 (cont.): AVF of the store queue", "SQ")
+	})
+	benchInjections(b, "LQ")
+}
+
+func BenchmarkFig07_IQ_AVF(b *testing.B) {
+	st := theStudy(b)
+	printFigure("fig7", func() {
+		report.FigAVF(os.Stdout, st, "Figure 7: AVF of the issue queue (source field)", "IQ.src")
+		report.FigAVF(os.Stdout, st, "Figure 7 (cont.): AVF of the issue queue (destination field)", "IQ.dst")
+	})
+	benchInjections(b, "IQ.src")
+}
+
+func BenchmarkFig08_ROB_AVF(b *testing.B) {
+	st := theStudy(b)
+	printFigure("fig8", func() {
+		report.FigAVF(os.Stdout, st, "Figure 8: AVF of the reorder buffer (PC field)", "ROB.pc")
+		report.FigAVF(os.Stdout, st, "Figure 8 (cont.): AVF of the reorder buffer (dest field)", "ROB.dest")
+		report.FigAVF(os.Stdout, st, "Figure 8 (cont.): AVF of the reorder buffer (old-mapping field)", "ROB.old")
+		report.FigAVF(os.Stdout, st, "Figure 8 (cont.): AVF of the reorder buffer (control field)", "ROB.ctrl")
+	})
+	benchInjections(b, "ROB.pc")
+}
+
+func BenchmarkFig09_WAVF_Delta(b *testing.B) {
+	st := theStudy(b)
+	printFigure("fig9", func() { report.Fig9Delta(os.Stdout, st) })
+	// Unit: the weighted-AVF aggregation across benchmarks.
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, target := range st.TargetNames {
+			_ = st.AcrossBenches(st.MachineNames[0], "O2", target)
+		}
+	}
+}
+
+func BenchmarkFig10_FIT(b *testing.B) {
+	st := theStudy(b)
+	printFigure("fig10", func() { report.Fig10FIT(os.Stdout, st) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = st.CellStructures(st.MachineNames[0], st.BenchNames[0], "O2")
+	}
+}
+
+func BenchmarkFig11_FPE(b *testing.B) {
+	st := theStudy(b)
+	printFigure("fig11", func() { report.Fig11FPE(os.Stdout, st) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = st.Golden(st.MachineNames[0], st.BenchNames[0], "O2")
+	}
+}
+
+func BenchmarkFig12_ECC_FIT(b *testing.B) {
+	st := theStudy(b)
+	printFigure("fig12", func() { report.Fig12ECC(os.Stdout, st) })
+	benchInjections(b, "SQ")
+}
+
+// BenchmarkCompile times the compiler itself (all four levels).
+func BenchmarkCompile(b *testing.B) {
+	bench, _ := workloads.ByName("rijndael")
+	src := bench.Source(bench.TestSize)
+	tgt := compiler.Target{XLEN: 64, NumArchRegs: 32}
+	for _, level := range compiler.Levels {
+		b.Run(level.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := compiler.Compile(src, "rijndael", level, tgt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_StoreForwarding quantifies the DESIGN.md ablation:
+// LQ vulnerability with and without store-to-load forwarding.
+func BenchmarkAblation_StoreForwarding(b *testing.B) {
+	printFigure("ablation-fwd", func() {
+		bench, _ := workloads.ByName("qsort")
+		prog, err := compiler.Compile(bench.Source(bench.TestSize), "qsort", compiler.O2,
+			compiler.Target{XLEN: 32, NumArchRegs: 16})
+		if err != nil {
+			panic(err)
+		}
+		faults := envInt("SEV_FAULTS", 8) * 4
+		fmt.Println("\nAblation: store-to-load forwarding (qsort, O2, A15-like, LQ field)")
+		for _, fwd := range []bool{true, false} {
+			cfg := machine.CortexA15Like()
+			cfg.CPU.StoreForwarding = fwd
+			exp, err := faultinj.NewExperiment(cfg, prog)
+			if err != nil {
+				panic(err)
+			}
+			lq, _ := faultinj.TargetByName("LQ")
+			r := campaign.Run(exp, lq, campaign.Options{Faults: faults, Seed: 3})
+			fmt.Printf("  forwarding=%-5v golden=%7d cycles  LQ AVF=%.2f%%\n",
+				fwd, exp.GoldenCycles, r.AVF()*100)
+		}
+	})
+	benchInjections(b, "LQ")
+}
+
+// BenchmarkAblation_Scheduling quantifies the instruction-scheduling
+// design choice: cycles at O2 with the list scheduler forced on/off.
+func BenchmarkAblation_Scheduling(b *testing.B) {
+	printFigure("ablation-sched", func() {
+		bench, _ := workloads.ByName("fft")
+		src := bench.Source(bench.TestSize)
+		tgt := compiler.Target{XLEN: 64, NumArchRegs: 32}
+		prog := cli2Compile(b, src, tgt, false)
+		progSched := cli2Compile(b, src, tgt, true)
+		cfg := machine.CortexA72Like()
+		r1 := machine.New(cfg, prog).Run(1 << 30)
+		r2 := machine.New(cfg, progSched).Run(1 << 30)
+		fmt.Println("\nAblation: list instruction scheduling (fft, O2, A72-like)")
+		fmt.Printf("  without scheduler: %d cycles\n  with scheduler:    %d cycles\n",
+			r1.Cycles, r2.Cycles)
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = i
+	}
+}
+
+// cli2Compile compiles at O2 with explicit scheduler control.
+func cli2Compile(b *testing.B, src string, tgt compiler.Target, sched bool) *machine.Program {
+	b.Helper()
+	prog := mustParseB(b, src)
+	mod, err := compiler.Lower(prog, tgt.WordSize())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, f := range mod.Funcs {
+		compiler.RunO1(f, tgt.XLEN)
+		compiler.RunO2(f, tgt.XLEN, 14)
+		if sched {
+			compiler.Schedule(f)
+		}
+	}
+	p, err := compiler.Generate(mod, tgt, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func mustParseB(b *testing.B, src string) *lang.Program {
+	b.Helper()
+	p, err := lang.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkExtension_MultiBitUpsets extends the study with the
+// multi-bit fault models: AVF of the ROB control field under single,
+// double-adjacent, and quad-adjacent upsets (the direction of the
+// authors' companion MBU work).
+func BenchmarkExtension_MultiBitUpsets(b *testing.B) {
+	printFigure("ext-mbu", func() {
+		exp := injectionUnit(b)
+		ctrl, _ := faultinj.TargetByName("ROB.ctrl")
+		faults := envInt("SEV_FAULTS", 8) * 4
+		fmt.Println("\nExtension: multi-bit upsets (qsort, O2, A15-like, ROB.ctrl)")
+		for _, model := range faultinj.Models() {
+			r := campaign.Run(exp, ctrl, campaign.Options{Faults: faults, Seed: 13, Model: model})
+			fmt.Printf("  %-16s AVF %.2f%% (SDC %.1f%%, crash %.1f%%, timeout %.1f%%, assert %.1f%%)\n",
+				model, r.AVF()*100,
+				r.ClassRate(faultinj.SDC)*100, r.ClassRate(faultinj.Crash)*100,
+				r.ClassRate(faultinj.Timeout)*100, r.ClassRate(faultinj.Assert)*100)
+		}
+	})
+	exp := injectionUnit(b)
+	ctrl, _ := faultinj.TargetByName("ROB.ctrl")
+	inj := exp.Sample(ctrl, 128, 31)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exp.InjectModel(ctrl, inj[i%len(inj)], faultinj.DoubleAdjacent)
+	}
+}
+
+// BenchmarkExtension_PerPassAblation runs the paper's stated future
+// work: the performance impact of disabling individual O3 optimizations.
+func BenchmarkExtension_PerPassAblation(b *testing.B) {
+	printFigure("ext-ablate", func() {
+		bench, _ := workloads.ByName("gsm")
+		src := bench.Source(bench.TestSize)
+		tgt := compiler.Target{XLEN: 64, NumArchRegs: 32}
+		cfg := machine.CortexA72Like()
+		base := compiler.LevelPasses(compiler.O3, tgt)
+		fmt.Println("\nExtension: per-pass ablation (gsm, O3 baseline, A72-like)")
+		full := uint64(0)
+		labels := append([]string{""}, compiler.PassNames()...)
+		for _, name := range labels {
+			ps := base
+			label := "full O3"
+			if name != "" {
+				ps = base.Without(name)
+				if ps == base {
+					continue
+				}
+				label = "  - " + name
+			}
+			prog, err := compiler.CompileWithPasses(src, "gsm", ps, tgt)
+			if err != nil {
+				panic(err)
+			}
+			res := machine.New(cfg, prog).Run(1 << 32)
+			if full == 0 {
+				full = res.Cycles
+			}
+			fmt.Printf("  %-14s %8d cycles (%.3fx), %d instructions\n",
+				label, res.Cycles, float64(res.Cycles)/float64(full), len(prog.Code))
+		}
+	})
+	// Unit: one full O3 compile.
+	bench, _ := workloads.ByName("gsm")
+	src := bench.Source(bench.TestSize)
+	tgt := compiler.Target{XLEN: 64, NumArchRegs: 32}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := compiler.Compile(src, "gsm", compiler.O3, tgt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Command sevablate implements the paper's stated future work: it
+// characterizes the impact of *individual* optimizations (rather than
+// whole -O levels) on performance and on a hardware structure's
+// vulnerability. Starting from a level's full pass set, it disables one
+// optimization at a time and re-measures.
+//
+// Usage:
+//
+//	sevablate -bench gsm -O O2 -march a72
+//	sevablate -bench qsort -O O3 -march a15 -target RF -faults 300
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"sevsim/internal/campaign"
+	"sevsim/internal/cli"
+	"sevsim/internal/compiler"
+	"sevsim/internal/faultinj"
+	"sevsim/internal/machine"
+)
+
+func main() {
+	bench := flag.String("bench", "gsm", "benchmark name")
+	srcFile := flag.String("src", "", "MiniC source file")
+	size := flag.Int("size", 0, "benchmark scale (0 = default)")
+	levelFlag := flag.String("O", "O2", "baseline optimization level O0..O3")
+	marchFlag := flag.String("march", "a72", "microarchitecture: a15 or a72")
+	targetFlag := flag.String("target", "", "also measure this structure's AVF (e.g. RF)")
+	faults := flag.Int("faults", 200, "faults per AVF measurement")
+	seed := flag.Int64("seed", 2021, "sampling seed")
+	flag.Parse()
+
+	cfg, err := cli.March(*marchFlag)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	level, err := cli.Level(*levelFlag)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	name, src, err := cli.LoadSource(*bench, *srcFile, *size)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	tgt := cli.Target(cfg)
+	base := compiler.LevelPasses(level, tgt)
+
+	var avfTarget *faultinj.Target
+	if *targetFlag != "" {
+		t, ok := faultinj.TargetByName(*targetFlag)
+		if !ok {
+			cli.Fatal(fmt.Errorf("unknown target %q", *targetFlag))
+		}
+		avfTarget = &t
+	}
+
+	type row struct {
+		label  string
+		ps     compiler.PassSet
+		active bool
+	}
+	rows := []row{{label: "full " + level.String(), ps: base, active: true}}
+	for _, pass := range compiler.PassNames() {
+		reduced := base.Without(pass)
+		if reduced == base {
+			continue // pass not in this level's set
+		}
+		rows = append(rows, row{label: "  - " + pass, ps: reduced, active: true})
+	}
+
+	fmt.Printf("%s on %s, baseline %s\n\n", name, cfg.Name, level)
+	fmt.Printf("%-16s %10s %8s %9s", "configuration", "cycles", "vs full", "code")
+	if avfTarget != nil {
+		fmt.Printf(" %12s", avfTarget.Name()+" AVF")
+	}
+	fmt.Println()
+
+	var fullCycles uint64
+	for _, r := range rows {
+		prog, err := compiler.CompileWithPasses(src, name, r.ps, tgt)
+		if err != nil {
+			cli.Fatal(err)
+		}
+		res := machine.New(cfg, prog).Run(1 << 34)
+		if res.Outcome != machine.OutcomeOK {
+			cli.Fatal(fmt.Errorf("%s: %v %s", r.label, res.Outcome, res.Reason))
+		}
+		if fullCycles == 0 {
+			fullCycles = res.Cycles
+		}
+		fmt.Printf("%-16s %10d %7.3fx %8dw", r.label, res.Cycles,
+			float64(res.Cycles)/float64(fullCycles), len(prog.Code))
+		if avfTarget != nil {
+			exp, err := faultinj.NewExperiment(cfg, prog)
+			if err != nil {
+				cli.Fatal(err)
+			}
+			cr := campaign.Run(exp, *avfTarget, campaign.Options{Faults: *faults, Seed: *seed})
+			fmt.Printf(" %11.2f%%", cr.AVF()*100)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,101 @@
+// Command sevinject runs one statistical fault-injection campaign: N
+// single-bit faults into one hardware structure field while the chosen
+// benchmark binary executes, with per-class outcome rates and the
+// statistical error margin.
+//
+// Usage:
+//
+//	sevinject -bench qsort -O O2 -march a15 -target RF -faults 2000
+//	sevinject -bench sha -O O0 -march a72 -target L1D.data -faults 500
+//	sevinject -bench gsm -O O1 -march a15 -all -faults 200
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"sevsim/internal/campaign"
+	"sevsim/internal/cli"
+	"sevsim/internal/compiler"
+	"sevsim/internal/faultinj"
+	"sevsim/internal/stats"
+)
+
+func main() {
+	bench := flag.String("bench", "", "benchmark name")
+	srcFile := flag.String("src", "", "MiniC source file")
+	size := flag.Int("size", 0, "benchmark scale (0 = default)")
+	levelFlag := flag.String("O", "O2", "optimization level O0..O3")
+	marchFlag := flag.String("march", "a15", "microarchitecture: a15 or a72")
+	targetFlag := flag.String("target", "RF", "structure field (e.g. RF, L1D.data, ROB.pc)")
+	all := flag.Bool("all", false, "inject into every structure field")
+	faults := flag.Int("faults", 2000, "faults per campaign (paper: 2000)")
+	seed := flag.Int64("seed", 2021, "sampling seed")
+	par := flag.Int("parallel", 0, "concurrent injections (0 = GOMAXPROCS)")
+	modelFlag := flag.String("model", "single", "fault model: single, double, quad (multi-bit upsets)")
+	flag.Parse()
+
+	cfg, err := cli.March(*marchFlag)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	level, err := cli.Level(*levelFlag)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	name, src, err := cli.LoadSource(*bench, *srcFile, *size)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	prog, err := compiler.Compile(src, name, level, cli.Target(cfg))
+	if err != nil {
+		cli.Fatal(err)
+	}
+	exp, err := faultinj.NewExperiment(cfg, prog)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	model := faultinj.SingleBit
+	switch *modelFlag {
+	case "single":
+	case "double":
+		model = faultinj.DoubleAdjacent
+	case "quad":
+		model = faultinj.QuadAdjacent
+	default:
+		cli.Fatal(fmt.Errorf("unknown fault model %q", *modelFlag))
+	}
+	fmt.Printf("%s %s on %s: golden run %d cycles, %d outputs, %s faults\n",
+		name, level, cfg.Name, exp.GoldenCycles, len(exp.GoldenOutput), model)
+
+	var targets []faultinj.Target
+	if *all {
+		targets = faultinj.Targets()
+	} else {
+		t, ok := faultinj.TargetByName(*targetFlag)
+		if !ok {
+			cli.Fatal(fmt.Errorf("unknown target %q", *targetFlag))
+		}
+		targets = []faultinj.Target{t}
+	}
+
+	fmt.Printf("\n%-10s %8s %8s  %7s %7s %7s %7s %7s\n",
+		"target", "bits", "faults", "AVF", "SDC", "Crash", "Timeout", "Assert")
+	for _, t := range targets {
+		r := campaign.Run(exp, t, campaign.Options{
+			Faults: *faults, Seed: *seed, Parallelism: *par, Model: model,
+		})
+		fmt.Printf("%-10s %8d %8d  %6.2f%% %6.2f%% %6.2f%% %6.2f%% %6.2f%%\n",
+			t.Name(), r.StructBits, r.Faults,
+			r.AVF()*100,
+			r.ClassRate(faultinj.SDC)*100,
+			r.ClassRate(faultinj.Crash)*100,
+			r.ClassRate(faultinj.Timeout)*100,
+			r.ClassRate(faultinj.Assert)*100)
+		if r.Counts.Unexpected > 0 {
+			fmt.Printf("  WARNING: %d unexpected simulator panics\n", r.Counts.Unexpected)
+		}
+	}
+	margin := stats.ErrorMargin(*faults, 1<<40, 0.99)
+	fmt.Printf("\nsampling error margin: ±%.2f%% at 99%% confidence\n", margin*100)
+}

@@ -1,0 +1,117 @@
+// Command sevrepro regenerates every table and figure of the paper:
+// it runs the full characterization study (both microarchitectures, all
+// eight benchmarks, four optimization levels, all fifteen structure
+// fields) and writes the results as text figures, CSV, and JSON.
+//
+// The paper's full scale is -faults 2000 with large inputs; the default
+// here is a laptop-scale run that preserves the comparative shape.
+//
+// Usage:
+//
+//	sevrepro -faults 150 -out results
+//	sevrepro -faults 2000 -scale 2 -out results-full   # closer to paper scale
+//	sevrepro -load results/study.json -out results     # re-render only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"sevsim/internal/core"
+	"sevsim/internal/report"
+	"sevsim/internal/workloads"
+)
+
+func main() {
+	faults := flag.Int("faults", 150, "faults per campaign cell (paper: 2000)")
+	seed := flag.Int64("seed", 2021, "master sampling seed")
+	outDir := flag.String("out", "results", "output directory")
+	scale := flag.Float64("scale", 1.0, "benchmark size multiplier")
+	load := flag.String("load", "", "re-render figures from a saved study.json instead of running")
+	quiet := flag.Bool("q", false, "suppress progress output")
+	flag.Parse()
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+
+	var st *core.Study
+	if *load != "" {
+		var err error
+		st, err = core.Load(*load)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		spec := core.DefaultSpec(*faults)
+		spec.Seed = *seed
+		if *scale != 1.0 {
+			spec.Size = func(b workloads.Benchmark) int {
+				s := int(float64(b.DefaultSize) * *scale)
+				if s < 1 {
+					s = 1
+				}
+				return s
+			}
+		}
+		if !*quiet {
+			spec.Progress = func(format string, args ...any) {
+				fmt.Printf(format+"\n", args...)
+			}
+		}
+		start := time.Now()
+		var err error
+		st, err = spec.Run()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nstudy complete: %d campaign cells, %d injections, %s\n",
+			len(st.Results), len(st.Results)*(*faults), time.Since(start).Round(time.Second))
+		if err := st.Save(filepath.Join(*outDir, "study.json")); err != nil {
+			fatal(err)
+		}
+	}
+
+	// Render the full figure set.
+	figPath := filepath.Join(*outDir, "figures.txt")
+	f, err := os.Create(figPath)
+	if err != nil {
+		fatal(err)
+	}
+	report.Everything(f, st)
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+
+	// Raw campaign data as CSV for downstream plotting.
+	csvPath := filepath.Join(*outDir, "campaigns.csv")
+	c, err := os.Create(csvPath)
+	if err != nil {
+		fatal(err)
+	}
+	headers := []string{"march", "bench", "level", "target", "faults",
+		"masked", "sdc", "crash", "timeout", "assert", "golden_cycles", "struct_bits"}
+	rows := make([][]string, 0, len(st.Results))
+	for _, r := range st.Results {
+		rows = append(rows, []string{
+			r.March, r.Bench, r.Level, r.Target,
+			fmt.Sprint(r.Faults), fmt.Sprint(r.Counts.Masked), fmt.Sprint(r.Counts.SDC),
+			fmt.Sprint(r.Counts.Crash), fmt.Sprint(r.Counts.Timeout), fmt.Sprint(r.Counts.Assert),
+			fmt.Sprint(r.GoldenCycles), fmt.Sprint(r.StructBits),
+		})
+	}
+	report.CSV(c, headers, rows)
+	if err := c.Close(); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("wrote %s and %s\n", figPath, csvPath)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module sevsim
+
+go 1.22

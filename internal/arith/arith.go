@@ -1,0 +1,82 @@
+// Package arith centralizes MiniC/SEV integer semantics — wrapping
+// arithmetic at the machine word width, RISC-V-style division corner
+// cases, masked shift counts — so the interpreter oracle and the
+// compiler's constant folder cannot drift from each other or from the
+// processor model.
+package arith
+
+import "sevsim/internal/lang"
+
+// Wrap truncates v to the xlen-bit two's-complement range.
+func Wrap(xlen int, v int64) int64 {
+	if xlen == 64 {
+		return v
+	}
+	return int64(int32(v))
+}
+
+// IsMinInt reports whether v is the minimum xlen-bit integer.
+func IsMinInt(xlen int, v int64) bool {
+	if xlen == 64 {
+		return v == -1<<63
+	}
+	return v == -1<<31
+}
+
+// Bin evaluates a non-short-circuit binary operation.
+func Bin(xlen int, op lang.BinOp, l, r int64) int64 {
+	shiftMask := int64(xlen - 1)
+	b2i := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case lang.OpAdd:
+		return Wrap(xlen, l+r)
+	case lang.OpSub:
+		return Wrap(xlen, l-r)
+	case lang.OpMul:
+		return Wrap(xlen, l*r)
+	case lang.OpDiv:
+		if r == 0 {
+			return Wrap(xlen, -1)
+		}
+		if IsMinInt(xlen, l) && r == -1 {
+			return l
+		}
+		return Wrap(xlen, l/r)
+	case lang.OpRem:
+		if r == 0 {
+			return l
+		}
+		if IsMinInt(xlen, l) && r == -1 {
+			return 0
+		}
+		return Wrap(xlen, l%r)
+	case lang.OpAnd:
+		return l & r
+	case lang.OpOr:
+		return l | r
+	case lang.OpXor:
+		return l ^ r
+	case lang.OpShl:
+		return Wrap(xlen, l<<uint64(r&shiftMask))
+	case lang.OpShr:
+		return Wrap(xlen, l>>uint64(r&shiftMask)) // arithmetic
+	case lang.OpLt:
+		return b2i(l < r)
+	case lang.OpLe:
+		return b2i(l <= r)
+	case lang.OpGt:
+		return b2i(l > r)
+	case lang.OpGe:
+		return b2i(l >= r)
+	case lang.OpEq:
+		return b2i(l == r)
+	case lang.OpNe:
+		return b2i(l != r)
+	}
+	panic("arith: Bin called with short-circuit operator")
+}

@@ -1,0 +1,133 @@
+package arith
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sevsim/internal/lang"
+)
+
+func TestWrap(t *testing.T) {
+	if Wrap(32, 1<<33) != 0 {
+		t.Error("2^33 should wrap to 0 at 32 bits")
+	}
+	if Wrap(32, 0x1_0000_0005) != 5 {
+		t.Error("wrap low bits")
+	}
+	if Wrap(64, 1<<62) != 1<<62 {
+		t.Error("64-bit values pass through")
+	}
+	if Wrap(32, -1) != -1 {
+		t.Error("-1 is stable under wrap")
+	}
+}
+
+func TestIsMinInt(t *testing.T) {
+	if !IsMinInt(32, -1<<31) || IsMinInt(32, -1<<31+1) {
+		t.Error("32-bit min detection")
+	}
+	if !IsMinInt(64, -1<<63) || IsMinInt(64, -1<<31) {
+		t.Error("64-bit min detection")
+	}
+}
+
+func TestDivisionSemantics(t *testing.T) {
+	// RISC-V style: x/0 = -1, x%0 = x, minint/-1 = minint, minint%-1 = 0.
+	if Bin(32, lang.OpDiv, 42, 0) != -1 {
+		t.Error("div by zero")
+	}
+	if Bin(32, lang.OpRem, 42, 0) != 42 {
+		t.Error("rem by zero")
+	}
+	if Bin(32, lang.OpDiv, -1<<31, -1) != -1<<31 {
+		t.Error("minint div -1")
+	}
+	if Bin(32, lang.OpRem, -1<<31, -1) != 0 {
+		t.Error("minint rem -1")
+	}
+	// Truncating (toward zero) division for negatives.
+	if Bin(32, lang.OpDiv, -7, 2) != -3 {
+		t.Error("trunc division")
+	}
+	if Bin(32, lang.OpRem, -7, 2) != -1 {
+		t.Error("trunc remainder")
+	}
+}
+
+func TestShiftCounts(t *testing.T) {
+	if Bin(32, lang.OpShl, 1, 33) != 2 {
+		t.Error("shift count masked to 5 bits at 32")
+	}
+	if Bin(64, lang.OpShl, 1, 33) != 1<<33 {
+		t.Error("shift count uses 6 bits at 64")
+	}
+	if Bin(32, lang.OpShr, -8, 1) != -4 {
+		t.Error("arithmetic right shift")
+	}
+}
+
+func TestComparisonsReturnBits(t *testing.T) {
+	if Bin(32, lang.OpLt, 1, 2) != 1 || Bin(32, lang.OpLt, 2, 1) != 0 {
+		t.Error("lt")
+	}
+	if Bin(32, lang.OpEq, 5, 5) != 1 || Bin(32, lang.OpNe, 5, 5) != 0 {
+		t.Error("eq/ne")
+	}
+	if Bin(32, lang.OpGe, 3, 3) != 1 || Bin(32, lang.OpLe, 3, 4) != 1 {
+		t.Error("ge/le")
+	}
+}
+
+// TestWrapClosure: every op result is already wrapped (applying Wrap is
+// a no-op), for both widths.
+func TestWrapClosure(t *testing.T) {
+	ops := []lang.BinOp{lang.OpAdd, lang.OpSub, lang.OpMul, lang.OpDiv, lang.OpRem,
+		lang.OpAnd, lang.OpOr, lang.OpXor, lang.OpShl, lang.OpShr,
+		lang.OpLt, lang.OpLe, lang.OpGt, lang.OpGe, lang.OpEq, lang.OpNe}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		for _, xlen := range []int{32, 64} {
+			a := Wrap(xlen, r.Int63()-r.Int63())
+			b := Wrap(xlen, r.Int63()-r.Int63())
+			op := ops[r.Intn(len(ops))]
+			v := Bin(xlen, op, a, b)
+			if Wrap(xlen, v) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDivRemIdentity: a == (a/b)*b + a%b whenever b != 0 (and not the
+// overflow case), the fundamental division identity.
+func TestDivRemIdentity(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		xlen := 32
+		a := Wrap(xlen, r.Int63()-r.Int63())
+		b := Wrap(xlen, r.Int63()-r.Int63())
+		if b == 0 || (IsMinInt(xlen, a) && b == -1) {
+			return true
+		}
+		q := Bin(xlen, lang.OpDiv, a, b)
+		rem := Bin(xlen, lang.OpRem, a, b)
+		return Wrap(xlen, q*b+rem) == a
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShortCircuitOpsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for && operator")
+		}
+	}()
+	Bin(32, lang.OpLAnd, 1, 1)
+}

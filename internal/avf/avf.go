@@ -1,0 +1,68 @@
+// Package avf computes Architectural Vulnerability Factors and the
+// execution-time-weighted aggregation of the paper's Equation 1.
+package avf
+
+import (
+	"sevsim/internal/campaign"
+	"sevsim/internal/faultinj"
+)
+
+// ClassRates holds per-class rates (fraction of injections) for the
+// five outcome classes; the non-masked classes sum to the AVF.
+type ClassRates [faultinj.NumOutcomes]float64
+
+// AVF returns the non-masked fraction.
+func (c ClassRates) AVF() float64 {
+	total := 0.0
+	for o := faultinj.SDC; o < faultinj.NumOutcomes; o++ {
+		total += c[o]
+	}
+	return total
+}
+
+// Rates returns the per-class breakdown of one campaign result.
+func Rates(r campaign.Result) ClassRates {
+	var c ClassRates
+	if r.Faults == 0 {
+		return c
+	}
+	for o := faultinj.Masked; o < faultinj.NumOutcomes; o++ {
+		c[o] = float64(r.Counts.Of(o)) / float64(r.Faults)
+	}
+	return c
+}
+
+// Weighted aggregates per-benchmark results for one structure field
+// into the weighted AVF of Equation 1:
+//
+//	wAVF(c) = sum_k AVF_k(c) * t_k / sum_k t_k
+//
+// where t_k is benchmark k's fault-free execution time (cycles). The
+// same weighting is applied per outcome class, so the weighted class
+// rates still sum to the weighted AVF.
+func Weighted(results []campaign.Result) ClassRates {
+	var agg ClassRates
+	var totalT float64
+	for _, r := range results {
+		t := float64(r.GoldenCycles)
+		totalT += t
+		rates := Rates(r)
+		for o := range agg {
+			agg[o] += rates[o] * t
+		}
+	}
+	if totalT == 0 {
+		return agg
+	}
+	for o := range agg {
+		agg[o] /= totalT
+	}
+	return agg
+}
+
+// Delta returns the weighted-AVF difference of a level relative to the
+// baseline (typically O0), in absolute AVF points: positive means the
+// optimized code is more vulnerable.
+func Delta(level, baseline []campaign.Result) float64 {
+	return Weighted(level).AVF() - Weighted(baseline).AVF()
+}

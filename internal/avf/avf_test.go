@@ -1,0 +1,87 @@
+package avf
+
+import (
+	"math"
+	"testing"
+
+	"sevsim/internal/campaign"
+	"sevsim/internal/faultinj"
+)
+
+func res(masked, sdc, crash, timeout, assert int, cycles uint64) campaign.Result {
+	return campaign.Result{
+		Faults: masked + sdc + crash + timeout + assert,
+		Counts: campaign.Counts{
+			Masked: masked, SDC: sdc, Crash: crash, Timeout: timeout, Assert: assert,
+		},
+		GoldenCycles: cycles,
+	}
+}
+
+func TestRates(t *testing.T) {
+	r := res(60, 10, 20, 5, 5, 1000)
+	rates := Rates(r)
+	if math.Abs(rates[faultinj.Masked]-0.6) > 1e-12 {
+		t.Errorf("masked rate %f", rates[faultinj.Masked])
+	}
+	if math.Abs(rates.AVF()-0.4) > 1e-12 {
+		t.Errorf("AVF %f", rates.AVF())
+	}
+	if math.Abs(rates[faultinj.SDC]-0.1) > 1e-12 {
+		t.Errorf("SDC rate %f", rates[faultinj.SDC])
+	}
+	if Rates(campaign.Result{}).AVF() != 0 {
+		t.Error("empty result AVF should be 0")
+	}
+}
+
+func TestWeightedEqualTimes(t *testing.T) {
+	// With equal execution times the weighted AVF is the plain mean.
+	a := res(50, 50, 0, 0, 0, 1000) // AVF 0.5
+	b := res(90, 10, 0, 0, 0, 1000) // AVF 0.1
+	w := Weighted([]campaign.Result{a, b})
+	if math.Abs(w.AVF()-0.3) > 1e-12 {
+		t.Errorf("equal-weight AVF = %f, want 0.3", w.AVF())
+	}
+}
+
+func TestWeightedFollowsExecutionTime(t *testing.T) {
+	// Equation 1: a 9x longer benchmark dominates the aggregate.
+	short := res(50, 50, 0, 0, 0, 100) // AVF 0.5
+	long := res(100, 0, 0, 0, 0, 900)  // AVF 0.0
+	w := Weighted([]campaign.Result{short, long})
+	if math.Abs(w.AVF()-0.05) > 1e-12 {
+		t.Errorf("weighted AVF = %f, want 0.05", w.AVF())
+	}
+}
+
+func TestWeightedClassesSumToAVF(t *testing.T) {
+	a := res(40, 20, 20, 10, 10, 300)
+	b := res(70, 5, 10, 10, 5, 700)
+	w := Weighted([]campaign.Result{a, b})
+	sum := w[faultinj.SDC] + w[faultinj.Crash] + w[faultinj.Timeout] + w[faultinj.Assert]
+	if math.Abs(sum-w.AVF()) > 1e-12 {
+		t.Errorf("class sum %f != AVF %f", sum, w.AVF())
+	}
+	total := sum + w[faultinj.Masked]
+	if math.Abs(total-1) > 1e-12 {
+		t.Errorf("all classes sum to %f, want 1", total)
+	}
+}
+
+func TestDelta(t *testing.T) {
+	o0 := []campaign.Result{res(80, 20, 0, 0, 0, 1000)} // AVF 0.2
+	o2 := []campaign.Result{res(70, 30, 0, 0, 0, 500)}  // AVF 0.3
+	if d := Delta(o2, o0); math.Abs(d-0.1) > 1e-12 {
+		t.Errorf("delta = %f, want 0.1", d)
+	}
+	if d := Delta(o0, o0); d != 0 {
+		t.Errorf("self delta = %f", d)
+	}
+}
+
+func TestWeightedEmpty(t *testing.T) {
+	if w := Weighted(nil); w.AVF() != 0 {
+		t.Error("empty weighted AVF should be 0")
+	}
+}

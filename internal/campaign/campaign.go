@@ -1,0 +1,143 @@
+// Package campaign drives statistical fault-injection campaigns: for a
+// (microarchitecture, benchmark, optimization level, structure field)
+// cell it runs N independent end-to-end injections in parallel and
+// aggregates the outcome counts.
+package campaign
+
+import (
+	"runtime"
+	"sync"
+
+	"sevsim/internal/faultinj"
+)
+
+// Counts aggregates outcomes of one campaign.
+type Counts struct {
+	Masked  int
+	SDC     int
+	Crash   int
+	Timeout int
+	Assert  int
+	// Unexpected counts asserts that came from recovered simulator
+	// panics rather than modelled invariant checks (should stay zero).
+	Unexpected int
+}
+
+// Total returns the number of injections behind the counts.
+func (c Counts) Total() int {
+	return c.Masked + c.SDC + c.Crash + c.Timeout + c.Assert
+}
+
+// Add accumulates one classified outcome.
+func (c *Counts) Add(r faultinj.InjectResult) {
+	switch r.Outcome {
+	case faultinj.Masked:
+		c.Masked++
+	case faultinj.SDC:
+		c.SDC++
+	case faultinj.Crash:
+		c.Crash++
+	case faultinj.Timeout:
+		c.Timeout++
+	default:
+		c.Assert++
+	}
+	if r.Unexpected {
+		c.Unexpected++
+	}
+}
+
+// Of returns the count of one outcome class.
+func (c Counts) Of(o faultinj.Outcome) int {
+	switch o {
+	case faultinj.Masked:
+		return c.Masked
+	case faultinj.SDC:
+		return c.SDC
+	case faultinj.Crash:
+		return c.Crash
+	case faultinj.Timeout:
+		return c.Timeout
+	default:
+		return c.Assert
+	}
+}
+
+// Result is one campaign cell's outcome.
+type Result struct {
+	March  string
+	Bench  string
+	Level  string
+	Target string
+
+	Faults       int
+	Counts       Counts
+	GoldenCycles uint64
+	StructBits   uint64
+}
+
+// AVF returns the architectural vulnerability factor measured by the
+// campaign: the probability that an injected fault was not masked.
+func (r Result) AVF() float64 {
+	if r.Faults == 0 {
+		return 0
+	}
+	return float64(r.Faults-r.Counts.Masked) / float64(r.Faults)
+}
+
+// ClassRate returns the per-class vulnerability contribution (class
+// count over total injections), so that the rates of the four
+// non-masked classes sum to the AVF.
+func (r Result) ClassRate(o faultinj.Outcome) float64 {
+	if r.Faults == 0 {
+		return 0
+	}
+	return float64(r.Counts.Of(o)) / float64(r.Faults)
+}
+
+// Options tunes a campaign run.
+type Options struct {
+	Faults      int
+	Seed        int64
+	Parallelism int // <= 0: GOMAXPROCS
+	// Model selects the fault multiplicity (default single-bit).
+	Model faultinj.Model
+}
+
+// Run executes one campaign cell: Faults injections into target, in
+// parallel, deterministically derived from Seed.
+func Run(exp *faultinj.Experiment, target faultinj.Target, opts Options) Result {
+	par := opts.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	injections := exp.Sample(target, opts.Faults, opts.Seed)
+	outcomes := make([]faultinj.InjectResult, len(injections))
+	var wg sync.WaitGroup
+	next := make(chan int, len(injections))
+	for i := range injections {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				outcomes[i] = exp.InjectModel(target, injections[i], opts.Model)
+			}
+		}()
+	}
+	wg.Wait()
+
+	res := Result{
+		Target:       target.Name(),
+		Faults:       len(injections),
+		GoldenCycles: exp.GoldenCycles,
+		StructBits:   exp.TargetBits(target),
+	}
+	for _, o := range outcomes {
+		res.Counts.Add(o)
+	}
+	return res
+}

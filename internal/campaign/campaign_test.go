@@ -1,0 +1,103 @@
+package campaign
+
+import (
+	"testing"
+
+	"sevsim/internal/compiler"
+	"sevsim/internal/faultinj"
+	"sevsim/internal/machine"
+)
+
+const testSrc = `
+global int acc;
+func main() {
+	var int i;
+	acc = 0;
+	for (i = 0; i < 400; i = i + 1) {
+		acc = (acc * 13 + i) & 2147483647;
+	}
+	out(acc);
+}`
+
+func testExp(t *testing.T) *faultinj.Experiment {
+	t.Helper()
+	prog, err := compiler.Compile(testSrc, "t", compiler.O1,
+		compiler.Target{XLEN: 32, NumArchRegs: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := faultinj.NewExperiment(machine.CortexA15Like(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exp
+}
+
+func TestCountsAccounting(t *testing.T) {
+	var c Counts
+	c.Add(faultinj.InjectResult{Outcome: faultinj.Masked})
+	c.Add(faultinj.InjectResult{Outcome: faultinj.SDC})
+	c.Add(faultinj.InjectResult{Outcome: faultinj.Crash, Unexpected: true})
+	c.Add(faultinj.InjectResult{Outcome: faultinj.Timeout})
+	c.Add(faultinj.InjectResult{Outcome: faultinj.Assert})
+	if c.Total() != 5 {
+		t.Errorf("total = %d", c.Total())
+	}
+	if c.Unexpected != 1 {
+		t.Errorf("unexpected = %d", c.Unexpected)
+	}
+	for o := faultinj.Masked; o < faultinj.NumOutcomes; o++ {
+		if c.Of(o) != 1 {
+			t.Errorf("Of(%v) = %d", o, c.Of(o))
+		}
+	}
+}
+
+func TestResultAVFAndClassRates(t *testing.T) {
+	r := Result{
+		Faults: 10,
+		Counts: Counts{Masked: 6, SDC: 1, Crash: 1, Timeout: 1, Assert: 1},
+	}
+	if r.AVF() != 0.4 {
+		t.Errorf("AVF = %f", r.AVF())
+	}
+	sum := 0.0
+	for o := faultinj.SDC; o < faultinj.NumOutcomes; o++ {
+		sum += r.ClassRate(o)
+	}
+	if sum != r.AVF() {
+		t.Errorf("class rates sum %f != AVF %f", sum, r.AVF())
+	}
+	empty := Result{}
+	if empty.AVF() != 0 || empty.ClassRate(faultinj.SDC) != 0 {
+		t.Error("empty result rates should be 0")
+	}
+}
+
+func TestRunAggregates(t *testing.T) {
+	exp := testExp(t)
+	rf, _ := faultinj.TargetByName("RF")
+	res := Run(exp, rf, Options{Faults: 60, Seed: 5})
+	if res.Faults != 60 || res.Counts.Total() != 60 {
+		t.Fatalf("faults %d, counted %d", res.Faults, res.Counts.Total())
+	}
+	if res.StructBits != 128*32 {
+		t.Errorf("struct bits = %d", res.StructBits)
+	}
+	if res.GoldenCycles != exp.GoldenCycles {
+		t.Errorf("golden cycles = %d", res.GoldenCycles)
+	}
+	if res.Counts.Unexpected != 0 {
+		t.Errorf("unexpected panics: %d", res.Counts.Unexpected)
+	}
+}
+
+func TestRunDeterministicAcrossParallelism(t *testing.T) {
+	exp := testExp(t)
+	iq, _ := faultinj.TargetByName("IQ.src")
+	serial := Run(exp, iq, Options{Faults: 40, Seed: 11, Parallelism: 1})
+	parallel := Run(exp, iq, Options{Faults: 40, Seed: 11, Parallelism: 8})
+	if serial.Counts != parallel.Counts {
+		t.Fatalf("parallelism changed outcome counts: %+v vs %+v", serial.Counts, parallel.Counts)
+	}
+}

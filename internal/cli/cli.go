@@ -1,0 +1,87 @@
+// Package cli holds flag-parsing helpers shared by the sevsim command
+// line tools.
+package cli
+
+import (
+	"fmt"
+	"os"
+
+	"sevsim/internal/compiler"
+	"sevsim/internal/lang"
+	"sevsim/internal/machine"
+	"sevsim/internal/workloads"
+)
+
+// March resolves a microarchitecture flag value ("a15" or "a72", or a
+// full config name).
+func March(name string) (machine.Config, error) {
+	switch name {
+	case "a15", "A15", "Cortex-A15-like":
+		return machine.CortexA15Like(), nil
+	case "a72", "A72", "Cortex-A72-like":
+		return machine.CortexA72Like(), nil
+	}
+	return machine.Config{}, fmt.Errorf("unknown microarchitecture %q (use a15 or a72)", name)
+}
+
+// Level resolves an optimization level flag value ("O0".."O3" or
+// "0".."3").
+func Level(name string) (compiler.OptLevel, error) {
+	switch name {
+	case "O0", "o0", "0":
+		return compiler.O0, nil
+	case "O1", "o1", "1":
+		return compiler.O1, nil
+	case "O2", "o2", "2":
+		return compiler.O2, nil
+	case "O3", "o3", "3":
+		return compiler.O3, nil
+	}
+	return compiler.O0, fmt.Errorf("unknown optimization level %q (use O0..O3)", name)
+}
+
+// Target derives the compiler backend target from a machine config.
+func Target(cfg machine.Config) compiler.Target {
+	return compiler.Target{XLEN: cfg.CPU.XLEN, NumArchRegs: cfg.CPU.NumArchRegs}
+}
+
+// LoadSource returns MiniC source either from a named benchmark (at the
+// given size, 0 = default) or from a file.
+func LoadSource(bench, file string, size int) (name, src string, err error) {
+	switch {
+	case bench != "" && file != "":
+		return "", "", fmt.Errorf("use either -bench or -src, not both")
+	case bench != "":
+		b, err := workloads.ByName(bench)
+		if err != nil {
+			return "", "", err
+		}
+		if size <= 0 {
+			size = b.DefaultSize
+		}
+		return b.Name, b.Source(size), nil
+	case file != "":
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return "", "", err
+		}
+		return file, string(data), nil
+	}
+	return "", "", fmt.Errorf("one of -bench or -src is required")
+}
+
+// MustParse parses MiniC source, exiting with a diagnostic on failure.
+func MustParse(src string) *lang.Program {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "parse error:", err)
+		os.Exit(1)
+	}
+	return prog
+}
+
+// Fatal prints an error and exits.
+func Fatal(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,347 @@
+package compiler
+
+// CFG and dataflow analyses shared by the optimization passes and the
+// register allocator.
+
+// ComputePreds rebuilds predecessor lists from successor edges.
+func ComputePreds(f *Func) {
+	for _, b := range f.Blocks {
+		b.Preds = b.Preds[:0]
+	}
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			s.Preds = append(s.Preds, b)
+		}
+	}
+}
+
+// RemoveUnreachable drops blocks not reachable from the entry and
+// renumbers the remainder. It returns true when anything was removed.
+func RemoveUnreachable(f *Func) bool {
+	seen := map[*Block]bool{f.Entry: true}
+	work := []*Block{f.Entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range b.Succs() {
+			if !seen[s] {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	if len(seen) == len(f.Blocks) {
+		ComputePreds(f)
+		return false
+	}
+	kept := f.Blocks[:0]
+	for _, b := range f.Blocks {
+		if seen[b] {
+			kept = append(kept, b)
+		}
+	}
+	f.Blocks = kept
+	for i, b := range f.Blocks {
+		b.ID = i
+	}
+	f.nextBlock = len(f.Blocks)
+	ComputePreds(f)
+	return true
+}
+
+// RPO returns the blocks in reverse postorder from the entry.
+func RPO(f *Func) []*Block {
+	seen := map[*Block]bool{}
+	var post []*Block
+	var walk func(*Block)
+	walk = func(b *Block) {
+		seen[b] = true
+		for _, s := range b.Succs() {
+			if !seen[s] {
+				walk(s)
+			}
+		}
+		post = append(post, b)
+	}
+	walk(f.Entry)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// Dominators computes the immediate-dominator map with the classic
+// iterative algorithm over reverse postorder.
+func Dominators(f *Func) map[*Block]*Block {
+	order := RPO(f)
+	index := map[*Block]int{}
+	for i, b := range order {
+		index[b] = i
+	}
+	idom := map[*Block]*Block{f.Entry: f.Entry}
+	intersect := func(a, b *Block) *Block {
+		for a != b {
+			for index[a] > index[b] {
+				a = idom[a]
+			}
+			for index[b] > index[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order[1:] {
+			var newIdom *Block
+			for _, p := range b.Preds {
+				if idom[p] == nil {
+					continue
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != nil && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// Dominates reports whether a dominates b under the idom map.
+func Dominates(idom map[*Block]*Block, a, b *Block) bool {
+	for {
+		if a == b {
+			return true
+		}
+		next := idom[b]
+		if next == nil || next == b {
+			return false
+		}
+		b = next
+	}
+}
+
+// Loop is one natural loop.
+type Loop struct {
+	Header *Block
+	Blocks map[*Block]bool
+	// Latches are the in-loop predecessors of the header.
+	Latches []*Block
+}
+
+// NaturalLoops finds the natural loops of f (one per header; multiple
+// back edges to the same header are merged).
+func NaturalLoops(f *Func) []*Loop {
+	ComputePreds(f)
+	idom := Dominators(f)
+	byHeader := map[*Block]*Loop{}
+	var loops []*Loop
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			if !Dominates(idom, s, b) {
+				continue // not a back edge
+			}
+			lp := byHeader[s]
+			if lp == nil {
+				lp = &Loop{Header: s, Blocks: map[*Block]bool{s: true}}
+				byHeader[s] = lp
+				loops = append(loops, lp)
+			}
+			lp.Latches = append(lp.Latches, b)
+			// Collect body: walk predecessors from the latch up to the
+			// header.
+			work := []*Block{b}
+			for len(work) > 0 {
+				x := work[len(work)-1]
+				work = work[:len(work)-1]
+				if lp.Blocks[x] {
+					continue
+				}
+				lp.Blocks[x] = true
+				for _, p := range x.Preds {
+					work = append(work, p)
+				}
+			}
+		}
+	}
+	return loops
+}
+
+// UseCounts returns per-value use counts across the function.
+func UseCounts(f *Func) []int {
+	counts := make([]int, f.NumVals)
+	var buf []Value
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			buf = b.Instrs[i].Uses(buf[:0])
+			for _, v := range buf {
+				counts[v]++
+			}
+		}
+	}
+	return counts
+}
+
+// DefCounts returns per-value definition counts. Function parameters
+// count as a definition at entry: treating them as undefined would let
+// the single-def copy-propagation rule alias a parameter to a value
+// assigned later in the body.
+func DefCounts(f *Func) []int {
+	counts := make([]int, f.NumVals)
+	for _, p := range f.Params {
+		counts[p]++
+	}
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if d := b.Instrs[i].Def(); d != NoValue {
+				counts[d]++
+			}
+		}
+	}
+	return counts
+}
+
+// ConstDefs maps each value defined exactly once by an IRConst to that
+// defining instruction. Instruction selection and folding consult it to
+// recognize immediate operands.
+func ConstDefs(f *Func) map[Value]Instr {
+	defs := DefCounts(f)
+	out := map[Value]Instr{}
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op == IRConst && defs[in.Dst] == 1 {
+				out[in.Dst] = *in
+			}
+		}
+	}
+	return out
+}
+
+// Liveness computes conservative live intervals over a block layout.
+// Positions number instructions consecutively in layout order.
+type Interval struct {
+	Start, End int
+	CrossCall  bool
+}
+
+// LiveIntervals returns an interval per value (zero-valued when unused)
+// plus the positions of call instructions.
+func LiveIntervals(f *Func, layout []*Block) []Interval {
+	ComputePreds(f)
+	// Per-block use/def and iterative liveness.
+	liveIn := map[*Block]map[Value]bool{}
+	liveOut := map[*Block]map[Value]bool{}
+	use := map[*Block]map[Value]bool{}
+	def := map[*Block]map[Value]bool{}
+	var buf []Value
+	for _, b := range f.Blocks {
+		u, d := map[Value]bool{}, map[Value]bool{}
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			buf = in.Uses(buf[:0])
+			for _, v := range buf {
+				if !d[v] {
+					u[v] = true
+				}
+			}
+			if dd := in.Def(); dd != NoValue {
+				d[dd] = true
+			}
+		}
+		use[b], def[b] = u, d
+		liveIn[b], liveOut[b] = map[Value]bool{}, map[Value]bool{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := len(layout) - 1; i >= 0; i-- {
+			b := layout[i]
+			out := liveOut[b]
+			for _, s := range b.Succs() {
+				for v := range liveIn[s] {
+					if !out[v] {
+						out[v] = true
+						changed = true
+					}
+				}
+			}
+			in := liveIn[b]
+			for v := range use[b] {
+				if !in[v] {
+					in[v] = true
+					changed = true
+				}
+			}
+			for v := range out {
+				if !def[b][v] && !in[v] {
+					in[v] = true
+					changed = true
+				}
+			}
+		}
+	}
+	// Assign positions and build intervals.
+	iv := make([]Interval, f.NumVals)
+	started := make([]bool, f.NumVals)
+	touch := func(v Value, pos int) {
+		if !started[v] {
+			iv[v] = Interval{Start: pos, End: pos}
+			started[v] = true
+			return
+		}
+		if pos < iv[v].Start {
+			iv[v].Start = pos
+		}
+		if pos > iv[v].End {
+			iv[v].End = pos
+		}
+	}
+	pos := 0
+	var callPositions []int
+	for _, b := range layout {
+		blockStart := pos
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			buf = in.Uses(buf[:0])
+			for _, v := range buf {
+				touch(v, pos)
+			}
+			if d := in.Def(); d != NoValue {
+				touch(d, pos)
+			}
+			if in.Op == IRCall {
+				callPositions = append(callPositions, pos)
+			}
+			pos++
+		}
+		blockEnd := pos - 1
+		for v := range liveIn[b] {
+			touch(v, blockStart)
+		}
+		for v := range liveOut[b] {
+			touch(v, blockEnd)
+		}
+	}
+	// Function parameters are defined at entry.
+	for _, p := range f.Params {
+		touch(p, 0)
+	}
+	for v := range iv {
+		if !started[v] {
+			continue
+		}
+		for _, cp := range callPositions {
+			if iv[v].Start < cp && cp < iv[v].End {
+				iv[v].CrossCall = true
+				break
+			}
+		}
+	}
+	return iv
+}

@@ -1,0 +1,791 @@
+package compiler
+
+import (
+	"fmt"
+
+	"sevsim/internal/isa"
+	"sevsim/internal/lang"
+	"sevsim/internal/machine"
+)
+
+// Code generation: IR -> SEV machine code. Instruction selection folds
+// single-def constants into immediate forms and fuses comparisons into
+// conditional branches at every optimization level (that is selection,
+// not optimization); register allocation quality is what differs by
+// level.
+
+type branchFix struct {
+	pos    int
+	target *Block
+}
+
+type callFix struct {
+	pos    int
+	callee string
+}
+
+type genFunc struct {
+	name  string
+	code  []isa.Instr
+	calls []callFix
+}
+
+type frameInfo struct {
+	outArgs   int64 // bytes for outgoing stack arguments
+	spillBase int64
+	arrayBase int64
+	saveBase  int64
+	raOff     int64 // -1 when ra is not saved
+	size      int64
+	hasCalls  bool
+}
+
+type codegen struct {
+	mod    *Module
+	tgt    Target
+	o0     bool
+	f      *Func
+	alloc  *Alloc
+	layout []*Block
+
+	consts   map[Value]Instr
+	skipped  map[Value]bool // const defs fully folded into immediates
+	fusedCmp map[*Block]int // block -> index of compare fused into its CondBr
+	uses     []int
+
+	code     []isa.Instr
+	blockPos map[*Block]int
+	fixes    []branchFix
+	calls    []callFix
+	frame    frameInfo
+}
+
+func wordBytes(t Target) int64 { return int64(t.XLEN / 8) }
+
+func fitsImm16(v int64) bool  { return v >= -32768 && v <= 32767 }
+func fitsUimm16(v int64) bool { return v >= 0 && v <= 65535 }
+
+// loadOp / storeOp are the word-sized memory opcodes for the target.
+func loadOp(t Target) isa.Opcode {
+	if t.XLEN == 64 {
+		return isa.OpLd
+	}
+	return isa.OpLw
+}
+
+func storeOp(t Target) isa.Opcode {
+	if t.XLEN == 64 {
+		return isa.OpSd
+	}
+	return isa.OpSw
+}
+
+// genFunction compiles one function's IR to machine code with
+// function-local branch fixups resolved and call fixups recorded.
+func genFunction(mod *Module, f *Func, tgt Target, o0 bool) (*genFunc, error) {
+	g := &codegen{
+		mod:      mod,
+		tgt:      tgt,
+		o0:       o0,
+		f:        f,
+		layout:   RPO(f),
+		consts:   ConstDefs(f),
+		skipped:  map[Value]bool{},
+		fusedCmp: map[*Block]int{},
+		blockPos: map[*Block]int{},
+	}
+	g.uses = UseCounts(f)
+	g.alloc = Allocate(f, g.layout, tgt, o0)
+	g.planFusion()
+	g.planSkippedConsts()
+	g.computeFrame()
+	g.prologue()
+	for _, b := range g.layout {
+		g.blockPos[b] = len(g.code)
+		if err := g.genBlock(b); err != nil {
+			return nil, err
+		}
+	}
+	// Patch intra-function branches.
+	for _, fx := range g.fixes {
+		tpos, ok := g.blockPos[fx.target]
+		if !ok {
+			return nil, fmt.Errorf("compiler: %s: branch to unlaid block b%d", f.Name, fx.target.ID)
+		}
+		off := int32(tpos - (fx.pos + 1))
+		g.code[fx.pos].Imm = off
+	}
+	return &genFunc{name: f.Name, code: g.code, calls: g.calls}, nil
+}
+
+// planFusion records, per block, a trailing comparison that can be fused
+// into the block's conditional branch.
+func (g *codegen) planFusion() {
+	for _, b := range g.f.Blocks {
+		n := len(b.Instrs)
+		if n < 2 {
+			continue
+		}
+		br := &b.Instrs[n-1]
+		cmp := &b.Instrs[n-2]
+		if br.Op != IRCondBr || cmp.Op != IRBin || cmp.Dst != br.A {
+			continue
+		}
+		if g.uses[cmp.Dst] != 1 {
+			continue
+		}
+		switch cmp.Kind {
+		case lang.OpLt, lang.OpLe, lang.OpGt, lang.OpGe, lang.OpEq, lang.OpNe:
+			g.fusedCmp[b] = n - 2
+		}
+	}
+}
+
+// planSkippedConsts marks constant definitions all of whose uses fold
+// into immediate operands, so the materializing instruction need not be
+// emitted.
+func (g *codegen) planSkippedConsts() {
+	foldableUses := make([]int, g.f.NumVals)
+	for _, b := range g.f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op != IRBin {
+				continue
+			}
+			if idx, ok := g.fusedCmp[b]; ok && i == idx {
+				continue // fused compares need register operands
+			}
+			if v, _, ok := g.immOperand(in); ok {
+				foldableUses[v]++
+			}
+		}
+	}
+	for v := range g.consts {
+		if g.uses[v] > 0 && foldableUses[v] == g.uses[v] {
+			g.skipped[v] = true
+		}
+	}
+}
+
+// immOperand decides whether instruction in can take one of its operands
+// as an immediate; it returns that operand's value and constant.
+func (g *codegen) immOperand(in *Instr) (Value, int64, bool) {
+	cOf := func(v Value) (int64, bool) {
+		if v == NoValue {
+			return 0, false
+		}
+		d, ok := g.consts[v]
+		return d.Const, ok
+	}
+	b, bok := cOf(in.B)
+	a, aok := cOf(in.A)
+	switch in.Kind {
+	case lang.OpAdd:
+		if bok && fitsImm16(b) {
+			return in.B, b, true
+		}
+		if aok && fitsImm16(a) {
+			return in.A, a, true
+		}
+	case lang.OpSub:
+		if bok && fitsImm16(-b) {
+			return in.B, b, true
+		}
+	case lang.OpAnd, lang.OpOr, lang.OpXor:
+		if bok && fitsUimm16(b) {
+			return in.B, b, true
+		}
+		if aok && fitsUimm16(a) {
+			return in.A, a, true
+		}
+	case lang.OpShl, lang.OpShr:
+		if bok && b >= 0 && b < int64(g.tgt.XLEN) {
+			return in.B, b, true
+		}
+	case lang.OpLt:
+		if bok && fitsImm16(b) {
+			return in.B, b, true
+		}
+	}
+	return NoValue, 0, false
+}
+
+func (g *codegen) computeFrame() {
+	w := wordBytes(g.tgt)
+	var maxStack int64
+	for _, b := range g.f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op == IRCall {
+				g.frame.hasCalls = true
+				if extra := int64(len(in.Args) - isa.NumArgRegs); extra > 0 {
+					if extra*w > maxStack {
+						maxStack = extra * w
+					}
+				}
+			}
+		}
+	}
+	fr := &g.frame
+	fr.outArgs = maxStack
+	fr.spillBase = fr.outArgs
+	fr.arrayBase = fr.spillBase + int64(g.alloc.NumSlots)*w
+	fr.saveBase = fr.arrayBase + g.f.ArrayBytes
+	sz := fr.saveBase + int64(len(g.alloc.UsedCalleeSaved))*w
+	fr.raOff = -1
+	if fr.hasCalls {
+		fr.raOff = sz
+		sz += w
+	}
+	fr.size = (sz + 15) &^ 15
+}
+
+func (g *codegen) emit(in isa.Instr) int {
+	g.code = append(g.code, in)
+	return len(g.code) - 1
+}
+
+// loadConst materializes an arbitrary constant into rd. scratch is used
+// only for values outside the 32-bit range.
+func (g *codegen) loadConst(rd uint8, v int64, scratch uint8) {
+	switch {
+	case fitsImm16(v):
+		g.emit(isa.I(isa.OpAddi, rd, isa.RegZero, int32(v)))
+	case v >= -1<<31 && v < 1<<31:
+		hi := int32(uint16(uint64(v) >> 16))
+		lo := int32(uint16(uint64(v)))
+		g.emit(isa.I(isa.OpLui, rd, 0, hi))
+		if lo != 0 {
+			g.emit(isa.I(isa.OpOri, rd, rd, lo))
+		}
+	default:
+		// Full 64-bit build: high half in scratch, low half (as
+		// unsigned 32-bit) in rd, then combine.
+		g.loadConst(scratch, v>>32, scratch)
+		g.emit(isa.I(isa.OpSlli, scratch, scratch, 32))
+		lo := int64(int32(uint32(uint64(v))))
+		g.loadConst(rd, lo, rd)
+		if lo < 0 {
+			// Clear the sign-extended upper half.
+			g.emit(isa.I(isa.OpSlli, rd, rd, 32))
+			g.emit(isa.I(isa.OpSrli, rd, rd, 32))
+		}
+		g.emit(isa.R(isa.OpOr, rd, rd, scratch))
+	}
+}
+
+// spOffsetOp emits a load or store at sp+off, handling offsets beyond
+// the immediate range via scratchC.
+func (g *codegen) spOffsetOp(op isa.Opcode, reg uint8, off int64) {
+	if fitsImm16(off) {
+		if op.IsStore() {
+			g.emit(isa.Store(op, reg, isa.RegSP, int32(off)))
+		} else {
+			g.emit(isa.Load(op, reg, isa.RegSP, int32(off)))
+		}
+		return
+	}
+	g.loadConst(scratchC, off, scratchC)
+	g.emit(isa.R(isa.OpAdd, scratchC, isa.RegSP, scratchC))
+	if op.IsStore() {
+		g.emit(isa.Store(op, reg, scratchC, 0))
+	} else {
+		g.emit(isa.Load(op, reg, scratchC, 0))
+	}
+}
+
+func (g *codegen) slotOffset(v Value) int64 {
+	return g.frame.spillBase + int64(g.alloc.Slot[v])*wordBytes(g.tgt)
+}
+
+// valReg returns a register holding value v, loading from its slot or
+// materializing a skipped constant into scratch when needed.
+func (g *codegen) valReg(v Value, scratch uint8) uint8 {
+	if r := g.alloc.Reg[v]; r != NoReg {
+		return r
+	}
+	if g.alloc.Slot[v] >= 0 {
+		g.spOffsetOp(loadOp(g.tgt), scratch, g.slotOffset(v))
+		return scratch
+	}
+	if d, ok := g.consts[v]; ok && g.skipped[v] {
+		g.loadConst(scratch, d.Const, scratch)
+		return scratch
+	}
+	// A value with neither register nor slot can only be a dead def.
+	g.loadConst(scratch, 0, scratch)
+	return scratch
+}
+
+// destReg returns the register an instruction should compute into.
+func (g *codegen) destReg(v Value) uint8 {
+	if r := g.alloc.Reg[v]; r != NoReg {
+		return r
+	}
+	return scratchA
+}
+
+// finishDest stores the computed value to v's slot when v is spilled.
+func (g *codegen) finishDest(v Value, reg uint8) {
+	if g.alloc.Reg[v] == NoReg && g.alloc.Slot[v] >= 0 {
+		g.spOffsetOp(storeOp(g.tgt), reg, g.slotOffset(v))
+	}
+}
+
+func (g *codegen) prologue() {
+	fr := &g.frame
+	w := wordBytes(g.tgt)
+	if fr.size > 0 {
+		if fitsImm16(-fr.size) {
+			g.emit(isa.I(isa.OpAddi, isa.RegSP, isa.RegSP, int32(-fr.size)))
+		} else {
+			g.loadConst(scratchA, fr.size, scratchB)
+			g.emit(isa.R(isa.OpSub, isa.RegSP, isa.RegSP, scratchA))
+		}
+	}
+	if fr.raOff >= 0 {
+		g.spOffsetOp(storeOp(g.tgt), isa.RegRA, fr.raOff)
+	}
+	for i, r := range g.alloc.UsedCalleeSaved {
+		g.spOffsetOp(storeOp(g.tgt), r, fr.saveBase+int64(i)*w)
+	}
+	// Move incoming parameters to their allocated homes.
+	var moves []pmove
+	for i, p := range g.f.Params {
+		if i < isa.NumArgRegs {
+			src := uint8(isa.RegA0 + i)
+			switch {
+			case g.alloc.Reg[p] != NoReg:
+				if g.alloc.Reg[p] != src {
+					moves = append(moves, pmove{srcReg: src, dstReg: g.alloc.Reg[p]})
+				}
+			case g.alloc.Slot[p] >= 0:
+				g.spOffsetOp(storeOp(g.tgt), src, g.slotOffset(p))
+			}
+			continue
+		}
+		// Stack parameter: caller stored it just above our frame.
+		off := fr.size + int64(i-isa.NumArgRegs)*w
+		g.spOffsetOp(loadOp(g.tgt), scratchA, off)
+		if g.alloc.Reg[p] != NoReg {
+			g.emit(isa.R(isa.OpAdd, g.alloc.Reg[p], scratchA, isa.RegZero))
+		} else if g.alloc.Slot[p] >= 0 {
+			g.spOffsetOp(storeOp(g.tgt), scratchA, g.slotOffset(p))
+		}
+	}
+	g.parallelMove(moves)
+}
+
+func (g *codegen) epilogue() {
+	fr := &g.frame
+	w := wordBytes(g.tgt)
+	for i, r := range g.alloc.UsedCalleeSaved {
+		g.spOffsetOp(loadOp(g.tgt), r, fr.saveBase+int64(i)*w)
+	}
+	if fr.raOff >= 0 {
+		g.spOffsetOp(loadOp(g.tgt), isa.RegRA, fr.raOff)
+	}
+	if fr.size > 0 {
+		if fitsImm16(fr.size) {
+			g.emit(isa.I(isa.OpAddi, isa.RegSP, isa.RegSP, int32(fr.size)))
+		} else {
+			g.loadConst(scratchA, fr.size, scratchB)
+			g.emit(isa.R(isa.OpAdd, isa.RegSP, isa.RegSP, scratchA))
+		}
+	}
+	g.emit(isa.Jalr(isa.RegZero, isa.RegRA, 0))
+}
+
+// pmove is one pending register move for parallelMove.
+type pmove struct {
+	srcReg uint8
+	dstReg uint8
+}
+
+// parallelMove emits register-to-register moves that may permute values,
+// breaking cycles through scratchC.
+func (g *codegen) parallelMove(moves []pmove) {
+	pending := append([]pmove(nil), moves...)
+	for len(pending) > 0 {
+		emitted := false
+		for i, m := range pending {
+			blocked := false
+			for j, other := range pending {
+				if j != i && other.srcReg == m.dstReg {
+					blocked = true
+					break
+				}
+			}
+			if !blocked {
+				if m.srcReg != m.dstReg {
+					g.emit(isa.R(isa.OpAdd, m.dstReg, m.srcReg, isa.RegZero))
+				}
+				pending = append(pending[:i], pending[i+1:]...)
+				emitted = true
+				break
+			}
+		}
+		if emitted {
+			continue
+		}
+		// Cycle: route the first source through scratch.
+		m := pending[0]
+		g.emit(isa.R(isa.OpAdd, scratchC, m.srcReg, isa.RegZero))
+		for i := range pending {
+			if pending[i].srcReg == m.srcReg {
+				pending[i].srcReg = scratchC
+			}
+		}
+	}
+}
+
+func (g *codegen) genBlock(b *Block) error {
+	fusedIdx, hasFused := g.fusedCmp[b]
+	for i := range b.Instrs {
+		if hasFused && i == fusedIdx {
+			continue // emitted as part of the branch
+		}
+		in := &b.Instrs[i]
+		if err := g.genInstr(b, i, in); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *codegen) genInstr(b *Block, idx int, in *Instr) error {
+	switch in.Op {
+	case IRConst:
+		if g.skipped[in.Dst] || g.uses[in.Dst] == 0 && g.alloc.Reg[in.Dst] == NoReg && g.alloc.Slot[in.Dst] < 0 {
+			return nil
+		}
+		rd := g.destReg(in.Dst)
+		g.loadConst(rd, in.Const, scratchB)
+		g.finishDest(in.Dst, rd)
+	case IRCopy:
+		src := g.valReg(in.A, scratchA)
+		rd := g.destReg(in.Dst)
+		if rd != src {
+			g.emit(isa.R(isa.OpAdd, rd, src, isa.RegZero))
+		}
+		g.finishDest(in.Dst, rd)
+	case IRBin:
+		g.genBin(in)
+	case IRAddrG:
+		rd := g.destReg(in.Dst)
+		g.loadConst(rd, int64(machine.GlobalBase)+in.Sym.Offset, scratchB)
+		g.finishDest(in.Dst, rd)
+	case IRAddrL:
+		rd := g.destReg(in.Dst)
+		off := g.frame.arrayBase + in.Sym.Offset
+		if fitsImm16(off) {
+			g.emit(isa.I(isa.OpAddi, rd, isa.RegSP, int32(off)))
+		} else {
+			g.loadConst(rd, off, scratchB)
+			g.emit(isa.R(isa.OpAdd, rd, isa.RegSP, rd))
+		}
+		g.finishDest(in.Dst, rd)
+	case IRLoad:
+		base := g.valReg(in.A, scratchA)
+		rd := g.destReg(in.Dst)
+		if fitsImm16(in.Off) {
+			g.emit(isa.Load(loadOp(g.tgt), rd, base, int32(in.Off)))
+		} else {
+			g.loadConst(scratchB, in.Off, scratchB)
+			g.emit(isa.R(isa.OpAdd, scratchB, base, scratchB))
+			g.emit(isa.Load(loadOp(g.tgt), rd, scratchB, 0))
+		}
+		g.finishDest(in.Dst, rd)
+	case IRStore:
+		base := g.valReg(in.A, scratchA)
+		val := g.valReg(in.B, scratchB)
+		if fitsImm16(in.Off) {
+			g.emit(isa.Store(storeOp(g.tgt), val, base, int32(in.Off)))
+		} else {
+			g.loadConst(scratchC, in.Off, scratchC)
+			g.emit(isa.R(isa.OpAdd, scratchC, base, scratchC))
+			g.emit(isa.Store(storeOp(g.tgt), val, scratchC, 0))
+		}
+	case IRCall:
+		g.genCall(in)
+	case IROut:
+		src := g.valReg(in.A, scratchA)
+		g.emit(isa.Out(src))
+	case IRRet:
+		if in.A != NoValue {
+			src := g.valReg(in.A, scratchA)
+			if src != isa.RegA0 {
+				g.emit(isa.R(isa.OpAdd, isa.RegA0, src, isa.RegZero))
+			}
+		}
+		g.epilogue()
+	case IRBr:
+		g.genBr(b, in.Targets[0])
+	case IRCondBr:
+		g.genCondBr(b, idx, in)
+	default:
+		return fmt.Errorf("compiler: unknown IR op %d", in.Op)
+	}
+	return nil
+}
+
+// genBin emits an ALU operation, preferring immediate forms.
+func (g *codegen) genBin(in *Instr) {
+	rd := g.destReg(in.Dst)
+	if v, c, ok := g.immOperand(in); ok {
+		other := in.A
+		if v == in.A {
+			other = in.B
+		}
+		ra := g.valReg(other, scratchA)
+		switch in.Kind {
+		case lang.OpAdd:
+			g.emit(isa.I(isa.OpAddi, rd, ra, int32(c)))
+		case lang.OpSub: // rd = ra - c
+			g.emit(isa.I(isa.OpAddi, rd, ra, int32(-c)))
+		case lang.OpAnd:
+			g.emit(isa.I(isa.OpAndi, rd, ra, int32(c)))
+		case lang.OpOr:
+			g.emit(isa.I(isa.OpOri, rd, ra, int32(c)))
+		case lang.OpXor:
+			g.emit(isa.I(isa.OpXori, rd, ra, int32(c)))
+		case lang.OpShl:
+			g.emit(isa.I(isa.OpSlli, rd, ra, int32(c)))
+		case lang.OpShr:
+			g.emit(isa.I(isa.OpSrai, rd, ra, int32(c)))
+		case lang.OpLt:
+			g.emit(isa.I(isa.OpSlti, rd, ra, int32(c)))
+		default:
+			panic("compiler: immOperand allowed unexpected kind")
+		}
+		g.finishDest(in.Dst, rd)
+		return
+	}
+	ra := g.valReg(in.A, scratchA)
+	rb := g.valReg(in.B, scratchB)
+	switch in.Kind {
+	case lang.OpAdd:
+		g.emit(isa.R(isa.OpAdd, rd, ra, rb))
+	case lang.OpSub:
+		g.emit(isa.R(isa.OpSub, rd, ra, rb))
+	case lang.OpMul:
+		g.emit(isa.R(isa.OpMul, rd, ra, rb))
+	case lang.OpDiv:
+		g.emit(isa.R(isa.OpDiv, rd, ra, rb))
+	case lang.OpRem:
+		g.emit(isa.R(isa.OpRem, rd, ra, rb))
+	case lang.OpAnd:
+		g.emit(isa.R(isa.OpAnd, rd, ra, rb))
+	case lang.OpOr:
+		g.emit(isa.R(isa.OpOr, rd, ra, rb))
+	case lang.OpXor:
+		g.emit(isa.R(isa.OpXor, rd, ra, rb))
+	case lang.OpShl:
+		g.emit(isa.R(isa.OpSll, rd, ra, rb))
+	case lang.OpShr:
+		g.emit(isa.R(isa.OpSra, rd, ra, rb))
+	case lang.OpLt:
+		g.emit(isa.R(isa.OpSlt, rd, ra, rb))
+	case lang.OpGt:
+		g.emit(isa.R(isa.OpSlt, rd, rb, ra))
+	case lang.OpLe:
+		g.emit(isa.R(isa.OpSlt, rd, rb, ra))
+		g.emit(isa.I(isa.OpXori, rd, rd, 1))
+	case lang.OpGe:
+		g.emit(isa.R(isa.OpSlt, rd, ra, rb))
+		g.emit(isa.I(isa.OpXori, rd, rd, 1))
+	case lang.OpEq:
+		g.emit(isa.R(isa.OpXor, rd, ra, rb))
+		g.emit(isa.I(isa.OpSltiu, rd, rd, 1))
+	case lang.OpNe:
+		g.emit(isa.R(isa.OpXor, rd, ra, rb))
+		g.emit(isa.R(isa.OpSltu, rd, isa.RegZero, rd))
+	default:
+		panic("compiler: unsupported binop " + in.Kind.String())
+	}
+	g.finishDest(in.Dst, rd)
+}
+
+func (g *codegen) genCall(in *Instr) {
+	w := wordBytes(g.tgt)
+	// Stack arguments first (they cannot clobber registers).
+	for i := isa.NumArgRegs; i < len(in.Args); i++ {
+		src := g.valReg(in.Args[i], scratchA)
+		g.spOffsetOp(storeOp(g.tgt), src, int64(i-isa.NumArgRegs)*w)
+	}
+	// Register arguments: register sources form a parallel move that
+	// must complete before slot/const sources overwrite any argument
+	// register that might still be a move source.
+	var moves []pmove
+	type lateLoad struct {
+		dst uint8
+		v   Value
+	}
+	var late []lateLoad
+	n := min(len(in.Args), isa.NumArgRegs)
+	for i := 0; i < n; i++ {
+		v := in.Args[i]
+		dst := uint8(isa.RegA0 + i)
+		if r := g.alloc.Reg[v]; r != NoReg {
+			if r != dst {
+				moves = append(moves, pmove{srcReg: r, dstReg: dst})
+			}
+			continue
+		}
+		late = append(late, lateLoad{dst, v})
+	}
+	g.parallelMove(moves)
+	for _, ll := range late {
+		switch {
+		case g.alloc.Slot[ll.v] >= 0:
+			g.spOffsetOp(loadOp(g.tgt), ll.dst, g.slotOffset(ll.v))
+		default:
+			if d, ok := g.consts[ll.v]; ok {
+				g.loadConst(ll.dst, d.Const, scratchB)
+			} else {
+				g.loadConst(ll.dst, 0, scratchB)
+			}
+		}
+	}
+	pos := g.emit(isa.Jal(isa.RegRA, 0))
+	g.calls = append(g.calls, callFix{pos: pos, callee: in.Callee.Name})
+	if in.Dst != NoValue {
+		rd := g.destReg(in.Dst)
+		if rd != isa.RegA0 {
+			g.emit(isa.R(isa.OpAdd, rd, isa.RegA0, isa.RegZero))
+		}
+		g.finishDest(in.Dst, rd)
+	}
+}
+
+// nextBlock returns the block laid out after b, or nil.
+func (g *codegen) nextBlock(b *Block) *Block {
+	for i, x := range g.layout {
+		if x == b && i+1 < len(g.layout) {
+			return g.layout[i+1]
+		}
+	}
+	return nil
+}
+
+func (g *codegen) genBr(b *Block, target *Block) {
+	if g.nextBlock(b) == target {
+		return // fallthrough
+	}
+	pos := g.emit(isa.Jal(isa.RegZero, 0))
+	g.fixes = append(g.fixes, branchFix{pos: pos, target: target})
+}
+
+// branchFor maps a comparison kind to (opcode, swap-operands).
+func branchFor(kind lang.BinOp) (isa.Opcode, bool) {
+	switch kind {
+	case lang.OpLt:
+		return isa.OpBlt, false
+	case lang.OpLe:
+		return isa.OpBge, true
+	case lang.OpGt:
+		return isa.OpBlt, true
+	case lang.OpGe:
+		return isa.OpBge, false
+	case lang.OpEq:
+		return isa.OpBeq, false
+	default: // OpNe
+		return isa.OpBne, false
+	}
+}
+
+// negate returns the comparison with inverted truth value.
+func negate(kind lang.BinOp) lang.BinOp {
+	switch kind {
+	case lang.OpLt:
+		return lang.OpGe
+	case lang.OpLe:
+		return lang.OpGt
+	case lang.OpGt:
+		return lang.OpLe
+	case lang.OpGe:
+		return lang.OpLt
+	case lang.OpEq:
+		return lang.OpNe
+	default:
+		return lang.OpEq
+	}
+}
+
+func (g *codegen) genCondBr(b *Block, idx int, in *Instr) {
+	tTrue, tFalse := in.Targets[0], in.Targets[1]
+	next := g.nextBlock(b)
+
+	var kind lang.BinOp
+	var ra, rb uint8
+	if ci, ok := g.fusedCmp[b]; ok && ci == idx-1 {
+		cmp := &b.Instrs[ci]
+		kind = cmp.Kind
+		ra = g.valReg(cmp.A, scratchA)
+		rb = g.valReg(cmp.B, scratchB)
+	} else {
+		// Branch on value != 0.
+		kind = lang.OpNe
+		ra = g.valReg(in.A, scratchA)
+		rb = isa.RegZero
+	}
+
+	emitBranch := func(k lang.BinOp, target *Block) {
+		op, swap := branchFor(k)
+		r1, r2 := ra, rb
+		if swap {
+			r1, r2 = rb, ra
+		}
+		pos := g.emit(isa.Branch(op, r1, r2, 0))
+		g.fixes = append(g.fixes, branchFix{pos: pos, target: target})
+	}
+
+	if tTrue == next {
+		emitBranch(negate(kind), tFalse)
+		return
+	}
+	emitBranch(kind, tTrue)
+	if tFalse != next {
+		pos := g.emit(isa.Jal(isa.RegZero, 0))
+		g.fixes = append(g.fixes, branchFix{pos: pos, target: tFalse})
+	}
+}
+
+// Generate assembles the whole module into a loadable program: a startup
+// stub (call main, halt) followed by every function.
+func Generate(mod *Module, tgt Target, o0 bool) (*machine.Program, error) {
+	var fns []*genFunc
+	for _, f := range mod.Funcs {
+		gf, err := genFunction(mod, f, tgt, o0)
+		if err != nil {
+			return nil, err
+		}
+		fns = append(fns, gf)
+	}
+	// Startup stub occupies the first two words.
+	code := []isa.Instr{isa.Jal(isa.RegRA, 0), isa.Halt()}
+	base := map[string]int{}
+	for _, fn := range fns {
+		base[fn.name] = len(code)
+		code = append(code, fn.code...)
+	}
+	// Patch calls (including the stub's call to main).
+	code[0].Imm = int32(base["main"] - 1)
+	offset := 2
+	for _, fn := range fns {
+		for _, c := range fn.calls {
+			abs := offset + c.pos
+			code[abs].Imm = int32(base[c.callee] - (abs + 1))
+		}
+		offset += len(fn.code)
+	}
+	globalSize := mod.GlobalSize
+	if globalSize == 0 {
+		globalSize = 8
+	}
+	return &machine.Program{
+		Code:       isa.Assemble(code),
+		Entry:      machine.CodeBase,
+		GlobalSize: uint64(globalSize),
+	}, nil
+}

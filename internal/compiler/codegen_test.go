@@ -1,0 +1,227 @@
+package compiler
+
+import (
+	"fmt"
+	"testing"
+
+	"sevsim/internal/interp"
+	"sevsim/internal/lang"
+	"sevsim/internal/machine"
+)
+
+// runOn compiles and executes on one machine, returning outputs.
+func runOn(t *testing.T, src string, level OptLevel, cfg machine.Config) []uint64 {
+	t.Helper()
+	tgt := Target{XLEN: cfg.CPU.XLEN, NumArchRegs: cfg.CPU.NumArchRegs}
+	prog, err := Compile(src, "t", level, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := machine.New(cfg, prog).Run(1 << 32)
+	if res.Outcome != machine.OutcomeOK {
+		t.Fatalf("%v: %v %s", level, res.Outcome, res.Reason)
+	}
+	return res.Output
+}
+
+// TestConstantMaterialization exercises loadConst across the immediate,
+// 32-bit, and 64-bit ranges on both targets.
+func TestConstantMaterialization(t *testing.T) {
+	values := []int64{
+		0, 1, -1, 42, 32767, -32768, 32768, -32769,
+		65535, 65536, 0x12345678, -0x12345678,
+		0x7fffffff, -0x80000000, 0x10000, 0xabcd0000,
+	}
+	for _, v := range values {
+		src := fmt.Sprintf("func main() { var int x = %d; out(x + 0); }", v)
+		for _, cfg := range machine.Configs() {
+			want, err := interp.Run(mustParse(t, src), cfg.CPU.XLEN, 1000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, level := range []OptLevel{O0, O2} {
+				got := runOn(t, src, level, cfg)
+				if got[0] != want[0] {
+					t.Errorf("const %d, %s, %v: got %#x want %#x", v, cfg.Name, level, got[0], want[0])
+				}
+			}
+		}
+	}
+}
+
+// TestSixtyFourBitConstants builds >32-bit constants via shifts at
+// runtime and via folding at compile time; both must agree on the
+// 64-bit target.
+func TestSixtyFourBitConstants(t *testing.T) {
+	src := `func main() {
+		var int lo = 0x89abcdef;
+		var int hi = 0x01234567;
+		var int x = (hi << 32) | (lo & 0xffffffff);
+		out(x);
+		out(x >> 16);
+		out(1 << 62);
+	}`
+	cfg := machine.CortexA72Like()
+	want, err := interp.Run(mustParse(t, src), 64, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, level := range Levels {
+		got := runOn(t, src, level, cfg)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%v out[%d] = %#x, want %#x", level, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestParallelMoveCycles forces argument permutation cycles at call
+// sites (a0<->a1 swaps and three-way rotations).
+func TestParallelMoveCycles(t *testing.T) {
+	src := `
+func swap2(int a, int b) int { return a * 1000 + b; }
+func rot3(int a, int b, int c) int { return a * 10000 + b * 100 + c; }
+
+func main() {
+	var int x = 1;
+	var int y = 2;
+	var int z = 3;
+	// Arguments arrive in registers and must be permuted.
+	out(swap2(y, x));
+	out(rot3(y, z, x));
+	out(rot3(z, x, y));
+	out(swap2(swap2(x, y), swap2(y, x)));
+}`
+	for _, cfg := range machine.Configs() {
+		want, err := interp.Run(mustParse(t, src), cfg.CPU.XLEN, 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, level := range Levels {
+			got := runOn(t, src, level, cfg)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s %v out[%d] = %d, want %d", cfg.Name, level, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestDeepStackFrames verifies spill-slot addressing and stack
+// discipline with deep recursion plus live locals per frame.
+func TestDeepStackFrames(t *testing.T) {
+	src := `
+func weave(int n, int acc) int {
+	if (n == 0) { return acc; }
+	var int a = n * 3;
+	var int b = a + acc;
+	var int c = weave(n - 1, b % 10007);
+	return (a + b + c) % 10007;
+}
+func main() { out(weave(200, 1)); }`
+	for _, cfg := range machine.Configs() {
+		want, err := interp.Run(mustParse(t, src), cfg.CPU.XLEN, 10_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, level := range Levels {
+			got := runOn(t, src, level, cfg)
+			if got[0] != want[0] {
+				t.Fatalf("%s %v: %d want %d", cfg.Name, level, got[0], want[0])
+			}
+		}
+	}
+}
+
+// TestLargeLocalArrayFrame exercises frame offsets beyond small
+// immediates.
+func TestLargeLocalArrayFrame(t *testing.T) {
+	src := `
+func main() {
+	var int big[3000];
+	var int i;
+	for (i = 0; i < 3000; i = i + 1) {
+		big[i] = i ^ (i << 3);
+	}
+	var int s = 0;
+	for (i = 0; i < 3000; i = i + 7) {
+		s = (s + big[i]) & 2147483647;
+	}
+	out(s);
+	out(big[2999]);
+}`
+	for _, cfg := range machine.Configs() {
+		want, err := interp.Run(mustParse(t, src), cfg.CPU.XLEN, 10_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := runOn(t, src, O2, cfg)
+		if got[0] != want[0] || got[1] != want[1] {
+			t.Fatalf("%s: %v want %v", cfg.Name, got, want)
+		}
+	}
+}
+
+// TestBranchFusionNegation covers every comparison kind in fused
+// branches, with both fallthrough polarities.
+func TestBranchFusionNegation(t *testing.T) {
+	src := `
+func pick(int a, int b) int {
+	var int r = 0;
+	if (a < b)  { r = r + 1; }
+	if (a <= b) { r = r + 10; }
+	if (a > b)  { r = r + 100; }
+	if (a >= b) { r = r + 1000; }
+	if (a == b) { r = r + 10000; }
+	if (a != b) { r = r + 100000; }
+	return r;
+}
+func main() {
+	out(pick(1, 2));
+	out(pick(2, 1));
+	out(pick(3, 3));
+	out(pick(0 - 5, 4));
+}`
+	for _, cfg := range machine.Configs() {
+		want, err := interp.Run(mustParse(t, src), cfg.CPU.XLEN, 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, level := range Levels {
+			got := runOn(t, src, level, cfg)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s %v out[%d] = %d, want %d", cfg.Name, level, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestGlobalScalarRoundTrip covers global loads/stores under every
+// level (address materialization + LVN interactions).
+func TestGlobalScalarRoundTrip(t *testing.T) {
+	src := `
+global int a;
+global int b;
+global int c;
+func main() {
+	a = 11;
+	b = a * 2;
+	c = a + b;
+	a = c - b;
+	out(a); out(b); out(c);
+}`
+	for _, cfg := range machine.Configs() {
+		for _, level := range Levels {
+			got := runOn(t, src, level, cfg)
+			if got[0] != 11 || got[1] != 22 || got[2] != 33 {
+				t.Fatalf("%s %v: %v", cfg.Name, level, got)
+			}
+		}
+	}
+}
+
+func mustParseLang(t *testing.T, src string) *lang.Program { return mustParse(t, src) }

@@ -1,0 +1,243 @@
+// Package compiler translates MiniC to SEV machine code through a
+// three-address-code IR, with an optimization pipeline organized into
+// the levels O0–O3 the paper studies:
+//
+//	O0: direct translation; every user variable lives in its stack slot.
+//	O1: + register allocation, constant folding, copy propagation,
+//	    local common-subexpression elimination, dead-code elimination,
+//	    jump threading and CFG cleanup.
+//	O2: + loop-invariant code motion, strength reduction, cross-jumping
+//	    (identical-block merging), and list instruction scheduling.
+//	O3: + function inlining and loop unrolling.
+package compiler
+
+import (
+	"fmt"
+	"strings"
+
+	"sevsim/internal/lang"
+)
+
+// Value is a virtual register. Negative means "none".
+type Value int32
+
+// NoValue marks an absent operand or result.
+const NoValue Value = -1
+
+// Op enumerates IR operations.
+type Op uint8
+
+const (
+	IRConst  Op = iota // Dst = Const
+	IRCopy             // Dst = A
+	IRBin              // Dst = A Kind B
+	IRAddrG            // Dst = address of global Sym
+	IRAddrL            // Dst = frame address of local array Sym
+	IRLoad             // Dst = mem[A + Off] (word-sized)
+	IRStore            // mem[A + Off] = B
+	IRCall             // Dst = Callee(Args...)  (Dst may be NoValue)
+	IROut              // out A
+	IRRet              // return A (A may be NoValue)
+	IRBr               // goto Targets[0]
+	IRCondBr           // if A != 0 goto Targets[0] else Targets[1]
+)
+
+// Instr is one IR instruction.
+type Instr struct {
+	Op      Op
+	Kind    lang.BinOp // for IRBin
+	Dst     Value
+	A, B    Value
+	Const   int64
+	Off     int64        // addressing offset for IRLoad/IRStore
+	Sym     *lang.Symbol // for IRAddrG/IRAddrL
+	Callee  *Func
+	Args    []Value
+	Targets [2]*Block
+}
+
+// IsTerm reports whether the instruction ends a block.
+func (in *Instr) IsTerm() bool { return in.Op == IRBr || in.Op == IRCondBr || in.Op == IRRet }
+
+// Def returns the value the instruction defines, or NoValue. Only
+// operations that produce a result have a meaningful Dst field;
+// instructions built without one carry the zero Value and must not be
+// treated as defining v0.
+func (in *Instr) Def() Value {
+	switch in.Op {
+	case IRConst, IRCopy, IRBin, IRAddrG, IRAddrL, IRLoad, IRCall:
+		return in.Dst
+	}
+	return NoValue
+}
+
+// Pure reports whether the instruction has no side effects and its
+// result depends only on its operands (safe to CSE, hoist, or remove
+// when dead). Loads are handled separately because memory may change.
+func (in *Instr) Pure() bool {
+	switch in.Op {
+	case IRConst, IRCopy, IRBin, IRAddrG, IRAddrL:
+		return true
+	}
+	return false
+}
+
+// Uses appends the values the instruction reads to dst.
+func (in *Instr) Uses(dst []Value) []Value {
+	add := func(v Value) {
+		if v != NoValue {
+			dst = append(dst, v)
+		}
+	}
+	switch in.Op {
+	case IRCopy:
+		add(in.A)
+	case IRBin:
+		add(in.A)
+		add(in.B)
+	case IRLoad:
+		add(in.A)
+	case IRStore:
+		add(in.A)
+		add(in.B)
+	case IRCall:
+		for _, a := range in.Args {
+			add(a)
+		}
+	case IROut, IRRet, IRCondBr:
+		add(in.A)
+	}
+	return dst
+}
+
+// Block is a basic block.
+type Block struct {
+	ID     int
+	Instrs []Instr
+	Preds  []*Block
+}
+
+// Succs returns the successor blocks.
+func (b *Block) Succs() []*Block {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	t := &b.Instrs[len(b.Instrs)-1]
+	switch t.Op {
+	case IRBr:
+		return []*Block{t.Targets[0]}
+	case IRCondBr:
+		return []*Block{t.Targets[0], t.Targets[1]}
+	}
+	return nil
+}
+
+// Func is one function's IR.
+type Func struct {
+	Name   string
+	Decl   *lang.FuncDecl
+	Params []Value // one vreg per parameter (arrays: the base address)
+	Entry  *Block
+	Blocks []*Block
+
+	NumVals int
+
+	// UserVals marks vregs that correspond to named user variables; O0
+	// pins them to stack slots.
+	UserVals map[Value]bool
+
+	// LocalArrays lists local array symbols needing frame storage;
+	// ArrayBytes is their total size. Symbol offsets are relative to the
+	// function's array area.
+	LocalArrays []*lang.Symbol
+	ArrayBytes  int64
+
+	nextBlock int
+}
+
+// NewValue allocates a fresh virtual register.
+func (f *Func) NewValue() Value {
+	v := Value(f.NumVals)
+	f.NumVals++
+	return v
+}
+
+// NewBlock allocates an empty block.
+func (f *Func) NewBlock() *Block {
+	b := &Block{ID: f.nextBlock}
+	f.nextBlock++
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// Module is a compiled compilation unit's IR.
+type Module struct {
+	Prog     *lang.Program
+	Funcs    []*Func
+	ByName   map[string]*Func
+	WordSize int // bytes per int: XLEN/8
+
+	// GlobalSize is the byte size of the global segment; symbol offsets
+	// are assigned during lowering.
+	GlobalSize int64
+}
+
+// String renders the IR for debugging and golden tests.
+func (f *Func) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s(", f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "v%d", p)
+	}
+	sb.WriteString(")\n")
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "b%d:\n", b.ID)
+		for i := range b.Instrs {
+			fmt.Fprintf(&sb, "  %s\n", b.Instrs[i].String())
+		}
+	}
+	return sb.String()
+}
+
+func (in *Instr) String() string {
+	v := func(x Value) string {
+		if x == NoValue {
+			return "_"
+		}
+		return fmt.Sprintf("v%d", x)
+	}
+	switch in.Op {
+	case IRConst:
+		return fmt.Sprintf("%s = const %d", v(in.Dst), in.Const)
+	case IRCopy:
+		return fmt.Sprintf("%s = %s", v(in.Dst), v(in.A))
+	case IRBin:
+		return fmt.Sprintf("%s = %s %s %s", v(in.Dst), v(in.A), in.Kind, v(in.B))
+	case IRAddrG:
+		return fmt.Sprintf("%s = &%s", v(in.Dst), in.Sym.Name)
+	case IRAddrL:
+		return fmt.Sprintf("%s = &local %s", v(in.Dst), in.Sym.Name)
+	case IRLoad:
+		return fmt.Sprintf("%s = load [%s+%d]", v(in.Dst), v(in.A), in.Off)
+	case IRStore:
+		return fmt.Sprintf("store [%s+%d] = %s", v(in.A), in.Off, v(in.B))
+	case IRCall:
+		args := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = v(a)
+		}
+		return fmt.Sprintf("%s = call %s(%s)", v(in.Dst), in.Callee.Name, strings.Join(args, ", "))
+	case IROut:
+		return fmt.Sprintf("out %s", v(in.A))
+	case IRRet:
+		return fmt.Sprintf("ret %s", v(in.A))
+	case IRBr:
+		return fmt.Sprintf("br b%d", in.Targets[0].ID)
+	case IRCondBr:
+		return fmt.Sprintf("condbr %s, b%d, b%d", v(in.A), in.Targets[0].ID, in.Targets[1].ID)
+	}
+	return "?"
+}

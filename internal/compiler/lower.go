@@ -1,0 +1,449 @@
+package compiler
+
+import (
+	"fmt"
+
+	"sevsim/internal/arith"
+	"sevsim/internal/lang"
+)
+
+// Lower translates a checked MiniC program into module IR for the given
+// machine word size (4 or 8 bytes).
+func Lower(prog *lang.Program, wordSize int) (*Module, error) {
+	mod := &Module{Prog: prog, ByName: map[string]*Func{}, WordSize: wordSize}
+	// Assign global segment offsets.
+	var off int64
+	for _, g := range prog.Globals {
+		g.Sym.Offset = off
+		n := g.Sym.ArraySize
+		if n == 0 {
+			n = 1
+		}
+		off += n * int64(wordSize)
+	}
+	mod.GlobalSize = off
+	// Create function shells first so calls can resolve.
+	for _, fd := range prog.Funcs {
+		f := &Func{Name: fd.Name, Decl: fd, UserVals: map[Value]bool{}}
+		mod.Funcs = append(mod.Funcs, f)
+		mod.ByName[fd.Name] = f
+	}
+	for _, f := range mod.Funcs {
+		l := &lowerer{mod: mod, f: f, vals: map[*lang.Symbol]Value{}}
+		if err := l.run(); err != nil {
+			return nil, err
+		}
+	}
+	return mod, nil
+}
+
+type lowerer struct {
+	mod  *Module
+	f    *Func
+	vals map[*lang.Symbol]Value // scalar vars and array-param addresses
+
+	cur        *Block
+	breakTgts  []*Block
+	contTgts   []*Block
+	arrayFrame int64 // running frame offset for local arrays
+}
+
+func (l *lowerer) wordShift() int64 {
+	if l.mod.WordSize == 8 {
+		return 3
+	}
+	return 2
+}
+
+func (l *lowerer) emit(in Instr) Value {
+	l.cur.Instrs = append(l.cur.Instrs, in)
+	return in.Dst
+}
+
+func (l *lowerer) terminated() bool {
+	n := len(l.cur.Instrs)
+	return n > 0 && l.cur.Instrs[n-1].IsTerm()
+}
+
+func (l *lowerer) branchTo(b *Block) {
+	if !l.terminated() {
+		l.emit(Instr{Op: IRBr, Targets: [2]*Block{b}})
+	}
+}
+
+func (l *lowerer) konst(v int64) Value {
+	dst := l.f.NewValue()
+	// Literals wrap to the machine word width, matching the interpreter.
+	l.emit(Instr{Op: IRConst, Dst: dst, Const: arith.Wrap(l.mod.WordSize*8, v)})
+	return dst
+}
+
+func (l *lowerer) bin(kind lang.BinOp, a, b Value) Value {
+	dst := l.f.NewValue()
+	l.emit(Instr{Op: IRBin, Kind: kind, Dst: dst, A: a, B: b})
+	return dst
+}
+
+func (l *lowerer) run() error {
+	fd := l.f.Decl
+	l.cur = l.f.NewBlock()
+	l.f.Entry = l.cur
+	for _, p := range fd.Params {
+		v := l.f.NewValue()
+		l.f.Params = append(l.f.Params, v)
+		l.vals[p.Sym] = v
+		l.f.UserVals[v] = true
+	}
+	if err := l.block(fd.Body); err != nil {
+		return err
+	}
+	l.f.ArrayBytes = l.arrayFrame
+	if !l.terminated() {
+		ret := NoValue
+		if fd.ReturnsInt {
+			ret = l.konst(0) // fall-off-the-end of an int function returns 0
+		}
+		l.emit(Instr{Op: IRRet, A: ret})
+	}
+	return nil
+}
+
+func (l *lowerer) block(b *lang.BlockStmt) error {
+	for _, s := range b.Stmts {
+		if err := l.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (l *lowerer) stmt(s lang.Stmt) error {
+	// Statements after a terminator are unreachable; keep lowering into a
+	// detached block so the IR stays well-formed (cleanup removes it).
+	if l.terminated() {
+		l.cur = l.f.NewBlock()
+	}
+	switch s := s.(type) {
+	case *lang.BlockStmt:
+		return l.block(s)
+	case *lang.DeclStmt:
+		d := s.Decl
+		if d.Sym.Kind == lang.SymLocalArray {
+			l.f.LocalArrays = append(l.f.LocalArrays, d.Sym)
+			d.Sym.Offset = l.arrayFrame
+			l.arrayFrame += d.Sym.ArraySize * int64(l.mod.WordSize)
+			return nil
+		}
+		v := l.f.NewValue()
+		l.vals[d.Sym] = v
+		l.f.UserVals[v] = true
+		init := Value(NoValue)
+		if d.Init != nil {
+			iv, err := l.expr(d.Init)
+			if err != nil {
+				return err
+			}
+			init = iv
+		} else {
+			init = l.konst(0)
+		}
+		l.emit(Instr{Op: IRCopy, Dst: v, A: init})
+		return nil
+	case *lang.AssignStmt:
+		val, err := l.expr(s.Value)
+		if err != nil {
+			return err
+		}
+		if s.Index == nil {
+			switch s.Target.Kind {
+			case lang.SymGlobal:
+				addr := l.addrOfGlobal(s.Target)
+				l.emit(Instr{Op: IRStore, A: addr, B: val})
+			default:
+				l.emit(Instr{Op: IRCopy, Dst: l.vals[s.Target], A: val})
+			}
+			return nil
+		}
+		addr, err := l.elemAddr(s.Target, s.Index)
+		if err != nil {
+			return err
+		}
+		l.emit(Instr{Op: IRStore, A: addr, B: val})
+		return nil
+	case *lang.IfStmt:
+		thenB := l.f.NewBlock()
+		var elseB *Block
+		join := l.f.NewBlock()
+		if s.Else != nil {
+			elseB = l.f.NewBlock()
+		} else {
+			elseB = join
+		}
+		if err := l.cond(s.Cond, thenB, elseB); err != nil {
+			return err
+		}
+		l.cur = thenB
+		if err := l.block(s.Then); err != nil {
+			return err
+		}
+		l.branchTo(join)
+		if s.Else != nil {
+			l.cur = elseB
+			if err := l.stmt(s.Else); err != nil {
+				return err
+			}
+			l.branchTo(join)
+		}
+		l.cur = join
+		return nil
+	case *lang.WhileStmt:
+		head := l.f.NewBlock()
+		body := l.f.NewBlock()
+		exit := l.f.NewBlock()
+		l.branchTo(head)
+		l.cur = head
+		if err := l.cond(s.Cond, body, exit); err != nil {
+			return err
+		}
+		l.breakTgts = append(l.breakTgts, exit)
+		l.contTgts = append(l.contTgts, head)
+		l.cur = body
+		if err := l.block(s.Body); err != nil {
+			return err
+		}
+		l.branchTo(head)
+		l.breakTgts = l.breakTgts[:len(l.breakTgts)-1]
+		l.contTgts = l.contTgts[:len(l.contTgts)-1]
+		l.cur = exit
+		return nil
+	case *lang.ForStmt:
+		if s.Init != nil {
+			if err := l.stmt(s.Init); err != nil {
+				return err
+			}
+		}
+		head := l.f.NewBlock()
+		body := l.f.NewBlock()
+		post := l.f.NewBlock()
+		exit := l.f.NewBlock()
+		l.branchTo(head)
+		l.cur = head
+		if s.Cond != nil {
+			if err := l.cond(s.Cond, body, exit); err != nil {
+				return err
+			}
+		} else {
+			l.branchTo(body)
+		}
+		l.breakTgts = append(l.breakTgts, exit)
+		l.contTgts = append(l.contTgts, post)
+		l.cur = body
+		if err := l.block(s.Body); err != nil {
+			return err
+		}
+		l.branchTo(post)
+		l.cur = post
+		if s.Post != nil {
+			if err := l.stmt(s.Post); err != nil {
+				return err
+			}
+		}
+		l.branchTo(head)
+		l.breakTgts = l.breakTgts[:len(l.breakTgts)-1]
+		l.contTgts = l.contTgts[:len(l.contTgts)-1]
+		l.cur = exit
+		return nil
+	case *lang.ReturnStmt:
+		ret := NoValue
+		if s.Value != nil {
+			v, err := l.expr(s.Value)
+			if err != nil {
+				return err
+			}
+			ret = v
+		}
+		l.emit(Instr{Op: IRRet, A: ret})
+		return nil
+	case *lang.BreakStmt:
+		l.branchTo(l.breakTgts[len(l.breakTgts)-1])
+		return nil
+	case *lang.ContinueStmt:
+		l.branchTo(l.contTgts[len(l.contTgts)-1])
+		return nil
+	case *lang.OutStmt:
+		v, err := l.expr(s.Value)
+		if err != nil {
+			return err
+		}
+		l.emit(Instr{Op: IROut, A: v})
+		return nil
+	case *lang.ExprStmt:
+		_, err := l.expr(s.X)
+		return err
+	}
+	return fmt.Errorf("compiler: unknown statement %T", s)
+}
+
+// cond lowers a boolean expression directly into control flow, expanding
+// the short-circuit operators into branches.
+func (l *lowerer) cond(e lang.Expr, t, f *Block) error {
+	switch e := e.(type) {
+	case *lang.BinExpr:
+		switch e.Op {
+		case lang.OpLAnd:
+			mid := l.f.NewBlock()
+			if err := l.cond(e.L, mid, f); err != nil {
+				return err
+			}
+			l.cur = mid
+			return l.cond(e.R, t, f)
+		case lang.OpLOr:
+			mid := l.f.NewBlock()
+			if err := l.cond(e.L, t, mid); err != nil {
+				return err
+			}
+			l.cur = mid
+			return l.cond(e.R, t, f)
+		}
+	case *lang.UnExpr:
+		if e.Op == lang.OpLNot {
+			return l.cond(e.X, f, t)
+		}
+	}
+	v, err := l.expr(e)
+	if err != nil {
+		return err
+	}
+	l.emit(Instr{Op: IRCondBr, A: v, Targets: [2]*Block{t, f}})
+	return nil
+}
+
+func (l *lowerer) addrOfGlobal(sym *lang.Symbol) Value {
+	dst := l.f.NewValue()
+	l.emit(Instr{Op: IRAddrG, Dst: dst, Sym: sym})
+	return dst
+}
+
+// elemAddr computes the address of arr[idx].
+func (l *lowerer) elemAddr(sym *lang.Symbol, idx lang.Expr) (Value, error) {
+	var base Value
+	switch sym.Kind {
+	case lang.SymGlobalArray:
+		base = l.addrOfGlobal(sym)
+	case lang.SymLocalArray:
+		base = l.f.NewValue()
+		l.emit(Instr{Op: IRAddrL, Dst: base, Sym: sym})
+	default: // array parameter
+		base = l.vals[sym]
+	}
+	iv, err := l.expr(idx)
+	if err != nil {
+		return NoValue, err
+	}
+	sh := l.konst(l.wordShift())
+	off := l.bin(lang.OpShl, iv, sh)
+	return l.bin(lang.OpAdd, base, off), nil
+}
+
+func (l *lowerer) expr(e lang.Expr) (Value, error) {
+	switch e := e.(type) {
+	case *lang.NumExpr:
+		return l.konst(e.Value), nil
+	case *lang.VarExpr:
+		switch e.Sym.Kind {
+		case lang.SymGlobal:
+			addr := l.addrOfGlobal(e.Sym)
+			dst := l.f.NewValue()
+			l.emit(Instr{Op: IRLoad, Dst: dst, A: addr})
+			return dst, nil
+		default:
+			return l.vals[e.Sym], nil
+		}
+	case *lang.IndexExpr:
+		addr, err := l.elemAddr(e.Sym, e.Index)
+		if err != nil {
+			return NoValue, err
+		}
+		dst := l.f.NewValue()
+		l.emit(Instr{Op: IRLoad, Dst: dst, A: addr})
+		return dst, nil
+	case *lang.UnExpr:
+		x, err := l.expr(e.X)
+		if err != nil {
+			return NoValue, err
+		}
+		switch e.Op {
+		case lang.OpNeg:
+			return l.bin(lang.OpSub, l.konst(0), x), nil
+		case lang.OpNot:
+			return l.bin(lang.OpXor, x, l.konst(-1)), nil
+		default: // logical not
+			return l.bin(lang.OpEq, x, l.konst(0)), nil
+		}
+	case *lang.BinExpr:
+		if e.Op == lang.OpLAnd || e.Op == lang.OpLOr {
+			return l.shortCircuit(e)
+		}
+		a, err := l.expr(e.L)
+		if err != nil {
+			return NoValue, err
+		}
+		b, err := l.expr(e.R)
+		if err != nil {
+			return NoValue, err
+		}
+		return l.bin(e.Op, a, b), nil
+	case *lang.CallExpr:
+		callee := l.mod.ByName[e.Name]
+		args := make([]Value, len(e.Args))
+		for i, ax := range e.Args {
+			if e.Func.Params[i].IsArray {
+				vx := ax.(*lang.VarExpr)
+				switch vx.Sym.Kind {
+				case lang.SymGlobalArray:
+					args[i] = l.addrOfGlobal(vx.Sym)
+				case lang.SymLocalArray:
+					v := l.f.NewValue()
+					l.emit(Instr{Op: IRAddrL, Dst: v, Sym: vx.Sym})
+					args[i] = v
+				default:
+					args[i] = l.vals[vx.Sym]
+				}
+				continue
+			}
+			v, err := l.expr(ax)
+			if err != nil {
+				return NoValue, err
+			}
+			args[i] = v
+		}
+		dst := NoValue
+		if e.Func.ReturnsInt {
+			dst = l.f.NewValue()
+		}
+		l.emit(Instr{Op: IRCall, Dst: dst, Callee: callee, Args: args})
+		return dst, nil
+	}
+	return NoValue, fmt.Errorf("compiler: unknown expression %T", e)
+}
+
+// shortCircuit lowers && and || in value context via a merged temp.
+func (l *lowerer) shortCircuit(e *lang.BinExpr) (Value, error) {
+	t := l.f.NewValue()
+	trueB := l.f.NewBlock()
+	falseB := l.f.NewBlock()
+	join := l.f.NewBlock()
+	if err := l.cond(e, trueB, falseB); err != nil {
+		return NoValue, err
+	}
+	l.cur = trueB
+	one := l.konst(1)
+	l.emit(Instr{Op: IRCopy, Dst: t, A: one})
+	l.branchTo(join)
+	l.cur = falseB
+	zero := l.konst(0)
+	l.emit(Instr{Op: IRCopy, Dst: t, A: zero})
+	l.branchTo(join)
+	l.cur = join
+	return t, nil
+}

@@ -1,0 +1,272 @@
+package compiler
+
+// The O3 pass set: function inlining and loop unrolling. Both mirror
+// GCC's O3 signature the paper describes: faster or comparable code at
+// the cost of larger text (more L1I pressure).
+
+// inlineLimit is the maximum callee size (IR instructions) considered
+// for inlining.
+const inlineLimit = 40
+
+// unrollInstrLimit bounds the loop body size eligible for unrolling.
+const unrollInstrLimit = 48
+
+// unrollBlockLimit bounds the loop shape eligible for unrolling.
+const unrollBlockLimit = 6
+
+// InlineCalls inlines calls to small leaf functions (no calls, no local
+// arrays) across the module. Two rounds let a function that became a
+// leaf by inlining be inlined itself.
+func InlineCalls(mod *Module) {
+	for round := 0; round < 2; round++ {
+		inlinable := map[*Func]bool{}
+		for _, f := range mod.Funcs {
+			if f.Name == "main" {
+				// main is never a callee; no need to consider it.
+				continue
+			}
+			if len(f.LocalArrays) > 0 {
+				continue
+			}
+			size := 0
+			leaf := true
+			for _, b := range f.Blocks {
+				size += len(b.Instrs)
+				for i := range b.Instrs {
+					if b.Instrs[i].Op == IRCall {
+						leaf = false
+					}
+				}
+			}
+			if leaf && size <= inlineLimit {
+				inlinable[f] = true
+			}
+		}
+		changed := false
+		for _, f := range mod.Funcs {
+			changed = inlineInto(f, inlinable) || changed
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// inlineInto splices inlinable callees into f.
+func inlineInto(f *Func, inlinable map[*Func]bool) bool {
+	changed := false
+	// Iterate over a snapshot: inlining appends blocks.
+	for bi := 0; bi < len(f.Blocks); bi++ {
+		b := f.Blocks[bi]
+		for i := 0; i < len(b.Instrs); i++ {
+			in := &b.Instrs[i]
+			if in.Op != IRCall || !inlinable[in.Callee] || in.Callee == f {
+				continue
+			}
+			spliceCall(f, b, i)
+			changed = true
+			break // b's tail moved to a new block; rescan later blocks
+		}
+	}
+	return changed
+}
+
+// spliceCall replaces the call at b.Instrs[idx] with the callee's body.
+func spliceCall(f *Func, b *Block, idx int) {
+	call := b.Instrs[idx]
+	callee := call.Callee
+
+	// Remap callee values into fresh caller values.
+	base := Value(f.NumVals)
+	f.NumVals += callee.NumVals
+	remap := func(v Value) Value {
+		if v == NoValue {
+			return NoValue
+		}
+		return base + v
+	}
+
+	// Continuation block receives the instructions after the call.
+	cont := f.NewBlock()
+	cont.Instrs = append(cont.Instrs, b.Instrs[idx+1:]...)
+
+	// Clone callee blocks.
+	clones := map[*Block]*Block{}
+	for _, cb := range callee.Blocks {
+		clones[cb] = f.NewBlock()
+	}
+	for _, cb := range callee.Blocks {
+		nb := clones[cb]
+		for j := range cb.Instrs {
+			ci := cb.Instrs[j]
+			ci.Dst = remap(ci.Dst)
+			ci.A = remap(ci.A)
+			ci.B = remap(ci.B)
+			if len(ci.Args) > 0 {
+				args := make([]Value, len(ci.Args))
+				for k, a := range ci.Args {
+					args[k] = remap(a)
+				}
+				ci.Args = args
+			}
+			for k, t := range ci.Targets {
+				if t != nil {
+					ci.Targets[k] = clones[t]
+				}
+			}
+			if ci.Op == IRRet {
+				// Return becomes result copy + jump to continuation.
+				if call.Dst != NoValue && ci.A != NoValue {
+					nb.Instrs = append(nb.Instrs, Instr{Op: IRCopy, Dst: call.Dst, A: ci.A})
+				}
+				nb.Instrs = append(nb.Instrs, Instr{Op: IRBr, Targets: [2]*Block{cont}})
+				continue
+			}
+			nb.Instrs = append(nb.Instrs, ci)
+		}
+	}
+
+	// Rewrite the call site: bind arguments, jump into the clone.
+	b.Instrs = b.Instrs[:idx]
+	for k, p := range callee.Params {
+		b.Instrs = append(b.Instrs, Instr{Op: IRCopy, Dst: remap(p), A: call.Args[k]})
+	}
+	b.Instrs = append(b.Instrs, Instr{Op: IRBr, Targets: [2]*Block{clones[callee.Entry]}})
+}
+
+// UnrollLoops duplicates small loop bodies (factor 2) so that
+// consecutive iterations alternate between two copies. Dynamic work per
+// iteration is unchanged but straight-line regions double, reproducing
+// the code-growth signature of -O3.
+func UnrollLoops(f *Func) {
+	loops := NaturalLoops(f)
+	for _, lp := range loops {
+		if len(lp.Blocks) > unrollBlockLimit {
+			continue
+		}
+		size := 0
+		nested := false
+		for b := range lp.Blocks {
+			size += len(b.Instrs)
+			if b != lp.Header {
+				// Skip loops containing inner loop headers.
+				for _, other := range loops {
+					if other != lp && other.Header == b {
+						nested = true
+					}
+				}
+			}
+		}
+		if nested || size > unrollInstrLimit {
+			continue
+		}
+		unrollLoop(f, lp)
+	}
+	RemoveUnreachable(f)
+}
+
+func unrollLoop(f *Func, lp *Loop) {
+	clones := map[*Block]*Block{}
+	members := make([]*Block, 0, len(lp.Blocks))
+	for b := range lp.Blocks {
+		members = append(members, b)
+	}
+	// Deterministic order for reproducible code.
+	for i := 0; i < len(members); i++ {
+		for j := i + 1; j < len(members); j++ {
+			if members[j].ID < members[i].ID {
+				members[i], members[j] = members[j], members[i]
+			}
+		}
+	}
+
+	// Loop-carried or escaping values must keep their virtual registers
+	// across both copies; loop-local single-def temporaries get fresh
+	// registers in the clone so they stay single-def (otherwise constant
+	// and addressing temps lose their immediate-operand eligibility and
+	// the unrolled code bloats).
+	defs := DefCounts(f)
+	definedIn := map[Value]bool{}
+	for _, b := range members {
+		for i := range b.Instrs {
+			if d := b.Instrs[i].Def(); d != NoValue {
+				definedIn[d] = true
+			}
+		}
+	}
+	usedOutside := map[Value]bool{}
+	var buf []Value
+	for _, b := range f.Blocks {
+		if lp.Blocks[b] {
+			continue
+		}
+		for i := range b.Instrs {
+			buf = b.Instrs[i].Uses(buf[:0])
+			for _, u := range buf {
+				usedOutside[u] = true
+			}
+		}
+	}
+	rename := map[Value]Value{}
+	for v := range definedIn {
+		if defs[v] == 1 && !usedOutside[v] {
+			rename[v] = f.NewValue()
+		}
+	}
+	remap := func(v Value) Value {
+		if nv, ok := rename[v]; ok {
+			return nv
+		}
+		return v
+	}
+
+	for _, b := range members {
+		clones[b] = f.NewBlock()
+	}
+	for _, b := range members {
+		nb := clones[b]
+		nb.Instrs = append(nb.Instrs, b.Instrs...)
+		// Fix edges and remap loop-local temps; exits stay shared.
+		for j := range nb.Instrs {
+			in := &nb.Instrs[j]
+			if in.Def() != NoValue {
+				in.Dst = remap(in.Dst)
+			}
+			if in.A != NoValue {
+				in.A = remap(in.A)
+			}
+			if in.B != NoValue {
+				in.B = remap(in.B)
+			}
+			if len(in.Args) > 0 {
+				args := make([]Value, len(in.Args))
+				for k, a := range in.Args {
+					args[k] = remap(a)
+				}
+				in.Args = args
+			}
+			for k, t := range in.Targets {
+				if t == nil {
+					continue
+				}
+				if t == lp.Header {
+					// Clone's back edge returns to the original header.
+					continue
+				}
+				if c, ok := clones[t]; ok {
+					in.Targets[k] = c
+				}
+			}
+		}
+	}
+	// Original latches now jump to the cloned header instead.
+	for _, latch := range lp.Latches {
+		t := &latch.Instrs[len(latch.Instrs)-1]
+		for k := range t.Targets {
+			if t.Targets[k] == lp.Header {
+				t.Targets[k] = clones[lp.Header]
+			}
+		}
+	}
+	ComputePreds(f)
+}

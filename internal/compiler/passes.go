@@ -1,0 +1,402 @@
+package compiler
+
+import (
+	"fmt"
+
+	"sevsim/internal/arith"
+	"sevsim/internal/lang"
+)
+
+// The O1 pass set: constant folding, copy propagation, local value
+// numbering (CSE), dead-code elimination, and CFG cleanup (jump
+// threading, block merging, unreachable-code removal).
+
+// ConstFold folds operations on single-def constants, applies algebraic
+// identities, and resolves conditional branches on constants. xlen
+// parameterizes wrap-around semantics. Returns true on change.
+func ConstFold(f *Func, xlen int) bool {
+	changed := false
+	consts := ConstDefs(f)
+	cv := func(v Value) (int64, bool) {
+		if v == NoValue {
+			return 0, false
+		}
+		in, ok := consts[v]
+		return in.Const, ok
+	}
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op == IRCondBr {
+				if c, ok := cv(in.A); ok {
+					t := in.Targets[0]
+					if c == 0 {
+						t = in.Targets[1]
+					}
+					*in = Instr{Op: IRBr, Targets: [2]*Block{t}}
+					changed = true
+				}
+				continue
+			}
+			if in.Op != IRBin {
+				continue
+			}
+			a, aok := cv(in.A)
+			bb, bok := cv(in.B)
+			if aok && bok {
+				*in = Instr{Op: IRConst, Dst: in.Dst, Const: arith.Bin(xlen, in.Kind, a, bb)}
+				changed = true
+				continue
+			}
+			// Algebraic identities with a constant on one side.
+			copyOf := func(src Value) {
+				*in = Instr{Op: IRCopy, Dst: in.Dst, A: src}
+				changed = true
+			}
+			constOf := func(c int64) {
+				*in = Instr{Op: IRConst, Dst: in.Dst, Const: c}
+				changed = true
+			}
+			switch {
+			case bok && bb == 0:
+				switch in.Kind {
+				case lang.OpAdd, lang.OpSub, lang.OpOr, lang.OpXor, lang.OpShl, lang.OpShr:
+					copyOf(in.A)
+				case lang.OpMul, lang.OpAnd:
+					constOf(0)
+				}
+			case bok && bb == 1:
+				switch in.Kind {
+				case lang.OpMul, lang.OpDiv:
+					copyOf(in.A)
+				case lang.OpRem:
+					constOf(0)
+				}
+			case aok && a == 0:
+				switch in.Kind {
+				case lang.OpAdd, lang.OpOr, lang.OpXor:
+					copyOf(in.B)
+				case lang.OpMul, lang.OpAnd:
+					constOf(0)
+				}
+			case aok && a == 1 && in.Kind == lang.OpMul:
+				copyOf(in.B)
+			case in.A == in.B:
+				switch in.Kind {
+				case lang.OpSub, lang.OpXor:
+					constOf(0)
+				case lang.OpAnd, lang.OpOr:
+					copyOf(in.A)
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// CopyProp propagates copies and constants. Within a block it tracks
+// aliases with kill-on-redefinition; across blocks it uses the safe
+// single-def rule (v = copy of a where both are defined exactly once).
+func CopyProp(f *Func) bool {
+	changed := false
+	defs := DefCounts(f)
+
+	// Global single-def copy propagation.
+	alias := map[Value]Value{}
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op == IRCopy && in.A != NoValue &&
+				defs[in.Dst] == 1 && defs[in.A] == 1 {
+				alias[in.Dst] = in.A
+			}
+		}
+	}
+	resolve := func(v Value) Value {
+		for {
+			a, ok := alias[v]
+			if !ok {
+				return v
+			}
+			v = a
+		}
+	}
+	if len(alias) > 0 {
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				changed = rewriteUses(&b.Instrs[i], resolve) || changed
+			}
+		}
+	}
+
+	// Local propagation with kills.
+	for _, b := range f.Blocks {
+		local := map[Value]Value{}
+		res := func(v Value) Value {
+			for {
+				a, ok := local[v]
+				if !ok {
+					return v
+				}
+				v = a
+			}
+		}
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			changed = rewriteUses(in, res) || changed
+			if d := in.Def(); d != NoValue {
+				delete(local, d)
+				for k, v := range local {
+					if v == d {
+						delete(local, k)
+					}
+				}
+				if in.Op == IRCopy && in.A != d {
+					local[d] = in.A
+				}
+			}
+		}
+	}
+	return changed
+}
+
+func rewriteUses(in *Instr, res func(Value) Value) bool {
+	changed := false
+	rw := func(v *Value) {
+		if *v == NoValue {
+			return
+		}
+		if n := res(*v); n != *v {
+			*v = n
+			changed = true
+		}
+	}
+	switch in.Op {
+	case IRCopy, IRLoad, IROut, IRRet, IRCondBr:
+		rw(&in.A)
+	case IRBin, IRStore:
+		rw(&in.A)
+		rw(&in.B)
+	case IRCall:
+		for i := range in.Args {
+			rw(&in.Args[i])
+		}
+	}
+	return changed
+}
+
+// LVN performs local value numbering per block: pure expressions and
+// loads (between memory writes) that recompute an available value are
+// replaced by copies.
+func LVN(f *Func) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		vn := map[Value]int{}
+		next := 1
+		vnOf := func(v Value) int {
+			if n, ok := vn[v]; ok {
+				return n
+			}
+			vn[v] = next
+			next++
+			return vn[v]
+		}
+		type entry struct {
+			holder   Value
+			holderVN int
+		}
+		avail := map[string]entry{}
+		exprVN := map[string]int{}
+		memEpoch := 0
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			var key string
+			switch in.Op {
+			case IRConst:
+				key = fmt.Sprintf("c%d", in.Const)
+			case IRBin:
+				a, bb := vnOf(in.A), vnOf(in.B)
+				if commutative(in.Kind) && a > bb {
+					a, bb = bb, a
+				}
+				key = fmt.Sprintf("b%d,%d,%d", in.Kind, a, bb)
+			case IRAddrG:
+				key = "g" + in.Sym.Name
+			case IRAddrL:
+				key = "l" + in.Sym.Name
+			case IRLoad:
+				key = fmt.Sprintf("m%d,%d,%d", vnOf(in.A), in.Off, memEpoch)
+			case IRCopy:
+				// A copy redefines Dst: it now carries A's value number.
+				vn[in.Dst] = vnOf(in.A)
+				continue
+			case IRCall:
+				memEpoch++
+				if in.Dst != NoValue {
+					vn[in.Dst] = next
+					next++
+				}
+				continue
+			case IRStore:
+				memEpoch++
+				continue
+			default:
+				continue
+			}
+			if e, ok := avail[key]; ok && vn[e.holder] == e.holderVN {
+				*in = Instr{Op: IRCopy, Dst: in.Dst, A: e.holder}
+				vn[in.Dst] = e.holderVN
+				changed = true
+				continue
+			}
+			n, ok := exprVN[key]
+			if !ok {
+				n = next
+				next++
+				exprVN[key] = n
+			}
+			vn[in.Dst] = n
+			avail[key] = entry{holder: in.Dst, holderVN: n}
+		}
+	}
+	return changed
+}
+
+func commutative(op lang.BinOp) bool {
+	switch op {
+	case lang.OpAdd, lang.OpMul, lang.OpAnd, lang.OpOr, lang.OpXor, lang.OpEq, lang.OpNe:
+		return true
+	}
+	return false
+}
+
+// DCE removes side-effect-free instructions whose results are unused,
+// iterating to a fixed point.
+func DCE(f *Func) bool {
+	changed := false
+	for {
+		uses := UseCounts(f)
+		removed := false
+		for _, b := range f.Blocks {
+			kept := b.Instrs[:0]
+			for i := range b.Instrs {
+				in := b.Instrs[i]
+				dead := (in.Pure() || in.Op == IRLoad) &&
+					(in.Dst == NoValue || uses[in.Dst] == 0)
+				if dead {
+					removed = true
+					continue
+				}
+				kept = append(kept, in)
+			}
+			b.Instrs = kept
+		}
+		if !removed {
+			return changed
+		}
+		changed = true
+	}
+}
+
+// Cleanup simplifies the CFG: unreachable-block removal, jump threading
+// through empty blocks, merging single-predecessor chains, and
+// degenerate conditional branches.
+func Cleanup(f *Func) bool {
+	changed := false
+	for {
+		iter := RemoveUnreachable(f)
+
+		// CondBr with identical targets becomes Br.
+		for _, b := range f.Blocks {
+			if n := len(b.Instrs); n > 0 {
+				t := &b.Instrs[n-1]
+				if t.Op == IRCondBr && t.Targets[0] == t.Targets[1] {
+					*t = Instr{Op: IRBr, Targets: [2]*Block{t.Targets[0]}}
+					iter = true
+				}
+			}
+		}
+
+		// Jump threading: redirect edges that point at an empty
+		// forwarding block (a single Br) to its target.
+		forward := map[*Block]*Block{}
+		for _, b := range f.Blocks {
+			if len(b.Instrs) == 1 && b.Instrs[0].Op == IRBr && b.Instrs[0].Targets[0] != b {
+				forward[b] = b.Instrs[0].Targets[0]
+			}
+		}
+		thread := func(t *Block) *Block {
+			seen := map[*Block]bool{}
+			for forward[t] != nil && !seen[t] {
+				seen[t] = true
+				t = forward[t]
+			}
+			return t
+		}
+		if len(forward) > 0 {
+			for _, b := range f.Blocks {
+				if n := len(b.Instrs); n > 0 {
+					t := &b.Instrs[n-1]
+					for k := range t.Targets[:2] {
+						if t.Targets[k] != nil {
+							if nt := thread(t.Targets[k]); nt != t.Targets[k] {
+								t.Targets[k] = nt
+								iter = true
+							}
+						}
+					}
+				}
+			}
+			if f.Entry != nil {
+				if nt := thread(f.Entry); nt != f.Entry {
+					f.Entry = nt
+					iter = true
+				}
+			}
+		}
+
+		// Merge b -> c when c's only predecessor is b and b ends with an
+		// unconditional branch to c.
+		ComputePreds(f)
+		for _, b := range f.Blocks {
+			for {
+				n := len(b.Instrs)
+				if n == 0 {
+					break
+				}
+				t := &b.Instrs[n-1]
+				if t.Op != IRBr {
+					break
+				}
+				c := t.Targets[0]
+				if c == b || c == f.Entry || len(c.Preds) != 1 {
+					break
+				}
+				b.Instrs = append(b.Instrs[:n-1], c.Instrs...)
+				c.Instrs = nil // becomes unreachable
+				iter = true
+				ComputePreds(f)
+			}
+		}
+		iter = RemoveUnreachable(f) || iter
+
+		if !iter {
+			return changed
+		}
+		changed = true
+	}
+}
+
+// RunO1 applies the O1 pass set to a fixed point (bounded).
+func RunO1(f *Func, xlen int) {
+	for i := 0; i < 8; i++ {
+		changed := ConstFold(f, xlen)
+		changed = CopyProp(f) || changed
+		changed = LVN(f) || changed
+		changed = DCE(f) || changed
+		changed = Cleanup(f) || changed
+		if !changed {
+			return
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package compiler
+
+import (
+	"sort"
+
+	"sevsim/internal/isa"
+)
+
+// Target describes the machine the backend generates code for.
+type Target struct {
+	XLEN        int // 32 or 64
+	NumArchRegs int // 16 or 32
+}
+
+// WordSize returns the byte width of an int on this target.
+func (t Target) WordSize() int { return t.XLEN / 8 }
+
+// NoReg marks an unallocated (spilled) value.
+const NoReg uint8 = 0xff
+
+// Scratch registers reserved for spill reloads, materialized constants,
+// and cycle breaking in call argument moves. Never allocated.
+const (
+	scratchA = isa.RegT0
+	scratchB = isa.RegT1
+	scratchC = isa.RegT2
+)
+
+// Alloc is the result of register allocation for one function.
+type Alloc struct {
+	Reg      []uint8 // per value; NoReg = stack slot
+	Slot     []int   // per value; -1 = none
+	NumSlots int
+	// UsedCalleeSaved lists the callee-saved registers the allocation
+	// touched; the prologue must save them.
+	UsedCalleeSaved []uint8
+}
+
+// callerPool returns the allocatable caller-saved registers (safe only
+// for intervals that do not span a call).
+func callerPool() []uint8 {
+	return []uint8{isa.RegA0, isa.RegA1, isa.RegA2, isa.RegA3}
+}
+
+// calleePool returns the allocatable callee-saved registers for the
+// target (s0 and up).
+func calleePool(t Target) []uint8 {
+	var regs []uint8
+	for r := uint8(isa.RegS0); r < uint8(t.NumArchRegs); r++ {
+		regs = append(regs, r)
+	}
+	return regs
+}
+
+// Allocate runs linear-scan register allocation over the block layout.
+// When forceSlotUserVars is set (O0), every named user variable is
+// pinned to a stack slot; compiler temporaries may still use registers,
+// which mirrors how an unoptimizing compiler evaluates expressions in
+// registers while keeping variables in memory.
+func Allocate(f *Func, layout []*Block, t Target, forceSlotUserVars bool) *Alloc {
+	intervals := LiveIntervals(f, layout)
+	a := &Alloc{
+		Reg:  make([]uint8, f.NumVals),
+		Slot: make([]int, f.NumVals),
+	}
+	for i := range a.Reg {
+		a.Reg[i] = NoReg
+		a.Slot[i] = -1
+	}
+	newSlot := func(v Value) {
+		if a.Slot[v] == -1 {
+			a.Slot[v] = a.NumSlots
+			a.NumSlots++
+		}
+	}
+
+	uses := UseCounts(f)
+	defs := DefCounts(f)
+	isParam := make([]bool, f.NumVals)
+	for _, p := range f.Params {
+		isParam[p] = true
+	}
+	type cand struct {
+		v  Value
+		iv Interval
+	}
+	var order []cand
+	for v := range intervals {
+		iv := intervals[v]
+		if iv.Start == 0 && iv.End == 0 &&
+			uses[v] == 0 && defs[v] == 0 && !isParam[v] {
+			continue
+		}
+		if forceSlotUserVars && f.UserVals[Value(v)] {
+			newSlot(Value(v))
+			continue
+		}
+		order = append(order, cand{Value(v), iv})
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].iv.Start != order[j].iv.Start {
+			return order[i].iv.Start < order[j].iv.Start
+		}
+		return order[i].v < order[j].v
+	})
+
+	caller := callerPool()
+	callee := calleePool(t)
+	inUse := map[uint8]Value{}
+	usedCallee := map[uint8]bool{}
+	var active []cand
+
+	expire := func(pos int) {
+		kept := active[:0]
+		for _, c := range active {
+			if c.iv.End < pos {
+				delete(inUse, a.Reg[c.v])
+			} else {
+				kept = append(kept, c)
+			}
+		}
+		active = kept
+	}
+	tryPool := func(pool []uint8) (uint8, bool) {
+		for _, r := range pool {
+			if _, busy := inUse[r]; !busy {
+				return r, true
+			}
+		}
+		return NoReg, false
+	}
+
+	for _, c := range order {
+		expire(c.iv.Start)
+		var reg uint8
+		ok := false
+		if c.iv.CrossCall {
+			reg, ok = tryPool(callee)
+		} else {
+			if reg, ok = tryPool(caller); !ok {
+				reg, ok = tryPool(callee)
+			}
+		}
+		if !ok {
+			// Steal from the active interval ending furthest away, if it
+			// ends after the current one and its register is legal here.
+			victimIdx := -1
+			for i, act := range active {
+				r := a.Reg[act.v]
+				if c.iv.CrossCall && !isa.CalleeSaved(r) {
+					continue
+				}
+				if act.iv.End > c.iv.End && (victimIdx == -1 || act.iv.End > active[victimIdx].iv.End) {
+					victimIdx = i
+				}
+			}
+			if victimIdx == -1 {
+				newSlot(c.v)
+				continue
+			}
+			victim := active[victimIdx]
+			reg = a.Reg[victim.v]
+			a.Reg[victim.v] = NoReg
+			newSlot(victim.v)
+			active = append(active[:victimIdx], active[victimIdx+1:]...)
+		}
+		a.Reg[c.v] = reg
+		inUse[reg] = c.v
+		if isa.CalleeSaved(reg) {
+			usedCallee[reg] = true
+		}
+		active = append(active, c)
+	}
+
+	for r := range usedCallee {
+		a.UsedCalleeSaved = append(a.UsedCalleeSaved, r)
+	}
+	sort.Slice(a.UsedCalleeSaved, func(i, j int) bool {
+		return a.UsedCalleeSaved[i] < a.UsedCalleeSaved[j]
+	})
+	return a
+}

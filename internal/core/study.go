@@ -1,0 +1,272 @@
+// Package core orchestrates the paper's characterization study end to
+// end: it compiles every benchmark at every optimization level for each
+// microarchitecture, runs the fault-free golden simulations, executes
+// the statistical fault-injection campaigns for every hardware
+// structure field, and exposes the aggregations behind each figure
+// (AVF, weighted AVF, FIT, FPE, ECC scenarios).
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+
+	"sevsim/internal/campaign"
+	"sevsim/internal/compiler"
+	"sevsim/internal/faultinj"
+	"sevsim/internal/machine"
+	"sevsim/internal/workloads"
+)
+
+// Spec configures a study.
+type Spec struct {
+	Machines   []machine.Config
+	Benchmarks []workloads.Benchmark
+	Levels     []compiler.OptLevel
+	Targets    []faultinj.Target
+
+	// Faults per campaign cell. The paper uses 2,000 (2.88% margin at
+	// 99% confidence); scaled-down studies report the wider margin.
+	Faults int
+	Seed   int64
+
+	// Size overrides the benchmark scale; nil uses DefaultSize.
+	Size func(workloads.Benchmark) int
+
+	// Parallelism caps concurrent injections (<=0: GOMAXPROCS).
+	Parallelism int
+
+	// Progress, when non-nil, receives human-readable progress lines.
+	Progress func(format string, args ...any)
+}
+
+// DefaultSpec returns the full study of the paper at a configurable
+// fault count: both microarchitectures, all eight benchmarks, four
+// levels, and all fifteen structure fields.
+func DefaultSpec(faults int) Spec {
+	return Spec{
+		Machines:   machine.Configs(),
+		Benchmarks: workloads.All(),
+		Levels:     compiler.Levels,
+		Targets:    faultinj.Targets(),
+		Faults:     faults,
+		Seed:       2021, // the paper's publication year; any value works
+	}
+}
+
+// Golden records one fault-free run.
+type Golden struct {
+	March string
+	Bench string
+	Level string
+
+	Cycles      uint64
+	CodeWords   int
+	Committed   uint64
+	IPC         float64
+	Mispredicts uint64
+	L1DMissRate float64
+	AvgPRFLive  float64
+	AvgROBOcc   float64
+	AvgIQOcc    float64
+	AvgLQOcc    float64
+	AvgSQOcc    float64
+}
+
+// Study is the complete result set.
+type Study struct {
+	MachineNames []string
+	BenchNames   []string
+	LevelNames   []string
+	TargetNames  []string
+	Faults       int
+
+	Goldens []Golden
+	Results []campaign.Result
+}
+
+func (s *Spec) progress(format string, args ...any) {
+	if s.Progress != nil {
+		s.Progress(format, args...)
+	}
+}
+
+// compilerTarget derives the backend target from a machine config.
+func compilerTarget(cfg machine.Config) compiler.Target {
+	return compiler.Target{XLEN: cfg.CPU.XLEN, NumArchRegs: cfg.CPU.NumArchRegs}
+}
+
+// cellSeed derives a deterministic per-cell seed.
+func cellSeed(master int64, parts ...string) int64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return master ^ int64(h.Sum64()&0x7fffffffffffffff)
+}
+
+// Run executes the study.
+func (s Spec) Run() (*Study, error) {
+	st := &Study{Faults: s.Faults}
+	for _, m := range s.Machines {
+		st.MachineNames = append(st.MachineNames, m.Name)
+	}
+	for _, b := range s.Benchmarks {
+		st.BenchNames = append(st.BenchNames, b.Name)
+	}
+	for _, l := range s.Levels {
+		st.LevelNames = append(st.LevelNames, l.String())
+	}
+	for _, t := range s.Targets {
+		st.TargetNames = append(st.TargetNames, t.Name())
+	}
+
+	for _, cfg := range s.Machines {
+		tgt := compilerTarget(cfg)
+		for _, bench := range s.Benchmarks {
+			size := bench.DefaultSize
+			if s.Size != nil {
+				size = s.Size(bench)
+			}
+			src := bench.Source(size)
+			for _, level := range s.Levels {
+				prog, err := compiler.Compile(src, bench.Name, level, tgt)
+				if err != nil {
+					return nil, fmt.Errorf("compile %s %v for %s: %w", bench.Name, level, cfg.Name, err)
+				}
+				exp, err := faultinj.NewExperiment(cfg, prog)
+				if err != nil {
+					return nil, fmt.Errorf("golden %s %v on %s: %w", bench.Name, level, cfg.Name, err)
+				}
+				st.Goldens = append(st.Goldens, goldenOf(cfg, bench.Name, level, prog, exp))
+				s.progress("golden %-16s %-9s %s: %d cycles (IPC %.2f)",
+					cfg.Name, bench.Name, level, exp.GoldenCycles, exp.GoldenStats.Stats.IPC())
+				for _, target := range s.Targets {
+					opts := campaign.Options{
+						Faults:      s.Faults,
+						Seed:        cellSeed(s.Seed, cfg.Name, bench.Name, level.String(), target.Name()),
+						Parallelism: s.Parallelism,
+					}
+					r := campaign.Run(exp, target, opts)
+					r.March = cfg.Name
+					r.Bench = bench.Name
+					r.Level = level.String()
+					st.Results = append(st.Results, r)
+					s.progress("  %-9s AVF %5.1f%%  (SDC %d, crash %d, timeout %d, assert %d)",
+						target.Name(), r.AVF()*100, r.Counts.SDC, r.Counts.Crash,
+						r.Counts.Timeout, r.Counts.Assert)
+				}
+			}
+		}
+	}
+	return st, nil
+}
+
+func goldenOf(cfg machine.Config, bench string, level compiler.OptLevel,
+	prog *machine.Program, exp *faultinj.Experiment) Golden {
+	stats := exp.GoldenStats.Stats
+	cyc := float64(stats.Cycles)
+	l1d := exp.GoldenStats.L1D
+	missRate := 0.0
+	if l1d.Hits+l1d.Misses > 0 {
+		missRate = float64(l1d.Misses) / float64(l1d.Hits+l1d.Misses)
+	}
+	return Golden{
+		March:       cfg.Name,
+		Bench:       bench,
+		Level:       level.String(),
+		Cycles:      stats.Cycles,
+		CodeWords:   len(prog.Code),
+		Committed:   stats.Committed,
+		IPC:         stats.IPC(),
+		Mispredicts: stats.Mispredicts,
+		L1DMissRate: missRate,
+		AvgPRFLive:  float64(stats.PRFLive) / cyc,
+		AvgROBOcc:   float64(stats.ROBOccupancy) / cyc,
+		AvgIQOcc:    float64(stats.IQOccupancy) / cyc,
+		AvgLQOcc:    float64(stats.LQOccupancy) / cyc,
+		AvgSQOcc:    float64(stats.SQOccupancy) / cyc,
+	}
+}
+
+// --- accessors --------------------------------------------------------------
+
+// Golden returns the fault-free record for a cell.
+func (st *Study) Golden(march, bench, level string) (Golden, bool) {
+	for _, g := range st.Goldens {
+		if g.March == march && g.Bench == bench && g.Level == level {
+			return g, true
+		}
+	}
+	return Golden{}, false
+}
+
+// Result returns one campaign cell.
+func (st *Study) Result(march, bench, level, target string) (campaign.Result, bool) {
+	for _, r := range st.Results {
+		if r.March == march && r.Bench == bench && r.Level == level && r.Target == target {
+			return r, true
+		}
+	}
+	return campaign.Result{}, false
+}
+
+// AcrossBenches returns one result per benchmark for a fixed (march,
+// level, target) — the input to the weighted AVF of Equation 1.
+func (st *Study) AcrossBenches(march, level, target string) []campaign.Result {
+	var out []campaign.Result
+	for _, bench := range st.BenchNames {
+		if r, ok := st.Result(march, bench, level, target); ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// CellStructures returns one result per structure field for a fixed
+// (march, bench, level) — the input to whole-CPU FIT.
+func (st *Study) CellStructures(march, bench, level string) []campaign.Result {
+	var out []campaign.Result
+	for _, target := range st.TargetNames {
+		if r, ok := st.Result(march, bench, level, target); ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// MachineConfig resolves a stored machine name back to its config.
+func MachineConfig(name string) (machine.Config, bool) {
+	for _, cfg := range machine.Configs() {
+		if cfg.Name == name {
+			return cfg, true
+		}
+	}
+	return machine.Config{}, false
+}
+
+// --- persistence -------------------------------------------------------------
+
+// Save writes the study as JSON.
+func (st *Study) Save(path string) error {
+	data, err := json.MarshalIndent(st, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load reads a study saved with Save.
+func Load(path string) (*Study, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	st := &Study{}
+	if err := json.Unmarshal(data, st); err != nil {
+		return nil, err
+	}
+	return st, nil
+}

@@ -1,0 +1,697 @@
+package cpu
+
+import (
+	"sevsim/internal/isa"
+	"sevsim/internal/mem"
+	"sevsim/internal/simerr"
+)
+
+// Stats aggregates pipeline events and structure occupancy over a run.
+// Occupancy sums divided by cycles give average utilization, which is
+// the mechanism behind the paper's AVF observations (e.g. optimized code
+// keeps more physical registers live).
+type Stats struct {
+	Cycles      uint64
+	Committed   uint64
+	Fetched     uint64
+	Mispredicts uint64
+	Branches    uint64
+	Loads       uint64
+	Stores      uint64
+
+	ROBOccupancy uint64 // sum over cycles of occupied ROB entries
+	IQOccupancy  uint64
+	LQOccupancy  uint64
+	SQOccupancy  uint64
+	PRFLive      uint64 // sum over cycles of allocated physical registers
+}
+
+// IPC returns committed instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+// Core is one out-of-order processor core.
+type Core struct {
+	cfg    Config
+	memory *mem.Memory
+	icache *mem.Cache
+	dcache *mem.Cache
+
+	// Physical register file and rename state.
+	prf      []uint64
+	prfReady []bool
+	prfAlloc []bool
+	rat      []uint16
+	freeList []uint16
+
+	rob *rob
+	iq  []iqEntry
+	lq  *queue[lqEntry]
+	sq  *queue[sqEntry]
+
+	pred        *predictor
+	fetchPC     uint64
+	fetchQ      []fetchSlot
+	fetchStall  uint64
+	fetchFrozen bool // stop fetching: fetch fault or HALT seen
+
+	inflight []inflightOp
+
+	cycle    uint64
+	seq      uint64
+	expectPC uint64
+	halted   bool
+	crash    *simerr.Crash
+
+	output        []uint64
+	maxOutput     int
+	squashedAfter uint64
+
+	// Incrementally maintained occupancy counters (hot path).
+	iqCount int
+	prfLive int
+
+	// Scratch buffers reused across cycles to avoid per-cycle allocation.
+	dueBuf  []int
+	opsBuf  []inflightOp
+	candBuf []int
+
+	Stats Stats
+}
+
+// NewCore builds a core over the given memory system, with fetch
+// starting at entry.
+func NewCore(cfg Config, memory *mem.Memory, icache, dcache *mem.Cache, entry uint64) *Core {
+	c := &Core{
+		cfg:       cfg,
+		memory:    memory,
+		icache:    icache,
+		dcache:    dcache,
+		prf:       make([]uint64, cfg.NumPhysRegs),
+		prfReady:  make([]bool, cfg.NumPhysRegs),
+		prfAlloc:  make([]bool, cfg.NumPhysRegs),
+		rat:       make([]uint16, cfg.NumArchRegs),
+		rob:       newROB(cfg.ROBSize),
+		iq:        make([]iqEntry, cfg.IQSize),
+		lq:        newQueue[lqEntry](cfg.LQSize),
+		sq:        newQueue[sqEntry](cfg.SQSize),
+		pred:      newPredictor(cfg),
+		fetchPC:   entry,
+		expectPC:  entry,
+		maxOutput: 1 << 20,
+	}
+	for a := 0; a < cfg.NumArchRegs; a++ {
+		c.rat[a] = uint16(a)
+		c.prfReady[a] = true
+		c.prfAlloc[a] = true
+	}
+	c.prfLive = cfg.NumArchRegs
+	for p := cfg.NumPhysRegs - 1; p >= cfg.NumArchRegs; p-- {
+		c.freeList = append(c.freeList, uint16(p))
+	}
+	return c
+}
+
+// SetReg writes an architectural register before the run starts (used by
+// the loader to initialize the stack pointer).
+func (c *Core) SetReg(arch uint8, val uint64) {
+	c.prf[c.rat[arch]] = c.cfg.maskTo(val)
+}
+
+// Output returns the values emitted by committed OUT instructions.
+func (c *Core) Output() []uint64 { return c.output }
+
+// Halted reports whether the program has committed HALT.
+func (c *Core) Halted() bool { return c.halted }
+
+// Crash returns the crash record if the program died, else nil.
+func (c *Core) Crash() *simerr.Crash { return c.crash }
+
+// Cycle returns the current cycle number.
+func (c *Core) Cycle() uint64 { return c.cycle }
+
+// Step advances the machine one cycle. It returns true while the
+// simulation should continue (not halted, not crashed).
+func (c *Core) Step() bool {
+	if c.halted || c.crash != nil {
+		return false
+	}
+	c.commit()
+	if c.halted || c.crash != nil {
+		c.cycle++
+		c.Stats.Cycles = c.cycle
+		return false
+	}
+	c.writeback()
+	c.loadStep()
+	c.issue()
+	c.rename()
+	c.fetch()
+	c.accountOccupancy()
+	c.cycle++
+	c.Stats.Cycles = c.cycle
+	return true
+}
+
+func (c *Core) accountOccupancy() {
+	c.Stats.ROBOccupancy += uint64(c.rob.count)
+	c.Stats.LQOccupancy += uint64(c.lq.count)
+	c.Stats.SQOccupancy += uint64(c.sq.count)
+	c.Stats.IQOccupancy += uint64(c.iqCount)
+	c.Stats.PRFLive += uint64(c.prfLive)
+}
+
+// --- register helpers ----------------------------------------------------
+
+func (c *Core) readPhys(p uint16) uint64 {
+	if int(p) >= c.cfg.NumPhysRegs {
+		simerr.Assertf("cpu: read of physical register %d outside file of %d", p, c.cfg.NumPhysRegs)
+	}
+	return c.prf[p]
+}
+
+func (c *Core) writePhys(p uint16, v uint64) {
+	if int(p) >= c.cfg.NumPhysRegs {
+		simerr.Assertf("cpu: write of physical register %d outside file of %d", p, c.cfg.NumPhysRegs)
+	}
+	c.prf[p] = c.cfg.maskTo(v)
+	c.prfReady[p] = true
+}
+
+func (c *Core) popFree() uint16 {
+	p := c.freeList[len(c.freeList)-1]
+	c.freeList = c.freeList[:len(c.freeList)-1]
+	if int(p) >= c.cfg.NumPhysRegs || c.prfAlloc[p] {
+		simerr.Assertf("cpu: free list produced corrupt register %d", p)
+	}
+	c.prfAlloc[p] = true
+	c.prfReady[p] = false
+	c.prfLive++
+	return p
+}
+
+func (c *Core) freePhys(p uint16) {
+	if int(p) >= c.cfg.NumPhysRegs || p == 0 || !c.prfAlloc[p] {
+		simerr.Assertf("cpu: double free or corrupt free of physical register %d", p)
+	}
+	c.prfAlloc[p] = false
+	c.prfLive--
+	c.freeList = append(c.freeList, p)
+}
+
+// robAt fetches a ROB entry by (possibly corrupted) index and validates
+// it still belongs to the expected instruction.
+func (c *Core) robAt(idx uint16, seq uint64) *robEntry {
+	if int(idx) >= c.cfg.ROBSize {
+		simerr.Assertf("cpu: ROB index %d out of range", idx)
+	}
+	e := c.rob.at(idx)
+	if e.Seq != seq {
+		simerr.Assertf("cpu: ROB entry %d sequence mismatch", idx)
+	}
+	return e
+}
+
+// --- commit ----------------------------------------------------------------
+
+func (c *Core) commit() {
+	for n := 0; n < c.cfg.CommitWidth && !c.rob.empty(); n++ {
+		e := c.rob.headEntry()
+		if !e.Done {
+			return
+		}
+		if e.Exc != excNone {
+			c.crash = &simerr.Crash{Reason: excName(e.Exc), PC: e.PC}
+			return
+		}
+		if e.PC != c.expectPC {
+			simerr.Assertf("cpu: commit PC %#x does not match expected %#x", e.PC, c.expectPC)
+		}
+		if e.IsBranch && !e.Resolved {
+			simerr.Assertf("cpu: committing unresolved branch at %#x", e.PC)
+		}
+		if e.IsStore {
+			if !c.commitStore(e) {
+				return // crash recorded
+			}
+			c.Stats.Stores++
+		}
+		if e.IsLoad {
+			if e.LQIdx == badIdx || c.lq.empty() || c.lq.headIdx() != e.LQIdx {
+				simerr.Assertf("cpu: LQ drain mismatch at commit")
+			}
+			c.lq.pop()
+			c.Stats.Loads++
+		}
+		switch e.Op {
+		case isa.OpOut:
+			if len(c.output) < c.maxOutput {
+				c.output = append(c.output, e.OutVal)
+			}
+		case isa.OpHalt:
+			c.halted = true
+		}
+		if e.DestArch != noReg {
+			c.freePhys(e.OldPhys)
+		}
+		if e.Resolved && e.ActTaken {
+			c.expectPC = e.ActTarget
+		} else {
+			c.expectPC = e.PC + 4
+		}
+		c.rob.pop()
+		c.Stats.Committed++
+		if c.halted {
+			return
+		}
+	}
+}
+
+// commitStore drains the store-queue head for a committing store. It
+// returns false when the store raises a memory fault (crash recorded).
+func (c *Core) commitStore(e *robEntry) bool {
+	if e.SQIdx == badIdx || c.sq.empty() || c.sq.headIdx() != e.SQIdx {
+		simerr.Assertf("cpu: SQ drain mismatch at commit")
+	}
+	s := c.sq.at(e.SQIdx)
+	if !s.Valid || !s.Ready {
+		simerr.Assertf("cpu: committing store with invalid SQ entry state")
+	}
+	if s.ROBIdx != uint16(c.rob.head) {
+		simerr.Assertf("cpu: SQ entry ROB linkage corrupt")
+	}
+	size := uint64(s.Size)
+	if f := c.memory.CheckAccess(s.Addr, size, true); f != nil {
+		c.crash = &simerr.Crash{Reason: "store " + f.Kind.String(), Addr: s.Addr, PC: e.PC}
+		return false
+	}
+	c.dcache.Write(s.Addr, int(size), s.Data)
+	c.sq.pop()
+	return true
+}
+
+// --- writeback --------------------------------------------------------------
+
+func (c *Core) writeback() {
+	// Collect completions due this cycle, oldest first, up to WBWidth.
+	due := c.dueBuf[:0]
+	for i := range c.inflight {
+		if c.inflight[i].DoneAt <= c.cycle {
+			due = append(due, i)
+		}
+	}
+	if len(due) == 0 {
+		c.dueBuf = due
+		return
+	}
+	// Insertion sort by age: the slice is tiny and this avoids the
+	// allocations of sort.Slice in the per-cycle hot path.
+	for i := 1; i < len(due); i++ {
+		for j := i; j > 0 && c.inflight[due[j]].Seq < c.inflight[due[j-1]].Seq; j-- {
+			due[j], due[j-1] = due[j-1], due[j]
+		}
+	}
+	if len(due) > c.cfg.WBWidth {
+		due = due[:c.cfg.WBWidth]
+	}
+	ops := c.opsBuf[:0]
+	for _, i := range due {
+		ops = append(ops, c.inflight[i])
+		c.inflight[i].DoneAt = ^uint64(0) // mark taken
+	}
+	rest := c.inflight[:0]
+	for i := range c.inflight {
+		if c.inflight[i].DoneAt != ^uint64(0) {
+			rest = append(rest, c.inflight[i])
+		}
+	}
+	c.inflight = rest
+	c.dueBuf = due
+	c.opsBuf = ops
+	// A mispredict squash inside this batch invalidates every younger
+	// completion in it; processing them would let a squashed branch
+	// redirect the front end.
+	c.squashedAfter = ^uint64(0)
+	for i := range ops {
+		if ops[i].Seq > c.squashedAfter {
+			continue
+		}
+		c.finish(&ops[i])
+	}
+}
+
+func (c *Core) finish(op *inflightOp) {
+	if op.Dest != noPhys {
+		c.writePhys(op.Dest, op.Value)
+		c.wakeup(op.Dest)
+	}
+	e := c.robAt(op.ROBIdx, op.Seq)
+	e.Done = true
+	if e.IsBranch && e.Resolved {
+		c.resolveBranch(e)
+	}
+}
+
+// resolveBranch trains the predictor and squashes on a misprediction.
+func (c *Core) resolveBranch(e *robEntry) {
+	c.Stats.Branches++
+	if e.Op.IsBranch() {
+		c.pred.updateCond(e.PC, e.ActTaken)
+	}
+	if e.Op == isa.OpJalr {
+		c.pred.updateIndirect(e.PC, e.ActTarget)
+	}
+	next := e.PC + 4
+	if e.ActTaken {
+		next = e.ActTarget
+	}
+	predNext := e.PC + 4
+	if e.PredTaken {
+		predNext = e.PredTarget
+	}
+	if next != predNext {
+		c.Stats.Mispredicts++
+		c.squash(e.Seq, next)
+		if e.Seq < c.squashedAfter {
+			c.squashedAfter = e.Seq
+		}
+	}
+}
+
+func (c *Core) wakeup(tag uint16) {
+	for i := range c.iq {
+		q := &c.iq[i]
+		if !q.Valid {
+			continue
+		}
+		if !q.Rdy1 && q.Src1 == tag {
+			q.Rdy1 = true
+		}
+		if !q.Rdy2 && q.Src2 == tag {
+			q.Rdy2 = true
+		}
+	}
+}
+
+// --- load queue ------------------------------------------------------------
+
+func (c *Core) loadStep() {
+	if c.lq.count == 0 {
+		return
+	}
+	for n := 0; n < c.lq.count; n++ {
+		idx := uint16((c.lq.head + n) % len(c.lq.entries))
+		l := c.lq.at(idx)
+		if !l.Valid || !l.AddrReady || l.Done || l.Inflight {
+			continue
+		}
+		// Memory-ordering check: walk older stores youngest-first; the
+		// first one that could affect this load decides (forward on an
+		// exact match, stall on a partial overlap or unknown address).
+		conflict := false
+		var fwdVal uint64
+		fwd := false
+		for i := c.sq.count - 1; i >= 0; i-- {
+			s := c.sq.at(uint16((c.sq.head + i) % len(c.sq.entries)))
+			if !s.Valid || s.Seq >= l.Seq {
+				continue
+			}
+			if !s.Ready {
+				conflict = true // unknown older store address: wait
+				break
+			}
+			ss, ls := uint64(s.Size), uint64(l.Size)
+			if s.Addr < l.Addr+ls && l.Addr < s.Addr+ss {
+				if c.cfg.StoreForwarding && s.Addr == l.Addr && ss >= ls {
+					fwdVal = s.Data
+					fwd = true
+				} else {
+					conflict = true // partial overlap: wait for drain
+				}
+				break
+			}
+		}
+		if conflict {
+			continue
+		}
+		size := uint64(l.Size)
+		if f := c.memory.CheckAccess(l.Addr, size, false); f != nil {
+			// Precise memory fault: record on the ROB entry.
+			e := c.robAt(l.ROBIdx, l.Seq)
+			switch f.Kind {
+			case mem.FaultMisaligned:
+				e.Exc = excMisalign
+			case mem.FaultProtection:
+				e.Exc = excProt
+			default:
+				e.Exc = excUnmapped
+			}
+			e.Done = true
+			l.Done = true
+			continue
+		}
+		var val uint64
+		lat := 1
+		if fwd {
+			val = fwdVal
+		} else {
+			val, lat = c.dcache.Read(l.Addr, int(size))
+		}
+		val = c.extendLoad(val, l.Size, l.SignExt)
+		l.Inflight = true
+		l.FillAt = c.cycle + uint64(lat)
+		c.inflight = append(c.inflight, inflightOp{
+			DoneAt: l.FillAt,
+			Dest:   l.Dest,
+			Value:  val,
+			ROBIdx: l.ROBIdx,
+			Seq:    l.Seq,
+		})
+		l.Done = true
+	}
+}
+
+func (c *Core) extendLoad(v uint64, size uint8, signExt bool) uint64 {
+	switch size {
+	case 1:
+		if signExt {
+			return uint64(int64(int8(v)))
+		}
+		return v & 0xff
+	case 4:
+		if signExt {
+			return uint64(int64(int32(uint32(v))))
+		}
+		return v & 0xffffffff
+	}
+	return v
+}
+
+// --- issue / execute --------------------------------------------------------
+
+func (c *Core) issue() {
+	// Select the oldest ready entries, up to IssueWidth.
+	if c.iqCount == 0 {
+		return
+	}
+	cand := c.candBuf[:0]
+	for i := range c.iq {
+		q := &c.iq[i]
+		if q.Valid && !q.Issued && q.Rdy1 && q.Rdy2 {
+			cand = append(cand, i)
+		}
+	}
+	c.candBuf = cand
+	for i := 1; i < len(cand); i++ {
+		for j := i; j > 0 && c.iq[cand[j]].Seq < c.iq[cand[j-1]].Seq; j-- {
+			cand[j], cand[j-1] = cand[j-1], cand[j]
+		}
+	}
+	if len(cand) > c.cfg.IssueWidth {
+		cand = cand[:c.cfg.IssueWidth]
+	}
+	for _, i := range cand {
+		c.execute(&c.iq[i])
+		c.iq[i].Valid = false
+		c.iqCount--
+	}
+}
+
+// latFor returns the execution latency of an ALU-class operation.
+func (c *Core) latFor(op isa.Opcode) int {
+	switch op {
+	case isa.OpMul:
+		return c.cfg.MulLat
+	case isa.OpDiv, isa.OpRem:
+		return c.cfg.DivLat
+	default:
+		return c.cfg.ALULat
+	}
+}
+
+func (c *Core) execute(q *iqEntry) {
+	v1 := c.readPhys(q.Src1)
+	v2 := c.readPhys(q.Src2)
+	e := c.robAt(q.ROBIdx, q.Seq)
+	op := q.Op
+	done := func(dest uint16, val uint64, lat int) {
+		c.inflight = append(c.inflight, inflightOp{
+			DoneAt: c.cycle + uint64(lat),
+			Dest:   dest,
+			Value:  val,
+			ROBIdx: q.ROBIdx,
+			Seq:    q.Seq,
+		})
+	}
+	switch {
+	case op.IsLoad():
+		addr := c.cfg.maskTo(uint64(int64(v1) + int64(q.Imm)))
+		l := c.lqAt(e.LQIdx, q.Seq)
+		l.Addr = addr
+		l.AddrReady = true
+	case op.IsStore():
+		addr := c.cfg.maskTo(uint64(int64(v1) + int64(q.Imm)))
+		s := c.sqAt(e.SQIdx, q.Seq)
+		s.Addr = addr
+		s.Data = c.cfg.maskTo(v2)
+		s.Ready = true
+		done(noPhys, 0, 1)
+	case op.IsBranch():
+		e.ActTaken = c.evalBranch(op, v1, v2)
+		e.ActTarget = e.PC + 4 + uint64(int64(q.Imm))*4
+		e.Resolved = true
+		done(noPhys, 0, 1)
+	case op == isa.OpJalr:
+		e.ActTaken = true
+		e.ActTarget = c.cfg.maskTo(uint64(int64(v1)+int64(q.Imm))) &^ 3
+		e.Resolved = true
+		done(q.Dest, e.PC+4, 1)
+	case op == isa.OpJal:
+		done(q.Dest, e.PC+4, 1)
+	case op == isa.OpOut:
+		e.OutVal = c.cfg.maskTo(v1)
+		done(noPhys, 0, 1)
+	default:
+		val := c.alu(op, v1, v2, q.Imm)
+		done(q.Dest, val, c.latFor(op))
+	}
+}
+
+func (c *Core) lqAt(idx uint16, seq uint64) *lqEntry {
+	if int(idx) >= c.cfg.LQSize {
+		simerr.Assertf("cpu: LQ index %d out of range", idx)
+	}
+	l := c.lq.at(idx)
+	if !l.Valid || l.Seq != seq {
+		simerr.Assertf("cpu: LQ entry %d inconsistent", idx)
+	}
+	return l
+}
+
+func (c *Core) sqAt(idx uint16, seq uint64) *sqEntry {
+	if int(idx) >= c.cfg.SQSize {
+		simerr.Assertf("cpu: SQ index %d out of range", idx)
+	}
+	s := c.sq.at(idx)
+	if !s.Valid || s.Seq != seq {
+		simerr.Assertf("cpu: SQ entry %d inconsistent", idx)
+	}
+	return s
+}
+
+func (c *Core) evalBranch(op isa.Opcode, v1, v2 uint64) bool {
+	s1, s2 := c.cfg.signExtTo(v1), c.cfg.signExtTo(v2)
+	switch op {
+	case isa.OpBeq:
+		return v1 == v2
+	case isa.OpBne:
+		return v1 != v2
+	case isa.OpBlt:
+		return s1 < s2
+	case isa.OpBge:
+		return s1 >= s2
+	case isa.OpBltu:
+		return c.cfg.maskTo(v1) < c.cfg.maskTo(v2)
+	case isa.OpBgeu:
+		return c.cfg.maskTo(v1) >= c.cfg.maskTo(v2)
+	}
+	simerr.Assertf("cpu: evalBranch on non-branch %s", op.Name())
+	return false
+}
+
+// alu computes an integer operation. For I-format operations the second
+// operand is the immediate; v2 is ignored.
+func (c *Core) alu(op isa.Opcode, v1, v2 uint64, imm int64) uint64 {
+	shiftMask := uint64(c.cfg.XLEN - 1)
+	s1 := c.cfg.signExtTo(v1)
+	b := v2
+	if op.Format() == isa.FmtI {
+		b = uint64(imm)
+		switch op {
+		case isa.OpAndi, isa.OpOri, isa.OpXori, isa.OpSltiu:
+			b = uint64(uint16(imm)) // logical immediates zero-extend
+		}
+	}
+	sb := c.cfg.signExtTo(c.cfg.maskTo(b))
+	switch op {
+	case isa.OpAdd, isa.OpAddi:
+		return uint64(s1 + sb)
+	case isa.OpSub:
+		return uint64(s1 - sb)
+	case isa.OpMul:
+		return uint64(s1 * sb)
+	case isa.OpDiv:
+		if sb == 0 {
+			return ^uint64(0)
+		}
+		if s1 == minInt(c.cfg.XLEN) && sb == -1 {
+			return uint64(s1)
+		}
+		return uint64(s1 / sb)
+	case isa.OpRem:
+		if sb == 0 {
+			return uint64(s1)
+		}
+		if s1 == minInt(c.cfg.XLEN) && sb == -1 {
+			return 0
+		}
+		return uint64(s1 % sb)
+	case isa.OpAnd, isa.OpAndi:
+		return v1 & b
+	case isa.OpOr, isa.OpOri:
+		return v1 | b
+	case isa.OpXor, isa.OpXori:
+		return v1 ^ b
+	case isa.OpSll, isa.OpSlli:
+		return v1 << (b & shiftMask)
+	case isa.OpSrl, isa.OpSrli:
+		return c.cfg.maskTo(v1) >> (b & shiftMask)
+	case isa.OpSra, isa.OpSrai:
+		return uint64(s1 >> (b & shiftMask))
+	case isa.OpSlt, isa.OpSlti:
+		if s1 < sb {
+			return 1
+		}
+		return 0
+	case isa.OpSltu, isa.OpSltiu:
+		if c.cfg.maskTo(v1) < c.cfg.maskTo(b) {
+			return 1
+		}
+		return 0
+	case isa.OpLui:
+		return uint64(int64(imm) << 16)
+	}
+	simerr.Assertf("cpu: alu on unexpected op %s", op.Name())
+	return 0
+}
+
+func minInt(xlen int) int64 {
+	if xlen == 64 {
+		return -1 << 63
+	}
+	return -1 << 31
+}

@@ -1,0 +1,190 @@
+package cpu
+
+import (
+	"math/bits"
+
+	"sevsim/internal/simerr"
+)
+
+// Field identifies an injectable hardware array inside the core. Cache
+// fields live in the mem package; the machine package unifies both
+// namespaces for the injector.
+type Field int
+
+const (
+	FieldPRF Field = iota
+	FieldIQSrc
+	FieldIQDst
+	FieldLQ
+	FieldSQ
+	FieldROBPC
+	FieldROBDest
+	FieldROBOld
+	FieldROBCtrl
+	NumFields
+)
+
+func (f Field) String() string {
+	switch f {
+	case FieldPRF:
+		return "RF"
+	case FieldIQSrc:
+		return "IQ.src"
+	case FieldIQDst:
+		return "IQ.dst"
+	case FieldLQ:
+		return "LQ"
+	case FieldSQ:
+		return "SQ"
+	case FieldROBPC:
+		return "ROB.pc"
+	case FieldROBDest:
+		return "ROB.dest"
+	case FieldROBOld:
+		return "ROB.old"
+	case FieldROBCtrl:
+		return "ROB.ctrl"
+	}
+	return "?"
+}
+
+// robIdxBits returns the width of a ROB index in this configuration.
+func (c *Core) robIdxBits() int { return bits.Len(uint(c.cfg.ROBSize - 1)) }
+
+// iqSrcEntryBits is the per-entry width of the issue queue Source field:
+// two tags plus their ready bits.
+func (c *Core) iqSrcEntryBits() int { return 2 * (physTagBits + 1) }
+
+// iqDstEntryBits is the per-entry width of the issue queue Destination
+// field: the destination tag plus the ROB linkage.
+func (c *Core) iqDstEntryBits() int { return physTagBits + c.robIdxBits() }
+
+// lqEntryBits is the per-entry width of a load queue entry: address,
+// destination tag, ROB linkage, and the valid/addr-ready/done state bits.
+func (c *Core) lqEntryBits() int { return c.cfg.XLEN + physTagBits + c.robIdxBits() + 3 }
+
+// sqEntryBits is the per-entry width of a store queue entry: address,
+// data word, ROB linkage, and the valid/ready state bits.
+func (c *Core) sqEntryBits() int { return 2*c.cfg.XLEN + c.robIdxBits() + 2 }
+
+// robCtrlBits is the per-entry width of the ROB control field: the
+// architectural destination (5 bits), done, a 3-bit exception code, and
+// the store/load/branch kind bits.
+const robCtrlBits = 12
+
+// FieldBits returns the total injectable bit count of a field.
+func (c *Core) FieldBits(f Field) uint64 {
+	switch f {
+	case FieldPRF:
+		return uint64(c.cfg.NumPhysRegs) * uint64(c.cfg.XLEN)
+	case FieldIQSrc:
+		return uint64(c.cfg.IQSize) * uint64(c.iqSrcEntryBits())
+	case FieldIQDst:
+		return uint64(c.cfg.IQSize) * uint64(c.iqDstEntryBits())
+	case FieldLQ:
+		return uint64(c.cfg.LQSize) * uint64(c.lqEntryBits())
+	case FieldSQ:
+		return uint64(c.cfg.SQSize) * uint64(c.sqEntryBits())
+	case FieldROBPC:
+		return uint64(c.cfg.ROBSize) * uint64(c.cfg.XLEN)
+	case FieldROBDest, FieldROBOld:
+		return uint64(c.cfg.ROBSize) * physTagBits
+	case FieldROBCtrl:
+		return uint64(c.cfg.ROBSize) * robCtrlBits
+	}
+	simerr.Assertf("cpu: FieldBits on unknown field %d", f)
+	return 0
+}
+
+// FlipBit flips one bit of the named field. The bit index addresses the
+// raw array, occupied or not: a flip landing on a free entry is masked
+// naturally, exactly as in hardware.
+func (c *Core) FlipBit(f Field, bit uint64) {
+	switch f {
+	case FieldPRF:
+		reg := bit / uint64(c.cfg.XLEN)
+		c.prf[reg] ^= 1 << (bit % uint64(c.cfg.XLEN))
+	case FieldIQSrc:
+		per := uint64(c.iqSrcEntryBits())
+		q := &c.iq[bit/per]
+		switch b := bit % per; {
+		case b < physTagBits:
+			q.Src1 ^= 1 << b
+		case b == physTagBits:
+			q.Rdy1 = !q.Rdy1
+		case b < 2*physTagBits+1:
+			q.Src2 ^= 1 << (b - physTagBits - 1)
+		default:
+			q.Rdy2 = !q.Rdy2
+		}
+	case FieldIQDst:
+		per := uint64(c.iqDstEntryBits())
+		q := &c.iq[bit/per]
+		if b := bit % per; b < physTagBits {
+			q.Dest ^= 1 << b
+		} else {
+			q.ROBIdx ^= 1 << (b - physTagBits)
+		}
+	case FieldLQ:
+		per := uint64(c.lqEntryBits())
+		l := c.lq.at(uint16(bit / per))
+		xlen := uint64(c.cfg.XLEN)
+		switch b := bit % per; {
+		case b < xlen:
+			l.Addr ^= 1 << b
+		case b < xlen+physTagBits:
+			l.Dest ^= 1 << (b - xlen)
+		case b < xlen+physTagBits+uint64(c.robIdxBits()):
+			l.ROBIdx ^= 1 << (b - xlen - physTagBits)
+		case b == per-3:
+			l.Valid = !l.Valid
+		case b == per-2:
+			l.AddrReady = !l.AddrReady
+		default:
+			l.Done = !l.Done
+		}
+	case FieldSQ:
+		per := uint64(c.sqEntryBits())
+		s := c.sq.at(uint16(bit / per))
+		xlen := uint64(c.cfg.XLEN)
+		switch b := bit % per; {
+		case b < xlen:
+			s.Addr ^= 1 << b
+		case b < 2*xlen:
+			s.Data ^= 1 << (b - xlen)
+		case b < 2*xlen+uint64(c.robIdxBits()):
+			s.ROBIdx ^= 1 << (b - 2*xlen)
+		case b == per-2:
+			s.Valid = !s.Valid
+		default:
+			s.Ready = !s.Ready
+		}
+	case FieldROBPC:
+		e := &c.rob.entries[bit/uint64(c.cfg.XLEN)]
+		e.PC ^= 1 << (bit % uint64(c.cfg.XLEN))
+	case FieldROBDest:
+		e := &c.rob.entries[bit/physTagBits]
+		e.DestPhys ^= 1 << (bit % physTagBits)
+	case FieldROBOld:
+		e := &c.rob.entries[bit/physTagBits]
+		e.OldPhys ^= 1 << (bit % physTagBits)
+	case FieldROBCtrl:
+		e := &c.rob.entries[bit/robCtrlBits]
+		switch b := bit % robCtrlBits; {
+		case b < 5:
+			e.DestArch ^= 1 << b
+		case b == 5:
+			e.Done = !e.Done
+		case b < 9:
+			e.Exc ^= 1 << (b - 6)
+		case b == 9:
+			e.IsStore = !e.IsStore
+		case b == 10:
+			e.IsLoad = !e.IsLoad
+		default:
+			e.IsBranch = !e.IsBranch
+		}
+	default:
+		simerr.Assertf("cpu: FlipBit on unknown field %d", f)
+	}
+}

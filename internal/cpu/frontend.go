@@ -1,0 +1,289 @@
+package cpu
+
+import (
+	"sevsim/internal/isa"
+	"sevsim/internal/simerr"
+)
+
+// rename decodes instructions from the fetch queue, renames their
+// registers, and dispatches them into the ROB, issue queue, and
+// load/store queues, stopping when a structural resource is exhausted.
+func (c *Core) rename() {
+	for n := 0; n < c.cfg.FetchWidth && len(c.fetchQ) > 0; n++ {
+		slot := c.fetchQ[0]
+		if c.rob.full() {
+			return
+		}
+		if slot.FetchFault {
+			c.seq++
+			c.rob.push(robEntry{PC: slot.PC, Seq: c.seq, Done: true, Exc: excBadFetch,
+				DestArch: noReg, LQIdx: badIdx, SQIdx: badIdx})
+			c.fetchQ = c.fetchQ[1:]
+			continue
+		}
+		in := slot.In
+		illegal := !in.Op.Valid() || c.badRegs(in)
+		if in.Op == isa.OpLd || in.Op == isa.OpSd {
+			if c.cfg.XLEN == 32 {
+				illegal = true
+			}
+		}
+		if illegal {
+			c.seq++
+			c.rob.push(robEntry{PC: slot.PC, Seq: c.seq, Done: true, Exc: excIllegal,
+				DestArch: noReg, LQIdx: badIdx, SQIdx: badIdx})
+			c.fetchQ = c.fetchQ[1:]
+			continue
+		}
+
+		needsIQ := in.Op != isa.OpHalt && in.Op != isa.OpNop
+		if needsIQ && !c.iqHasRoom() {
+			return
+		}
+		if in.Op.IsLoad() && c.lq.full() {
+			return
+		}
+		if in.Op.IsStore() && c.sq.full() {
+			return
+		}
+		destArch := in.DestReg()
+		if destArch != noReg && len(c.freeList) == 0 {
+			return
+		}
+
+		c.seq++
+		e := robEntry{
+			PC:         slot.PC,
+			Seq:        c.seq,
+			Op:         in.Op,
+			DestArch:   destArch,
+			DestPhys:   noPhys,
+			OldPhys:    noPhys,
+			IsLoad:     in.Op.IsLoad(),
+			IsStore:    in.Op.IsStore(),
+			IsBranch:   in.Op.IsBranch() || in.Op == isa.OpJalr,
+			LQIdx:      badIdx,
+			SQIdx:      badIdx,
+			PredTaken:  slot.PredTaken,
+			PredTarget: slot.PredTarget,
+			Done:       !needsIQ,
+		}
+		if in.Op == isa.OpJal {
+			// Direct jumps are fully resolved in the front end.
+			e.Resolved = true
+			e.ActTaken = true
+			e.ActTarget = slot.PC + 4 + uint64(int64(in.Imm))*4
+		}
+
+		s1, s2 := in.SourceRegs()
+		src1, src2 := uint16(0), uint16(0) // phys 0 = always-ready zero
+		if s1 != noReg {
+			src1 = c.rat[s1]
+		}
+		if s2 != noReg {
+			src2 = c.rat[s2]
+		}
+
+		if destArch != noReg {
+			e.OldPhys = c.rat[destArch]
+			e.DestPhys = c.popFree()
+			c.rat[destArch] = e.DestPhys
+		}
+
+		robIdx := c.rob.push(e)
+		ent := c.rob.at(robIdx)
+
+		if in.Op.IsLoad() {
+			ent.LQIdx = c.lq.push(lqEntry{
+				Valid: true, Dest: ent.DestPhys, ROBIdx: robIdx, Seq: c.seq,
+				Size: uint8(in.Op.MemSize()), SignExt: in.Op != isa.OpLbu,
+			})
+		}
+		if in.Op.IsStore() {
+			ent.SQIdx = c.sq.push(sqEntry{
+				Valid: true, ROBIdx: robIdx, Seq: c.seq, Size: uint8(in.Op.MemSize()),
+			})
+		}
+		if needsIQ {
+			c.iqInsert(iqEntry{
+				Valid: true, Op: in.Op, Src1: src1, Src2: src2,
+				Rdy1: c.prfReady[src1], Rdy2: c.prfReady[src2],
+				Dest: ent.DestPhys, ROBIdx: robIdx, Imm: int64(in.Imm), Seq: c.seq,
+			})
+		}
+		c.fetchQ = c.fetchQ[1:]
+	}
+}
+
+// badRegs reports whether the instruction references a register outside
+// the configured architectural register count (possible when a fault
+// corrupts an instruction word on a 16-register machine).
+func (c *Core) badRegs(in isa.Instr) bool {
+	n := uint8(c.cfg.NumArchRegs)
+	s1, s2 := in.SourceRegs()
+	if s1 != noReg && s1 >= n {
+		return true
+	}
+	if s2 != noReg && s2 >= n {
+		return true
+	}
+	switch in.Op.Format() {
+	case isa.FmtR, isa.FmtI, isa.FmtJ:
+		if in.Rd >= n {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Core) iqHasRoom() bool {
+	for i := range c.iq {
+		if !c.iq[i].Valid {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Core) iqInsert(e iqEntry) {
+	for i := range c.iq {
+		if !c.iq[i].Valid {
+			c.iq[i] = e
+			c.iqCount++
+			return
+		}
+	}
+	simerr.Assertf("cpu: issue queue insert with no free slot")
+}
+
+// fetch brings up to FetchWidth instruction words from the L1I cache
+// into the fetch queue, following predicted control flow.
+func (c *Core) fetch() {
+	if c.fetchFrozen || c.cycle < c.fetchStall {
+		return
+	}
+	for n := 0; n < c.cfg.FetchWidth && len(c.fetchQ) < c.cfg.FetchQueueSize; n++ {
+		pc := c.fetchPC
+		if f := c.memory.CheckFetch(pc); f != nil {
+			c.fetchQ = append(c.fetchQ, fetchSlot{PC: pc, FetchFault: true})
+			c.fetchFrozen = true
+			return
+		}
+		word64, lat := c.icache.Read(pc, 4)
+		word := uint32(word64)
+		if lat > c.icache.Config().HitLatency {
+			// Miss: the word arrives after the miss penalty; block the
+			// front end for the difference.
+			c.fetchStall = c.cycle + uint64(lat-c.icache.Config().HitLatency)
+		}
+		c.Stats.Fetched++
+		in := isa.Decode(word)
+		slot := fetchSlot{PC: pc, Word: word, In: in}
+		stop := false
+		switch {
+		case in.Op == isa.OpJal:
+			slot.PredTaken = true
+			slot.PredTarget = pc + 4 + uint64(int64(in.Imm))*4
+			if in.Rd == isa.RegRA {
+				c.pred.pushRAS(pc + 4)
+			}
+			c.fetchPC = slot.PredTarget
+			stop = true
+		case in.Op == isa.OpJalr:
+			var target uint64
+			var ok bool
+			if in.Rd == isa.RegZero && in.Rs1 == isa.RegRA {
+				target, ok = c.pred.popRAS()
+			} else {
+				target, ok = c.pred.predictIndirect(pc)
+			}
+			if in.Rd == isa.RegRA {
+				c.pred.pushRAS(pc + 4)
+			}
+			if ok {
+				slot.PredTaken = true
+				slot.PredTarget = target
+				c.fetchPC = target
+				stop = true
+			} else {
+				c.fetchPC = pc + 4 // will mispredict at execute
+			}
+		case in.Op.IsBranch():
+			if c.pred.predictCond(pc) {
+				slot.PredTaken = true
+				slot.PredTarget = pc + 4 + uint64(int64(in.Imm))*4
+				c.fetchPC = slot.PredTarget
+				stop = true
+			} else {
+				c.fetchPC = pc + 4
+			}
+		case in.Op == isa.OpHalt:
+			c.fetchFrozen = true
+			stop = true
+			c.fetchPC = pc + 4
+		default:
+			c.fetchPC = pc + 4
+		}
+		c.fetchQ = append(c.fetchQ, slot)
+		if stop {
+			return
+		}
+		if c.fetchStall > c.cycle {
+			return
+		}
+	}
+}
+
+// squash removes every instruction younger than afterSeq from the
+// pipeline, restores the rename map from the ROB, and redirects fetch.
+func (c *Core) squash(afterSeq uint64, newPC uint64) {
+	for !c.rob.empty() {
+		tail := (c.rob.head + c.rob.count - 1) % len(c.rob.entries)
+		e := c.rob.at(uint16(tail))
+		if e.Seq <= afterSeq {
+			break
+		}
+		if e.DestArch != noReg {
+			if e.DestArch >= uint8(c.cfg.NumArchRegs) {
+				simerr.Assertf("cpu: squash with corrupt arch dest %d", e.DestArch)
+			}
+			if int(e.OldPhys) >= c.cfg.NumPhysRegs {
+				simerr.Assertf("cpu: squash with corrupt old mapping %d", e.OldPhys)
+			}
+			c.rat[e.DestArch] = e.OldPhys
+			c.freePhys(e.DestPhys)
+		}
+		c.rob.popTail()
+	}
+	for !c.lq.empty() {
+		tail := (c.lq.head + c.lq.count - 1) % len(c.lq.entries)
+		if c.lq.entries[tail].Seq <= afterSeq {
+			break
+		}
+		c.lq.popTail()
+	}
+	for !c.sq.empty() {
+		tail := (c.sq.head + c.sq.count - 1) % len(c.sq.entries)
+		if c.sq.entries[tail].Seq <= afterSeq {
+			break
+		}
+		c.sq.popTail()
+	}
+	for i := range c.iq {
+		if c.iq[i].Valid && c.iq[i].Seq > afterSeq {
+			c.iq[i].Valid = false
+			c.iqCount--
+		}
+	}
+	kept := c.inflight[:0]
+	for _, op := range c.inflight {
+		if op.Seq <= afterSeq {
+			kept = append(kept, op)
+		}
+	}
+	c.inflight = kept
+	c.fetchQ = c.fetchQ[:0]
+	c.fetchFrozen = false
+	c.fetchStall = 0
+	c.fetchPC = newPC
+}

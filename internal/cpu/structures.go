@@ -1,0 +1,228 @@
+package cpu
+
+import "sevsim/internal/isa"
+
+// physTagBits is the injected width of a physical register tag. Both
+// configurations have at most 256 physical registers.
+const physTagBits = 8
+
+const noReg = 0xff    // no architectural register
+const noPhys = 0xffff // no physical register
+const badIdx = ^uint16(0)
+
+// robEntry is one reorder-buffer slot. The four injectable fields the
+// paper names are PC, the destination tag, the old-mapping tag, and the
+// control word (done/exception/kind/arch-dest bits). The remaining
+// members are side metadata (branch resolution state, queue back
+// pointers) that model wiring rather than SRAM the paper injects.
+type robEntry struct {
+	// Injectable fields.
+	PC       uint64
+	DestPhys uint16
+	OldPhys  uint16
+	// Ctrl field subcomponents.
+	DestArch uint8 // noReg when the instruction writes no register
+	Done     bool
+	Exc      uint8 // exception code; 0 = none
+	IsStore  bool
+	IsLoad   bool
+	IsBranch bool // conditional branch or indirect jump (needs resolution)
+
+	// Side metadata (not injected).
+	Op         isa.Opcode
+	Seq        uint64
+	LQIdx      uint16 // badIdx when not a load
+	SQIdx      uint16 // badIdx when not a store
+	PredTaken  bool
+	PredTarget uint64
+	ActTaken   bool
+	ActTarget  uint64
+	Resolved   bool
+	OutVal     uint64 // value captured at execute for OUT instructions
+}
+
+// Exception codes stored in robEntry.Exc (3 bits injected).
+const (
+	excNone      = 0
+	excUnmapped  = 1
+	excMisalign  = 2
+	excProt      = 3
+	excIllegal   = 4
+	excBadFetch  = 5
+	excSpurious1 = 6 // reachable only via injected flips
+	excSpurious2 = 7
+)
+
+func excName(code uint8) string {
+	switch code {
+	case excUnmapped:
+		return "unmapped access"
+	case excMisalign:
+		return "misaligned access"
+	case excProt:
+		return "protection violation"
+	case excIllegal:
+		return "illegal instruction"
+	case excBadFetch:
+		return "instruction fetch fault"
+	}
+	return "spurious exception"
+}
+
+// rob is a circular reorder buffer.
+type rob struct {
+	entries []robEntry
+	head    int
+	count   int
+}
+
+func newROB(size int) *rob { return &rob{entries: make([]robEntry, size)} }
+
+func (r *rob) full() bool  { return r.count == len(r.entries) }
+func (r *rob) empty() bool { return r.count == 0 }
+
+// push allocates the next entry and returns its index.
+func (r *rob) push(e robEntry) uint16 {
+	idx := (r.head + r.count) % len(r.entries)
+	r.entries[idx] = e
+	r.count++
+	return uint16(idx)
+}
+
+// headEntry returns the oldest entry.
+func (r *rob) headEntry() *robEntry { return &r.entries[r.head] }
+
+// pop retires the oldest entry.
+func (r *rob) pop() {
+	r.head = (r.head + 1) % len(r.entries)
+	r.count--
+}
+
+// popTail removes the youngest entry (squash path) and returns it.
+func (r *rob) popTail() *robEntry {
+	idx := (r.head + r.count - 1) % len(r.entries)
+	r.count--
+	return &r.entries[idx]
+}
+
+// at returns the entry at a raw index (0..size-1).
+func (r *rob) at(idx uint16) *robEntry { return &r.entries[idx] }
+
+// iqEntry is one issue-queue slot. The Source field covers the two
+// source tags and their ready bits; the Destination field covers the
+// destination tag and the ROB index linkage.
+type iqEntry struct {
+	Valid bool
+
+	// Source field (injectable): tags + ready bits.
+	Src1, Src2 uint16
+	Rdy1, Rdy2 bool
+
+	// Destination field (injectable): dest tag + ROB linkage.
+	Dest   uint16
+	ROBIdx uint16
+
+	// Side metadata.
+	Op     isa.Opcode
+	Imm    int64
+	Seq    uint64
+	Issued bool
+}
+
+// lqEntry is one load-queue slot. The injectable entry covers the
+// address word, the destination tag, the ROB linkage and the state bits.
+type lqEntry struct {
+	Valid bool // injectable state bit
+
+	Addr      uint64 // injectable, XLEN bits
+	Dest      uint16 // injectable tag
+	ROBIdx    uint16 // injectable linkage
+	AddrReady bool   // injectable state bit
+	Done      bool   // injectable state bit
+
+	// Side metadata.
+	Size     uint8
+	SignExt  bool
+	Seq      uint64
+	Inflight bool
+	FillAt   uint64 // completion cycle once the access is in flight
+	FwdData  uint64
+	Fwd      bool
+}
+
+// sqEntry is one store-queue slot. The injectable entry covers address,
+// data, ROB linkage and state bits.
+type sqEntry struct {
+	Valid bool // injectable state bit
+
+	Addr   uint64 // injectable, XLEN bits
+	Data   uint64 // injectable, XLEN bits
+	ROBIdx uint16 // injectable linkage
+	Ready  bool   // injectable state bit: address+data computed
+
+	// Side metadata.
+	Size uint8
+	Seq  uint64
+}
+
+// queue is a circular buffer shared by the load and store queues.
+type queue[T any] struct {
+	entries []T
+	head    int
+	count   int
+}
+
+func newQueue[T any](size int) *queue[T] { return &queue[T]{entries: make([]T, size)} }
+
+func (q *queue[T]) full() bool  { return q.count == len(q.entries) }
+func (q *queue[T]) empty() bool { return q.count == 0 }
+
+func (q *queue[T]) push(e T) uint16 {
+	idx := (q.head + q.count) % len(q.entries)
+	q.entries[idx] = e
+	q.count++
+	return uint16(idx)
+}
+
+func (q *queue[T]) headIdx() uint16 { return uint16(q.head) }
+
+func (q *queue[T]) pop() {
+	q.head = (q.head + 1) % len(q.entries)
+	q.count--
+}
+
+func (q *queue[T]) popTail() *T {
+	idx := (q.head + q.count - 1) % len(q.entries)
+	q.count--
+	return &q.entries[idx]
+}
+
+// at returns the entry at a raw index.
+func (q *queue[T]) at(idx uint16) *T { return &q.entries[idx] }
+
+// each visits the occupied entries oldest-first.
+func (q *queue[T]) each(f func(idx uint16, e *T)) {
+	for i := 0; i < q.count; i++ {
+		idx := (q.head + i) % len(q.entries)
+		f(uint16(idx), &q.entries[idx])
+	}
+}
+
+// fetchSlot is one decoupling-buffer entry between fetch and rename.
+type fetchSlot struct {
+	PC         uint64
+	Word       uint32
+	In         isa.Instr // predecoded once at fetch
+	FetchFault bool      // instruction fetch failed; raises at commit
+	PredTaken  bool
+	PredTarget uint64
+}
+
+// inflightOp is an operation executing in a functional unit.
+type inflightOp struct {
+	DoneAt uint64
+	Dest   uint16 // noPhys when no register result
+	Value  uint64
+	ROBIdx uint16
+	Seq    uint64
+}

@@ -1,0 +1,263 @@
+// Package faultinj implements the GeFIN-style statistical fault
+// injector: single-bit transient faults placed uniformly at random over
+// (cycle x bit) for each hardware structure field, with end-to-end
+// outcome classification into the paper's five fault-effect classes.
+package faultinj
+
+import (
+	"math/rand"
+
+	"sevsim/internal/cpu"
+	"sevsim/internal/machine"
+)
+
+// Outcome is the effect class of one injection, following the paper's
+// taxonomy (Masked / SDC / Crash / Timeout / Assert).
+type Outcome int
+
+const (
+	Masked Outcome = iota
+	SDC
+	Crash
+	Timeout
+	Assert
+	NumOutcomes
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Masked:
+		return "Masked"
+	case SDC:
+		return "SDC"
+	case Crash:
+		return "Crash"
+	case Timeout:
+		return "Timeout"
+	case Assert:
+		return "Assert"
+	}
+	return "?"
+}
+
+// Target is one injectable hardware structure field.
+type Target struct {
+	// Component is the paper-level structure (L1I, L1D, L2, RF, LQ, SQ,
+	// IQ, ROB); Field distinguishes sub-arrays (data/tag, src/dst, ...).
+	Component string
+	Field     string
+
+	bits func(*machine.Machine) uint64
+	flip func(*machine.Machine, uint64)
+}
+
+// Name returns "Component.Field", or just the component when the
+// structure has a single field.
+func (t Target) Name() string {
+	if t.Field == "" {
+		return t.Component
+	}
+	return t.Component + "." + t.Field
+}
+
+// Bits returns the number of injectable bits in this machine's instance
+// of the target.
+func (t Target) Bits(m *machine.Machine) uint64 { return t.bits(m) }
+
+// Flip flips the addressed bit.
+func (t Target) Flip(m *machine.Machine, bit uint64) { t.flip(m, bit) }
+
+func coreTarget(component, field string, f cpu.Field) Target {
+	return Target{
+		Component: component,
+		Field:     field,
+		bits:      func(m *machine.Machine) uint64 { return m.Core.FieldBits(f) },
+		flip:      func(m *machine.Machine, bit uint64) { m.Core.FlipBit(f, bit) },
+	}
+}
+
+// Targets returns every injectable field, grouped by component in the
+// paper's presentation order: the 8 components with all their
+// sub-fields (15 fields total).
+func Targets() []Target {
+	return []Target{
+		{Component: "L1I", Field: "data",
+			bits: func(m *machine.Machine) uint64 { return m.L1I.DataBitCount() },
+			flip: func(m *machine.Machine, b uint64) { m.L1I.FlipDataBit(b) }},
+		{Component: "L1I", Field: "tag",
+			bits: func(m *machine.Machine) uint64 { return m.L1I.TagBitCount() },
+			flip: func(m *machine.Machine, b uint64) { m.L1I.FlipTagBit(b) }},
+		{Component: "L1D", Field: "data",
+			bits: func(m *machine.Machine) uint64 { return m.L1D.DataBitCount() },
+			flip: func(m *machine.Machine, b uint64) { m.L1D.FlipDataBit(b) }},
+		{Component: "L1D", Field: "tag",
+			bits: func(m *machine.Machine) uint64 { return m.L1D.TagBitCount() },
+			flip: func(m *machine.Machine, b uint64) { m.L1D.FlipTagBit(b) }},
+		{Component: "L2", Field: "data",
+			bits: func(m *machine.Machine) uint64 { return m.L2.DataBitCount() },
+			flip: func(m *machine.Machine, b uint64) { m.L2.FlipDataBit(b) }},
+		{Component: "L2", Field: "tag",
+			bits: func(m *machine.Machine) uint64 { return m.L2.TagBitCount() },
+			flip: func(m *machine.Machine, b uint64) { m.L2.FlipTagBit(b) }},
+		coreTarget("RF", "", cpu.FieldPRF),
+		coreTarget("LQ", "", cpu.FieldLQ),
+		coreTarget("SQ", "", cpu.FieldSQ),
+		coreTarget("IQ", "src", cpu.FieldIQSrc),
+		coreTarget("IQ", "dst", cpu.FieldIQDst),
+		coreTarget("ROB", "pc", cpu.FieldROBPC),
+		coreTarget("ROB", "dest", cpu.FieldROBDest),
+		coreTarget("ROB", "old", cpu.FieldROBOld),
+		coreTarget("ROB", "ctrl", cpu.FieldROBCtrl),
+	}
+}
+
+// TargetByName resolves "L1D.data"-style names.
+func TargetByName(name string) (Target, bool) {
+	for _, t := range Targets() {
+		if t.Name() == name {
+			return t, true
+		}
+	}
+	return Target{}, false
+}
+
+// Components returns the component names in presentation order.
+func Components() []string {
+	return []string{"L1I", "L1D", "L2", "RF", "LQ", "SQ", "IQ", "ROB"}
+}
+
+// Experiment is a prepared injection experiment: one (machine config,
+// binary) pair with its golden (fault-free) reference run.
+type Experiment struct {
+	Config       machine.Config
+	Program      *machine.Program
+	GoldenCycles uint64
+	GoldenOutput []uint64
+	GoldenStats  machine.Result
+}
+
+// timeoutFactor follows the paper: a run is a Timeout when it exceeds
+// twice the fault-free execution time.
+const timeoutFactor = 2
+
+// NewExperiment runs the golden simulation and returns the prepared
+// experiment.
+func NewExperiment(cfg machine.Config, prog *machine.Program) (*Experiment, error) {
+	m := machine.New(cfg, prog)
+	res := m.Run(1 << 40)
+	if res.Outcome != machine.OutcomeOK {
+		return nil, &GoldenError{Result: res}
+	}
+	out := make([]uint64, len(res.Output))
+	copy(out, res.Output)
+	return &Experiment{
+		Config:       cfg,
+		Program:      prog,
+		GoldenCycles: res.Cycles,
+		GoldenOutput: out,
+		GoldenStats:  res,
+	}, nil
+}
+
+// GoldenError reports a fault-free run that did not complete.
+type GoldenError struct{ Result machine.Result }
+
+func (e *GoldenError) Error() string {
+	return "faultinj: golden run failed: " + e.Result.Outcome.String() + " " + e.Result.Reason
+}
+
+// Injection is one sampled fault.
+type Injection struct {
+	Cycle uint64
+	Bit   uint64
+}
+
+// TargetBits returns the injectable bit count of the target under this
+// experiment's machine configuration.
+func (e *Experiment) TargetBits(t Target) uint64 {
+	return t.Bits(machine.New(e.Config, e.Program))
+}
+
+// Sample draws n uniform (cycle, bit) faults for the target, following
+// the statistical fault injection formulation of Leveugle et al.
+func (e *Experiment) Sample(t Target, n int, seed int64) []Injection {
+	bits := e.TargetBits(t)
+	r := rand.New(rand.NewSource(seed))
+	inj := make([]Injection, n)
+	for i := range inj {
+		inj[i] = Injection{
+			Cycle: uint64(r.Int63n(int64(e.GoldenCycles))),
+			Bit:   uint64(r.Int63n(int64(bits))),
+		}
+	}
+	return inj
+}
+
+// InjectResult is the classified outcome of one injection.
+type InjectResult struct {
+	Outcome    Outcome
+	Reason     string
+	Cycles     uint64
+	Unexpected bool // assert came from a recovered non-modelled panic
+}
+
+// Inject runs one end-to-end fault injection: a fresh machine executes
+// the program, the addressed bit is flipped at the chosen cycle, and
+// the run is classified against the golden reference.
+func (e *Experiment) Inject(t Target, inj Injection) InjectResult {
+	m := newMachineFor(e)
+	res := m.Run(e.GoldenCycles*timeoutFactor+1000, machine.Hook{
+		At: inj.Cycle,
+		Fn: func(mm *machine.Machine) { t.Flip(mm, inj.Bit) },
+	})
+	return e.classify(res)
+}
+
+// newMachineFor builds a fresh machine instance for one injection run.
+func newMachineFor(e *Experiment) *machine.Machine {
+	return machine.New(e.Config, e.Program)
+}
+
+// hookFor schedules the model's bit flips at the injection cycle.
+func hookFor(e *Experiment, t Target, inj Injection, model Model, bits uint64) machine.Hook {
+	return machine.Hook{
+		At: inj.Cycle,
+		Fn: func(mm *machine.Machine) {
+			for k := uint64(0); k < model.Width(); k++ {
+				t.Flip(mm, (inj.Bit+k)%bits)
+			}
+		},
+	}
+}
+
+// classify maps a simulation result to the paper's fault-effect classes.
+func (e *Experiment) classify(res machine.Result) InjectResult {
+	out := InjectResult{Reason: res.Reason, Cycles: res.Cycles, Unexpected: res.Unexpected}
+	switch res.Outcome {
+	case machine.OutcomeOK:
+		if sameOutput(res.Output, e.GoldenOutput) {
+			out.Outcome = Masked
+		} else {
+			out.Outcome = SDC
+		}
+	case machine.OutcomeCrash:
+		out.Outcome = Crash
+	case machine.OutcomeTimeout:
+		out.Outcome = Timeout
+	default:
+		out.Outcome = Assert
+	}
+	return out
+}
+
+func sameOutput(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

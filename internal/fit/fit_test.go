@@ -1,0 +1,108 @@
+package fit
+
+import (
+	"math"
+	"testing"
+
+	"sevsim/internal/campaign"
+	"sevsim/internal/faultinj"
+)
+
+func cellResults() []campaign.Result {
+	mk := func(target string, bits uint64, masked, sdc, crash int) campaign.Result {
+		return campaign.Result{
+			Target:     target,
+			Faults:     masked + sdc + crash,
+			Counts:     campaign.Counts{Masked: masked, SDC: sdc, Crash: crash},
+			StructBits: bits,
+		}
+	}
+	return []campaign.Result{
+		mk("L1D.data", 1000, 80, 20, 0), // AVF 0.2
+		mk("L1D.tag", 100, 90, 0, 10),   // AVF 0.1
+		mk("L2.data", 10000, 99, 1, 0),  // AVF 0.01
+		mk("RF", 500, 50, 25, 25),       // AVF 0.5
+	}
+}
+
+func TestStructure(t *testing.T) {
+	// Eq 2: FIT = rawFIT x bits x AVF.
+	if got := Structure(1e-5, 1000, 0.5); math.Abs(got-5e-3) > 1e-15 {
+		t.Errorf("Structure = %g", got)
+	}
+	if got := Structure(1e-5, 0, 1); got != 0 {
+		t.Errorf("zero bits FIT = %g", got)
+	}
+}
+
+func TestCPUSumsStructures(t *testing.T) {
+	raw := 1e-5
+	got := CPU(cellResults(), raw, ECCNone)
+	want := raw * (1000*0.2 + 100*0.1 + 10000*0.01 + 500*0.5)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("CPU FIT = %g, want %g", got, want)
+	}
+}
+
+func TestECCSchemes(t *testing.T) {
+	raw := 1e-5
+	full := CPU(cellResults(), raw, ECCNone)
+	l2only := CPU(cellResults(), raw, ECCL2Only)
+	l1dl2 := CPU(cellResults(), raw, ECCL1DL2)
+	if !(l1dl2 < l2only && l2only < full) {
+		t.Errorf("ECC ordering violated: none=%g l2=%g l1d+l2=%g", full, l2only, l1dl2)
+	}
+	// With L1D+L2 protected only RF remains.
+	want := raw * 500 * 0.5
+	if math.Abs(l1dl2-want) > 1e-12 {
+		t.Errorf("l1d+l2 FIT = %g, want %g", l1dl2, want)
+	}
+}
+
+func TestProtected(t *testing.T) {
+	if ECCNone.Protected("L2") {
+		t.Error("ECCNone protects nothing")
+	}
+	if !ECCL2Only.Protected("L2") || ECCL2Only.Protected("L1D") {
+		t.Error("ECCL2Only wrong coverage")
+	}
+	if !ECCL1DL2.Protected("L1D") || !ECCL1DL2.Protected("L2") || ECCL1DL2.Protected("L1I") {
+		t.Error("ECCL1DL2 wrong coverage")
+	}
+}
+
+func TestCPUByClassSumsToCPU(t *testing.T) {
+	raw := 1e-5
+	byClass := CPUByClass(cellResults(), raw, ECCNone)
+	sum := 0.0
+	for o := faultinj.SDC; o < faultinj.NumOutcomes; o++ {
+		sum += byClass[o]
+	}
+	total := CPU(cellResults(), raw, ECCNone)
+	if math.Abs(sum-total) > 1e-12 {
+		t.Errorf("class FITs sum to %g, total %g", sum, total)
+	}
+}
+
+func TestFPE(t *testing.T) {
+	// Eq 3: 1e9 FIT (one failure per hour) and a one-hour execution
+	// gives FPE = 1.
+	clock := 1e9 // 1 GHz
+	cycles := uint64(3600 * 1e9)
+	if got := FPE(1e9, cycles, clock); math.Abs(got-1) > 1e-9 {
+		t.Errorf("FPE = %g, want 1", got)
+	}
+	// Halving execution time halves FPE.
+	a := FPE(100, 1000000, 1e9)
+	b := FPE(100, 500000, 1e9)
+	if math.Abs(a-2*b) > 1e-18 {
+		t.Errorf("FPE not linear in time: %g vs %g", a, b)
+	}
+}
+
+func TestSchemesOrder(t *testing.T) {
+	s := Schemes()
+	if len(s) != 3 || s[0] != ECCNone || s[1] != ECCL1DL2 || s[2] != ECCL2Only {
+		t.Errorf("Schemes() = %v", s)
+	}
+}

@@ -1,0 +1,365 @@
+// Package interp is a reference interpreter for MiniC with
+// width-parameterized integer semantics that exactly match the SEV ISA
+// (wrapping arithmetic at XLEN, RISC-V-style division by zero, masked
+// shift counts). It serves as the differential-testing oracle for the
+// compiler and the processor model: for every benchmark and optimization
+// level, the compiled binary's output stream must equal the
+// interpreter's.
+package interp
+
+import (
+	"errors"
+	"fmt"
+
+	"sevsim/internal/arith"
+	"sevsim/internal/lang"
+)
+
+// ErrStepLimit is returned when execution exceeds the step budget.
+var ErrStepLimit = errors.New("interp: step limit exceeded")
+
+// Run interprets the program with the given machine word width and
+// returns the values emitted by out(). maxSteps bounds statement
+// executions to guard against runaway programs.
+func Run(prog *lang.Program, xlen int, maxSteps int64) ([]uint64, error) {
+	in := &interp{prog: prog, xlen: xlen, maxSteps: maxSteps,
+		globals: map[*lang.Symbol][]int64{}}
+	for _, g := range prog.Globals {
+		n := g.Sym.ArraySize
+		if n == 0 {
+			n = 1
+		}
+		in.globals[g.Sym] = make([]int64, n)
+	}
+	_, err := in.call(prog.ByName["main"], nil)
+	if err != nil {
+		return in.output, err
+	}
+	return in.output, nil
+}
+
+type interp struct {
+	prog     *lang.Program
+	xlen     int
+	globals  map[*lang.Symbol][]int64
+	output   []uint64
+	steps    int64
+	maxSteps int64
+}
+
+// frame holds one activation's scalar slots and array storage, indexed
+// by Symbol.Index.
+type frame struct {
+	vals   []int64
+	arrays [][]int64 // nil for scalars; aliases for array params
+}
+
+type control int
+
+const (
+	ctlNext control = iota
+	ctlBreak
+	ctlContinue
+	ctlReturn
+)
+
+func (in *interp) wrap(v int64) int64 { return arith.Wrap(in.xlen, v) }
+
+func (in *interp) mask(v int64) uint64 {
+	if in.xlen == 64 {
+		return uint64(v)
+	}
+	return uint64(uint32(v))
+}
+
+func (in *interp) tick() error {
+	in.steps++
+	if in.steps > in.maxSteps {
+		return ErrStepLimit
+	}
+	return nil
+}
+
+// call runs fn; array arguments are passed as aliased slices.
+func (in *interp) call(fn *lang.FuncDecl, args []arg) (int64, error) {
+	fr := &frame{
+		vals:   make([]int64, len(fn.Syms)),
+		arrays: make([][]int64, len(fn.Syms)),
+	}
+	for i, p := range fn.Params {
+		if p.IsArray {
+			fr.arrays[p.Sym.Index] = args[i].arr
+		} else {
+			fr.vals[p.Sym.Index] = args[i].val
+		}
+	}
+	ctl, val, err := in.block(fn.Body, fr)
+	if err != nil {
+		return 0, err
+	}
+	if ctl == ctlReturn {
+		return val, nil
+	}
+	return 0, nil
+}
+
+type arg struct {
+	val int64
+	arr []int64
+}
+
+func (in *interp) block(b *lang.BlockStmt, fr *frame) (control, int64, error) {
+	for _, s := range b.Stmts {
+		ctl, val, err := in.stmt(s, fr)
+		if err != nil || ctl != ctlNext {
+			return ctl, val, err
+		}
+	}
+	return ctlNext, 0, nil
+}
+
+func (in *interp) stmt(s lang.Stmt, fr *frame) (control, int64, error) {
+	if err := in.tick(); err != nil {
+		return ctlNext, 0, err
+	}
+	switch s := s.(type) {
+	case *lang.BlockStmt:
+		return in.block(s, fr)
+	case *lang.DeclStmt:
+		d := s.Decl
+		if d.Sym.Kind == lang.SymLocalArray {
+			fr.arrays[d.Sym.Index] = make([]int64, d.Sym.ArraySize)
+		} else if d.Init != nil {
+			v, err := in.eval(d.Init, fr)
+			if err != nil {
+				return ctlNext, 0, err
+			}
+			fr.vals[d.Sym.Index] = v
+		}
+		return ctlNext, 0, nil
+	case *lang.AssignStmt:
+		v, err := in.eval(s.Value, fr)
+		if err != nil {
+			return ctlNext, 0, err
+		}
+		if s.Index == nil {
+			in.storeScalar(s.Target, fr, v)
+			return ctlNext, 0, nil
+		}
+		idx, err := in.eval(s.Index, fr)
+		if err != nil {
+			return ctlNext, 0, err
+		}
+		a := in.arrayOf(s.Target, fr)
+		if idx < 0 || idx >= int64(len(a)) {
+			return ctlNext, 0, fmt.Errorf("interp: index %d out of range for %q (len %d)", idx, s.Target.Name, len(a))
+		}
+		a[idx] = v
+		return ctlNext, 0, nil
+	case *lang.IfStmt:
+		c, err := in.eval(s.Cond, fr)
+		if err != nil {
+			return ctlNext, 0, err
+		}
+		if c != 0 {
+			return in.block(s.Then, fr)
+		}
+		if s.Else != nil {
+			return in.stmt(s.Else, fr)
+		}
+		return ctlNext, 0, nil
+	case *lang.WhileStmt:
+		for {
+			c, err := in.eval(s.Cond, fr)
+			if err != nil {
+				return ctlNext, 0, err
+			}
+			if c == 0 {
+				return ctlNext, 0, nil
+			}
+			ctl, val, err := in.block(s.Body, fr)
+			if err != nil {
+				return ctl, val, err
+			}
+			switch ctl {
+			case ctlBreak:
+				return ctlNext, 0, nil
+			case ctlReturn:
+				return ctl, val, nil
+			}
+			if err := in.tick(); err != nil {
+				return ctlNext, 0, err
+			}
+		}
+	case *lang.ForStmt:
+		if s.Init != nil {
+			if ctl, val, err := in.stmt(s.Init, fr); err != nil || ctl != ctlNext {
+				return ctl, val, err
+			}
+		}
+		for {
+			if s.Cond != nil {
+				c, err := in.eval(s.Cond, fr)
+				if err != nil {
+					return ctlNext, 0, err
+				}
+				if c == 0 {
+					return ctlNext, 0, nil
+				}
+			}
+			ctl, val, err := in.block(s.Body, fr)
+			if err != nil {
+				return ctl, val, err
+			}
+			if ctl == ctlBreak {
+				return ctlNext, 0, nil
+			}
+			if ctl == ctlReturn {
+				return ctl, val, nil
+			}
+			if s.Post != nil {
+				if ctl, val, err := in.stmt(s.Post, fr); err != nil || ctl != ctlNext {
+					return ctl, val, err
+				}
+			}
+			if err := in.tick(); err != nil {
+				return ctlNext, 0, err
+			}
+		}
+	case *lang.ReturnStmt:
+		if s.Value == nil {
+			return ctlReturn, 0, nil
+		}
+		v, err := in.eval(s.Value, fr)
+		return ctlReturn, v, err
+	case *lang.BreakStmt:
+		return ctlBreak, 0, nil
+	case *lang.ContinueStmt:
+		return ctlContinue, 0, nil
+	case *lang.OutStmt:
+		v, err := in.eval(s.Value, fr)
+		if err != nil {
+			return ctlNext, 0, err
+		}
+		in.output = append(in.output, in.mask(v))
+		return ctlNext, 0, nil
+	case *lang.ExprStmt:
+		_, err := in.eval(s.X, fr)
+		return ctlNext, 0, err
+	}
+	return ctlNext, 0, fmt.Errorf("interp: unknown statement %T", s)
+}
+
+func (in *interp) storeScalar(sym *lang.Symbol, fr *frame, v int64) {
+	switch sym.Kind {
+	case lang.SymGlobal:
+		in.globals[sym][0] = in.wrap(v)
+	default:
+		fr.vals[sym.Index] = in.wrap(v)
+	}
+}
+
+func (in *interp) loadScalar(sym *lang.Symbol, fr *frame) int64 {
+	switch sym.Kind {
+	case lang.SymGlobal:
+		return in.globals[sym][0]
+	default:
+		return fr.vals[sym.Index]
+	}
+}
+
+func (in *interp) arrayOf(sym *lang.Symbol, fr *frame) []int64 {
+	switch sym.Kind {
+	case lang.SymGlobalArray:
+		return in.globals[sym]
+	default:
+		return fr.arrays[sym.Index]
+	}
+}
+
+func (in *interp) eval(e lang.Expr, fr *frame) (int64, error) {
+	switch e := e.(type) {
+	case *lang.NumExpr:
+		return in.wrap(e.Value), nil
+	case *lang.VarExpr:
+		return in.loadScalar(e.Sym, fr), nil
+	case *lang.IndexExpr:
+		idx, err := in.eval(e.Index, fr)
+		if err != nil {
+			return 0, err
+		}
+		a := in.arrayOf(e.Sym, fr)
+		if idx < 0 || idx >= int64(len(a)) {
+			return 0, fmt.Errorf("interp: index %d out of range for %q (len %d)", idx, e.Sym.Name, len(a))
+		}
+		return a[idx], nil
+	case *lang.UnExpr:
+		v, err := in.eval(e.X, fr)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case lang.OpNeg:
+			return in.wrap(-v), nil
+		case lang.OpNot:
+			return in.wrap(^v), nil
+		default: // OpLNot
+			if v == 0 {
+				return 1, nil
+			}
+			return 0, nil
+		}
+	case *lang.BinExpr:
+		if e.Op == lang.OpLAnd || e.Op == lang.OpLOr {
+			l, err := in.eval(e.L, fr)
+			if err != nil {
+				return 0, err
+			}
+			if e.Op == lang.OpLAnd && l == 0 {
+				return 0, nil
+			}
+			if e.Op == lang.OpLOr && l != 0 {
+				return 1, nil
+			}
+			r, err := in.eval(e.R, fr)
+			if err != nil {
+				return 0, err
+			}
+			if r != 0 {
+				return 1, nil
+			}
+			return 0, nil
+		}
+		l, err := in.eval(e.L, fr)
+		if err != nil {
+			return 0, err
+		}
+		r, err := in.eval(e.R, fr)
+		if err != nil {
+			return 0, err
+		}
+		return in.binop(e.Op, l, r), nil
+	case *lang.CallExpr:
+		args := make([]arg, len(e.Args))
+		for i, ax := range e.Args {
+			if e.Func.Params[i].IsArray {
+				v := ax.(*lang.VarExpr)
+				args[i] = arg{arr: in.arrayOf(v.Sym, fr)}
+				continue
+			}
+			v, err := in.eval(ax, fr)
+			if err != nil {
+				return 0, err
+			}
+			args[i] = arg{val: v}
+		}
+		return in.call(e.Func, args)
+	}
+	return 0, fmt.Errorf("interp: unknown expression %T", e)
+}
+
+// binop evaluates a (non-short-circuit) binary operation with SEV ISA
+// semantics.
+func (in *interp) binop(op lang.BinOp, l, r int64) int64 {
+	return arith.Bin(in.xlen, op, l, r)
+}

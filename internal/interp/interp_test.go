@@ -1,0 +1,146 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"sevsim/internal/lang"
+)
+
+func runSrc(t *testing.T, src string, xlen int) []uint64 {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(prog, xlen, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestBasicEvaluation(t *testing.T) {
+	out := runSrc(t, `func main() { out(2 + 3 * 4); out(10 % 3); }`, 32)
+	if out[0] != 14 || out[1] != 1 {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func TestWidthDependentWrap(t *testing.T) {
+	src := `func main() { var int big = 2000000000; out(big * 3); }`
+	out32 := runSrc(t, src, 32)
+	out64 := runSrc(t, src, 64)
+	if out64[0] != 6000000000 {
+		t.Errorf("64-bit product = %d", out64[0])
+	}
+	// 6e9 mod 2^32 = 1705032704 on 32-bit.
+	if out32[0] != 1705032704 {
+		t.Errorf("32-bit product = %d", out32[0])
+	}
+}
+
+func TestDivisionCornerCases(t *testing.T) {
+	out := runSrc(t, `func main() {
+		out(7 / 0);
+		out(7 % 0);
+		var int minint = 1 << 31;
+		out(minint / (0 - 1));
+		out(minint % (0 - 1));
+	}`, 32)
+	if int32(uint32(out[0])) != -1 {
+		t.Errorf("div by zero = %#x, want -1", out[0])
+	}
+	if out[1] != 7 {
+		t.Errorf("rem by zero = %d, want 7", out[1])
+	}
+	if int32(uint32(out[2])) != -1<<31 {
+		t.Errorf("minint/-1 = %#x", out[2])
+	}
+	if out[3] != 0 {
+		t.Errorf("minint%%-1 = %d", out[3])
+	}
+}
+
+func TestShiftMasking(t *testing.T) {
+	// Shift counts use only the low log2(xlen) bits, like the hardware.
+	out32 := runSrc(t, `func main() { out(1 << 33); }`, 32)
+	if out32[0] != 2 { // 33 & 31 = 1
+		t.Errorf("32-bit 1<<33 = %d, want 2", out32[0])
+	}
+	out64 := runSrc(t, `func main() { out(1 << 33); }`, 64)
+	if out64[0] != 1<<33 {
+		t.Errorf("64-bit 1<<33 = %d", out64[0])
+	}
+}
+
+func TestArrayBoundsChecked(t *testing.T) {
+	prog, err := lang.Parse(`global int a[4]; func main() { a[5] = 1; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(prog, 32, 1000)
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("expected bounds error, got %v", err)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	prog, err := lang.Parse(`func main() { while (1) { } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(prog, 32, 1000)
+	if err != ErrStepLimit {
+		t.Errorf("expected step limit, got %v", err)
+	}
+}
+
+func TestArrayAliasing(t *testing.T) {
+	// Array parameters alias the caller's storage.
+	out := runSrc(t, `
+global int g[4];
+func set(int a[], int i, int v) { a[i] = v; }
+func main() {
+	set(g, 2, 99);
+	out(g[2]);
+	var int local[4];
+	set(local, 0, 7);
+	out(local[0]);
+}`, 32)
+	if out[0] != 99 || out[1] != 7 {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func TestRecursionAndGlobals(t *testing.T) {
+	out := runSrc(t, `
+global int depth;
+func down(int n) int {
+	if (n > depth) { depth = n; }
+	if (n == 0) { return 0; }
+	return down(n - 1) + n;
+}
+func main() {
+	out(down(10));
+	out(depth);
+}`, 64)
+	if out[0] != 55 || out[1] != 10 {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func TestLogicalOperatorsNormalize(t *testing.T) {
+	out := runSrc(t, `func main() {
+		out(5 && 3);
+		out(0 || 7);
+		out(!5);
+		out(!0);
+	}`, 32)
+	want := []uint64{1, 1, 0, 1}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], want[i])
+		}
+	}
+}

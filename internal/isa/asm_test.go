@@ -1,0 +1,144 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAsmBasicProgram(t *testing.T) {
+	src := `
+; compute 6*7 and emit it
+  addi a0, zr, 6
+  addi a1, zr, 7
+  mul  a2, a0, a1
+  out  a2
+  halt
+`
+	ins, err := Asm(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Instr{
+		I(OpAddi, RegA0, RegZero, 6),
+		I(OpAddi, RegA1, RegZero, 7),
+		R(OpMul, RegA2, RegA0, RegA1),
+		Out(RegA2),
+		Halt(),
+	}
+	if len(ins) != len(want) {
+		t.Fatalf("got %d instructions", len(ins))
+	}
+	for i := range want {
+		if ins[i] != want[i] {
+			t.Errorf("instr %d = %v, want %v", i, ins[i], want[i])
+		}
+	}
+}
+
+func TestAsmLabelsAndBranches(t *testing.T) {
+	src := `
+  addi a0, zr, 0
+  addi a1, zr, 10
+loop:
+  addi a0, a0, 1
+  blt  a0, a1, loop
+  jal  zr, done
+  nop
+done:
+  out a0
+  halt
+`
+	ins, err := Asm(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// blt at index 3, loop label at index 2: offset = 2 - 3 - 1 = -2.
+	if ins[3].Op != OpBlt || ins[3].Imm != -2 {
+		t.Errorf("branch = %v", ins[3])
+	}
+	// jal at index 4, done at index 6: offset = 6 - 4 - 1 = 1.
+	if ins[4].Op != OpJal || ins[4].Imm != 1 {
+		t.Errorf("jump = %v", ins[4])
+	}
+}
+
+func TestAsmMemoryOperands(t *testing.T) {
+	ins, err := Asm(`
+  lw   t0, 8(sp)
+  sw   t0, -4(a0)
+  lbu  t1, (a1)
+  jalr zr, 0(ra)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins[0] != Load(OpLw, RegT0, RegSP, 8) {
+		t.Errorf("lw = %v", ins[0])
+	}
+	if ins[1] != Store(OpSw, RegT0, RegA0, -4) {
+		t.Errorf("sw = %v", ins[1])
+	}
+	if ins[2] != Load(OpLbu, RegT1, RegA1, 0) {
+		t.Errorf("lbu = %v", ins[2])
+	}
+	if ins[3] != Jalr(RegZero, RegRA, 0) {
+		t.Errorf("jalr = %v", ins[3])
+	}
+}
+
+func TestAsmRoundTripThroughDisassembly(t *testing.T) {
+	// Assemble, disassemble each instruction, re-assemble: identical.
+	src := `
+  lui  s0, 16
+  ori  s0, s0, 0x1234
+  slt  a0, s0, a1
+  sltiu a1, a0, 1
+  bgeu a0, a1, 2
+  sra  a2, a0, a1
+  halt
+`
+	first, err := Asm(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var relisted []string
+	for _, in := range first {
+		relisted = append(relisted, in.String())
+	}
+	second, err := Asm(strings.Join(relisted, "\n"))
+	if err != nil {
+		t.Fatalf("re-assembly failed: %v\n%s", err, strings.Join(relisted, "\n"))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Errorf("round trip %d: %v vs %v", i, first[i], second[i])
+		}
+	}
+}
+
+func TestAsmErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown mnemonic": "frob a0, a1, a2",
+		"bad register":     "add a0, q9, a2",
+		"operand count":    "add a0, a1",
+		"bad immediate":    "addi a0, a1, xyz",
+		"undefined label":  "jal ra, nowhere",
+		"duplicate label":  "x:\nx:\n  halt",
+		"bad mem operand":  "lw a0, 8",
+	}
+	for name, src := range cases {
+		if _, err := Asm(src); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestAsmNumericRegisters(t *testing.T) {
+	ins, err := Asm("add r5, r0, r31")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins[0].Rd != 5 || ins[0].Rs1 != 0 || ins[0].Rs2 != 31 {
+		t.Errorf("numeric registers = %v", ins[0])
+	}
+}

@@ -1,0 +1,53 @@
+package isa
+
+// Convenience constructors used by the code generator and by hand-written
+// test programs. Each returns a fully populated Instr ready to Encode.
+
+// R builds an R-type instruction rd = rs1 op rs2.
+func R(op Opcode, rd, rs1, rs2 uint8) Instr { return Instr{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2} }
+
+// I builds an I-type ALU instruction rd = rs1 op imm.
+func I(op Opcode, rd, rs1 uint8, imm int32) Instr {
+	return Instr{Op: op, Rd: rd, Rs1: rs1, Imm: imm}
+}
+
+// Load builds a load rd = mem[rs1+imm].
+func Load(op Opcode, rd, base uint8, imm int32) Instr {
+	return Instr{Op: op, Rd: rd, Rs1: base, Imm: imm}
+}
+
+// Store builds a store mem[base+imm] = src.
+func Store(op Opcode, src, base uint8, imm int32) Instr {
+	return Instr{Op: op, Rd: src, Rs1: base, Imm: imm}
+}
+
+// Branch builds a conditional branch comparing rs1 and rs2 with a word
+// offset relative to the next instruction.
+func Branch(op Opcode, rs1, rs2 uint8, wordOff int32) Instr {
+	return Instr{Op: op, Rs1: rs1, Rs2: rs2, Imm: wordOff}
+}
+
+// Jal builds a direct jump-and-link with a word offset relative to the
+// next instruction.
+func Jal(rd uint8, wordOff int32) Instr { return Instr{Op: OpJal, Rd: rd, Imm: wordOff} }
+
+// Jalr builds an indirect jump-and-link to rs1+imm.
+func Jalr(rd, rs1 uint8, imm int32) Instr { return Instr{Op: OpJalr, Rd: rd, Rs1: rs1, Imm: imm} }
+
+// Out builds the output instruction for rs1.
+func Out(rs1 uint8) Instr { return Instr{Op: OpOut, Rs1: rs1} }
+
+// Halt builds the halt instruction.
+func Halt() Instr { return Instr{Op: OpHalt} }
+
+// Nop builds a no-op.
+func Nop() Instr { return Instr{Op: OpNop} }
+
+// Assemble encodes a sequence of instructions into machine words.
+func Assemble(prog []Instr) []uint32 {
+	words := make([]uint32, len(prog))
+	for i, in := range prog {
+		words[i] = in.Encode()
+	}
+	return words
+}

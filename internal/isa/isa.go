@@ -1,0 +1,337 @@
+// Package isa defines the SEV instruction set architecture: a small
+// fixed-width RISC ISA used by the sevsim out-of-order processor models.
+//
+// Instructions are always encoded in a single 32-bit word regardless of
+// the machine word width (XLEN), which is 32 for the Cortex-A15-like
+// configuration and 64 for the Cortex-A72-like configuration. The ISA is
+// deliberately minimal but complete: integer ALU operations, loads and
+// stores of bytes/words/doublewords, conditional branches, direct and
+// indirect jumps with linking, an output instruction (the program's only
+// externally visible side channel, used for silent-data-corruption
+// detection), and HALT.
+package isa
+
+import "fmt"
+
+// Opcode identifies an instruction. Values fit in the 6-bit opcode field.
+type Opcode uint8
+
+// Opcode space. The encoding reserves 6 bits, i.e. values 0..63. Holes in
+// the numbering decode as illegal instructions, which matters for fault
+// injection: a bit flip inside the opcode field of a fetched instruction
+// word frequently produces an illegal opcode and hence a process crash,
+// matching the behaviour the paper reports for the L1 instruction cache.
+const (
+	// R-type: rd = rs1 op rs2.
+	OpAdd Opcode = iota + 1
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpSll
+	OpSrl
+	OpSra
+	OpSlt
+	OpSltu
+
+	// I-type: rd = rs1 op signext(imm16); the logical operations and
+	// sltiu zero-extend the immediate instead (MIPS-style).
+	OpAddi
+	OpAndi
+	OpOri
+	OpXori
+	OpSlli
+	OpSrli
+	OpSrai
+	OpSlti
+	OpSltiu // rd = (rs1 <u zeroext(imm16)) ? 1 : 0
+	OpLui   // rd = imm16 << 16 (no source register)
+
+	// Memory. I-type addressing: addr = rs1 + signext(imm16).
+	OpLw  // load 32-bit, sign-extended to XLEN
+	OpLb  // load byte, sign-extended
+	OpLbu // load byte, zero-extended
+	OpLd  // load 64-bit (illegal on XLEN=32)
+	OpSw  // store low 32 bits of rs2/rd field
+	OpSb  // store low byte
+	OpSd  // store 64-bit (illegal on XLEN=32)
+
+	// B-type: compare rs1, rs2; target = pc + 4 + signext(off16)*4.
+	OpBeq
+	OpBne
+	OpBlt
+	OpBge
+	OpBltu
+	OpBgeu
+
+	// Jumps.
+	OpJal  // J-type: rd = pc+4; pc = pc + 4 + signext(off21)*4
+	OpJalr // I-type: rd = pc+4; pc = (rs1 + signext(imm16)) &^ 3
+
+	// Miscellaneous.
+	OpOut  // emit XLEN-bit value of rs1 to the program output stream
+	OpHalt // stop the machine (normal program termination)
+	OpNop  // no operation
+
+	numOpcodes // one past the last valid opcode
+)
+
+// Format describes how an instruction's fields are laid out.
+type Format uint8
+
+const (
+	FmtR Format = iota // rd, rs1, rs2
+	FmtI               // rd, rs1, imm16
+	FmtB               // rs1, rs2, off16
+	FmtJ               // rd, off21
+	FmtN               // no operands (halt, nop)
+)
+
+// opInfo is the static decode table.
+type opInfo struct {
+	name   string
+	format Format
+	valid  bool
+}
+
+var opTable = [64]opInfo{
+	OpAdd:   {"add", FmtR, true},
+	OpSub:   {"sub", FmtR, true},
+	OpMul:   {"mul", FmtR, true},
+	OpDiv:   {"div", FmtR, true},
+	OpRem:   {"rem", FmtR, true},
+	OpAnd:   {"and", FmtR, true},
+	OpOr:    {"or", FmtR, true},
+	OpXor:   {"xor", FmtR, true},
+	OpSll:   {"sll", FmtR, true},
+	OpSrl:   {"srl", FmtR, true},
+	OpSra:   {"sra", FmtR, true},
+	OpSlt:   {"slt", FmtR, true},
+	OpSltu:  {"sltu", FmtR, true},
+	OpAddi:  {"addi", FmtI, true},
+	OpAndi:  {"andi", FmtI, true},
+	OpOri:   {"ori", FmtI, true},
+	OpXori:  {"xori", FmtI, true},
+	OpSlli:  {"slli", FmtI, true},
+	OpSrli:  {"srli", FmtI, true},
+	OpSrai:  {"srai", FmtI, true},
+	OpSlti:  {"slti", FmtI, true},
+	OpSltiu: {"sltiu", FmtI, true},
+	OpLui:   {"lui", FmtI, true},
+	OpLw:    {"lw", FmtI, true},
+	OpLb:    {"lb", FmtI, true},
+	OpLbu:   {"lbu", FmtI, true},
+	OpLd:    {"ld", FmtI, true},
+	OpSw:    {"sw", FmtI, true},
+	OpSb:    {"sb", FmtI, true},
+	OpSd:    {"sd", FmtI, true},
+	OpBeq:   {"beq", FmtB, true},
+	OpBne:   {"bne", FmtB, true},
+	OpBlt:   {"blt", FmtB, true},
+	OpBge:   {"bge", FmtB, true},
+	OpBltu:  {"bltu", FmtB, true},
+	OpBgeu:  {"bgeu", FmtB, true},
+	OpJal:   {"jal", FmtJ, true},
+	OpJalr:  {"jalr", FmtI, true},
+	OpOut:   {"out", FmtI, true},
+	OpHalt:  {"halt", FmtN, true},
+	OpNop:   {"nop", FmtN, true},
+}
+
+// Name returns the assembly mnemonic for the opcode.
+func (op Opcode) Name() string {
+	if int(op) < len(opTable) && opTable[op].valid {
+		return opTable[op].name
+	}
+	return fmt.Sprintf("illegal(%d)", op)
+}
+
+// Valid reports whether op decodes to a defined instruction.
+func (op Opcode) Valid() bool {
+	return int(op) < len(opTable) && opTable[op].valid
+}
+
+// Format returns the encoding format for the opcode.
+func (op Opcode) Format() Format {
+	if op.Valid() {
+		return opTable[op].format
+	}
+	return FmtN
+}
+
+// IsBranch reports whether op is a conditional branch.
+func (op Opcode) IsBranch() bool { return op >= OpBeq && op <= OpBgeu }
+
+// IsJump reports whether op is an unconditional control transfer.
+func (op Opcode) IsJump() bool { return op == OpJal || op == OpJalr }
+
+// IsLoad reports whether op reads data memory.
+func (op Opcode) IsLoad() bool {
+	return op == OpLw || op == OpLb || op == OpLbu || op == OpLd
+}
+
+// IsStore reports whether op writes data memory.
+func (op Opcode) IsStore() bool { return op == OpSw || op == OpSb || op == OpSd }
+
+// MemSize returns the access width in bytes for memory opcodes (0 otherwise).
+func (op Opcode) MemSize() int {
+	switch op {
+	case OpLb, OpLbu, OpSb:
+		return 1
+	case OpLw, OpSw:
+		return 4
+	case OpLd, OpSd:
+		return 8
+	}
+	return 0
+}
+
+// Instr is a decoded instruction.
+type Instr struct {
+	Op  Opcode
+	Rd  uint8 // destination register (R/I/J); also the stored register for stores
+	Rs1 uint8
+	Rs2 uint8
+	Imm int32 // sign-extended immediate (I: 16-bit; B: 16-bit word offset; J: 21-bit word offset)
+}
+
+// Encoding layout (all formats share the opcode in bits [31:26]):
+//
+//	R: [31:26]=op [25:21]=rd  [20:16]=rs1 [15:11]=rs2 [10:0]=0
+//	I: [31:26]=op [25:21]=rd  [20:16]=rs1 [15:0]=imm16
+//	B: [31:26]=op [25:21]=rs1 [20:16]=rs2 [15:0]=off16
+//	J: [31:26]=op [25:21]=rd  [20:0]=off21
+//	N: [31:26]=op, rest zero
+//
+// Stores reuse the rd field for the register whose value is stored,
+// keeping every format's register fields in fixed positions so decode is
+// a pure bit slice.
+
+// Encode packs the instruction into its 32-bit machine word.
+func (in Instr) Encode() uint32 {
+	w := uint32(in.Op&0x3f) << 26
+	switch in.Op.Format() {
+	case FmtR:
+		w |= uint32(in.Rd&0x1f) << 21
+		w |= uint32(in.Rs1&0x1f) << 16
+		w |= uint32(in.Rs2&0x1f) << 11
+	case FmtI:
+		w |= uint32(in.Rd&0x1f) << 21
+		w |= uint32(in.Rs1&0x1f) << 16
+		w |= uint32(uint16(in.Imm))
+	case FmtB:
+		w |= uint32(in.Rs1&0x1f) << 21
+		w |= uint32(in.Rs2&0x1f) << 16
+		w |= uint32(uint16(in.Imm))
+	case FmtJ:
+		w |= uint32(in.Rd&0x1f) << 21
+		w |= uint32(in.Imm) & 0x1fffff
+	case FmtN:
+		// opcode only
+	}
+	return w
+}
+
+// Decode unpacks a 32-bit machine word. Illegal opcodes are returned with
+// Op set to the raw (invalid) opcode value; callers check Op.Valid().
+func Decode(w uint32) Instr {
+	op := Opcode(w >> 26)
+	in := Instr{Op: op}
+	switch op.Format() {
+	case FmtR:
+		in.Rd = uint8(w>>21) & 0x1f
+		in.Rs1 = uint8(w>>16) & 0x1f
+		in.Rs2 = uint8(w>>11) & 0x1f
+	case FmtI:
+		in.Rd = uint8(w>>21) & 0x1f
+		in.Rs1 = uint8(w>>16) & 0x1f
+		in.Imm = int32(int16(uint16(w)))
+	case FmtB:
+		in.Rs1 = uint8(w>>21) & 0x1f
+		in.Rs2 = uint8(w>>16) & 0x1f
+		in.Imm = int32(int16(uint16(w)))
+	case FmtJ:
+		in.Rd = uint8(w>>21) & 0x1f
+		imm := int32(w & 0x1fffff)
+		if imm&0x100000 != 0 { // sign-extend 21-bit field
+			imm |= ^int32(0x1fffff)
+		}
+		in.Imm = imm
+	}
+	return in
+}
+
+// SourceRegs returns the architectural registers the instruction reads.
+// The second return is 0xff when the instruction has fewer than one/two
+// register sources.
+func (in Instr) SourceRegs() (uint8, uint8) {
+	const none = 0xff
+	switch in.Op.Format() {
+	case FmtR:
+		return in.Rs1, in.Rs2
+	case FmtI:
+		if in.Op == OpLui {
+			return none, none
+		}
+		if in.Op.IsStore() {
+			return in.Rs1, in.Rd // base, stored value
+		}
+		if in.Op == OpOut {
+			return in.Rs1, none
+		}
+		return in.Rs1, none
+	case FmtB:
+		return in.Rs1, in.Rs2
+	}
+	return none, none
+}
+
+// DestReg returns the architectural destination register, or 0xff if the
+// instruction writes no register. Writes to register 0 (the hard-wired
+// zero register) are treated as having no destination.
+func (in Instr) DestReg() uint8 {
+	const none = 0xff
+	var rd uint8
+	switch {
+	case in.Op.Format() == FmtR, in.Op == OpJal, in.Op == OpJalr:
+		rd = in.Rd
+	case in.Op.Format() == FmtI && !in.Op.IsStore() && in.Op != OpOut:
+		rd = in.Rd
+	default:
+		return none
+	}
+	if rd == RegZero {
+		return none
+	}
+	return rd
+}
+
+func (in Instr) String() string {
+	switch in.Op.Format() {
+	case FmtR:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op.Name(), RegName(in.Rd), RegName(in.Rs1), RegName(in.Rs2))
+	case FmtI:
+		switch {
+		case in.Op.IsLoad():
+			return fmt.Sprintf("%s %s, %d(%s)", in.Op.Name(), RegName(in.Rd), in.Imm, RegName(in.Rs1))
+		case in.Op.IsStore():
+			return fmt.Sprintf("%s %s, %d(%s)", in.Op.Name(), RegName(in.Rd), in.Imm, RegName(in.Rs1))
+		case in.Op == OpLui:
+			return fmt.Sprintf("lui %s, %d", RegName(in.Rd), in.Imm)
+		case in.Op == OpOut:
+			return fmt.Sprintf("out %s", RegName(in.Rs1))
+		case in.Op == OpJalr:
+			return fmt.Sprintf("jalr %s, %d(%s)", RegName(in.Rd), in.Imm, RegName(in.Rs1))
+		default:
+			return fmt.Sprintf("%s %s, %s, %d", in.Op.Name(), RegName(in.Rd), RegName(in.Rs1), in.Imm)
+		}
+	case FmtB:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op.Name(), RegName(in.Rs1), RegName(in.Rs2), in.Imm)
+	case FmtJ:
+		return fmt.Sprintf("jal %s, %d", RegName(in.Rd), in.Imm)
+	}
+	return in.Op.Name()
+}

@@ -1,0 +1,214 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Instr{
+		R(OpAdd, 3, 4, 5),
+		R(OpSub, 15, 1, 0),
+		R(OpMul, 31, 30, 29),
+		I(OpAddi, 7, 7, -1),
+		I(OpAddi, 7, 7, 32767),
+		I(OpAddi, 7, 7, -32768),
+		I(OpLui, 9, 0, 4660),
+		Load(OpLw, 5, 1, 16),
+		Load(OpLd, 5, 1, -8),
+		Load(OpLbu, 5, 1, 0),
+		Store(OpSw, 4, 1, 12),
+		Store(OpSd, 4, 1, -128),
+		Branch(OpBeq, 3, 4, -100),
+		Branch(OpBgeu, 3, 4, 200),
+		Jal(RegRA, 1000),
+		Jal(RegZero, -1000),
+		Jal(RegRA, (1<<20)-1),
+		Jal(RegRA, -(1 << 20)),
+		Jalr(RegZero, RegRA, 0),
+		Out(6),
+		Halt(),
+		Nop(),
+	}
+	for _, in := range cases {
+		got := Decode(in.Encode())
+		if got != in {
+			t.Errorf("round trip %v: got %v", in, got)
+		}
+	}
+}
+
+func TestDecodeIllegalOpcode(t *testing.T) {
+	// Opcode 0 and all values >= numOpcodes must decode as invalid.
+	if Decode(0).Op.Valid() {
+		t.Error("opcode 0 should be invalid")
+	}
+	for op := uint32(numOpcodes); op < 64; op++ {
+		if Decode(op << 26).Op.Valid() {
+			t.Errorf("opcode %d should be invalid", op)
+		}
+	}
+}
+
+func TestOpcodeClassPredicates(t *testing.T) {
+	loads := []Opcode{OpLw, OpLb, OpLbu, OpLd}
+	for _, op := range loads {
+		if !op.IsLoad() || op.IsStore() || op.IsBranch() {
+			t.Errorf("%s misclassified", op.Name())
+		}
+	}
+	stores := []Opcode{OpSw, OpSb, OpSd}
+	for _, op := range stores {
+		if !op.IsStore() || op.IsLoad() {
+			t.Errorf("%s misclassified", op.Name())
+		}
+	}
+	branches := []Opcode{OpBeq, OpBne, OpBlt, OpBge, OpBltu, OpBgeu}
+	for _, op := range branches {
+		if !op.IsBranch() {
+			t.Errorf("%s not a branch", op.Name())
+		}
+	}
+	if !OpJal.IsJump() || !OpJalr.IsJump() || OpBeq.IsJump() {
+		t.Error("jump predicate wrong")
+	}
+}
+
+func TestMemSize(t *testing.T) {
+	sizes := map[Opcode]int{
+		OpLb: 1, OpLbu: 1, OpSb: 1,
+		OpLw: 4, OpSw: 4,
+		OpLd: 8, OpSd: 8,
+		OpAdd: 0, OpBeq: 0,
+	}
+	for op, want := range sizes {
+		if got := op.MemSize(); got != want {
+			t.Errorf("%s MemSize = %d, want %d", op.Name(), got, want)
+		}
+	}
+}
+
+func TestDestReg(t *testing.T) {
+	if got := R(OpAdd, 5, 1, 2).DestReg(); got != 5 {
+		t.Errorf("add dest = %d", got)
+	}
+	if got := R(OpAdd, RegZero, 1, 2).DestReg(); got != 0xff {
+		t.Errorf("write to zero reg should have no dest, got %d", got)
+	}
+	if got := Store(OpSw, 4, 1, 0).DestReg(); got != 0xff {
+		t.Errorf("store should have no dest, got %d", got)
+	}
+	if got := Branch(OpBeq, 1, 2, 0).DestReg(); got != 0xff {
+		t.Errorf("branch should have no dest, got %d", got)
+	}
+	if got := Jal(RegRA, 4).DestReg(); got != RegRA {
+		t.Errorf("jal dest = %d", got)
+	}
+	if got := Out(3).DestReg(); got != 0xff {
+		t.Errorf("out should have no dest, got %d", got)
+	}
+}
+
+func TestSourceRegs(t *testing.T) {
+	s1, s2 := R(OpAdd, 5, 1, 2).SourceRegs()
+	if s1 != 1 || s2 != 2 {
+		t.Errorf("add sources = %d,%d", s1, s2)
+	}
+	s1, s2 = Store(OpSw, 4, 1, 0).SourceRegs()
+	if s1 != 1 || s2 != 4 {
+		t.Errorf("store sources = %d,%d (want base=1 value=4)", s1, s2)
+	}
+	s1, s2 = I(OpLui, 9, 0, 1).SourceRegs()
+	if s1 != 0xff || s2 != 0xff {
+		t.Errorf("lui sources = %d,%d", s1, s2)
+	}
+	s1, s2 = Branch(OpBne, 6, 7, 0).SourceRegs()
+	if s1 != 6 || s2 != 7 {
+		t.Errorf("branch sources = %d,%d", s1, s2)
+	}
+}
+
+// TestEncodeDecodeProperty verifies decode(encode(x)) == x for random
+// well-formed instructions, using testing/quick over a structured
+// generator.
+func TestEncodeDecodeProperty(t *testing.T) {
+	validOps := []Opcode{}
+	for op := Opcode(1); op < numOpcodes; op++ {
+		if op.Valid() {
+			validOps = append(validOps, op)
+		}
+	}
+	gen := func(seed int64) Instr {
+		r := rand.New(rand.NewSource(seed))
+		op := validOps[r.Intn(len(validOps))]
+		in := Instr{Op: op}
+		switch op.Format() {
+		case FmtR:
+			in.Rd = uint8(r.Intn(32))
+			in.Rs1 = uint8(r.Intn(32))
+			in.Rs2 = uint8(r.Intn(32))
+		case FmtI:
+			in.Rd = uint8(r.Intn(32))
+			in.Rs1 = uint8(r.Intn(32))
+			in.Imm = int32(int16(r.Uint32()))
+		case FmtB:
+			in.Rs1 = uint8(r.Intn(32))
+			in.Rs2 = uint8(r.Intn(32))
+			in.Imm = int32(int16(r.Uint32()))
+		case FmtJ:
+			in.Rd = uint8(r.Intn(32))
+			in.Imm = int32(r.Intn(1<<21)) - (1 << 20)
+		}
+		return in
+	}
+	prop := func(seed int64) bool {
+		in := gen(seed)
+		return Decode(in.Encode()) == in
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegNames(t *testing.T) {
+	want := map[uint8]string{
+		0: "zr", 1: "sp", 2: "ra", 3: "a0", 6: "a3", 7: "t0", 9: "t2", 10: "s0", 31: "s21",
+	}
+	for r, name := range want {
+		if got := RegName(r); got != name {
+			t.Errorf("RegName(%d) = %q, want %q", r, got, name)
+		}
+	}
+}
+
+func TestSavedPredicates(t *testing.T) {
+	if CallerSaved(RegS0) || !CalleeSaved(RegS0) {
+		t.Error("s0 should be callee-saved")
+	}
+	if !CallerSaved(RegT0) || CalleeSaved(RegT0) {
+		t.Error("t0 should be caller-saved")
+	}
+	if !CallerSaved(RegA0) {
+		t.Error("a0 should be caller-saved")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := map[string]Instr{
+		"add a0, a1, a2":  R(OpAdd, RegA0, RegA1, RegA2),
+		"lw t0, 16(sp)":   Load(OpLw, RegT0, RegSP, 16),
+		"sw t0, -4(sp)":   Store(OpSw, RegT0, RegSP, -4),
+		"beq a0, zr, 12":  Branch(OpBeq, RegA0, RegZero, 12),
+		"jal ra, 100":     Jal(RegRA, 100),
+		"jalr zr, 0(ra)":  Jalr(RegZero, RegRA, 0),
+		"out a0":          Out(RegA0),
+		"halt":            Halt(),
+		"addi sp, sp, -8": I(OpAddi, RegSP, RegSP, -8),
+	}
+	for want, in := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package isa
+
+import "fmt"
+
+// Architectural register convention. The register file holds up to 32
+// registers; a machine configuration exposes the first NumArchRegs of
+// them (16 for the 32-bit A15-like core, 32 for the 64-bit A72-like
+// core). The convention is shared across both variants so the compiler
+// backend only varies in how many scratch registers it may allocate.
+const (
+	RegZero = 0 // hard-wired zero
+	RegSP   = 1 // stack pointer
+	RegRA   = 2 // return address (link register)
+	RegA0   = 3 // first argument / return value
+	RegA1   = 4
+	RegA2   = 5
+	RegA3   = 6
+	// Registers 7..9 are caller-saved scratch (t0..t2); registers 10 and
+	// up are callee-saved (s0..). On the 16-register variant that yields
+	// 6 callee-saved registers, on the 32-register variant 22.
+	RegT0 = 7
+	RegT1 = 8
+	RegT2 = 9
+	RegS0 = 10
+)
+
+// NumArgRegs is the number of arguments passed in registers; further
+// arguments travel on the stack.
+const NumArgRegs = 4
+
+// RegName returns the conventional assembly name for a register.
+func RegName(r uint8) string {
+	switch r {
+	case RegZero:
+		return "zr"
+	case RegSP:
+		return "sp"
+	case RegRA:
+		return "ra"
+	case RegA0, RegA1, RegA2, RegA3:
+		return fmt.Sprintf("a%d", r-RegA0)
+	case RegT0, RegT1, RegT2:
+		return fmt.Sprintf("t%d", r-RegT0)
+	default:
+		return fmt.Sprintf("s%d", r-RegS0)
+	}
+}
+
+// CallerSaved reports whether register r is caller-saved (clobbered by a
+// call) under the SEV calling convention.
+func CallerSaved(r uint8) bool { return r >= RegRA && r <= RegT2 }
+
+// CalleeSaved reports whether register r must be preserved by a callee.
+func CalleeSaved(r uint8) bool { return r >= RegS0 }

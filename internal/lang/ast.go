@@ -1,0 +1,232 @@
+package lang
+
+// Program is a parsed and semantically checked MiniC compilation unit.
+type Program struct {
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+	// ByName indexes functions after semantic analysis.
+	ByName map[string]*FuncDecl
+}
+
+// VarDecl declares a global or local variable. ArraySize > 0 makes it a
+// fixed-size int array; ArraySize == 0 is a scalar int.
+type VarDecl struct {
+	Name      string
+	ArraySize int64
+	Init      Expr // optional, scalars only
+	Line      int
+
+	// Set by semantic analysis.
+	Sym *Symbol
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name       string
+	Params     []*Param
+	ReturnsInt bool
+	Body       *BlockStmt
+	Line       int
+
+	// Set by semantic analysis.
+	Syms []*Symbol // all locals and params, in declaration order
+}
+
+// Param is a function parameter: scalar int or int[] (array reference).
+type Param struct {
+	Name    string
+	IsArray bool
+	Sym     *Symbol
+}
+
+// SymKind classifies a resolved name.
+type SymKind int
+
+const (
+	SymGlobal SymKind = iota
+	SymGlobalArray
+	SymLocal
+	SymLocalArray
+	SymParam
+	SymParamArray
+	SymFunc
+)
+
+// Symbol is a resolved variable or function.
+type Symbol struct {
+	Name      string
+	Kind      SymKind
+	ArraySize int64 // elements, for array kinds
+
+	// Layout, filled by the compiler backend: byte offset within the
+	// global segment for globals, frame index for locals/params.
+	Offset int64
+	Index  int // local ordinal within the function
+}
+
+// IsArray reports whether the symbol is an array or array reference.
+func (s *Symbol) IsArray() bool {
+	return s.Kind == SymGlobalArray || s.Kind == SymLocalArray || s.Kind == SymParamArray
+}
+
+// --- statements -----------------------------------------------------------
+
+// Stmt is a statement node.
+type Stmt interface{ stmt() }
+
+// BlockStmt is a brace-delimited statement list.
+type BlockStmt struct{ Stmts []Stmt }
+
+// DeclStmt declares a local variable.
+type DeclStmt struct{ Decl *VarDecl }
+
+// AssignStmt assigns to a scalar variable or an array element.
+type AssignStmt struct {
+	Name   string
+	Target *Symbol // resolved from Name by sema
+	Index  Expr    // nil for scalar assignment
+	Value  Expr
+	Line   int
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond Expr
+	Then *BlockStmt
+	Else Stmt // *BlockStmt, *IfStmt, or nil
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body *BlockStmt
+}
+
+// ForStmt is for(init; cond; post). Init and Post may be nil.
+type ForStmt struct {
+	Init *AssignStmt
+	Cond Expr // nil = always true
+	Post *AssignStmt
+	Body *BlockStmt
+}
+
+// ReturnStmt returns from the enclosing function.
+type ReturnStmt struct {
+	Value Expr // nil for bare return
+	Line  int
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Line int }
+
+// ContinueStmt restarts the innermost loop.
+type ContinueStmt struct{ Line int }
+
+// OutStmt emits a value to the program output stream.
+type OutStmt struct{ Value Expr }
+
+// ExprStmt evaluates an expression (a call) for its side effects.
+type ExprStmt struct{ X Expr }
+
+func (*BlockStmt) stmt()    {}
+func (*DeclStmt) stmt()     {}
+func (*AssignStmt) stmt()   {}
+func (*IfStmt) stmt()       {}
+func (*WhileStmt) stmt()    {}
+func (*ForStmt) stmt()      {}
+func (*ReturnStmt) stmt()   {}
+func (*BreakStmt) stmt()    {}
+func (*ContinueStmt) stmt() {}
+func (*OutStmt) stmt()      {}
+func (*ExprStmt) stmt()     {}
+
+// --- expressions -----------------------------------------------------------
+
+// Expr is an expression node.
+type Expr interface{ expr() }
+
+// NumExpr is an integer literal.
+type NumExpr struct{ Value int64 }
+
+// VarExpr references a scalar variable, or an array used as a base
+// address value.
+type VarExpr struct {
+	Name string
+	Sym  *Symbol // resolved by sema
+	Line int
+}
+
+// IndexExpr is arr[idx].
+type IndexExpr struct {
+	Name  string
+	Sym   *Symbol // resolved by sema
+	Index Expr
+	Line  int
+}
+
+// BinOp enumerates binary operators (short-circuit forms included; the
+// lowering pass expands them to control flow).
+type BinOp int
+
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpEq
+	OpNe
+	OpLAnd
+	OpLOr
+)
+
+var binOpNames = [...]string{"+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>",
+	"<", "<=", ">", ">=", "==", "!=", "&&", "||"}
+
+func (op BinOp) String() string { return binOpNames[op] }
+
+// BinExpr is a binary operation.
+type BinExpr struct {
+	Op   BinOp
+	L, R Expr
+	Line int
+}
+
+// UnOp enumerates unary operators.
+type UnOp int
+
+const (
+	OpNeg  UnOp = iota // -x
+	OpNot              // ~x
+	OpLNot             // !x
+)
+
+// UnExpr is a unary operation.
+type UnExpr struct {
+	Op UnOp
+	X  Expr
+}
+
+// CallExpr calls a function.
+type CallExpr struct {
+	Func *FuncDecl
+	Name string
+	Args []Expr
+	Line int
+}
+
+func (*NumExpr) expr()   {}
+func (*VarExpr) expr()   {}
+func (*IndexExpr) expr() {}
+func (*BinExpr) expr()   {}
+func (*UnExpr) expr()    {}
+func (*CallExpr) expr()  {}

@@ -1,0 +1,164 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("func main() { out(0x1F + 42); } // comment")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []Kind{TokFunc, TokIdent, TokLParen, TokRParen, TokLBrace,
+		TokOut, TokLParen, TokNumber, TokPlus, TokNumber, TokRParen, TokSemi,
+		TokRBrace, TokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d", len(toks), len(kinds))
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+	if toks[7].Num != 0x1f || toks[9].Num != 42 {
+		t.Errorf("numbers lexed wrong: %d %d", toks[7].Num, toks[9].Num)
+	}
+}
+
+func TestLexTwoCharOperators(t *testing.T) {
+	toks, err := Lex("<< >> <= >= == != && || < >")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{TokShl, TokShr, TokLe, TokGe, TokEq, TokNe, TokAndAnd, TokOrOr, TokLt, TokGt, TokEOF}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexBadCharacter(t *testing.T) {
+	if _, err := Lex("func $"); err == nil {
+		t.Fatal("expected error for '$'")
+	}
+}
+
+func TestParseValidProgram(t *testing.T) {
+	src := `
+global int n;
+global int data[64];
+
+func add(int a, int b) int {
+	return a + b;
+}
+
+func fill(int buf[], int len) {
+	var int i;
+	for (i = 0; i < len; i = i + 1) {
+		buf[i] = i * 2;
+	}
+}
+
+func main() {
+	var int x = add(2, 3);
+	n = x;
+	fill(data, 64);
+	if (data[10] == 20 && n == 5) {
+		out(1);
+	} else {
+		out(0);
+	}
+	while (x > 0) {
+		x = x - 1;
+		if (x == 2) { break; }
+		if (x == 4) { continue; }
+	}
+	out(x);
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Globals) != 2 || len(prog.Funcs) != 3 {
+		t.Fatalf("globals=%d funcs=%d", len(prog.Globals), len(prog.Funcs))
+	}
+	if prog.ByName["add"] == nil || !prog.ByName["add"].ReturnsInt {
+		t.Error("add not resolved as int function")
+	}
+	if prog.ByName["fill"].ReturnsInt {
+		t.Error("fill should be void")
+	}
+	if !prog.Globals[1].Sym.IsArray() || prog.Globals[1].Sym.ArraySize != 64 {
+		t.Error("data array symbol wrong")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no main":             `func f() {}`,
+		"undefined variable":  `func main() { x = 1; }`,
+		"undefined function":  `func main() { f(); }`,
+		"duplicate global":    "global int a;\nglobal int a;\nfunc main() {}",
+		"duplicate function":  "func f() {}\nfunc f() {}\nfunc main() {}",
+		"duplicate local":     `func main() { var int a; var int a; }`,
+		"arg count":           "func f(int a) {}\nfunc main() { f(); }",
+		"break outside loop":  `func main() { break; }`,
+		"continue outside":    `func main() { continue; }`,
+		"index scalar":        `func main() { var int a; a[0] = 1; }`,
+		"assign array":        `global int a[4]; func main() { a = 1; }`,
+		"array as value":      `global int a[4]; func main() { out(a); }`,
+		"void returns value":  `func f() { return 1; } func main() {}`,
+		"int returns nothing": `func f() int { return; } func main() {}`,
+		"main with params":    `func main(int a) {}`,
+		"scalar to array arg": "func f(int a[]) {}\nfunc main() { var int x; f(x); }",
+		"expr statement":      `func main() { 1 + 2; }`,
+		"global initializer":  `global int a; func main() { }  global int b[0];`,
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: expected parse/sema error", name)
+		}
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	// 2 + 3 * 4 must parse as 2 + (3 * 4).
+	prog, err := Parse(`func main() { out(2 + 3 * 4); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outStmt := prog.ByName["main"].Body.Stmts[0].(*OutStmt)
+	top := outStmt.Value.(*BinExpr)
+	if top.Op != OpAdd {
+		t.Fatalf("top op = %v, want +", top.Op)
+	}
+	if r, ok := top.R.(*BinExpr); !ok || r.Op != OpMul {
+		t.Fatal("right operand should be the multiplication")
+	}
+}
+
+func TestElseIfChain(t *testing.T) {
+	src := `func main() { var int x = 3;
+		if (x == 1) { out(1); } else if (x == 2) { out(2); } else { out(3); } }`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifs := prog.ByName["main"].Body.Stmts[1].(*IfStmt)
+	if _, ok := ifs.Else.(*IfStmt); !ok {
+		t.Error("else-if did not chain")
+	}
+}
+
+func TestErrorPositions(t *testing.T) {
+	_, err := Parse("func main() {\n  x = 1;\n}")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "2:") {
+		t.Errorf("error %q should carry line 2", err.Error())
+	}
+}

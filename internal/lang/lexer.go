@@ -1,0 +1,176 @@
+package lang
+
+// Lex tokenizes MiniC source. Comments run from // to end of line.
+// Numbers are decimal or 0x-prefixed hexadecimal.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	adv := func(n int) {
+		for k := 0; k < n; k++ {
+			if src[i] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+			i++
+		}
+	}
+	emit := func(k Kind, text string, num int64, startCol int) {
+		toks = append(toks, Token{Kind: k, Text: text, Num: num, Line: line, Col: startCol})
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			adv(1)
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				adv(1)
+			}
+		case isAlpha(c):
+			start, startCol := i, col
+			for i < len(src) && (isAlpha(src[i]) || isDigit(src[i])) {
+				adv(1)
+			}
+			word := src[start:i]
+			if k, ok := keywords[word]; ok {
+				emit(k, word, 0, startCol)
+			} else {
+				emit(TokIdent, word, 0, startCol)
+			}
+		case isDigit(c):
+			start, startCol := i, col
+			base := int64(10)
+			if c == '0' && i+1 < len(src) && (src[i+1] == 'x' || src[i+1] == 'X') {
+				base = 16
+				adv(2)
+				start = i
+				for i < len(src) && isHex(src[i]) {
+					adv(1)
+				}
+			} else {
+				for i < len(src) && isDigit(src[i]) {
+					adv(1)
+				}
+			}
+			text := src[start:i]
+			if text == "" {
+				return nil, errAt(line, startCol, "malformed number")
+			}
+			var n int64
+			for _, ch := range []byte(text) {
+				n = n*base + int64(hexVal(ch))
+			}
+			emit(TokNumber, text, n, startCol)
+		default:
+			startCol := col
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "<<":
+				emit(TokShl, two, 0, startCol)
+				adv(2)
+				continue
+			case ">>":
+				emit(TokShr, two, 0, startCol)
+				adv(2)
+				continue
+			case "<=":
+				emit(TokLe, two, 0, startCol)
+				adv(2)
+				continue
+			case ">=":
+				emit(TokGe, two, 0, startCol)
+				adv(2)
+				continue
+			case "==":
+				emit(TokEq, two, 0, startCol)
+				adv(2)
+				continue
+			case "!=":
+				emit(TokNe, two, 0, startCol)
+				adv(2)
+				continue
+			case "&&":
+				emit(TokAndAnd, two, 0, startCol)
+				adv(2)
+				continue
+			case "||":
+				emit(TokOrOr, two, 0, startCol)
+				adv(2)
+				continue
+			}
+			var k Kind
+			switch c {
+			case '(':
+				k = TokLParen
+			case ')':
+				k = TokRParen
+			case '{':
+				k = TokLBrace
+			case '}':
+				k = TokRBrace
+			case '[':
+				k = TokLBracket
+			case ']':
+				k = TokRBracket
+			case ',':
+				k = TokComma
+			case ';':
+				k = TokSemi
+			case '=':
+				k = TokAssign
+			case '+':
+				k = TokPlus
+			case '-':
+				k = TokMinus
+			case '*':
+				k = TokStar
+			case '/':
+				k = TokSlash
+			case '%':
+				k = TokPercent
+			case '&':
+				k = TokAmp
+			case '|':
+				k = TokPipe
+			case '^':
+				k = TokCaret
+			case '~':
+				k = TokTilde
+			case '!':
+				k = TokBang
+			case '<':
+				k = TokLt
+			case '>':
+				k = TokGt
+			default:
+				return nil, errAt(line, col, "unexpected character %q", string(c))
+			}
+			emit(k, string(c), 0, startCol)
+			adv(1)
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Line: line, Col: col})
+	return toks, nil
+}
+
+func isAlpha(c byte) bool { return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isHex(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+func hexVal(c byte) int {
+	switch {
+	case c <= '9':
+		return int(c - '0')
+	case c >= 'a':
+		return int(c-'a') + 10
+	default:
+		return int(c-'A') + 10
+	}
+}

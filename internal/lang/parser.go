@@ -1,0 +1,544 @@
+package lang
+
+// parser is a recursive-descent parser with precedence climbing for
+// expressions. Name resolution happens in a separate pass (sema.go); the
+// parser leaves Sym fields nil and records identifier text in rawIdent
+// maps owned by the semantic pass.
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) expect(k Kind) (Token, error) {
+	t := p.cur()
+	if t.Kind != k {
+		return t, errAt(t.Line, t.Col, "expected %v, found %v", k, t.Kind)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) accept(k Kind) bool {
+	if p.cur().Kind == k {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// Parse lexes, parses, and semantically checks a MiniC source file.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{ByName: map[string]*FuncDecl{}}
+	for p.cur().Kind != TokEOF {
+		switch p.cur().Kind {
+		case TokGlobal:
+			d, err := p.globalDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Globals = append(prog.Globals, d)
+		case TokFunc:
+			f, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, f)
+		default:
+			t := p.cur()
+			return nil, errAt(t.Line, t.Col, "expected 'global' or 'func', found %v", t.Kind)
+		}
+	}
+	if err := analyze(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+func (p *parser) globalDecl() (*VarDecl, error) {
+	line := p.cur().Line
+	p.next() // global
+	if _, err := p.expect(TokInt); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	d := &VarDecl{Name: name.Text, Line: line}
+	if p.accept(TokLBracket) {
+		n, err := p.expect(TokNumber)
+		if err != nil {
+			return nil, err
+		}
+		if n.Num <= 0 {
+			return nil, errAt(n.Line, n.Col, "array size must be positive")
+		}
+		d.ArraySize = n.Num
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	line := p.cur().Line
+	p.next() // func
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	f := &FuncDecl{Name: name.Text, Line: line}
+	for p.cur().Kind != TokRParen {
+		if len(f.Params) > 0 {
+			if _, err := p.expect(TokComma); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(TokInt); err != nil {
+			return nil, err
+		}
+		pn, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		prm := &Param{Name: pn.Text}
+		if p.accept(TokLBracket) {
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			prm.IsArray = true
+		}
+		f.Params = append(f.Params, prm)
+	}
+	p.next() // )
+	f.ReturnsInt = p.accept(TokInt)
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+func (p *parser) block() (*BlockStmt, error) {
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{}
+	for p.cur().Kind != TokRBrace {
+		if p.cur().Kind == TokEOF {
+			t := p.cur()
+			return nil, errAt(t.Line, t.Col, "unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.next() // }
+	return b, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	switch p.cur().Kind {
+	case TokVar:
+		return p.declStmt()
+	case TokIf:
+		return p.ifStmt()
+	case TokWhile:
+		return p.whileStmt()
+	case TokFor:
+		return p.forStmt()
+	case TokReturn:
+		line := p.next().Line
+		var val Expr
+		if p.cur().Kind != TokSemi {
+			var err error
+			val, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{Value: val, Line: line}, nil
+	case TokBreak:
+		line := p.next().Line
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Line: line}, nil
+	case TokContinue:
+		line := p.next().Line
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Line: line}, nil
+	case TokOut:
+		p.next()
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		val, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &OutStmt{Value: val}, nil
+	case TokLBrace:
+		return p.block()
+	default:
+		s, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}
+
+func (p *parser) declStmt() (Stmt, error) {
+	line := p.next().Line // var
+	if _, err := p.expect(TokInt); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	d := &VarDecl{Name: name.Text, Line: line}
+	if p.accept(TokLBracket) {
+		n, err := p.expect(TokNumber)
+		if err != nil {
+			return nil, err
+		}
+		if n.Num <= 0 {
+			return nil, errAt(n.Line, n.Col, "array size must be positive")
+		}
+		d.ArraySize = n.Num
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+	} else if p.accept(TokAssign) {
+		init, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = init
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return &DeclStmt{Decl: d}, nil
+}
+
+// simpleStmt parses an assignment or a call expression statement
+// (the only statement forms legal in for-headers).
+func (p *parser) simpleStmt() (Stmt, error) {
+	t := p.cur()
+	if t.Kind == TokIdent {
+		// Lookahead distinguishes `x = ...`, `x[i] = ...` from a call.
+		if p.toks[p.pos+1].Kind == TokAssign {
+			p.next()
+			p.next()
+			val, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return &AssignStmt{Name: t.Text, Value: val, Line: t.Line}, nil
+		}
+		if p.toks[p.pos+1].Kind == TokLBracket {
+			// Could be arr[i] = v; parse the index then check for '='.
+			save := p.pos
+			p.next()
+			p.next()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			if p.accept(TokAssign) {
+				val, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				return &AssignStmt{Name: t.Text, Index: idx, Value: val, Line: t.Line}, nil
+			}
+			// Not an assignment: re-parse as an expression statement.
+			p.pos = save
+		}
+	}
+	x, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := x.(*CallExpr); !ok {
+		return nil, errAt(t.Line, t.Col, "expression statement must be a call")
+	}
+	return &ExprStmt{X: x}, nil
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	p.next() // if
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Cond: cond, Then: then}
+	if p.accept(TokElse) {
+		if p.cur().Kind == TokIf {
+			els, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = els
+		} else {
+			els, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = els
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) whileStmt() (Stmt, error) {
+	p.next() // while
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Cond: cond, Body: body}, nil
+}
+
+func (p *parser) forStmt() (Stmt, error) {
+	p.next() // for
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	s := &ForStmt{}
+	if p.cur().Kind != TokSemi {
+		init, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		asg, ok := init.(*AssignStmt)
+		if !ok {
+			t := p.cur()
+			return nil, errAt(t.Line, t.Col, "for-init must be an assignment")
+		}
+		s.Init = asg
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != TokSemi {
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Cond = cond
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != TokRParen {
+		post, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		asg, ok := post.(*AssignStmt)
+		if !ok {
+			t := p.cur()
+			return nil, errAt(t.Line, t.Col, "for-post must be an assignment")
+		}
+		s.Post = asg
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	s.Body = body
+	return s, nil
+}
+
+// --- expressions, precedence climbing ---------------------------------------
+
+type opLevel struct {
+	kinds []Kind
+	ops   []BinOp
+}
+
+// Precedence from lowest to highest, C-like.
+var levels = []opLevel{
+	{[]Kind{TokOrOr}, []BinOp{OpLOr}},
+	{[]Kind{TokAndAnd}, []BinOp{OpLAnd}},
+	{[]Kind{TokPipe}, []BinOp{OpOr}},
+	{[]Kind{TokCaret}, []BinOp{OpXor}},
+	{[]Kind{TokAmp}, []BinOp{OpAnd}},
+	{[]Kind{TokEq, TokNe}, []BinOp{OpEq, OpNe}},
+	{[]Kind{TokLt, TokLe, TokGt, TokGe}, []BinOp{OpLt, OpLe, OpGt, OpGe}},
+	{[]Kind{TokShl, TokShr}, []BinOp{OpShl, OpShr}},
+	{[]Kind{TokPlus, TokMinus}, []BinOp{OpAdd, OpSub}},
+	{[]Kind{TokStar, TokSlash, TokPercent}, []BinOp{OpMul, OpDiv, OpRem}},
+}
+
+func (p *parser) expr() (Expr, error) { return p.binExpr(0) }
+
+func (p *parser) binExpr(level int) (Expr, error) {
+	if level == len(levels) {
+		return p.unary()
+	}
+	lhs, err := p.binExpr(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for i, k := range levels[level].kinds {
+			if p.cur().Kind == k {
+				line := p.next().Line
+				rhs, err := p.binExpr(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				lhs = &BinExpr{Op: levels[level].ops[i], L: lhs, R: rhs, Line: line}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return lhs, nil
+		}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	switch p.cur().Kind {
+	case TokMinus:
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Op: OpNeg, X: x}, nil
+	case TokTilde:
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Op: OpNot, X: x}, nil
+	case TokBang:
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Op: OpLNot, X: x}, nil
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokNumber:
+		p.next()
+		return &NumExpr{Value: t.Num}, nil
+	case TokLParen:
+		p.next()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case TokIdent:
+		p.next()
+		switch p.cur().Kind {
+		case TokLParen:
+			p.next()
+			call := &CallExpr{Name: t.Text, Line: t.Line}
+			for p.cur().Kind != TokRParen {
+				if len(call.Args) > 0 {
+					if _, err := p.expect(TokComma); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+			}
+			p.next() // )
+			return call, nil
+		case TokLBracket:
+			p.next()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Name: t.Text, Index: idx, Line: t.Line}, nil
+		default:
+			return &VarExpr{Name: t.Text, Line: t.Line}, nil
+		}
+	}
+	return nil, errAt(t.Line, t.Col, "expected expression, found %v", t.Kind)
+}

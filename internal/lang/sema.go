@@ -1,0 +1,257 @@
+package lang
+
+// analyze resolves names, checks types (scalar int vs int array), and
+// validates structural rules (break inside loops, return shapes, main's
+// signature). MiniC scoping is two-level: one global namespace and one
+// flat per-function namespace; locals shadow globals.
+func analyze(prog *Program) error {
+	globals := map[string]*Symbol{}
+	for _, g := range prog.Globals {
+		if _, dup := globals[g.Name]; dup {
+			return errAt(g.Line, 1, "duplicate global %q", g.Name)
+		}
+		kind := SymGlobal
+		if g.ArraySize > 0 {
+			kind = SymGlobalArray
+		}
+		if g.Init != nil {
+			return errAt(g.Line, 1, "globals cannot have initializers (zero-initialized)")
+		}
+		g.Sym = &Symbol{Name: g.Name, Kind: kind, ArraySize: g.ArraySize}
+		globals[g.Name] = g.Sym
+	}
+	for _, f := range prog.Funcs {
+		if _, dup := prog.ByName[f.Name]; dup {
+			return errAt(f.Line, 1, "duplicate function %q", f.Name)
+		}
+		if _, dup := globals[f.Name]; dup {
+			return errAt(f.Line, 1, "function %q collides with a global", f.Name)
+		}
+		prog.ByName[f.Name] = f
+	}
+	mainFn, ok := prog.ByName["main"]
+	if !ok {
+		return errAt(1, 1, "program has no main function")
+	}
+	if len(mainFn.Params) != 0 {
+		return errAt(mainFn.Line, 1, "main must take no parameters")
+	}
+	for _, f := range prog.Funcs {
+		a := &funcAnalyzer{prog: prog, globals: globals, fn: f, locals: map[string]*Symbol{}}
+		if err := a.run(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type funcAnalyzer struct {
+	prog    *Program
+	globals map[string]*Symbol
+	fn      *FuncDecl
+	locals  map[string]*Symbol
+	loops   int
+}
+
+func (a *funcAnalyzer) run() error {
+	for _, p := range a.fn.Params {
+		if _, dup := a.locals[p.Name]; dup {
+			return errAt(a.fn.Line, 1, "duplicate parameter %q", p.Name)
+		}
+		kind := SymParam
+		if p.IsArray {
+			kind = SymParamArray
+		}
+		p.Sym = &Symbol{Name: p.Name, Kind: kind, Index: len(a.fn.Syms)}
+		a.locals[p.Name] = p.Sym
+		a.fn.Syms = append(a.fn.Syms, p.Sym)
+	}
+	return a.block(a.fn.Body)
+}
+
+func (a *funcAnalyzer) lookup(name string, line int) (*Symbol, error) {
+	if s, ok := a.locals[name]; ok {
+		return s, nil
+	}
+	if s, ok := a.globals[name]; ok {
+		return s, nil
+	}
+	return nil, errAt(line, 1, "undefined variable %q", name)
+}
+
+func (a *funcAnalyzer) block(b *BlockStmt) error {
+	for _, s := range b.Stmts {
+		if err := a.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *funcAnalyzer) stmt(s Stmt) error {
+	switch s := s.(type) {
+	case *BlockStmt:
+		return a.block(s)
+	case *DeclStmt:
+		d := s.Decl
+		if _, dup := a.locals[d.Name]; dup {
+			return errAt(d.Line, 1, "duplicate local %q", d.Name)
+		}
+		kind := SymLocal
+		if d.ArraySize > 0 {
+			kind = SymLocalArray
+		}
+		d.Sym = &Symbol{Name: d.Name, Kind: kind, ArraySize: d.ArraySize, Index: len(a.fn.Syms)}
+		a.locals[d.Name] = d.Sym
+		a.fn.Syms = append(a.fn.Syms, d.Sym)
+		if d.Init != nil {
+			return a.expr(d.Init)
+		}
+		return nil
+	case *AssignStmt:
+		sym, err := a.lookup(s.Name, s.Line)
+		if err != nil {
+			return err
+		}
+		s.Target = sym
+		if s.Index != nil {
+			if !sym.IsArray() {
+				return errAt(s.Line, 1, "%q is not an array", s.Name)
+			}
+			if err := a.expr(s.Index); err != nil {
+				return err
+			}
+		} else if sym.IsArray() {
+			return errAt(s.Line, 1, "cannot assign to array %q", s.Name)
+		}
+		return a.expr(s.Value)
+	case *IfStmt:
+		if err := a.expr(s.Cond); err != nil {
+			return err
+		}
+		if err := a.block(s.Then); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			return a.stmt(s.Else)
+		}
+		return nil
+	case *WhileStmt:
+		if err := a.expr(s.Cond); err != nil {
+			return err
+		}
+		a.loops++
+		defer func() { a.loops-- }()
+		return a.block(s.Body)
+	case *ForStmt:
+		if s.Init != nil {
+			if err := a.stmt(s.Init); err != nil {
+				return err
+			}
+		}
+		if s.Cond != nil {
+			if err := a.expr(s.Cond); err != nil {
+				return err
+			}
+		}
+		if s.Post != nil {
+			if err := a.stmt(s.Post); err != nil {
+				return err
+			}
+		}
+		a.loops++
+		defer func() { a.loops-- }()
+		return a.block(s.Body)
+	case *ReturnStmt:
+		if a.fn.ReturnsInt && s.Value == nil {
+			return errAt(s.Line, 1, "%q must return a value", a.fn.Name)
+		}
+		if !a.fn.ReturnsInt && s.Value != nil {
+			return errAt(s.Line, 1, "%q returns no value", a.fn.Name)
+		}
+		if s.Value != nil {
+			return a.expr(s.Value)
+		}
+		return nil
+	case *BreakStmt:
+		if a.loops == 0 {
+			return errAt(s.Line, 1, "break outside loop")
+		}
+		return nil
+	case *ContinueStmt:
+		if a.loops == 0 {
+			return errAt(s.Line, 1, "continue outside loop")
+		}
+		return nil
+	case *OutStmt:
+		return a.expr(s.Value)
+	case *ExprStmt:
+		return a.expr(s.X)
+	}
+	return errAt(0, 0, "internal: unknown statement %T", s)
+}
+
+func (a *funcAnalyzer) expr(e Expr) error {
+	switch e := e.(type) {
+	case *NumExpr:
+		return nil
+	case *VarExpr:
+		sym, err := a.lookup(e.Name, e.Line)
+		if err != nil {
+			return err
+		}
+		if sym.IsArray() {
+			return errAt(e.Line, 1, "array %q used as a value (arrays may only be indexed or passed to array parameters)", e.Name)
+		}
+		e.Sym = sym
+		return nil
+	case *IndexExpr:
+		sym, err := a.lookup(e.Name, e.Line)
+		if err != nil {
+			return err
+		}
+		if !sym.IsArray() {
+			return errAt(e.Line, 1, "%q is not an array", e.Name)
+		}
+		e.Sym = sym
+		return a.expr(e.Index)
+	case *BinExpr:
+		if err := a.expr(e.L); err != nil {
+			return err
+		}
+		return a.expr(e.R)
+	case *UnExpr:
+		return a.expr(e.X)
+	case *CallExpr:
+		fn, ok := a.prog.ByName[e.Name]
+		if !ok {
+			return errAt(e.Line, 1, "undefined function %q", e.Name)
+		}
+		if len(e.Args) != len(fn.Params) {
+			return errAt(e.Line, 1, "%q expects %d arguments, got %d", e.Name, len(fn.Params), len(e.Args))
+		}
+		e.Func = fn
+		for i, arg := range e.Args {
+			if fn.Params[i].IsArray {
+				v, ok := arg.(*VarExpr)
+				if !ok {
+					return errAt(e.Line, 1, "argument %d of %q must be an array name", i+1, e.Name)
+				}
+				sym, err := a.lookup(v.Name, v.Line)
+				if err != nil {
+					return err
+				}
+				if !sym.IsArray() {
+					return errAt(v.Line, 1, "argument %d of %q must be an array, %q is scalar", i+1, e.Name, v.Name)
+				}
+				v.Sym = sym
+				continue
+			}
+			if err := a.expr(arg); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return errAt(0, 0, "internal: unknown expression %T", e)
+}

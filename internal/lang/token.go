@@ -1,0 +1,111 @@
+// Package lang implements the MiniC language front end: lexer, parser,
+// abstract syntax tree, and semantic analysis. MiniC is the small C-like
+// language the sevsim benchmarks are written in; it compiles to the SEV
+// ISA through internal/compiler at optimization levels O0–O3.
+package lang
+
+import "fmt"
+
+// Kind enumerates token kinds.
+type Kind int
+
+const (
+	TokEOF Kind = iota
+	TokIdent
+	TokNumber
+
+	// Keywords.
+	TokGlobal
+	TokFunc
+	TokVar
+	TokInt
+	TokIf
+	TokElse
+	TokWhile
+	TokFor
+	TokReturn
+	TokBreak
+	TokContinue
+	TokOut
+
+	// Punctuation.
+	TokLParen
+	TokRParen
+	TokLBrace
+	TokRBrace
+	TokLBracket
+	TokRBracket
+	TokComma
+	TokSemi
+
+	// Operators.
+	TokAssign // =
+	TokPlus
+	TokMinus
+	TokStar
+	TokSlash
+	TokPercent
+	TokAmp
+	TokPipe
+	TokCaret
+	TokTilde
+	TokBang
+	TokShl
+	TokShr
+	TokLt
+	TokLe
+	TokGt
+	TokGe
+	TokEq
+	TokNe
+	TokAndAnd
+	TokOrOr
+)
+
+var kindNames = map[Kind]string{
+	TokEOF: "end of file", TokIdent: "identifier", TokNumber: "number",
+	TokGlobal: "'global'", TokFunc: "'func'", TokVar: "'var'", TokInt: "'int'",
+	TokIf: "'if'", TokElse: "'else'", TokWhile: "'while'", TokFor: "'for'",
+	TokReturn: "'return'", TokBreak: "'break'", TokContinue: "'continue'", TokOut: "'out'",
+	TokLParen: "'('", TokRParen: "')'", TokLBrace: "'{'", TokRBrace: "'}'",
+	TokLBracket: "'['", TokRBracket: "']'", TokComma: "','", TokSemi: "';'",
+	TokAssign: "'='", TokPlus: "'+'", TokMinus: "'-'", TokStar: "'*'",
+	TokSlash: "'/'", TokPercent: "'%'", TokAmp: "'&'", TokPipe: "'|'",
+	TokCaret: "'^'", TokTilde: "'~'", TokBang: "'!'", TokShl: "'<<'",
+	TokShr: "'>>'", TokLt: "'<'", TokLe: "'<='", TokGt: "'>'", TokGe: "'>='",
+	TokEq: "'=='", TokNe: "'!='", TokAndAnd: "'&&'", TokOrOr: "'||'",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"global": TokGlobal, "func": TokFunc, "var": TokVar, "int": TokInt,
+	"if": TokIf, "else": TokElse, "while": TokWhile, "for": TokFor,
+	"return": TokReturn, "break": TokBreak, "continue": TokContinue, "out": TokOut,
+}
+
+// Token is one lexical unit.
+type Token struct {
+	Kind Kind
+	Text string
+	Num  int64
+	Line int
+	Col  int
+}
+
+// Error is a front-end diagnostic with source position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg) }
+
+func errAt(line, col int, format string, args ...any) error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,103 @@
+// Package machine assembles a full simulated system: an out-of-order
+// core, the L1I/L1D/L2 cache hierarchy, physical memory, and a program
+// loader. It provides the two microarchitecture configurations of the
+// paper's Table I and the run loop used by golden runs and fault
+// injection campaigns.
+package machine
+
+import (
+	"sevsim/internal/cpu"
+	"sevsim/internal/mem"
+)
+
+// Config describes one complete machine.
+type Config struct {
+	Name string
+	CPU  cpu.Config
+	L1I  mem.CacheConfig
+	L1D  mem.CacheConfig
+	L2   mem.CacheConfig
+	// MemLatency is the flat DRAM access latency in cycles.
+	MemLatency int
+	// RawFITPerBit is the technology fault rate used for FIT analysis
+	// (failures per 10^9 hours per bit), from the paper's reference [37].
+	RawFITPerBit float64
+	// ClockHz converts cycles to wall time for the FPE metric.
+	ClockHz float64
+}
+
+// addrBits is the physical address width used for cache tag sizing.
+const addrBits = 32
+
+// CortexA15Like returns the 32-bit Armv7-class configuration of Table I.
+func CortexA15Like() Config {
+	return Config{
+		Name: "Cortex-A15-like",
+		CPU: cpu.Config{
+			Name:            "A15",
+			XLEN:            32,
+			NumArchRegs:     16,
+			NumPhysRegs:     128,
+			ROBSize:         40,
+			IQSize:          32,
+			LQSize:          16,
+			SQSize:          16,
+			FetchWidth:      3,
+			IssueWidth:      6,
+			CommitWidth:     3,
+			WBWidth:         8,
+			FetchQueueSize:  12,
+			ALULat:          1,
+			MulLat:          4,
+			DivLat:          19,
+			BimodalSize:     512,
+			BTBSize:         64,
+			RASSize:         8,
+			StoreForwarding: true,
+		},
+		L1I:          mem.CacheConfig{Name: "L1I", Size: 32 << 10, Ways: 2, LineSize: 64, HitLatency: 1, AddrBits: addrBits, ReadOnly: true},
+		L1D:          mem.CacheConfig{Name: "L1D", Size: 32 << 10, Ways: 2, LineSize: 64, HitLatency: 2, AddrBits: addrBits},
+		L2:           mem.CacheConfig{Name: "L2", Size: 1 << 20, Ways: 8, LineSize: 64, HitLatency: 12, AddrBits: addrBits},
+		MemLatency:   100,
+		RawFITPerBit: 2.59e-5,
+		ClockHz:      1.6e9,
+	}
+}
+
+// CortexA72Like returns the 64-bit Armv8-class configuration of Table I.
+func CortexA72Like() Config {
+	return Config{
+		Name: "Cortex-A72-like",
+		CPU: cpu.Config{
+			Name:            "A72",
+			XLEN:            64,
+			NumArchRegs:     32,
+			NumPhysRegs:     192,
+			ROBSize:         128,
+			IQSize:          64,
+			LQSize:          16,
+			SQSize:          16,
+			FetchWidth:      3,
+			IssueWidth:      6,
+			CommitWidth:     3,
+			WBWidth:         8,
+			FetchQueueSize:  12,
+			ALULat:          1,
+			MulLat:          3,
+			DivLat:          12,
+			BimodalSize:     2048,
+			BTBSize:         256,
+			RASSize:         16,
+			StoreForwarding: true,
+		},
+		L1I:          mem.CacheConfig{Name: "L1I", Size: 48 << 10, Ways: 3, LineSize: 64, HitLatency: 1, AddrBits: addrBits, ReadOnly: true},
+		L1D:          mem.CacheConfig{Name: "L1D", Size: 32 << 10, Ways: 2, LineSize: 64, HitLatency: 2, AddrBits: addrBits},
+		L2:           mem.CacheConfig{Name: "L2", Size: 2 << 20, Ways: 16, LineSize: 64, HitLatency: 9, AddrBits: addrBits},
+		MemLatency:   70,
+		RawFITPerBit: 9.39e-6,
+		ClockHz:      2.0e9,
+	}
+}
+
+// Configs returns both microarchitectures in presentation order.
+func Configs() []Config { return []Config{CortexA15Like(), CortexA72Like()} }

@@ -1,0 +1,105 @@
+package machine
+
+import "testing"
+
+// TestTableIParameters pins the two configurations to the paper's
+// Table I values; a drive-by edit of a structure size would silently
+// change every AVF and FIT number.
+func TestTableIParameters(t *testing.T) {
+	a15 := CortexA15Like()
+	a72 := CortexA72Like()
+
+	check := func(name string, got, want int) {
+		t.Helper()
+		if got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+
+	check("A15 XLEN", a15.CPU.XLEN, 32)
+	check("A15 L1D size", a15.L1D.Size, 32<<10)
+	check("A15 L1D ways", a15.L1D.Ways, 2)
+	check("A15 L1I size", a15.L1I.Size, 32<<10)
+	check("A15 L1I ways", a15.L1I.Ways, 2)
+	check("A15 L2 size", a15.L2.Size, 1<<20)
+	check("A15 L2 ways", a15.L2.Ways, 8)
+	check("A15 PRF", a15.CPU.NumPhysRegs, 128)
+	check("A15 IQ", a15.CPU.IQSize, 32)
+	check("A15 LQ", a15.CPU.LQSize, 16)
+	check("A15 SQ", a15.CPU.SQSize, 16)
+	check("A15 ROB", a15.CPU.ROBSize, 40)
+	check("A15 fetch width", a15.CPU.FetchWidth, 3)
+	check("A15 issue width", a15.CPU.IssueWidth, 6)
+	check("A15 writeback width", a15.CPU.WBWidth, 8)
+
+	check("A72 XLEN", a72.CPU.XLEN, 64)
+	check("A72 L1D size", a72.L1D.Size, 32<<10)
+	check("A72 L1I size", a72.L1I.Size, 48<<10)
+	check("A72 L1I ways", a72.L1I.Ways, 3)
+	check("A72 L2 size", a72.L2.Size, 2<<20)
+	check("A72 L2 ways", a72.L2.Ways, 16)
+	check("A72 PRF", a72.CPU.NumPhysRegs, 192)
+	check("A72 IQ", a72.CPU.IQSize, 64)
+	check("A72 ROB", a72.CPU.ROBSize, 128)
+
+	// Raw FIT rates from the paper's reference [37].
+	if a15.RawFITPerBit != 2.59e-5 {
+		t.Errorf("A15 raw FIT = %g", a15.RawFITPerBit)
+	}
+	if a72.RawFITPerBit != 9.39e-6 {
+		t.Errorf("A72 raw FIT = %g", a72.RawFITPerBit)
+	}
+	if !a15.L1I.ReadOnly || !a72.L1I.ReadOnly {
+		t.Error("instruction caches must be read-only")
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	want := map[Outcome]string{
+		OutcomeOK: "ok", OutcomeCrash: "crash", OutcomeTimeout: "timeout", OutcomeAssert: "assert",
+	}
+	for o, s := range want {
+		if o.String() != s {
+			t.Errorf("Outcome(%d) = %q, want %q", o, o.String(), s)
+		}
+	}
+}
+
+func TestHooksFireInOrder(t *testing.T) {
+	p := &Program{Name: "loop", Code: []uint32{spinWord}, Entry: CodeBase, GlobalSize: 64}
+	var fired []uint64
+	m := New(CortexA15Like(), p)
+	m.Run(2000,
+		Hook{At: 10, Fn: func(*Machine) { fired = append(fired, 10) }},
+		Hook{At: 50, Fn: func(*Machine) { fired = append(fired, 50) }},
+	)
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 50 {
+		t.Errorf("hooks fired %v", fired)
+	}
+}
+
+func TestHookAfterEndNeverFires(t *testing.T) {
+	p := &Program{Name: "halt", Code: []uint32{haltWord}, Entry: CodeBase, GlobalSize: 64}
+	// Code is just "halt": the run ends in a handful of cycles.
+	fired := false
+	m := New(CortexA15Like(), p)
+	m.Run(1<<20, Hook{At: 1 << 19, Fn: func(*Machine) { fired = true }})
+	if fired {
+		t.Error("hook beyond program end fired")
+	}
+}
+
+// spinWord is "jal zr, -1" (branch to self); haltWord is "halt".
+const (
+	spinWord = uint32(0x941fffff)
+	haltWord = uint32(0xa0000000)
+)
+
+func TestPageAlign(t *testing.T) {
+	cases := map[uint64]uint64{0: 0, 1: 4096, 4096: 4096, 4097: 8192}
+	for in, want := range cases {
+		if got := pageAlign(in); got != want {
+			t.Errorf("pageAlign(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

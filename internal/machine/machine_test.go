@@ -1,0 +1,334 @@
+package machine
+
+import (
+	"testing"
+
+	"sevsim/internal/isa"
+)
+
+// prog assembles instructions into a loadable program.
+func prog(ins []isa.Instr) *Program {
+	return &Program{Name: "test", Code: isa.Assemble(ins), Entry: CodeBase, GlobalSize: 4096}
+}
+
+// off computes a branch word offset from instruction index `from` to
+// index `to` (target = PC+4+off*4).
+func off(from, to int) int32 { return int32(to - from - 1) }
+
+func runBoth(t *testing.T, ins []isa.Instr, wantOut []uint64) {
+	t.Helper()
+	for _, cfg := range Configs() {
+		m := New(cfg, prog(ins))
+		res := m.Run(2_000_000)
+		if res.Outcome != OutcomeOK {
+			t.Fatalf("%s: outcome %v (%s) after %d cycles", cfg.Name, res.Outcome, res.Reason, res.Cycles)
+		}
+		if len(res.Output) != len(wantOut) {
+			t.Fatalf("%s: output %v, want %v", cfg.Name, res.Output, wantOut)
+		}
+		for i := range wantOut {
+			if res.Output[i] != wantOut[i] {
+				t.Errorf("%s: output[%d] = %d, want %d", cfg.Name, i, res.Output[i], wantOut[i])
+			}
+		}
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	const a0, a1, a2 = isa.RegA0, isa.RegA1, isa.RegA2
+	runBoth(t, []isa.Instr{
+		isa.I(isa.OpAddi, a0, isa.RegZero, 21),
+		isa.I(isa.OpAddi, a1, isa.RegZero, 2),
+		isa.R(isa.OpMul, a2, a0, a1),
+		isa.Out(a2), // 42
+		isa.R(isa.OpSub, a2, a0, a1),
+		isa.Out(a2), // 19
+		isa.R(isa.OpDiv, a2, a0, a1),
+		isa.Out(a2), // 10
+		isa.R(isa.OpRem, a2, a0, a1),
+		isa.Out(a2), // 1
+		isa.I(isa.OpSlli, a2, a1, 4),
+		isa.Out(a2), // 32
+		isa.R(isa.OpXor, a2, a0, a1),
+		isa.Out(a2), // 23
+		isa.Halt(),
+	}, []uint64{42, 19, 10, 1, 32, 23})
+}
+
+func TestNegativeValuesMaskToXLEN(t *testing.T) {
+	cfgs := Configs()
+	ins := []isa.Instr{
+		isa.I(isa.OpAddi, isa.RegA0, isa.RegZero, -1),
+		isa.Out(isa.RegA0),
+		isa.Halt(),
+	}
+	m := New(cfgs[0], prog(ins)) // 32-bit
+	res := m.Run(100000)
+	if res.Output[0] != 0xffffffff {
+		t.Errorf("32-bit -1 = %#x", res.Output[0])
+	}
+	m = New(cfgs[1], prog(ins)) // 64-bit
+	res = m.Run(100000)
+	if res.Output[0] != 0xffffffffffffffff {
+		t.Errorf("64-bit -1 = %#x", res.Output[0])
+	}
+}
+
+func TestLoopSum(t *testing.T) {
+	// sum = 0; for i = 1..100 sum += i; out(sum)
+	const a0, a1, a2 = isa.RegA0, isa.RegA1, isa.RegA2
+	ins := []isa.Instr{
+		/*0*/ isa.I(isa.OpAddi, a0, isa.RegZero, 0), // sum
+		/*1*/ isa.I(isa.OpAddi, a1, isa.RegZero, 1), // i
+		/*2*/ isa.I(isa.OpAddi, a2, isa.RegZero, 100),
+		/*3*/ isa.R(isa.OpAdd, a0, a0, a1), // loop:
+		/*4*/ isa.I(isa.OpAddi, a1, a1, 1),
+		/*5*/ isa.Branch(isa.OpBge, a2, a1, off(5, 3)),
+		/*6*/ isa.Out(a0),
+		/*7*/ isa.Halt(),
+	}
+	runBoth(t, ins, []uint64{5050})
+}
+
+func TestMemoryLoadsStores(t *testing.T) {
+	// Store 10 values to globals, then sum them with lw/sw.
+	const a0, a1, a2, a3, t0 = isa.RegA0, isa.RegA1, isa.RegA2, isa.RegA3, isa.RegT0
+	ins := []isa.Instr{
+		/*0*/ isa.I(isa.OpLui, a0, 0, int32(GlobalBase>>16)), // base
+		/*1*/ isa.I(isa.OpAddi, a1, isa.RegZero, 0), // i
+		/*2*/ isa.I(isa.OpAddi, a2, isa.RegZero, 10),
+		// store loop: mem[base+i*4] = i*i
+		/*3*/ isa.R(isa.OpMul, a3, a1, a1),
+		/*4*/ isa.I(isa.OpSlli, t0, a1, 2),
+		/*5*/ isa.R(isa.OpAdd, t0, a0, t0),
+		/*6*/ isa.Store(isa.OpSw, a3, t0, 0),
+		/*7*/ isa.I(isa.OpAddi, a1, a1, 1),
+		/*8*/ isa.Branch(isa.OpBlt, a1, a2, off(8, 3)),
+		// sum loop
+		/*9*/ isa.I(isa.OpAddi, a1, isa.RegZero, 0),
+		/*10*/ isa.I(isa.OpAddi, a3, isa.RegZero, 0), // sum
+		/*11*/ isa.I(isa.OpSlli, t0, a1, 2),
+		/*12*/ isa.R(isa.OpAdd, t0, a0, t0),
+		/*13*/ isa.Load(isa.OpLw, t0, t0, 0),
+		/*14*/ isa.R(isa.OpAdd, a3, a3, t0),
+		/*15*/ isa.I(isa.OpAddi, a1, a1, 1),
+		/*16*/ isa.Branch(isa.OpBlt, a1, a2, off(16, 11)),
+		/*17*/ isa.Out(a3), // 0+1+4+...+81 = 285
+		/*18*/ isa.Halt(),
+	}
+	runBoth(t, ins, []uint64{285})
+}
+
+func TestCallReturn(t *testing.T) {
+	// main: a0 = 5; call double; out(a0); halt. double: a0 = a0*2; ret.
+	const a0 = isa.RegA0
+	ins := []isa.Instr{
+		/*0*/ isa.I(isa.OpAddi, a0, isa.RegZero, 5),
+		/*1*/ isa.Jal(isa.RegRA, off(1, 5)),
+		/*2*/ isa.Out(a0),
+		/*3*/ isa.Halt(),
+		/*4*/ isa.Nop(),
+		/*5*/ isa.R(isa.OpAdd, a0, a0, a0), // double:
+		/*6*/ isa.Jalr(isa.RegZero, isa.RegRA, 0),
+	}
+	runBoth(t, ins, []uint64{10})
+}
+
+func TestRecursionViaStack(t *testing.T) {
+	// Iterated calls exercising the return-address stack: call a leaf 50
+	// times in a loop, spilling ra to the stack each iteration.
+	const a0, a1, sp, ra = isa.RegA0, isa.RegA1, isa.RegSP, isa.RegRA
+	ins := []isa.Instr{
+		/*0*/ isa.I(isa.OpAddi, a0, isa.RegZero, 0),
+		/*1*/ isa.I(isa.OpAddi, a1, isa.RegZero, 50),
+		// loop:
+		/*2*/ isa.I(isa.OpAddi, sp, sp, -8),
+		/*3*/ isa.Store(isa.OpSw, ra, sp, 0),
+		/*4*/ isa.Jal(ra, off(4, 11)), // call inc
+		/*5*/ isa.Load(isa.OpLw, ra, sp, 0),
+		/*6*/ isa.I(isa.OpAddi, sp, sp, 8),
+		/*7*/ isa.I(isa.OpAddi, a1, a1, -1),
+		/*8*/ isa.Branch(isa.OpBne, a1, isa.RegZero, off(8, 2)),
+		/*9*/ isa.Out(a0), // 50
+		/*10*/ isa.Halt(),
+		// inc:
+		/*11*/ isa.I(isa.OpAddi, a0, a0, 1),
+		/*12*/ isa.Jalr(isa.RegZero, ra, 0),
+	}
+	runBoth(t, ins, []uint64{50})
+}
+
+func TestStoreToLoadForwarding(t *testing.T) {
+	// A store immediately followed by a load of the same address: the
+	// load must see the stored value (via forwarding or stall).
+	const a0, a1 = isa.RegA0, isa.RegA1
+	ins := []isa.Instr{
+		isa.I(isa.OpLui, a0, 0, int32(GlobalBase>>16)),
+		isa.I(isa.OpAddi, a1, isa.RegZero, 1234),
+		isa.Store(isa.OpSw, a1, a0, 64),
+		isa.Load(isa.OpLw, a1, a0, 64),
+		isa.Out(a1),
+		isa.Halt(),
+	}
+	runBoth(t, ins, []uint64{1234})
+}
+
+func TestByteAccess(t *testing.T) {
+	const a0, a1 = isa.RegA0, isa.RegA1
+	ins := []isa.Instr{
+		isa.I(isa.OpLui, a0, 0, int32(GlobalBase>>16)),
+		isa.I(isa.OpAddi, a1, isa.RegZero, -1), // 0xff..ff
+		isa.Store(isa.OpSb, a1, a0, 3),
+		isa.Load(isa.OpLbu, a1, a0, 3),
+		isa.Out(a1), // 255
+		isa.Load(isa.OpLb, a1, a0, 3),
+		isa.Out(a1), // sign-extended -1
+		isa.Halt(),
+	}
+	for _, cfg := range Configs() {
+		m := New(cfg, prog(ins))
+		res := m.Run(100000)
+		if res.Outcome != OutcomeOK {
+			t.Fatalf("%s: %v %s", cfg.Name, res.Outcome, res.Reason)
+		}
+		mask := uint64(0xffffffff)
+		if cfg.CPU.XLEN == 64 {
+			mask = ^uint64(0)
+		}
+		if res.Output[0] != 255 || res.Output[1] != mask {
+			t.Errorf("%s: output %x", cfg.Name, res.Output)
+		}
+	}
+}
+
+func TestUnmappedLoadCrashes(t *testing.T) {
+	ins := []isa.Instr{
+		isa.I(isa.OpLui, isa.RegA0, 0, 0x0900), // 0x09000000: unmapped
+		isa.Load(isa.OpLw, isa.RegA1, isa.RegA0, 0),
+		isa.Out(isa.RegA1),
+		isa.Halt(),
+	}
+	for _, cfg := range Configs() {
+		res := New(cfg, prog(ins)).Run(100000)
+		if res.Outcome != OutcomeCrash {
+			t.Errorf("%s: outcome %v, want crash", cfg.Name, res.Outcome)
+		}
+	}
+}
+
+func TestUnmappedStoreCrashes(t *testing.T) {
+	ins := []isa.Instr{
+		isa.I(isa.OpLui, isa.RegA0, 0, 0x0900),
+		isa.Store(isa.OpSw, isa.RegZero, isa.RegA0, 0),
+		isa.Halt(),
+	}
+	for _, cfg := range Configs() {
+		res := New(cfg, prog(ins)).Run(100000)
+		if res.Outcome != OutcomeCrash {
+			t.Errorf("%s: outcome %v, want crash", cfg.Name, res.Outcome)
+		}
+	}
+}
+
+func TestIllegalInstructionCrashes(t *testing.T) {
+	p := &Program{Name: "ill", Code: []uint32{0xffffffff}, Entry: CodeBase, GlobalSize: 64}
+	for _, cfg := range Configs() {
+		res := New(cfg, p).Run(100000)
+		if res.Outcome != OutcomeCrash {
+			t.Errorf("%s: outcome %v, want crash", cfg.Name, res.Outcome)
+		}
+	}
+}
+
+func TestStoreToCodeCrashes(t *testing.T) {
+	ins := []isa.Instr{
+		isa.I(isa.OpLui, isa.RegA0, 0, 0),
+		isa.I(isa.OpAddi, isa.RegA0, isa.RegA0, CodeBase),
+		isa.Store(isa.OpSw, isa.RegZero, isa.RegA0, 0),
+		isa.Halt(),
+	}
+	for _, cfg := range Configs() {
+		res := New(cfg, prog(ins)).Run(100000)
+		if res.Outcome != OutcomeCrash {
+			t.Errorf("%s: outcome %v, want crash", cfg.Name, res.Outcome)
+		}
+	}
+}
+
+func TestInfiniteLoopTimesOut(t *testing.T) {
+	ins := []isa.Instr{
+		isa.Jal(isa.RegZero, -1), // jump to self
+	}
+	for _, cfg := range Configs() {
+		res := New(cfg, prog(ins)).Run(5000)
+		if res.Outcome != OutcomeTimeout {
+			t.Errorf("%s: outcome %v, want timeout", cfg.Name, res.Outcome)
+		}
+	}
+}
+
+func TestMispredictRecovery(t *testing.T) {
+	// A data-dependent alternating branch defeats the bimodal predictor;
+	// results must still be architecturally correct.
+	const a0, a1, a2, a3 = isa.RegA0, isa.RegA1, isa.RegA2, isa.RegA3
+	ins := []isa.Instr{
+		/*0*/ isa.I(isa.OpAddi, a0, isa.RegZero, 0), // sum
+		/*1*/ isa.I(isa.OpAddi, a1, isa.RegZero, 0), // i
+		/*2*/ isa.I(isa.OpAddi, a2, isa.RegZero, 64), // n
+		// loop: if (i & 1) sum += 3 else sum += 5
+		/*3*/ isa.I(isa.OpAndi, a3, a1, 1),
+		/*4*/ isa.Branch(isa.OpBeq, a3, isa.RegZero, off(4, 7)),
+		/*5*/ isa.I(isa.OpAddi, a0, a0, 3),
+		/*6*/ isa.Jal(isa.RegZero, off(6, 8)),
+		/*7*/ isa.I(isa.OpAddi, a0, a0, 5),
+		/*8*/ isa.I(isa.OpAddi, a1, a1, 1), // join
+		/*9*/ isa.Branch(isa.OpBlt, a1, a2, off(9, 3)),
+		/*10*/ isa.Out(a0), // 32*3 + 32*5 = 256
+		/*11*/ isa.Halt(),
+	}
+	runBoth(t, ins, []uint64{256})
+}
+
+func TestStatsPopulated(t *testing.T) {
+	const a0 = isa.RegA0
+	ins := []isa.Instr{
+		isa.I(isa.OpAddi, a0, isa.RegZero, 7),
+		isa.Out(a0),
+		isa.Halt(),
+	}
+	res := New(CortexA15Like(), prog(ins)).Run(100000)
+	if res.Stats.Committed != 3 {
+		t.Errorf("committed = %d, want 3", res.Stats.Committed)
+	}
+	if res.Stats.Cycles == 0 || res.Cycles == 0 {
+		t.Error("cycles not recorded")
+	}
+	if res.L1I.Misses == 0 {
+		t.Error("expected at least one L1I miss")
+	}
+}
+
+func TestIPCReasonable(t *testing.T) {
+	// A long dependency-free loop body should sustain IPC well above the
+	// in-order-single-issue baseline of <=1.
+	const a0, a1, a2, a3, t0, t1 = isa.RegA0, isa.RegA1, isa.RegA2, isa.RegA3, isa.RegT0, isa.RegT1
+	ins := []isa.Instr{
+		/*0*/ isa.I(isa.OpAddi, a0, isa.RegZero, 0),
+		/*1*/ isa.I(isa.OpAddi, a1, isa.RegZero, 1000),
+		// loop: independent adds
+		/*2*/ isa.I(isa.OpAddi, a2, a2, 1),
+		/*3*/ isa.I(isa.OpAddi, a3, a3, 1),
+		/*4*/ isa.I(isa.OpAddi, t0, t0, 1),
+		/*5*/ isa.I(isa.OpAddi, t1, t1, 1),
+		/*6*/ isa.I(isa.OpAddi, a0, a0, 1),
+		/*7*/ isa.Branch(isa.OpBlt, a0, a1, off(7, 2)),
+		/*8*/ isa.Halt(),
+	}
+	res := New(CortexA72Like(), prog(ins)).Run(1_000_000)
+	if res.Outcome != OutcomeOK {
+		t.Fatalf("outcome %v %s", res.Outcome, res.Reason)
+	}
+	if ipc := res.Stats.IPC(); ipc < 1.2 {
+		t.Errorf("IPC = %.2f, expected superscalar execution > 1.2", ipc)
+	}
+}

@@ -1,0 +1,286 @@
+package mem
+
+import (
+	"encoding/binary"
+	"math/bits"
+
+	"sevsim/internal/simerr"
+)
+
+// Backend is the next-lower level of the hierarchy: another cache or the
+// physical memory. All transfers are whole naturally aligned lines.
+type Backend interface {
+	ReadLine(addr uint64, dst []byte) int
+	WriteLine(addr uint64, src []byte) int
+}
+
+// CacheConfig describes one cache's geometry and timing.
+type CacheConfig struct {
+	Name       string
+	Size       int // total data capacity in bytes
+	Ways       int
+	LineSize   int
+	HitLatency int
+	AddrBits   int  // physical address width; determines tag width
+	ReadOnly   bool // instruction cache: stores are rejected
+}
+
+// CacheStats counts cache events for one simulation.
+type CacheStats struct {
+	Hits       uint64
+	Misses     uint64
+	Writebacks uint64
+	Evictions  uint64
+}
+
+type cacheLine struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	data  []byte // allocated on first fill (or first injected flip)
+	lru   uint64 // last-use timestamp for LRU replacement
+}
+
+// Cache is a set-associative write-back write-allocate cache with
+// authoritative tag and data arrays.
+type Cache struct {
+	cfg      CacheConfig
+	sets     int
+	offBits  int
+	setBits  int
+	tagWidth int
+	lines    []cacheLine // sets*ways, row-major by set
+	lower    Backend
+	clock    uint64
+	Stats    CacheStats
+}
+
+// NewCache builds a cache over the given lower level. Geometry values
+// must be powers of two.
+func NewCache(cfg CacheConfig, lower Backend) *Cache {
+	sets := cfg.Size / (cfg.Ways * cfg.LineSize)
+	if sets <= 0 || sets&(sets-1) != 0 {
+		simerr.Assertf("cache %s: set count %d not a power of two", cfg.Name, sets)
+	}
+	if cfg.LineSize&(cfg.LineSize-1) != 0 {
+		simerr.Assertf("cache %s: line size %d not a power of two", cfg.Name, cfg.LineSize)
+	}
+	c := &Cache{
+		cfg:     cfg,
+		sets:    sets,
+		offBits: bits.TrailingZeros(uint(cfg.LineSize)),
+		setBits: bits.TrailingZeros(uint(sets)),
+		lines:   make([]cacheLine, sets*cfg.Ways),
+		lower:   lower,
+	}
+	c.tagWidth = cfg.AddrBits - c.offBits - c.setBits
+	if c.tagWidth <= 0 {
+		simerr.Assertf("cache %s: nonpositive tag width", cfg.Name)
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// TagWidth returns the stored tag width in bits (excluding state bits).
+func (c *Cache) TagWidth() int { return c.tagWidth }
+
+func (c *Cache) set(addr uint64) int { return int(addr>>c.offBits) & (c.sets - 1) }
+func (c *Cache) tagOf(addr uint64) uint64 {
+	return (addr >> (c.offBits + c.setBits)) & ((1 << c.tagWidth) - 1)
+}
+
+// lineAddr reconstructs the base address of a resident line from its set
+// index and stored tag. A corrupted tag reconstructs to a different —
+// possibly unmapped — address; that is exactly how tag faults escape.
+func (c *Cache) lineAddr(set int, tag uint64) uint64 {
+	return tag<<(c.offBits+c.setBits) | uint64(set)<<c.offBits
+}
+
+// lookup returns the way index of a hit in the set, or -1.
+func (c *Cache) lookup(set int, tag uint64) int {
+	base := set * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		ln := &c.lines[base+w]
+		if ln.valid && ln.tag == tag {
+			return w
+		}
+	}
+	return -1
+}
+
+// victim picks the replacement way for a set: first invalid way, else
+// least-recently used.
+func (c *Cache) victim(set int) int {
+	base := set * c.cfg.Ways
+	best, bestLRU := 0, ^uint64(0)
+	for w := 0; w < c.cfg.Ways; w++ {
+		ln := &c.lines[base+w]
+		if !ln.valid {
+			return w
+		}
+		if ln.lru < bestLRU {
+			bestLRU = ln.lru
+			best = w
+		}
+	}
+	return best
+}
+
+// fill ensures the line containing addr is resident and returns its way
+// index plus the accumulated miss latency (0 on hit).
+func (c *Cache) fill(addr uint64) (way int, lat int) {
+	set := c.set(addr)
+	tag := c.tagOf(addr)
+	if w := c.lookup(set, tag); w >= 0 {
+		c.Stats.Hits++
+		return w, 0
+	}
+	c.Stats.Misses++
+	w := c.victim(set)
+	ln := &c.lines[set*c.cfg.Ways+w]
+	if ln.valid {
+		c.Stats.Evictions++
+		if ln.dirty {
+			c.Stats.Writebacks++
+			lat += c.lower.WriteLine(c.lineAddr(set, ln.tag), ln.data)
+		}
+	}
+	if ln.data == nil {
+		ln.data = make([]byte, c.cfg.LineSize)
+	}
+	lineBase := addr &^ uint64(c.cfg.LineSize-1)
+	lat += c.lower.ReadLine(lineBase, ln.data)
+	ln.tag = tag
+	ln.valid = true
+	ln.dirty = false
+	return w, lat
+}
+
+func (c *Cache) touch(set, way int) {
+	c.clock++
+	c.lines[set*c.cfg.Ways+way].lru = c.clock
+}
+
+// Read performs a program-level read of size bytes (1, 4, or 8) that
+// must not cross a line boundary. It returns the little-endian value and
+// the access latency.
+func (c *Cache) Read(addr uint64, size int) (uint64, int) {
+	way, lat := c.fill(addr)
+	set := c.set(addr)
+	c.touch(set, way)
+	ln := &c.lines[set*c.cfg.Ways+way]
+	off := int(addr) & (c.cfg.LineSize - 1)
+	var buf [8]byte
+	copy(buf[:size], ln.data[off:off+size])
+	return binary.LittleEndian.Uint64(buf[:]), c.cfg.HitLatency + lat
+}
+
+// Write performs a program-level write of size bytes. Write-allocate:
+// the line is filled on a miss, then updated and marked dirty.
+func (c *Cache) Write(addr uint64, size int, val uint64) int {
+	if c.cfg.ReadOnly {
+		simerr.Assertf("cache %s: write to read-only cache at %#x", c.cfg.Name, addr)
+	}
+	way, lat := c.fill(addr)
+	set := c.set(addr)
+	c.touch(set, way)
+	ln := &c.lines[set*c.cfg.Ways+way]
+	off := int(addr) & (c.cfg.LineSize - 1)
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], val)
+	copy(ln.data[off:off+size], buf[:size])
+	ln.dirty = true
+	return c.cfg.HitLatency + lat
+}
+
+// ReadLine implements Backend so a cache can serve as the lower level of
+// another cache.
+func (c *Cache) ReadLine(addr uint64, dst []byte) int {
+	way, lat := c.fill(addr)
+	set := c.set(addr)
+	c.touch(set, way)
+	ln := &c.lines[set*c.cfg.Ways+way]
+	// The upper cache's line size can be at most ours; a naturally
+	// aligned smaller line sits inside one of our lines.
+	off := int(addr) & (c.cfg.LineSize - 1)
+	if off+len(dst) > c.cfg.LineSize {
+		simerr.Assertf("cache %s: line read spans lines at %#x", c.cfg.Name, addr)
+	}
+	copy(dst, ln.data[off:off+len(dst)])
+	return c.cfg.HitLatency + lat
+}
+
+// WriteLine implements Backend for write-backs arriving from above.
+func (c *Cache) WriteLine(addr uint64, src []byte) int {
+	way, lat := c.fill(addr)
+	set := c.set(addr)
+	c.touch(set, way)
+	ln := &c.lines[set*c.cfg.Ways+way]
+	off := int(addr) & (c.cfg.LineSize - 1)
+	if off+len(src) > c.cfg.LineSize {
+		simerr.Assertf("cache %s: line write spans lines at %#x", c.cfg.Name, addr)
+	}
+	copy(ln.data[off:off+len(src)], src)
+	ln.dirty = true
+	return c.cfg.HitLatency + lat
+}
+
+// --- Fault-injection surface -------------------------------------------
+
+// DataBitCount returns the number of injectable bits in the data array.
+func (c *Cache) DataBitCount() uint64 {
+	return uint64(c.sets) * uint64(c.cfg.Ways) * uint64(c.cfg.LineSize) * 8
+}
+
+// TagBitCount returns the number of injectable bits in the tag array.
+// Each line contributes its tag plus the valid and dirty state bits,
+// mirroring the paper's treatment of cache "tag fields".
+func (c *Cache) TagBitCount() uint64 {
+	return uint64(c.sets) * uint64(c.cfg.Ways) * uint64(c.tagWidth+2)
+}
+
+// FlipDataBit flips one bit of the data array, addressed by a global bit
+// index in [0, DataBitCount).
+func (c *Cache) FlipDataBit(bit uint64) {
+	lineBits := uint64(c.cfg.LineSize) * 8
+	idx := bit / lineBits
+	ln := &c.lines[idx]
+	if ln.data == nil {
+		ln.data = make([]byte, c.cfg.LineSize)
+	}
+	b := bit % lineBits
+	ln.data[b/8] ^= 1 << (b % 8)
+}
+
+// FlipTagBit flips one bit of the tag array, addressed by a global bit
+// index in [0, TagBitCount). Index layout per line: tag bits first, then
+// valid, then dirty.
+func (c *Cache) FlipTagBit(bit uint64) {
+	per := uint64(c.tagWidth + 2)
+	ln := &c.lines[bit/per]
+	switch b := bit % per; {
+	case b < uint64(c.tagWidth):
+		ln.tag ^= 1 << b
+	case b == uint64(c.tagWidth):
+		ln.valid = !ln.valid
+		if ln.valid && ln.data == nil {
+			ln.data = make([]byte, c.cfg.LineSize)
+		}
+	default:
+		ln.dirty = !ln.dirty
+		if ln.dirty && ln.data == nil {
+			ln.data = make([]byte, c.cfg.LineSize)
+		}
+	}
+}
+
+// LineState exposes one line's metadata for tests.
+func (c *Cache) LineState(set, way int) (tag uint64, valid, dirty bool) {
+	ln := &c.lines[set*c.cfg.Ways+way]
+	return ln.tag, ln.valid, ln.dirty
+}

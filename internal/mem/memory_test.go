@@ -1,0 +1,130 @@
+package mem
+
+import (
+	"testing"
+
+	"sevsim/internal/simerr"
+)
+
+func testMemory() *Memory {
+	m := NewMemory(80)
+	m.Map(Region{Name: "code", Base: 0x1000, Size: 0x10000, Perm: PermR | PermX})
+	m.Map(Region{Name: "data", Base: 0x100000, Size: 0x100000, Perm: PermR | PermW})
+	return m
+}
+
+func TestCheckAccess(t *testing.T) {
+	m := testMemory()
+	cases := []struct {
+		addr  uint64
+		size  uint64
+		write bool
+		want  FaultKind
+	}{
+		{0x100000, 4, false, FaultNone},
+		{0x100000, 4, true, FaultNone},
+		{0x100002, 4, false, FaultMisaligned},
+		{0x100001, 1, false, FaultNone}, // bytes have no alignment constraint
+		{0x50, 4, false, FaultUnmapped},
+		{0x1000, 4, true, FaultProtection}, // code is not writable
+		{0x1000, 4, false, FaultNone},      // code is readable
+		{0x1fffffc, 4, false, FaultUnmapped},
+		{0x1ffff8, 8, false, FaultNone}, // last 8 bytes of data region
+		{0x1ffff8 + 8, 8, false, FaultUnmapped},
+	}
+	for _, c := range cases {
+		f := m.CheckAccess(c.addr, c.size, c.write)
+		got := FaultNone
+		if f != nil {
+			got = f.Kind
+		}
+		if got != c.want {
+			t.Errorf("CheckAccess(%#x,%d,write=%v) = %v, want %v", c.addr, c.size, c.write, got, c.want)
+		}
+	}
+}
+
+func TestCheckFetch(t *testing.T) {
+	m := testMemory()
+	if f := m.CheckFetch(0x1000); f != nil {
+		t.Errorf("fetch from code failed: %v", f)
+	}
+	if f := m.CheckFetch(0x1002); f == nil || f.Kind != FaultMisaligned {
+		t.Errorf("misaligned fetch not caught: %v", f)
+	}
+	if f := m.CheckFetch(0x100000); f == nil || f.Kind != FaultProtection {
+		t.Errorf("fetch from data not caught: %v", f)
+	}
+	if f := m.CheckFetch(0x9000000); f == nil || f.Kind != FaultUnmapped {
+		t.Errorf("fetch from unmapped not caught: %v", f)
+	}
+}
+
+func TestLineReadWriteRoundTrip(t *testing.T) {
+	m := testMemory()
+	src := make([]byte, 64)
+	for i := range src {
+		src[i] = byte(i * 3)
+	}
+	lat := m.WriteLine(0x100040, src)
+	if lat != 80 {
+		t.Errorf("write latency = %d, want 80", lat)
+	}
+	dst := make([]byte, 64)
+	m.ReadLine(0x100040, dst)
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("byte %d = %d, want %d", i, dst[i], src[i])
+		}
+	}
+}
+
+func TestLineReadUnallocatedIsZero(t *testing.T) {
+	m := testMemory()
+	dst := []byte{1, 2, 3, 4}
+	m.ReadLine(0x100000, dst[:4])
+	for i, b := range dst {
+		if b != 0 {
+			t.Errorf("byte %d = %d, want 0", i, b)
+		}
+	}
+}
+
+func expectAssert(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected assert panic")
+		}
+		if _, ok := r.(*simerr.Assert); !ok {
+			panic(r)
+		}
+	}()
+	f()
+}
+
+func TestLineAccessOutsideMapAsserts(t *testing.T) {
+	m := testMemory()
+	buf := make([]byte, 64)
+	expectAssert(t, func() { m.ReadLine(0x9000000, buf) })
+	expectAssert(t, func() { m.WriteLine(0x9000000, buf) })
+}
+
+func TestOverlappingRegionAsserts(t *testing.T) {
+	m := testMemory()
+	expectAssert(t, func() {
+		m.Map(Region{Name: "bad", Base: 0x1800, Size: 0x1000, Perm: PermR})
+	})
+}
+
+func TestLoadImageAndReadWord(t *testing.T) {
+	m := testMemory()
+	m.LoadImage(0x1000, []byte{0x78, 0x56, 0x34, 0x12})
+	if got := m.ReadWord(0x1000, 4); got != 0x12345678 {
+		t.Errorf("ReadWord = %#x", got)
+	}
+	if got := m.ReadWord(0x2000, 8); got != 0 {
+		t.Errorf("unwritten word = %#x, want 0", got)
+	}
+}

@@ -1,0 +1,81 @@
+// Package report renders the study's tables and figures as aligned text
+// (the "same rows/series the paper reports") and CSV.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table writes an aligned text table.
+func Table(w io.Writer, headers []string, rows [][]string) {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+}
+
+// CSV writes the same data as comma-separated values.
+func CSV(w io.Writer, headers []string, rows [][]string) {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	cells := make([]string, 0, len(headers))
+	for _, h := range headers {
+		cells = append(cells, esc(h))
+	}
+	fmt.Fprintln(w, strings.Join(cells, ","))
+	for _, row := range rows {
+		cells = cells[:0]
+		for _, c := range row {
+			cells = append(cells, esc(c))
+		}
+		fmt.Fprintln(w, strings.Join(cells, ","))
+	}
+}
+
+// Pct formats a fraction as a percentage.
+func Pct(v float64) string { return fmt.Sprintf("%.2f%%", v*100) }
+
+// Num formats a float compactly.
+func Num(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v < 0.001 || v >= 1e6:
+		return fmt.Sprintf("%.3e", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}

@@ -1,0 +1,43 @@
+// Package simerr defines the two fatal simulator event types shared by
+// the memory hierarchy and the processor core.
+//
+// A Crash models an event a real system would turn into a process or
+// kernel failure (segmentation fault, illegal instruction, misaligned
+// access). Crashes are raised as precise exceptions: the core records
+// them on the faulting instruction and reports them when it reaches the
+// commit point.
+//
+// An Assert models the situation the paper describes for its gem5-based
+// injector: the simulator reaches a state it cannot map to any real
+// hardware behaviour (a physical register tag outside the register file,
+// a free-list double-free, a cache writing back to an address outside
+// the simulated system map). Asserts abort the simulation immediately;
+// they are raised as panics and recovered at the machine boundary.
+package simerr
+
+import "fmt"
+
+// Crash describes a fatal program-level fault.
+type Crash struct {
+	Reason string // e.g. "unmapped load", "illegal instruction"
+	Addr   uint64 // faulting address (0 when not address-related)
+	PC     uint64 // program counter of the faulting instruction
+}
+
+func (c *Crash) Error() string {
+	return fmt.Sprintf("crash: %s (addr=%#x pc=%#x)", c.Reason, c.Addr, c.PC)
+}
+
+// Assert describes a simulator invariant violation.
+type Assert struct {
+	Reason string
+}
+
+func (a *Assert) Error() string { return "assert: " + a.Reason }
+
+// Assertf panics with an Assert carrying a formatted reason. Callers at
+// the machine boundary recover it and classify the run as an Assert
+// outcome.
+func Assertf(format string, args ...any) {
+	panic(&Assert{Reason: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,699 @@
+// Package workloads provides the eight MiBench-like benchmarks of the
+// study, written in MiniC. Each mirrors the computational character of
+// its MiBench namesake (integer intensity, branchiness, memory
+// behaviour, optimization sensitivity) at a scale suited to cycle-level
+// simulation: inputs are produced by deterministic in-program generators
+// (the "large dataset" is computed, not loaded) and every benchmark
+// ends by emitting checksums through out(), which is the
+// silent-data-corruption detection channel.
+package workloads
+
+import (
+	"fmt"
+
+	"sevsim/internal/lang"
+)
+
+// Benchmark is one workload: a MiniC source generator parameterized by
+// problem size.
+type Benchmark struct {
+	Name string
+	// Source renders the MiniC program at the given scale.
+	Source func(size int) string
+	// DefaultSize is the evaluation scale (golden runs of roughly
+	// 10^4-10^6 cycles depending on the benchmark and level).
+	DefaultSize int
+	// TestSize is a reduced scale for unit tests.
+	TestSize int
+	// Traits summarizes the benchmark's character (documentation).
+	Traits string
+}
+
+// Parse returns the checked AST at the given size.
+func (b Benchmark) Parse(size int) (*lang.Program, error) {
+	return lang.Parse(b.Source(size))
+}
+
+// All returns the eight benchmarks in presentation order (matching the
+// paper's figures).
+func All() []Benchmark {
+	return []Benchmark{
+		Qsort(),
+		Dijkstra(),
+		FFT(),
+		SHA(),
+		Blowfish(),
+		GSM(),
+		Patricia(),
+		Rijndael(),
+	}
+}
+
+// ByName returns the named benchmark.
+func ByName(name string) (Benchmark, error) {
+	for _, b := range All() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("workloads: unknown benchmark %q", name)
+}
+
+// lcgHelpers is the shared deterministic input generator. The masks
+// keep every intermediate inside 31 bits so the 32-bit and 64-bit
+// targets compute identical streams.
+const lcgHelpers = `
+global int rngState;
+
+func rng() int {
+	rngState = (rngState * 1103515245 + 12345) & 2147483647;
+	return rngState;
+}
+`
+
+// Qsort mirrors MiBench qsort: recursive quicksort over generated
+// integers; recursion-heavy with data-dependent branches, modest
+// optimization headroom.
+func Qsort() Benchmark {
+	src := func(n int) string {
+		return fmt.Sprintf(`
+// qsort: recursive quicksort of %[1]d pseudo-random integers.
+global int data[%[1]d];
+`+lcgHelpers+`
+func quicksort(int a[], int lo, int hi) {
+	if (lo >= hi) { return; }
+	var int pivot = a[(lo + hi) / 2];
+	var int i = lo;
+	var int j = hi;
+	while (i <= j) {
+		while (a[i] < pivot) { i = i + 1; }
+		while (a[j] > pivot) { j = j - 1; }
+		if (i <= j) {
+			var int t = a[i];
+			a[i] = a[j];
+			a[j] = t;
+			i = i + 1;
+			j = j - 1;
+		}
+	}
+	quicksort(a, lo, j);
+	quicksort(a, i, hi);
+}
+
+func main() {
+	rngState = 42;
+	var int n = %[1]d;
+	var int i;
+	for (i = 0; i < n; i = i + 1) {
+		data[i] = rng() %% 100000;
+	}
+	quicksort(data, 0, n - 1);
+	// Verify order and checksum.
+	var int sorted = 1;
+	var int sum = 0;
+	for (i = 0; i < n; i = i + 1) {
+		sum = (sum + data[i] * (i + 1)) & 2147483647;
+		if (i > 0 && data[i] < data[i-1]) { sorted = 0; }
+	}
+	out(sorted);
+	out(sum);
+	out(data[0]);
+	out(data[n/2]);
+	out(data[n-1]);
+}`, n)
+	}
+	return Benchmark{
+		Name: "qsort", Source: src, DefaultSize: 300, TestSize: 64,
+		Traits: "recursive, data-dependent branches, swap-heavy memory traffic",
+	}
+}
+
+// Dijkstra mirrors MiBench dijkstra: single-source shortest paths over
+// a dense adjacency matrix, O(V^2) scans; loop-heavy and highly
+// optimizable.
+func Dijkstra() Benchmark {
+	src := func(v int) string {
+		return fmt.Sprintf(`
+// dijkstra: shortest paths on a dense %[1]dx%[1]d random graph.
+global int adj[%[2]d];
+global int dist[%[1]d];
+global int done[%[1]d];
+`+lcgHelpers+`
+func shortestPaths(int src, int v) int {
+	var int i;
+	for (i = 0; i < v; i = i + 1) {
+		dist[i] = 1000000000;
+		done[i] = 0;
+	}
+	dist[src] = 0;
+	var int round;
+	for (round = 0; round < v; round = round + 1) {
+		// Extract the nearest unfinished vertex.
+		var int best = 0 - 1;
+		var int bestd = 1000000000;
+		for (i = 0; i < v; i = i + 1) {
+			if (!done[i] && dist[i] < bestd) {
+				best = i;
+				bestd = dist[i];
+			}
+		}
+		if (best < 0) { return round; }
+		done[best] = 1;
+		// Relax its edges.
+		for (i = 0; i < v; i = i + 1) {
+			var int w = adj[best * v + i];
+			if (w > 0 && dist[best] + w < dist[i]) {
+				dist[i] = dist[best] + w;
+			}
+		}
+	}
+	return v;
+}
+
+func main() {
+	rngState = 7;
+	var int v = %[1]d;
+	var int i;
+	for (i = 0; i < v * v; i = i + 1) {
+		// ~70%% of edges exist with weight 1..99.
+		var int r = rng() %% 100;
+		if (r < 70) { adj[i] = r + 1; } else { adj[i] = 0; }
+	}
+	var int src;
+	var int total = 0;
+	for (src = 0; src < 4; src = src + 1) {
+		shortestPaths(src * (v / 4), v);
+		for (i = 0; i < v; i = i + 1) {
+			if (dist[i] < 1000000000) {
+				total = (total + dist[i]) & 2147483647;
+			}
+		}
+		out(dist[v - 1]);
+	}
+	out(total);
+}`, v, v*v)
+	}
+	return Benchmark{
+		Name: "dijkstra", Source: src, DefaultSize: 24, TestSize: 12,
+		Traits: "dense O(V^2) scans, branch-heavy selection loop, highly optimizable",
+	}
+}
+
+// FFT mirrors MiBench fft: an iterative radix-2 fixed-point FFT with
+// Q14 twiddle rotation; arithmetic-dense with strided memory access and
+// little optimization headroom beyond register allocation.
+func FFT() Benchmark {
+	src := func(n int) string {
+		return fmt.Sprintf(`
+// fft: %[1]d-point radix-2 fixed-point FFT (Q14 twiddles).
+global int re[%[1]d];
+global int im[%[1]d];
+global int cosTab[16];
+global int sinTab[16];
+`+lcgHelpers+`
+func setupTwiddles() {
+	// Q14 cos/sin of pi/2^k for k = 0..13.
+	cosTab[0] = 0 - 16384; sinTab[0] = 0;
+	cosTab[1] = 0;         sinTab[1] = 16384;
+	cosTab[2] = 11585;     sinTab[2] = 11585;
+	cosTab[3] = 15137;     sinTab[3] = 6270;
+	cosTab[4] = 16069;     sinTab[4] = 3196;
+	cosTab[5] = 16305;     sinTab[5] = 1606;
+	cosTab[6] = 16364;     sinTab[6] = 804;
+	cosTab[7] = 16379;     sinTab[7] = 402;
+	cosTab[8] = 16383;     sinTab[8] = 201;
+	cosTab[9] = 16384;     sinTab[9] = 100;
+	cosTab[10] = 16384;    sinTab[10] = 50;
+	cosTab[11] = 16384;    sinTab[11] = 25;
+	cosTab[12] = 16384;    sinTab[12] = 12;
+	cosTab[13] = 16384;    sinTab[13] = 6;
+}
+
+func fft(int n) {
+	// Bit-reversal permutation.
+	var int i;
+	var int j = 0;
+	for (i = 0; i < n - 1; i = i + 1) {
+		if (i < j) {
+			var int tr = re[i]; re[i] = re[j]; re[j] = tr;
+			var int ti = im[i]; im[i] = im[j]; im[j] = ti;
+		}
+		var int m = n >> 1;
+		while (m >= 1 && j >= m) {
+			j = j - m;
+			m = m >> 1;
+		}
+		j = j + m;
+	}
+	// Butterfly stages.
+	var int stage = 0;
+	var int len = 1;
+	while (len < n) {
+		var int wr0 = cosTab[stage + 1];
+		var int wi0 = sinTab[stage + 1];
+		var int start;
+		for (start = 0; start < n; start = start + (len << 1)) {
+			var int wr = 16384;
+			var int wi = 0;
+			var int k;
+			for (k = 0; k < len; k = k + 1) {
+				var int a = start + k;
+				var int b = a + len;
+				var int br = (wr * re[b] - wi * im[b]) >> 14;
+				var int bi = (wr * im[b] + wi * re[b]) >> 14;
+				re[b] = re[a] - br;
+				im[b] = im[a] - bi;
+				re[a] = re[a] + br;
+				im[a] = im[a] + bi;
+				// Rotate the twiddle.
+				var int nwr = (wr * wr0 - wi * wi0) >> 14;
+				wi = (wr * wi0 + wi * wr0) >> 14;
+				wr = nwr;
+			}
+		}
+		stage = stage + 1;
+		len = len << 1;
+	}
+}
+
+func main() {
+	rngState = 99;
+	setupTwiddles();
+	var int n = %[1]d;
+	var int i;
+	for (i = 0; i < n; i = i + 1) {
+		re[i] = (rng() %% 4096) - 2048;
+		im[i] = 0;
+	}
+	fft(n);
+	var int cs = 0;
+	for (i = 0; i < n; i = i + 1) {
+		cs = (cs + re[i] * 31 + im[i] * 17) & 2147483647;
+	}
+	out(cs);
+	out(re[0] & 2147483647);
+	out(im[n/2] & 2147483647);
+	out(re[n-1] & 2147483647);
+}`, n)
+	}
+	return Benchmark{
+		Name: "fft", Source: src, DefaultSize: 128, TestSize: 32,
+		Traits: "multiply-dense butterflies, strided access, little optimization response",
+	}
+}
+
+// SHA mirrors MiBench sha: an SHA-1-style compression over generated
+// message blocks; long dependence chains of logical operations, heavy
+// 32-bit masking, very regular control flow.
+func SHA() Benchmark {
+	src := func(blocks int) string {
+		return fmt.Sprintf(`
+// sha: SHA-1-style digest over %[1]d 16-word blocks.
+global int w[80];
+global int h[5];
+`+lcgHelpers+`
+// Logical shift right for 32-bit values on either word width.
+func lsr(int x, int s) int {
+	if (s == 0) { return x & 0xffffffff; }
+	return ((x & 0xffffffff) >> s) & (0x7fffffff >> (s - 1));
+}
+
+func rotl(int x, int s) int {
+	return ((x << s) | lsr(x, 32 - s)) & 0xffffffff;
+}
+
+func compress() {
+	var int t;
+	for (t = 16; t < 80; t = t + 1) {
+		w[t] = rotl(w[t-3] ^ w[t-8] ^ w[t-14] ^ w[t-16], 1);
+	}
+	var int a = h[0]; var int b = h[1]; var int c = h[2];
+	var int d = h[3]; var int e = h[4];
+	for (t = 0; t < 80; t = t + 1) {
+		var int f; var int k;
+		if (t < 20) {
+			f = (b & c) | ((~b) & d);
+			k = 0x5a827999;
+		} else if (t < 40) {
+			f = b ^ c ^ d;
+			k = 0x6ed9eba1;
+		} else if (t < 60) {
+			f = (b & c) | (b & d) | (c & d);
+			k = 0x8f1bbcdc;
+		} else {
+			f = b ^ c ^ d;
+			k = 0xca62c1d6;
+		}
+		var int tmp = (rotl(a, 5) + f + e + k + w[t]) & 0xffffffff;
+		e = d;
+		d = c;
+		c = rotl(b, 30);
+		b = a;
+		a = tmp;
+	}
+	h[0] = (h[0] + a) & 0xffffffff;
+	h[1] = (h[1] + b) & 0xffffffff;
+	h[2] = (h[2] + c) & 0xffffffff;
+	h[3] = (h[3] + d) & 0xffffffff;
+	h[4] = (h[4] + e) & 0xffffffff;
+}
+
+func main() {
+	rngState = 1234;
+	h[0] = 0x67452301; h[1] = 0xefcdab89; h[2] = 0x98badcfe;
+	h[3] = 0x10325476; h[4] = 0xc3d2e1f0;
+	var int blk;
+	for (blk = 0; blk < %[1]d; blk = blk + 1) {
+		var int i;
+		for (i = 0; i < 16; i = i + 1) {
+			w[i] = rng();
+		}
+		compress();
+	}
+	out(h[0]); out(h[1]); out(h[2]); out(h[3]); out(h[4]);
+}`, blocks)
+	}
+	return Benchmark{
+		Name: "sha", Source: src, DefaultSize: 10, TestSize: 3,
+		Traits: "long logical dependence chains, regular control flow, explicit 32-bit masking",
+	}
+}
+
+// Blowfish mirrors MiBench blowfish: a 16-round Feistel cipher with
+// table lookups per round; lookup-dominated with wrapping adds.
+func Blowfish() Benchmark {
+	src := func(blocks int) string {
+		return fmt.Sprintf(`
+// blowfish: 16-round Feistel ECB encryption of %[1]d 64-bit blocks.
+global int sbox[1024];
+global int parr[18];
+`+lcgHelpers+`
+func feistel(int x) int {
+	var int a = (x >> 24) & 255;
+	var int b = (x >> 16) & 255;
+	var int c = (x >> 8) & 255;
+	var int d = x & 255;
+	var int y = (sbox[a] + sbox[256 + b]) & 0xffffffff;
+	y = y ^ sbox[512 + c];
+	y = (y + sbox[768 + d]) & 0xffffffff;
+	return y;
+}
+
+func main() {
+	rngState = 5;
+	var int i;
+	for (i = 0; i < 1024; i = i + 1) {
+		sbox[i] = rng();
+	}
+	for (i = 0; i < 18; i = i + 1) {
+		parr[i] = rng();
+	}
+	var int cs = 0;
+	var int blk;
+	for (blk = 0; blk < %[1]d; blk = blk + 1) {
+		var int l = rng();
+		var int r = rng();
+		var int round;
+		for (round = 0; round < 16; round = round + 1) {
+			l = (l ^ parr[round]) & 0xffffffff;
+			r = (r ^ feistel(l)) & 0xffffffff;
+			var int t = l;
+			l = r;
+			r = t;
+		}
+		var int t2 = l;
+		l = (r ^ parr[17]) & 0xffffffff;
+		r = (t2 ^ parr[16]) & 0xffffffff;
+		cs = (cs + (l ^ (r >> 7))) & 2147483647;
+	}
+	out(cs);
+}`, blocks)
+	}
+	return Benchmark{
+		Name: "blowfish", Source: src, DefaultSize: 80, TestSize: 12,
+		Traits: "S-box lookups, xor/add rounds, tight loop with calls",
+	}
+}
+
+// GSM mirrors MiBench gsm (full-rate codec flavor): per-frame
+// autocorrelation, reflection coefficients via integer division, and
+// quantization; division-heavy with nested loops and good optimization
+// response.
+func GSM() Benchmark {
+	src := func(frames int) string {
+		return fmt.Sprintf(`
+// gsm: LPC-style analysis of %[1]d frames of 160 samples.
+global int frame[160];
+global int acf[9];
+global int refl[8];
+`+lcgHelpers+`
+func autocorrelate() {
+	var int lag;
+	for (lag = 0; lag < 9; lag = lag + 1) {
+		var int sum = 0;
+		var int i;
+		for (i = lag; i < 160; i = i + 1) {
+			sum = (sum + ((frame[i] * frame[i - lag]) >> 8)) & 0x3fffffff;
+		}
+		acf[lag] = sum;
+	}
+}
+
+func reflection() {
+	var int k;
+	for (k = 0; k < 8; k = k + 1) {
+		if (acf[0] == 0) {
+			refl[k] = 0;
+		} else {
+			refl[k] = (acf[k + 1] << 10) / (acf[0] + k + 1);
+		}
+	}
+}
+
+func quantize(int v) int {
+	if (v < 0 - 512) { return 0 - 8; }
+	if (v > 511) { return 7; }
+	return v / 64;
+}
+
+func main() {
+	rngState = 77;
+	var int cs = 0;
+	var int f;
+	for (f = 0; f < %[1]d; f = f + 1) {
+		var int i;
+		var int prev = 0;
+		for (i = 0; i < 160; i = i + 1) {
+			// Correlated samples resemble voiced speech.
+			var int noise = (rng() %% 257) - 128;
+			prev = (prev * 3) / 4 + noise;
+			frame[i] = prev;
+		}
+		autocorrelate();
+		reflection();
+		var int q = 0;
+		for (i = 0; i < 8; i = i + 1) {
+			q = (q * 16 + quantize(refl[i]) + 8) & 2147483647;
+		}
+		cs = (cs + q + acf[0]) & 2147483647;
+		out(q);
+	}
+	out(cs);
+}`, frames)
+	}
+	return Benchmark{
+		Name: "gsm", Source: src, DefaultSize: 3, TestSize: 2,
+		Traits: "nested multiply-accumulate loops, integer division, highly optimizable",
+	}
+}
+
+// Patricia mirrors MiBench patricia: a bit-trie over 32-bit keys backed
+// by index-linked node pools; pointer-chasing lookups with unpredictable
+// branches and little optimization headroom.
+func Patricia() Benchmark {
+	src := func(keys int) string {
+		nodes := 2*keys + 2
+		return fmt.Sprintf(`
+// patricia: bit-trie insert/lookup of %[1]d random 31-bit keys.
+global int left[%[2]d];
+global int right[%[2]d];
+global int keys[%[2]d];
+global int used;
+`+lcgHelpers+`
+func newNode(int key) int {
+	var int n = used;
+	used = used + 1;
+	left[n] = 0 - 1;
+	right[n] = 0 - 1;
+	keys[n] = key;
+	return n;
+}
+
+func insert(int key) {
+	var int cur = 0;
+	var int bit = 30;
+	while (bit >= 0) {
+		if (keys[cur] == key) { return; }
+		var int goRight = (key >> bit) & 1;
+		if (goRight) {
+			if (right[cur] < 0) {
+				right[cur] = newNode(key);
+				return;
+			}
+			cur = right[cur];
+		} else {
+			if (left[cur] < 0) {
+				left[cur] = newNode(key);
+				return;
+			}
+			cur = left[cur];
+		}
+		bit = bit - 1;
+	}
+}
+
+func lookup(int key) int {
+	var int cur = 0;
+	var int bit = 30;
+	while (bit >= 0) {
+		if (keys[cur] == key) { return 1; }
+		var int goRight = (key >> bit) & 1;
+		if (goRight) {
+			if (right[cur] < 0) { return 0; }
+			cur = right[cur];
+		} else {
+			if (left[cur] < 0) { return 0; }
+			cur = left[cur];
+		}
+		bit = bit - 1;
+	}
+	return 0;
+}
+
+func main() {
+	rngState = 2024;
+	used = 0;
+	var int root = newNode(0);
+	var int i;
+	var int n = %[1]d;
+	for (i = 0; i < n; i = i + 1) {
+		insert(rng());
+	}
+	// Replay the generator: every inserted key must be found.
+	rngState = 2024;
+	var int hits = 0;
+	for (i = 0; i < n; i = i + 1) {
+		hits = hits + lookup(rng());
+	}
+	// A perturbed stream mostly misses.
+	for (i = 0; i < n; i = i + 1) {
+		hits = hits + lookup(rng() ^ 0x2a2a2a);
+	}
+	out(root);
+	out(used);
+	out(hits);
+}`, keys, nodes)
+	}
+	return Benchmark{
+		Name: "patricia", Source: src, DefaultSize: 200, TestSize: 40,
+		Traits: "bit-trie chasing, unpredictable branches, resistant to optimization",
+	}
+}
+
+// Rijndael mirrors MiBench rijndael: an AES-like substitution-
+// permutation network (generated S-box, rotating shift rows, xor-based
+// column mixing) with chained blocks; table lookups plus dense logical
+// operations.
+func Rijndael() Benchmark {
+	src := func(blocks int) string {
+		return fmt.Sprintf(`
+// rijndael: 10-round SPN encryption of %[1]d 16-byte blocks (CBC-style).
+global int sbox[256];
+global int rkey[176];
+global int state[16];
+`+lcgHelpers+`
+func genSbox() {
+	var int i;
+	for (i = 0; i < 256; i = i + 1) {
+		sbox[i] = i;
+	}
+	for (i = 255; i > 0; i = i - 1) {
+		var int j = rng() %% (i + 1);
+		var int t = sbox[i];
+		sbox[i] = sbox[j];
+		sbox[j] = t;
+	}
+}
+
+func expandKey() {
+	var int i;
+	for (i = 0; i < 176; i = i + 1) {
+		rkey[i] = rng() & 255;
+	}
+}
+
+func encryptBlock() {
+	var int round;
+	for (round = 0; round < 10; round = round + 1) {
+		var int i;
+		// SubBytes + AddRoundKey.
+		for (i = 0; i < 16; i = i + 1) {
+			state[i] = sbox[state[i]] ^ rkey[round * 16 + i];
+		}
+		// ShiftRows: rotate row r left by r.
+		var int r;
+		for (r = 1; r < 4; r = r + 1) {
+			var int s;
+			for (s = 0; s < r; s = s + 1) {
+				var int t = state[r];
+				state[r] = state[r + 4];
+				state[r + 4] = state[r + 8];
+				state[r + 8] = state[r + 12];
+				state[r + 12] = t;
+			}
+		}
+		// MixColumns-like xor diffusion.
+		for (i = 0; i < 4; i = i + 1) {
+			var int c = i * 4;
+			var int a0 = state[c]; var int a1 = state[c+1];
+			var int a2 = state[c+2]; var int a3 = state[c+3];
+			var int all = a0 ^ a1 ^ a2 ^ a3;
+			state[c]   = (a0 ^ all ^ ((a0 << 1) & 255)) & 255;
+			state[c+1] = (a1 ^ all ^ ((a1 << 1) & 255)) & 255;
+			state[c+2] = (a2 ^ all ^ ((a2 << 1) & 255)) & 255;
+			state[c+3] = (a3 ^ all ^ ((a3 << 1) & 255)) & 255;
+		}
+	}
+}
+
+func main() {
+	rngState = 31337;
+	genSbox();
+	expandKey();
+	var int iv[16];
+	var int i;
+	for (i = 0; i < 16; i = i + 1) {
+		iv[i] = rng() & 255;
+	}
+	var int cs = 0;
+	var int blk;
+	for (blk = 0; blk < %[1]d; blk = blk + 1) {
+		for (i = 0; i < 16; i = i + 1) {
+			state[i] = (rng() & 255) ^ iv[i];
+		}
+		encryptBlock();
+		for (i = 0; i < 16; i = i + 1) {
+			iv[i] = state[i];
+			cs = (cs * 31 + state[i]) & 2147483647;
+		}
+	}
+	out(cs);
+	out(state[0]);
+	out(state[15]);
+}`, blocks)
+	}
+	return Benchmark{
+		Name: "rijndael", Source: src, DefaultSize: 16, TestSize: 4,
+		Traits: "S-box substitution, xor diffusion, block-chained dependences",
+	}
+}

@@ -1,0 +1,130 @@
+package workloads
+
+import (
+	"testing"
+
+	"sevsim/internal/compiler"
+	"sevsim/internal/interp"
+	"sevsim/internal/machine"
+)
+
+func TestAllBenchmarksParse(t *testing.T) {
+	for _, b := range All() {
+		for _, size := range []int{b.TestSize, b.DefaultSize} {
+			if _, err := b.Parse(size); err != nil {
+				t.Errorf("%s size %d: %v", b.Name, size, err)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	b, err := ByName("fft")
+	if err != nil || b.Name != "fft" {
+		t.Fatalf("ByName(fft) = %v, %v", b.Name, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("expected error for unknown benchmark")
+	}
+}
+
+func TestEightBenchmarks(t *testing.T) {
+	if n := len(All()); n != 8 {
+		t.Fatalf("expected 8 benchmarks, got %d", n)
+	}
+	names := map[string]bool{}
+	for _, b := range All() {
+		if names[b.Name] {
+			t.Errorf("duplicate benchmark %s", b.Name)
+		}
+		names[b.Name] = true
+	}
+}
+
+// TestDifferentialAllLevels compiles every benchmark (test scale) at
+// every optimization level for both microarchitectures and checks the
+// output stream against the reference interpreter.
+func TestDifferentialAllLevels(t *testing.T) {
+	configs := []struct {
+		tgt compiler.Target
+		cfg machine.Config
+	}{
+		{compiler.Target{XLEN: 32, NumArchRegs: 16}, machine.CortexA15Like()},
+		{compiler.Target{XLEN: 64, NumArchRegs: 32}, machine.CortexA72Like()},
+	}
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, tc := range configs {
+				ast, err := b.Parse(b.TestSize)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := interp.Run(ast, tc.tgt.XLEN, 200_000_000)
+				if err != nil {
+					t.Fatalf("interp xlen=%d: %v", tc.tgt.XLEN, err)
+				}
+				if len(want) == 0 {
+					t.Fatal("benchmark emits no output")
+				}
+				for _, level := range compiler.Levels {
+					src := b.Source(b.TestSize)
+					prog, err := compiler.Compile(src, b.Name, level, tc.tgt)
+					if err != nil {
+						t.Fatalf("%v: compile: %v", level, err)
+					}
+					res := machine.New(tc.cfg, prog).Run(500_000_000)
+					if res.Outcome != machine.OutcomeOK {
+						t.Fatalf("%v %s: outcome %v (%s) after %d cycles",
+							level, tc.cfg.Name, res.Outcome, res.Reason, res.Cycles)
+					}
+					if len(res.Output) != len(want) {
+						t.Fatalf("%v %s: %d outputs, want %d", level, tc.cfg.Name, len(res.Output), len(want))
+					}
+					for i := range want {
+						if res.Output[i] != want[i] {
+							t.Fatalf("%v %s: output[%d] = %#x, want %#x",
+								level, tc.cfg.Name, i, res.Output[i], want[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestQsortActuallySorts spot-checks benchmark semantics beyond
+// checksums.
+func TestQsortActuallySorts(t *testing.T) {
+	ast, err := Qsort().Parse(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := interp.Run(ast, 32, 100_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 1 {
+		t.Error("qsort sorted flag not set")
+	}
+	if out[2] > out[3] || out[3] > out[4] {
+		t.Errorf("qsort order samples wrong: %v", out[2:5])
+	}
+}
+
+func TestPatriciaHitCounts(t *testing.T) {
+	ast, err := Patricia().Parse(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := interp.Run(ast, 32, 100_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := out[2]
+	// Every inserted key must be found; the perturbed probes mostly miss.
+	if hits < 50 || hits > 75 {
+		t.Errorf("patricia hits = %d, expected in [50, 75]", hits)
+	}
+}
