@@ -14,11 +14,15 @@
 package sevsim_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"sync"
 	"testing"
+	"time"
 
 	"sevsim/internal/campaign"
 	"sevsim/internal/compiler"
@@ -103,7 +107,10 @@ func benchInjections(b *testing.B, target string) {
 	if !ok {
 		b.Fatalf("unknown target %s", target)
 	}
-	inj := exp.Sample(t, 256, 99)
+	inj, err := exp.Sample(t, 256, 99)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		exp.Inject(t, inj[i%len(inj)])
@@ -246,6 +253,64 @@ func BenchmarkFig12_ECC_FIT(b *testing.B) {
 	benchInjections(b, "SQ")
 }
 
+// BenchmarkStudyScheduler is the end-to-end benchmark for the
+// study-level parallel execution engine: it runs the same scaled-down
+// study serially (Parallelism: 1) and on the shared worker pool
+// (Parallelism: GOMAXPROCS), verifies the saved results are
+// byte-identical, and reports the wall-clock speedup. On multicore
+// hardware the pooled run is expected to be >= 2x faster.
+func BenchmarkStudyScheduler(b *testing.B) {
+	schedSpec := func(par int) core.Spec {
+		qsort, _ := workloads.ByName("qsort")
+		gsm, _ := workloads.ByName("gsm")
+		rf, _ := faultinj.TargetByName("RF")
+		robPC, _ := faultinj.TargetByName("ROB.pc")
+		l1d, _ := faultinj.TargetByName("L1D.data")
+		return core.Spec{
+			Machines:    []machine.Config{machine.CortexA15Like(), machine.CortexA72Like()},
+			Benchmarks:  []workloads.Benchmark{qsort, gsm},
+			Levels:      []compiler.OptLevel{compiler.O0, compiler.O2},
+			Targets:     []faultinj.Target{rf, robPC, l1d},
+			Faults:      envInt("SEV_FAULTS", 8) * 4,
+			Seed:        2021,
+			Size:        func(bm workloads.Benchmark) int { return bm.TestSize },
+			Parallelism: par,
+		}
+	}
+	printFigure("study-scheduler", func() {
+		t0 := time.Now()
+		serial, err := schedSpec(1).Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		serialD := time.Since(t0)
+		t0 = time.Now()
+		pooled, err := schedSpec(runtime.GOMAXPROCS(0)).Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		pooledD := time.Since(t0)
+		sj, _ := json.Marshal(serial)
+		pj, _ := json.Marshal(pooled)
+		if !bytes.Equal(sj, pj) {
+			b.Fatal("parallel study results differ from serial run")
+		}
+		fmt.Printf("\nStudy scheduler: %d cells, parallelism 1: %v, parallelism %d: %v (%.2fx, byte-identical results)\n",
+			len(serial.Results), serialD.Round(time.Millisecond),
+			runtime.GOMAXPROCS(0), pooledD.Round(time.Millisecond),
+			float64(serialD)/float64(pooledD))
+	})
+	// Unit: one pooled campaign cell on a shared worker pool.
+	exp := injectionUnit(b)
+	rf, _ := faultinj.TargetByName("RF")
+	pool := campaign.NewPool(runtime.GOMAXPROCS(0))
+	defer pool.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		campaign.Run(exp, rf, campaign.Options{Faults: 8, Seed: int64(i), Pool: pool})
+	}
+}
+
 // BenchmarkCompile times the compiler itself (all four levels).
 func BenchmarkCompile(b *testing.B) {
 	bench, _ := workloads.ByName("rijndael")
@@ -363,7 +428,10 @@ func BenchmarkExtension_MultiBitUpsets(b *testing.B) {
 	})
 	exp := injectionUnit(b)
 	ctrl, _ := faultinj.TargetByName("ROB.ctrl")
-	inj := exp.Sample(ctrl, 128, 31)
+	inj, err := exp.Sample(ctrl, 128, 31)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		exp.InjectModel(ctrl, inj[i%len(inj)], faultinj.DoubleAdjacent)

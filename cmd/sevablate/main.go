@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"sync"
 
 	"sevsim/internal/campaign"
 	"sevsim/internal/cli"
@@ -30,6 +31,7 @@ func main() {
 	targetFlag := flag.String("target", "", "also measure this structure's AVF (e.g. RF)")
 	faults := flag.Int("faults", 200, "faults per AVF measurement")
 	seed := flag.Int64("seed", 2021, "sampling seed")
+	par := flag.Int("parallel", 0, "concurrent measurements (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	cfg, err := cli.March(*marchFlag)
@@ -77,28 +79,78 @@ func main() {
 	}
 	fmt.Println()
 
-	var fullCycles uint64
-	for _, r := range rows {
-		prog, err := compiler.CompileWithPasses(src, name, r.ps, tgt)
-		if err != nil {
-			cli.Fatal(err)
-		}
-		res := machine.New(cfg, prog).Run(1 << 34)
-		if res.Outcome != machine.OutcomeOK {
-			cli.Fatal(fmt.Errorf("%s: %v %s", r.label, res.Outcome, res.Reason))
-		}
-		if fullCycles == 0 {
-			fullCycles = res.Cycles
-		}
-		fmt.Printf("%-16s %10d %7.3fx %8dw", r.label, res.Cycles,
-			float64(res.Cycles)/float64(fullCycles), len(prog.Code))
-		if avfTarget != nil {
-			exp, err := faultinj.NewExperiment(cfg, prog)
+	// Rows are measured concurrently: compiles and baseline runs are
+	// gated by a semaphore sized to the worker count, and the AVF
+	// campaigns of every row share one worker pool. Output stays in row
+	// order.
+	workers := cli.Parallelism(*par)
+	pool := campaign.NewPool(workers)
+	defer pool.Close()
+	sem := make(chan struct{}, workers)
+
+	type measured struct {
+		cycles uint64
+		code   int
+		avf    float64
+		skip   string
+		err    error
+	}
+	out := make([]measured, len(rows))
+	var wg sync.WaitGroup
+	for i, r := range rows {
+		wg.Add(1)
+		go func(i int, r row) {
+			defer wg.Done()
+			sem <- struct{}{}
+			prog, err := compiler.CompileWithPasses(src, name, r.ps, tgt)
 			if err != nil {
-				cli.Fatal(err)
+				out[i].err = err
+				<-sem
+				return
 			}
-			cr := campaign.Run(exp, *avfTarget, campaign.Options{Faults: *faults, Seed: *seed})
-			fmt.Printf(" %11.2f%%", cr.AVF()*100)
+			res := machine.New(cfg, prog).Run(1 << 34)
+			if res.Outcome != machine.OutcomeOK {
+				out[i].err = fmt.Errorf("%s: %v %s", r.label, res.Outcome, res.Reason)
+				<-sem
+				return
+			}
+			out[i].cycles = res.Cycles
+			out[i].code = len(prog.Code)
+			if avfTarget == nil {
+				<-sem
+				return
+			}
+			exp, err := faultinj.NewExperiment(cfg, prog)
+			// The campaign runs on the shared pool; this goroutine only
+			// waits, so its semaphore slot is released first.
+			<-sem
+			if err != nil {
+				out[i].err = err
+				return
+			}
+			cr := campaign.Run(exp, *avfTarget, campaign.Options{
+				Faults: *faults, Seed: *seed, Pool: pool,
+			})
+			out[i].avf = cr.AVF()
+			out[i].skip = cr.Skipped
+		}(i, r)
+	}
+	wg.Wait()
+
+	fullCycles := out[0].cycles
+	for i, r := range rows {
+		m := out[i]
+		if m.err != nil {
+			cli.Fatal(m.err)
+		}
+		fmt.Printf("%-16s %10d %7.3fx %8dw", r.label, m.cycles,
+			float64(m.cycles)/float64(fullCycles), m.code)
+		if avfTarget != nil {
+			if m.skip != "" {
+				fmt.Printf("   skipped: %s", m.skip)
+			} else {
+				fmt.Printf(" %11.2f%%", m.avf*100)
+			}
 		}
 		fmt.Println()
 	}

@@ -79,12 +79,21 @@ func main() {
 		targets = []faultinj.Target{t}
 	}
 
+	// One shared worker pool serves every target's campaign, so the
+	// machine stays saturated across target boundaries.
+	pool := campaign.NewPool(cli.Parallelism(*par))
+	defer pool.Close()
+
 	fmt.Printf("\n%-10s %8s %8s  %7s %7s %7s %7s %7s\n",
 		"target", "bits", "faults", "AVF", "SDC", "Crash", "Timeout", "Assert")
 	for _, t := range targets {
 		r := campaign.Run(exp, t, campaign.Options{
-			Faults: *faults, Seed: *seed, Parallelism: *par, Model: model,
+			Faults: *faults, Seed: *seed, Pool: pool, Model: model,
 		})
+		if r.Skipped != "" {
+			fmt.Printf("%-10s %8d  skipped: %s\n", t.Name(), r.StructBits, r.Skipped)
+			continue
+		}
 		fmt.Printf("%-10s %8d %8d  %6.2f%% %6.2f%% %6.2f%% %6.2f%% %6.2f%%\n",
 			t.Name(), r.StructBits, r.Faults,
 			r.AVF()*100,

@@ -20,6 +20,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"sevsim/internal/cli"
 	"sevsim/internal/core"
 	"sevsim/internal/report"
 	"sevsim/internal/workloads"
@@ -31,6 +32,7 @@ func main() {
 	outDir := flag.String("out", "results", "output directory")
 	scale := flag.Float64("scale", 1.0, "benchmark size multiplier")
 	load := flag.String("load", "", "re-render figures from a saved study.json instead of running")
+	par := flag.Int("parallel", 0, "study-wide worker pool size (0 = GOMAXPROCS); results are identical at any setting")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
 
@@ -48,6 +50,7 @@ func main() {
 	} else {
 		spec := core.DefaultSpec(*faults)
 		spec.Seed = *seed
+		spec.Parallelism = cli.Parallelism(*par)
 		if *scale != 1.0 {
 			spec.Size = func(b workloads.Benchmark) int {
 				s := int(float64(b.DefaultSize) * *scale)
@@ -57,11 +60,7 @@ func main() {
 				return s
 			}
 		}
-		if !*quiet {
-			spec.Progress = func(format string, args ...any) {
-				fmt.Printf(format+"\n", args...)
-			}
-		}
+		spec.Progress = cli.Progress(*quiet)
 		start := time.Now()
 		var err error
 		st, err = spec.Run()

@@ -67,6 +67,22 @@ func main() {
 			cli.Fatal(err)
 		}
 	}
+	// The reference interpreter is independent of the simulation, so the
+	// -oracle run executes concurrently with the machine instead of
+	// serially after it.
+	type oracleRun struct {
+		out []uint64
+		err error
+	}
+	var oracleCh chan oracleRun
+	if *oracle && *asmFile == "" {
+		parsed := cli.MustParse(src)
+		oracleCh = make(chan oracleRun, 1)
+		go func() {
+			out, err := interp.Run(parsed, cfg.CPU.XLEN, 1<<40)
+			oracleCh <- oracleRun{out: out, err: err}
+		}()
+	}
 	res := machine.New(cfg, prog).Run(*maxCycles)
 
 	fmt.Printf("%s %s on %s: %s", name, level, cfg.Name, res.Outcome)
@@ -91,11 +107,12 @@ func main() {
 		avg(s.LQOccupancy, s.Cycles), avg(s.SQOccupancy, s.Cycles),
 		avg(s.PRFLive, s.Cycles))
 
-	if *oracle && *asmFile == "" {
-		want, err := interp.Run(cli.MustParse(src), cfg.CPU.XLEN, 1<<40)
-		if err != nil {
-			cli.Fatal(err)
+	if oracleCh != nil {
+		o := <-oracleCh
+		if o.err != nil {
+			cli.Fatal(o.err)
 		}
+		want := o.out
 		if len(want) != len(res.Output) {
 			fmt.Printf("\nORACLE MISMATCH: %d outputs, interpreter has %d\n", len(res.Output), len(want))
 			return

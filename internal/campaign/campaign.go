@@ -1,7 +1,9 @@
 // Package campaign drives statistical fault-injection campaigns: for a
 // (microarchitecture, benchmark, optimization level, structure field)
 // cell it runs N independent end-to-end injections in parallel and
-// aggregates the outcome counts.
+// aggregates the outcome counts. Campaigns can share one bounded Pool
+// so a whole study saturates the machine with a single worker set
+// instead of nested per-cell pools.
 package campaign
 
 import (
@@ -10,6 +12,44 @@ import (
 
 	"sevsim/internal/faultinj"
 )
+
+// Pool is a bounded worker pool for injection-sized tasks. One pool is
+// shared across every campaign cell of a study: workers pull tasks from
+// a single queue, so cores never idle while any cell still has work.
+type Pool struct {
+	tasks chan func()
+	wg    sync.WaitGroup
+}
+
+// NewPool starts a pool with the given number of workers (<= 0:
+// GOMAXPROCS). Close must be called to release the workers.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{tasks: make(chan func(), 4*workers)}
+	for w := 0; w < workers; w++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.tasks {
+				fn()
+			}
+		}()
+	}
+	return p
+}
+
+// Submit enqueues one task, blocking while the queue is full. Tasks
+// must not Submit to or wait on the same pool, or workers can deadlock.
+func (p *Pool) Submit(fn func()) { p.tasks <- fn }
+
+// Close drains the queue and stops the workers after all submitted
+// tasks have run. No Submit may follow or race with Close.
+func (p *Pool) Close() {
+	close(p.tasks)
+	p.wg.Wait()
+}
 
 // Counts aggregates outcomes of one campaign.
 type Counts struct {
@@ -74,6 +114,11 @@ type Result struct {
 	Counts       Counts
 	GoldenCycles uint64
 	StructBits   uint64
+
+	// Skipped carries the reason when the cell could not be sampled
+	// (e.g. a target with zero injectable bits); such cells report zero
+	// faults instead of aborting the study.
+	Skipped string `json:",omitempty"`
 }
 
 // AVF returns the architectural vulnerability factor measured by the
@@ -99,43 +144,49 @@ func (r Result) ClassRate(o faultinj.Outcome) float64 {
 type Options struct {
 	Faults      int
 	Seed        int64
-	Parallelism int // <= 0: GOMAXPROCS
+	Parallelism int // <= 0: GOMAXPROCS; ignored when Pool is set
+	// Pool, when non-nil, is the shared worker pool the injections run
+	// on; the cell then borrows study-wide workers instead of spawning
+	// its own. When nil, Run uses a transient pool of Parallelism
+	// workers, preserving the standalone behavior.
+	Pool *Pool
 	// Model selects the fault multiplicity (default single-bit).
 	Model faultinj.Model
 }
 
 // Run executes one campaign cell: Faults injections into target, in
-// parallel, deterministically derived from Seed.
+// parallel, deterministically derived from Seed. Outcome counts are
+// independent of worker count and scheduling order: injection i of a
+// cell is fully determined by (Seed, i).
 func Run(exp *faultinj.Experiment, target faultinj.Target, opts Options) Result {
-	par := opts.Parallelism
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
+	pool := opts.Pool
+	if pool == nil {
+		pool = NewPool(opts.Parallelism)
+		defer pool.Close()
 	}
-	injections := exp.Sample(target, opts.Faults, opts.Seed)
-	outcomes := make([]faultinj.InjectResult, len(injections))
-	var wg sync.WaitGroup
-	next := make(chan int, len(injections))
-	for i := range injections {
-		next <- i
-	}
-	close(next)
-	for w := 0; w < par; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				outcomes[i] = exp.InjectModel(target, injections[i], opts.Model)
-			}
-		}()
-	}
-	wg.Wait()
-
 	res := Result{
 		Target:       target.Name(),
-		Faults:       len(injections),
 		GoldenCycles: exp.GoldenCycles,
 		StructBits:   exp.TargetBits(target),
 	}
+	injections, err := exp.Sample(target, opts.Faults, opts.Seed)
+	if err != nil {
+		res.Skipped = err.Error()
+		return res
+	}
+	outcomes := make([]faultinj.InjectResult, len(injections))
+	var wg sync.WaitGroup
+	wg.Add(len(injections))
+	for i := range injections {
+		i := i
+		pool.Submit(func() {
+			defer wg.Done()
+			outcomes[i] = exp.InjectModel(target, injections[i], opts.Model)
+		})
+	}
+	wg.Wait()
+
+	res.Faults = len(injections)
 	for _, o := range outcomes {
 		res.Counts.Add(o)
 	}

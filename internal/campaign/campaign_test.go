@@ -101,3 +101,51 @@ func TestRunDeterministicAcrossParallelism(t *testing.T) {
 		t.Fatalf("parallelism changed outcome counts: %+v vs %+v", serial.Counts, parallel.Counts)
 	}
 }
+
+// TestRunOnSharedPool checks that cells running on one shared pool —
+// including concurrently, as the study scheduler does — reproduce the
+// standalone results.
+func TestRunOnSharedPool(t *testing.T) {
+	exp := testExp(t)
+	rf, _ := faultinj.TargetByName("RF")
+	iq, _ := faultinj.TargetByName("IQ.src")
+	wantRF := Run(exp, rf, Options{Faults: 30, Seed: 3})
+	wantIQ := Run(exp, iq, Options{Faults: 30, Seed: 4})
+
+	pool := NewPool(4)
+	defer pool.Close()
+	var gotRF, gotIQ Result
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		gotRF = Run(exp, rf, Options{Faults: 30, Seed: 3, Pool: pool})
+	}()
+	gotIQ = Run(exp, iq, Options{Faults: 30, Seed: 4, Pool: pool})
+	<-done
+	if gotRF != wantRF {
+		t.Errorf("RF on shared pool: %+v, want %+v", gotRF, wantRF)
+	}
+	if gotIQ != wantIQ {
+		t.Errorf("IQ on shared pool: %+v, want %+v", gotIQ, wantIQ)
+	}
+}
+
+// TestRunSkipsUnsampleableCell is the regression test for the zero-bit
+// Sample crash: the cell must come back marked skipped with zero
+// faults instead of panicking the study.
+func TestRunSkipsUnsampleableCell(t *testing.T) {
+	exp := testExp(t)
+	empty := faultinj.NewTarget("NULL", "",
+		func(*machine.Machine) uint64 { return 0 },
+		func(*machine.Machine, uint64) {})
+	r := Run(exp, empty, Options{Faults: 25, Seed: 1})
+	if r.Skipped == "" {
+		t.Fatal("expected a skip reason for a zero-bit target")
+	}
+	if r.Faults != 0 || r.Counts.Total() != 0 {
+		t.Errorf("skipped cell recorded faults: %+v", r)
+	}
+	if r.AVF() != 0 {
+		t.Errorf("skipped cell AVF = %f, want 0", r.AVF())
+	}
+}

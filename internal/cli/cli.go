@@ -5,12 +5,38 @@ package cli
 import (
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
 
 	"sevsim/internal/compiler"
 	"sevsim/internal/lang"
 	"sevsim/internal/machine"
 	"sevsim/internal/workloads"
 )
+
+// Parallelism resolves a -parallel flag value: <= 0 means one worker
+// per available CPU (GOMAXPROCS).
+func Parallelism(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Progress returns a serialized stdout progress printer, or nil when
+// quiet. Concurrent study cells report through one mutex so lines never
+// interleave.
+func Progress(quiet bool) func(format string, args ...any) {
+	if quiet {
+		return nil
+	}
+	var mu sync.Mutex
+	return func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		fmt.Printf(format+"\n", args...)
+	}
+}
 
 // March resolves a microarchitecture flag value ("a15" or "a72", or a
 // full config name).

@@ -1,0 +1,194 @@
+// Study-level parallel execution engine. The serial predecessor walked
+// the 960 campaign cells of the full study one at a time, so the
+// machine idled whenever a cell's tail drained. Run now (1) pipelines
+// the compile + golden-run preparation of every (march, bench, level)
+// unit and (2) dispatches every cell's injections onto one shared
+// bounded worker pool, so cores stay busy across cell boundaries.
+//
+// Determinism: every result lands at the slice index the serial loop
+// would have used, and every cell samples with the same cellSeed, so a
+// saved study is byte-identical to a serial run regardless of
+// Parallelism.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"sevsim/internal/campaign"
+	"sevsim/internal/compiler"
+	"sevsim/internal/faultinj"
+	"sevsim/internal/machine"
+	"sevsim/internal/workloads"
+)
+
+// reporter serializes progress lines so concurrent cells never
+// interleave partial output.
+type reporter struct {
+	mu sync.Mutex
+	fn func(format string, args ...any)
+}
+
+func (r *reporter) printf(format string, args ...any) {
+	if r.fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fn(format, args...)
+}
+
+// prepUnit is one (march, bench, level) triple: a compile plus a golden
+// run that gates the unit's campaign cells.
+type prepUnit struct {
+	cfg   machine.Config
+	bench workloads.Benchmark
+	size  int
+	level compiler.OptLevel
+
+	exp    *faultinj.Experiment
+	golden Golden
+	err    error
+	ready  chan struct{} // closed once exp/golden/err are final
+}
+
+// run prepares the unit; stop short-circuits pending units once any
+// unit has failed, mirroring the serial loop's early abort.
+func (u *prepUnit) run(stop *atomic.Bool) {
+	defer close(u.ready)
+	if stop.Load() {
+		return
+	}
+	tgt := compilerTarget(u.cfg)
+	prog, err := compiler.Compile(u.bench.Source(u.size), u.bench.Name, u.level, tgt)
+	if err != nil {
+		u.err = fmt.Errorf("compile %s %v for %s: %w", u.bench.Name, u.level, u.cfg.Name, err)
+		stop.Store(true)
+		return
+	}
+	exp, err := faultinj.NewExperiment(u.cfg, prog)
+	if err != nil {
+		u.err = fmt.Errorf("golden %s %v on %s: %w", u.bench.Name, u.level, u.cfg.Name, err)
+		stop.Store(true)
+		return
+	}
+	u.exp = exp
+	u.golden = goldenOf(u.cfg, u.bench.Name, u.level, prog, exp)
+}
+
+// Run executes the study on a shared worker pool of Spec.Parallelism
+// workers (<= 0: GOMAXPROCS). Compile and golden runs are pipelined
+// with the injection campaigns: each unit's cells are dispatched the
+// moment its golden run finishes, while other units are still
+// preparing. Results are deterministic and identical to a serial
+// (Parallelism: 1) run.
+func (s Spec) Run() (*Study, error) {
+	st := &Study{Faults: s.Faults}
+	for _, m := range s.Machines {
+		st.MachineNames = append(st.MachineNames, m.Name)
+	}
+	for _, b := range s.Benchmarks {
+		st.BenchNames = append(st.BenchNames, b.Name)
+	}
+	for _, l := range s.Levels {
+		st.LevelNames = append(st.LevelNames, l.String())
+	}
+	for _, t := range s.Targets {
+		st.TargetNames = append(st.TargetNames, t.Name())
+	}
+
+	// Enumerate prep units in the serial loop's order; unit i owns
+	// Goldens[i] and Results[i*len(Targets) ... (i+1)*len(Targets)).
+	var units []*prepUnit
+	for _, cfg := range s.Machines {
+		for _, bench := range s.Benchmarks {
+			size := bench.DefaultSize
+			if s.Size != nil {
+				size = s.Size(bench)
+			}
+			for _, level := range s.Levels {
+				units = append(units, &prepUnit{
+					cfg: cfg, bench: bench, size: size, level: level,
+					ready: make(chan struct{}),
+				})
+			}
+		}
+	}
+	if len(units) == 0 {
+		return st, nil
+	}
+	nt := len(s.Targets)
+	st.Goldens = make([]Golden, len(units))
+	st.Results = make([]campaign.Result, len(units)*nt)
+
+	workers := s.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	pool := campaign.NewPool(workers)
+	defer pool.Close()
+	rep := &reporter{fn: s.Progress}
+
+	// Feed the preparation work through the same pool as the
+	// injections: compiles and golden runs for later units overlap with
+	// the campaigns of earlier ones. The feeder is its own goroutine
+	// because Submit blocks when the queue is full.
+	var stop atomic.Bool
+	go func() {
+		for _, u := range units {
+			u := u
+			pool.Submit(func() { u.run(&stop) })
+		}
+	}()
+
+	// One lightweight orchestrator per unit waits for its prep, then
+	// fans the unit's cells out onto the pool. Orchestrators and cell
+	// goroutines only wait and aggregate; all heavy work (simulation
+	// runs) happens on pool workers, bounding CPU use at `workers`.
+	var wg sync.WaitGroup
+	for ui, u := range units {
+		wg.Add(1)
+		go func(ui int, u *prepUnit) {
+			defer wg.Done()
+			<-u.ready
+			if u.err != nil || u.exp == nil {
+				return
+			}
+			st.Goldens[ui] = u.golden
+			rep.printf("golden %-16s %-9s %s: %d cycles (IPC %.2f)",
+				u.cfg.Name, u.bench.Name, u.level, u.exp.GoldenCycles, u.exp.GoldenStats.Stats.IPC())
+			var cells sync.WaitGroup
+			for ti, target := range s.Targets {
+				cells.Add(1)
+				go func(ti int, target faultinj.Target) {
+					defer cells.Done()
+					r := campaign.Run(u.exp, target, campaign.Options{
+						Faults: s.Faults,
+						Seed:   cellSeed(s.Seed, u.cfg.Name, u.bench.Name, u.level.String(), target.Name()),
+						Pool:   pool,
+					})
+					r.March = u.cfg.Name
+					r.Bench = u.bench.Name
+					r.Level = u.level.String()
+					st.Results[ui*nt+ti] = r
+					rep.printf("  %-16s %-9s %-2s %-9s AVF %5.1f%%  (SDC %d, crash %d, timeout %d, assert %d)",
+						r.March, r.Bench, r.Level, r.Target, r.AVF()*100, r.Counts.SDC, r.Counts.Crash,
+						r.Counts.Timeout, r.Counts.Assert)
+				}(ti, target)
+			}
+			cells.Wait()
+		}(ui, u)
+	}
+	wg.Wait()
+
+	// Match the serial loop's abort semantics: the first failing unit in
+	// enumeration order determines the returned error.
+	for _, u := range units {
+		if u.err != nil {
+			return nil, u.err
+		}
+	}
+	return st, nil
+}

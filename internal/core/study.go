@@ -8,9 +8,9 @@ package core
 
 import (
 	"encoding/json"
-	"fmt"
 	"hash/fnv"
 	"os"
+	"sync"
 
 	"sevsim/internal/campaign"
 	"sevsim/internal/compiler"
@@ -34,10 +34,14 @@ type Spec struct {
 	// Size overrides the benchmark scale; nil uses DefaultSize.
 	Size func(workloads.Benchmark) int
 
-	// Parallelism caps concurrent injections (<=0: GOMAXPROCS).
+	// Parallelism sizes the study-wide worker pool that all compiles,
+	// golden runs, and injections share (<=0: GOMAXPROCS). Results are
+	// identical at every setting; see Run.
 	Parallelism int
 
 	// Progress, when non-nil, receives human-readable progress lines.
+	// Lines are serialized, but arrive in completion order, which under
+	// Parallelism > 1 differs from the deterministic result order.
 	Progress func(format string, args ...any)
 }
 
@@ -84,12 +88,18 @@ type Study struct {
 
 	Goldens []Golden
 	Results []campaign.Result
+
+	// Lazily built lookup indexes; the aggregation accessors are called
+	// per cell by every figure, and a linear scan over the full study's
+	// 960 results per lookup made them O(n²).
+	indexOnce sync.Once
+	resultIdx map[cellKey]int
+	goldenIdx map[cellKey]int
 }
 
-func (s *Spec) progress(format string, args ...any) {
-	if s.Progress != nil {
-		s.Progress(format, args...)
-	}
+// cellKey addresses one campaign cell (Target empty for goldens).
+type cellKey struct {
+	March, Bench, Level, Target string
 }
 
 // compilerTarget derives the backend target from a machine config.
@@ -105,63 +115,6 @@ func cellSeed(master int64, parts ...string) int64 {
 		h.Write([]byte{0})
 	}
 	return master ^ int64(h.Sum64()&0x7fffffffffffffff)
-}
-
-// Run executes the study.
-func (s Spec) Run() (*Study, error) {
-	st := &Study{Faults: s.Faults}
-	for _, m := range s.Machines {
-		st.MachineNames = append(st.MachineNames, m.Name)
-	}
-	for _, b := range s.Benchmarks {
-		st.BenchNames = append(st.BenchNames, b.Name)
-	}
-	for _, l := range s.Levels {
-		st.LevelNames = append(st.LevelNames, l.String())
-	}
-	for _, t := range s.Targets {
-		st.TargetNames = append(st.TargetNames, t.Name())
-	}
-
-	for _, cfg := range s.Machines {
-		tgt := compilerTarget(cfg)
-		for _, bench := range s.Benchmarks {
-			size := bench.DefaultSize
-			if s.Size != nil {
-				size = s.Size(bench)
-			}
-			src := bench.Source(size)
-			for _, level := range s.Levels {
-				prog, err := compiler.Compile(src, bench.Name, level, tgt)
-				if err != nil {
-					return nil, fmt.Errorf("compile %s %v for %s: %w", bench.Name, level, cfg.Name, err)
-				}
-				exp, err := faultinj.NewExperiment(cfg, prog)
-				if err != nil {
-					return nil, fmt.Errorf("golden %s %v on %s: %w", bench.Name, level, cfg.Name, err)
-				}
-				st.Goldens = append(st.Goldens, goldenOf(cfg, bench.Name, level, prog, exp))
-				s.progress("golden %-16s %-9s %s: %d cycles (IPC %.2f)",
-					cfg.Name, bench.Name, level, exp.GoldenCycles, exp.GoldenStats.Stats.IPC())
-				for _, target := range s.Targets {
-					opts := campaign.Options{
-						Faults:      s.Faults,
-						Seed:        cellSeed(s.Seed, cfg.Name, bench.Name, level.String(), target.Name()),
-						Parallelism: s.Parallelism,
-					}
-					r := campaign.Run(exp, target, opts)
-					r.March = cfg.Name
-					r.Bench = bench.Name
-					r.Level = level.String()
-					st.Results = append(st.Results, r)
-					s.progress("  %-9s AVF %5.1f%%  (SDC %d, crash %d, timeout %d, assert %d)",
-						target.Name(), r.AVF()*100, r.Counts.SDC, r.Counts.Crash,
-						r.Counts.Timeout, r.Counts.Assert)
-				}
-			}
-		}
-	}
-	return st, nil
 }
 
 func goldenOf(cfg machine.Config, bench string, level compiler.OptLevel,
@@ -193,22 +146,36 @@ func goldenOf(cfg machine.Config, bench string, level compiler.OptLevel,
 
 // --- accessors --------------------------------------------------------------
 
+// buildIndex keys every golden and campaign result by cell once, so
+// lookups are O(1) instead of rescanning the whole result slice. It is
+// built lazily because a Study may come from Run or from Load.
+func (st *Study) buildIndex() {
+	st.indexOnce.Do(func() {
+		st.goldenIdx = make(map[cellKey]int, len(st.Goldens))
+		for i, g := range st.Goldens {
+			st.goldenIdx[cellKey{g.March, g.Bench, g.Level, ""}] = i
+		}
+		st.resultIdx = make(map[cellKey]int, len(st.Results))
+		for i, r := range st.Results {
+			st.resultIdx[cellKey{r.March, r.Bench, r.Level, r.Target}] = i
+		}
+	})
+}
+
 // Golden returns the fault-free record for a cell.
 func (st *Study) Golden(march, bench, level string) (Golden, bool) {
-	for _, g := range st.Goldens {
-		if g.March == march && g.Bench == bench && g.Level == level {
-			return g, true
-		}
+	st.buildIndex()
+	if i, ok := st.goldenIdx[cellKey{march, bench, level, ""}]; ok {
+		return st.Goldens[i], true
 	}
 	return Golden{}, false
 }
 
 // Result returns one campaign cell.
 func (st *Study) Result(march, bench, level, target string) (campaign.Result, bool) {
-	for _, r := range st.Results {
-		if r.March == march && r.Bench == bench && r.Level == level && r.Target == target {
-			return r, true
-		}
+	st.buildIndex()
+	if i, ok := st.resultIdx[cellKey{march, bench, level, target}]; ok {
+		return st.Results[i], true
 	}
 	return campaign.Result{}, false
 }

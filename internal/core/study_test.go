@@ -2,6 +2,8 @@ package core
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
 	"path/filepath"
 	"testing"
 
@@ -98,6 +100,58 @@ func TestStudyDeterminism(t *testing.T) {
 		if a.Results[i] != b.Results[i] {
 			t.Fatalf("result %d differs between runs:\n%+v\n%+v", i, a.Results[i], b.Results[i])
 		}
+	}
+}
+
+// TestSchedulerDeterminismAcrossParallelism asserts the parallel
+// scheduler's core guarantee: any Parallelism setting produces the
+// exact result set of the serial (Parallelism: 1) run — same goldens,
+// same per-cell counts, same order — so saved studies are
+// byte-identical.
+func TestSchedulerDeterminismAcrossParallelism(t *testing.T) {
+	spec := tinySpec(t)
+	spec.Machines = spec.Machines[:1]
+	spec.Benchmarks = spec.Benchmarks[:1]
+	spec.Parallelism = 1
+	base, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseJSON, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{8} {
+		par := par
+		t.Run(fmt.Sprintf("parallelism-%d", par), func(t *testing.T) {
+			spec := spec
+			spec.Parallelism = par
+			st, err := spec.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(st.Results) != len(base.Results) {
+				t.Fatalf("got %d results, want %d", len(st.Results), len(base.Results))
+			}
+			for i := range base.Results {
+				if st.Results[i] != base.Results[i] {
+					t.Errorf("result %d differs from serial run:\n%+v\n%+v",
+						i, st.Results[i], base.Results[i])
+				}
+			}
+			for i := range base.Goldens {
+				if st.Goldens[i] != base.Goldens[i] {
+					t.Errorf("golden %d differs from serial run", i)
+				}
+			}
+			j, err := json.Marshal(st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(j, baseJSON) {
+				t.Error("saved study JSON not byte-identical to serial run")
+			}
+		})
 	}
 }
 

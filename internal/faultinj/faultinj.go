@@ -6,6 +6,7 @@ package faultinj
 
 import (
 	"math/rand"
+	"sync"
 
 	"sevsim/internal/cpu"
 	"sevsim/internal/machine"
@@ -76,6 +77,15 @@ func coreTarget(component, field string, f cpu.Field) Target {
 	}
 }
 
+// NewTarget builds a custom injectable target from explicit bit-count
+// and bit-flip functions, for structures outside the paper's fifteen
+// built-in fields (experimental arrays, ablation studies, tests).
+func NewTarget(component, field string,
+	bits func(*machine.Machine) uint64,
+	flip func(*machine.Machine, uint64)) Target {
+	return Target{Component: component, Field: field, bits: bits, flip: flip}
+}
+
 // Targets returns every injectable field, grouped by component in the
 // paper's presentation order: the 8 components with all their
 // sub-fields (15 fields total).
@@ -127,13 +137,22 @@ func Components() []string {
 }
 
 // Experiment is a prepared injection experiment: one (machine config,
-// binary) pair with its golden (fault-free) reference run.
+// binary) pair with its golden (fault-free) reference run. An
+// Experiment is safe for concurrent use: campaigns over different
+// targets may share one instance.
 type Experiment struct {
 	Config       machine.Config
 	Program      *machine.Program
 	GoldenCycles uint64
 	GoldenOutput []uint64
 	GoldenStats  machine.Result
+
+	// Bit counts depend only on the configuration, so they are computed
+	// once per (experiment, target) on a single probe machine instead of
+	// allocating a fresh machine per query.
+	bitsMu   sync.Mutex
+	bitCache map[string]uint64
+	probe    *machine.Machine
 }
 
 // timeoutFactor follows the paper: a run is a Timeout when it exceeds
@@ -173,15 +192,52 @@ type Injection struct {
 }
 
 // TargetBits returns the injectable bit count of the target under this
-// experiment's machine configuration.
+// experiment's machine configuration. Counts are cached per target
+// name; the first query for a target probes a single shared machine
+// instance (bit counts are pure functions of the configuration).
 func (e *Experiment) TargetBits(t Target) uint64 {
-	return t.Bits(machine.New(e.Config, e.Program))
+	e.bitsMu.Lock()
+	defer e.bitsMu.Unlock()
+	if bits, ok := e.bitCache[t.Name()]; ok {
+		return bits
+	}
+	if e.probe == nil {
+		e.probe = machine.New(e.Config, e.Program)
+	}
+	bits := t.Bits(e.probe)
+	if e.bitCache == nil {
+		e.bitCache = make(map[string]uint64)
+	}
+	e.bitCache[t.Name()] = bits
+	return bits
+}
+
+// SampleError reports a target with no injectable (cycle x bit) space.
+type SampleError struct {
+	Target string
+	Reason string
+}
+
+func (e *SampleError) Error() string {
+	return "faultinj: cannot sample " + e.Target + ": " + e.Reason
 }
 
 // Sample draws n uniform (cycle, bit) faults for the target, following
-// the statistical fault injection formulation of Leveugle et al.
-func (e *Experiment) Sample(t Target, n int, seed int64) []Injection {
+// the statistical fault injection formulation of Leveugle et al. It
+// returns a SampleError when the (cycle x bit) space is empty — a
+// zero-bit target (e.g. a zero-entry queue configuration) or a golden
+// run with zero cycles — instead of panicking inside the RNG.
+func (e *Experiment) Sample(t Target, n int, seed int64) ([]Injection, error) {
 	bits := e.TargetBits(t)
+	if e.GoldenCycles == 0 {
+		return nil, &SampleError{Target: t.Name(), Reason: "golden run has zero cycles"}
+	}
+	if bits == 0 {
+		return nil, &SampleError{Target: t.Name(), Reason: "target has zero injectable bits"}
+	}
+	if n < 0 {
+		n = 0
+	}
 	r := rand.New(rand.NewSource(seed))
 	inj := make([]Injection, n)
 	for i := range inj {
@@ -190,7 +246,7 @@ func (e *Experiment) Sample(t Target, n int, seed int64) []Injection {
 			Bit:   uint64(r.Int63n(int64(bits))),
 		}
 	}
-	return inj
+	return inj, nil
 }
 
 // InjectResult is the classified outcome of one injection.

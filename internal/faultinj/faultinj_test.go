@@ -44,6 +44,15 @@ func testExperiment(t *testing.T) *Experiment {
 	return exp
 }
 
+func mustSample(t *testing.T, exp *Experiment, tg Target, n int, seed int64) []Injection {
+	t.Helper()
+	inj, err := exp.Sample(tg, n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inj
+}
+
 func TestGoldenRunRecorded(t *testing.T) {
 	exp := testExperiment(t)
 	if exp.GoldenCycles == 0 {
@@ -101,17 +110,61 @@ func TestTargetBitsMatchConfig(t *testing.T) {
 	}
 }
 
+// TestSampleEmptySpace is the regression test for the Sample panic
+// path: a zero-bit target (e.g. a zero-entry queue configuration) or a
+// zero-cycle golden run must yield an explicit error, not a panic
+// inside rand.Int63n.
+func TestSampleEmptySpace(t *testing.T) {
+	exp := testExperiment(t)
+	empty := NewTarget("NULL", "",
+		func(*machine.Machine) uint64 { return 0 },
+		func(*machine.Machine, uint64) {})
+	if _, err := exp.Sample(empty, 10, 1); err == nil {
+		t.Fatal("zero-bit target: expected error, got none")
+	} else if _, ok := err.(*SampleError); !ok {
+		t.Fatalf("zero-bit target: error type %T, want *SampleError", err)
+	}
+
+	frozen := &Experiment{Config: exp.Config, Program: exp.Program, GoldenCycles: 0}
+	rf, _ := TargetByName("RF")
+	if _, err := frozen.Sample(rf, 10, 1); err == nil {
+		t.Fatal("zero-cycle golden: expected error, got none")
+	}
+}
+
+// TestTargetBitsCached checks that repeated bit-count queries don't
+// rebuild a machine per call: after the first query, lookups are
+// allocation-free cache hits and remain consistent.
+func TestTargetBitsCached(t *testing.T) {
+	exp := testExperiment(t)
+	rf, _ := TargetByName("RF")
+	first := exp.TargetBits(rf)
+	allocs := testing.AllocsPerRun(20, func() {
+		if exp.TargetBits(rf) != first {
+			t.Error("cached bit count changed")
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("cached TargetBits allocates %.0f objects/op, want 0", allocs)
+	}
+	for _, target := range Targets() {
+		if exp.TargetBits(target) != exp.TargetBits(target) {
+			t.Errorf("%s: unstable bit count", target.Name())
+		}
+	}
+}
+
 func TestSampleDeterminism(t *testing.T) {
 	exp := testExperiment(t)
 	rf, _ := TargetByName("RF")
-	a := exp.Sample(rf, 50, 7)
-	b := exp.Sample(rf, 50, 7)
+	a := mustSample(t, exp, rf, 50, 7)
+	b := mustSample(t, exp, rf, 50, 7)
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatal("sampling not deterministic")
 		}
 	}
-	c := exp.Sample(rf, 50, 8)
+	c := mustSample(t, exp, rf, 50, 8)
 	same := 0
 	for i := range a {
 		if a[i] == c[i] {
@@ -126,7 +179,7 @@ func TestSampleDeterminism(t *testing.T) {
 func TestInjectionDeterminism(t *testing.T) {
 	exp := testExperiment(t)
 	rf, _ := TargetByName("RF")
-	inj := exp.Sample(rf, 20, 99)
+	inj := mustSample(t, exp, rf, 20, 99)
 	for _, one := range inj {
 		r1 := exp.Inject(rf, one)
 		r2 := exp.Inject(rf, one)
@@ -147,7 +200,7 @@ func TestInjectionSmoke(t *testing.T) {
 		t.Run(target.Name(), func(t *testing.T) {
 			t.Parallel()
 			counts := map[Outcome]int{}
-			for i, inj := range exp.Sample(target, 40, 1234) {
+			for i, inj := range mustSample(t, exp, target, 40, 1234) {
 				r := exp.Inject(target, inj)
 				if r.Unexpected {
 					t.Errorf("injection %d (%+v): unexpected panic: %s", i, inj, r.Reason)

@@ -17,7 +17,7 @@ func TestModelWidths(t *testing.T) {
 func TestSingleBitModelMatchesInject(t *testing.T) {
 	exp := testExperiment(t)
 	rf, _ := TargetByName("RF")
-	for _, inj := range exp.Sample(rf, 15, 5) {
+	for _, inj := range mustSample(t, exp, rf, 15, 5) {
 		a := exp.Inject(rf, inj)
 		b := exp.InjectModel(rf, inj, SingleBit)
 		if a.Outcome != b.Outcome {
@@ -32,7 +32,7 @@ func TestMultiBitNeverLessSevereOnValue(t *testing.T) {
 	// harness stays panic-free across every target and model.
 	exp := testExperiment(t)
 	for _, target := range Targets() {
-		inj := exp.Sample(target, 8, 11)
+		inj := mustSample(t, exp, target, 8, 11)
 		for _, model := range Models() {
 			for _, one := range inj {
 				r := exp.InjectModel(target, one, model)
@@ -51,7 +51,7 @@ func TestMultiBitAVFAtLeastObservable(t *testing.T) {
 	// This is statistical, so compare with a generous slack.
 	exp := testExperiment(t)
 	ctrl, _ := TargetByName("ROB.ctrl")
-	inj := exp.Sample(ctrl, 80, 21)
+	inj := mustSample(t, exp, ctrl, 80, 21)
 	single, double := 0, 0
 	for _, one := range inj {
 		if exp.InjectModel(ctrl, one, SingleBit).Outcome != Masked {
