@@ -24,6 +24,7 @@ import (
 	"testing"
 	"time"
 
+	"sevsim/internal/binanalysis"
 	"sevsim/internal/campaign"
 	"sevsim/internal/compiler"
 	"sevsim/internal/core"
@@ -308,6 +309,83 @@ func BenchmarkStudyScheduler(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		campaign.Run(exp, rf, campaign.Options{Faults: 8, Seed: int64(i), Pool: pool})
+	}
+}
+
+// BenchmarkPrunedStudy quantifies the static injection pruner: it runs
+// the same RF study with Spec.Prune off and on, asserts the
+// classification is identical, and reports the wall-clock saving plus
+// the fraction of injections proven Masked without simulation.
+func BenchmarkPrunedStudy(b *testing.B) {
+	pruneSpec := func(prune bool) core.Spec {
+		qsort, _ := workloads.ByName("qsort")
+		gsm, _ := workloads.ByName("gsm")
+		rf, _ := faultinj.TargetByName("RF")
+		return core.Spec{
+			Machines:    []machine.Config{machine.CortexA15Like()},
+			Benchmarks:  []workloads.Benchmark{qsort, gsm},
+			Levels:      compiler.Levels,
+			Targets:     []faultinj.Target{rf},
+			Faults:      envInt("SEV_FAULTS", 8) * 16,
+			Seed:        2021,
+			Size:        func(bm workloads.Benchmark) int { return bm.TestSize },
+			Parallelism: runtime.GOMAXPROCS(0),
+			Prune:       prune,
+		}
+	}
+	printFigure("pruned-study", func() {
+		t0 := time.Now()
+		base, err := pruneSpec(false).Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		baseD := time.Since(t0)
+		t0 = time.Now()
+		pruned, err := pruneSpec(true).Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		prunedD := time.Since(t0)
+		total, skipped := 0, 0
+		for i := range base.Results {
+			bc, pc := base.Results[i].Counts, pruned.Results[i].Counts
+			skipped += pc.Pruned
+			total += pruned.Faults
+			pc.Pruned = 0 // the only field allowed to differ
+			if bc != pc {
+				b.Fatalf("pruned study classified cell %d differently: %+v vs %+v",
+					i, base.Results[i].Counts, pruned.Results[i].Counts)
+			}
+		}
+		fmt.Printf("\nPruned study: %d cells x %d faults: unpruned %v, pruned %v (%.2fx); %d/%d injections (%.1f%%) proven Masked statically\n",
+			len(base.Results), pruned.Faults,
+			baseD.Round(time.Millisecond), prunedD.Round(time.Millisecond),
+			float64(baseD)/float64(prunedD),
+			skipped, total, 100*float64(skipped)/float64(total))
+	})
+	// Unit: one pruned RF campaign cell (traced golden run amortized).
+	bench, _ := workloads.ByName("qsort")
+	prog, err := compiler.Compile(bench.Source(bench.TestSize), "qsort", compiler.O2,
+		compiler.Target{XLEN: 32, NumArchRegs: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	exp, err := faultinj.NewTracedExperiment(machine.CortexA15Like(), prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := binanalysis.AnalyzeWords(prog.Code)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pruner, err := binanalysis.NewRFPruner(a, exp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rf, _ := faultinj.TargetByName("RF")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		campaign.Run(exp, rf, campaign.Options{Faults: 8, Seed: int64(i), Pruner: pruner})
 	}
 }
 

@@ -1,0 +1,259 @@
+// Command sevanalyze runs the binary-level ACE/liveness analyzer over
+// study binaries: it reconstructs each binary's control-flow graph,
+// computes per-instruction register liveness and value lifetimes,
+// checks binary invariants, and (with -bounds) runs the fault-free
+// simulation to derive the static lower bound on the Masked rate /
+// upper bound on the AVF of the physical register file — the numbers a
+// -prune injection campaign realizes without simulating.
+//
+// Usage:
+//
+//	sevanalyze                                  # all 32 a15 binaries: invariants + bounds
+//	sevanalyze -march a72 -bounds=false         # static-only pass, no simulation
+//	sevanalyze -bench qsort -O O2 -dump cfg     # CFG of one binary
+//	sevanalyze -bench sha -O O3 -dump live      # per-instruction liveness
+//	sevanalyze -bench fft -O O1 -dump lifetimes # value-lifetime histogram
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+
+	"sevsim/internal/binanalysis"
+	"sevsim/internal/cli"
+	"sevsim/internal/compiler"
+	"sevsim/internal/faultinj"
+	"sevsim/internal/isa"
+	"sevsim/internal/machine"
+	"sevsim/internal/report"
+	"sevsim/internal/workloads"
+)
+
+func main() {
+	marchFlag := flag.String("march", "a15", "microarchitecture: a15 or a72")
+	benchFlag := flag.String("bench", "", "benchmark name (default: all)")
+	levelFlag := flag.String("O", "", "optimization level O0..O3 (default: all)")
+	size := flag.Int("size", 0, "benchmark scale (0 = default)")
+	bounds := flag.Bool("bounds", true, "run golden simulations and report static Masked/AVF bounds")
+	dump := flag.String("dump", "", "detail dump for a single -bench/-O binary: cfg, live, lifetimes")
+	par := flag.Int("parallel", 0, "concurrent golden runs (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	cfg, err := cli.March(*marchFlag)
+	if err != nil {
+		cli.Fatal(err)
+	}
+
+	var benches []workloads.Benchmark
+	if *benchFlag == "" {
+		benches = workloads.All()
+	} else {
+		b, err := workloads.ByName(*benchFlag)
+		if err != nil {
+			cli.Fatal(err)
+		}
+		benches = []workloads.Benchmark{b}
+	}
+	levels := compiler.Levels
+	if *levelFlag != "" {
+		l, err := cli.Level(*levelFlag)
+		if err != nil {
+			cli.Fatal(err)
+		}
+		levels = []compiler.OptLevel{l}
+	}
+
+	if *dump != "" {
+		if len(benches) != 1 || len(levels) != 1 {
+			cli.Fatal(fmt.Errorf("-dump needs a single binary: give both -bench and -O"))
+		}
+		prog, a := analyzeOne(cfg, benches[0], levels[0], *size)
+		switch *dump {
+		case "cfg":
+			dumpCFG(prog.Name, a)
+		case "live":
+			dumpLiveness(a, cfg.CPU.NumArchRegs)
+		case "lifetimes":
+			dumpLifetimes(a)
+		default:
+			cli.Fatal(fmt.Errorf("unknown -dump %q (use cfg, live, lifetimes)", *dump))
+		}
+		return
+	}
+
+	type unit struct {
+		bench workloads.Benchmark
+		level compiler.OptLevel
+
+		words      int
+		blocks     int
+		funcs      int
+		deadWrites int
+		violations []binanalysis.Violation
+		bound      binanalysis.RFBound
+		cycles     uint64
+		err        error
+	}
+	var units []*unit
+	for _, b := range benches {
+		for _, l := range levels {
+			units = append(units, &unit{bench: b, level: l})
+		}
+	}
+
+	// Bounded fan-out: compiles are cheap but each -bounds unit runs a
+	// full golden simulation.
+	sem := make(chan struct{}, cli.Parallelism(*par))
+	var wg sync.WaitGroup
+	for _, u := range units {
+		wg.Add(1)
+		go func(u *unit) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			sz := u.bench.DefaultSize
+			if *size > 0 {
+				sz = *size
+			}
+			prog, err := compiler.Compile(u.bench.Source(sz), u.bench.Name, u.level, cli.Target(cfg))
+			if err != nil {
+				u.err = err
+				return
+			}
+			a, err := binanalysis.AnalyzeWords(prog.Code)
+			if err != nil {
+				u.err = err
+				return
+			}
+			u.words = len(prog.Code)
+			u.blocks = len(a.CFG.Blocks)
+			u.funcs = len(a.CFG.FuncEntries)
+			for _, lt := range a.Lifetimes {
+				if lt.Uses == 0 {
+					u.deadWrites++
+				}
+			}
+			u.violations = binanalysis.CheckInvariants(a)
+			if *bounds {
+				exp, err := faultinj.NewTracedExperiment(cfg, prog)
+				if err != nil {
+					u.err = err
+					return
+				}
+				pr, err := binanalysis.NewRFPruner(a, exp)
+				if err != nil {
+					u.err = err
+					return
+				}
+				u.bound = pr.Bound()
+				u.cycles = exp.GoldenCycles
+			}
+		}(u)
+	}
+	wg.Wait()
+
+	headers := []string{"benchmark", "level", "words", "blocks", "funcs", "dead-writes", "invariants"}
+	if *bounds {
+		headers = append(headers, "cycles", "static Masked>=", "static AVF<=")
+	}
+	rows := [][]string{}
+	failed := false
+	for _, u := range units {
+		if u.err != nil {
+			failed = true
+			fmt.Fprintf(os.Stderr, "error: %s %s: %v\n", u.bench.Name, u.level, u.err)
+			continue
+		}
+		inv := "ok"
+		if len(u.violations) > 0 {
+			inv = fmt.Sprintf("%d violations", len(u.violations))
+		}
+		row := []string{u.bench.Name, u.level.String(),
+			fmt.Sprint(u.words), fmt.Sprint(u.blocks), fmt.Sprint(u.funcs),
+			fmt.Sprint(u.deadWrites), inv}
+		if *bounds {
+			row = append(row, fmt.Sprint(u.cycles),
+				report.Pct(u.bound.MaskedLB), report.Pct(u.bound.AVFUpperBound))
+		}
+		rows = append(rows, row)
+	}
+	fmt.Printf("Static ACE analysis: %d binaries on %s\n", len(rows), cfg.Name)
+	report.Table(os.Stdout, headers, rows)
+	for _, u := range units {
+		for _, v := range u.violations {
+			fmt.Printf("%s %s: %s\n", u.bench.Name, u.level, v)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func analyzeOne(cfg machine.Config, b workloads.Benchmark, l compiler.OptLevel, size int) (*machine.Program, *binanalysis.Analysis) {
+	if size <= 0 {
+		size = b.DefaultSize
+	}
+	prog, err := compiler.Compile(b.Source(size), b.Name, l, cli.Target(cfg))
+	if err != nil {
+		cli.Fatal(err)
+	}
+	a, err := binanalysis.AnalyzeWords(prog.Code)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	return prog, a
+}
+
+func dumpCFG(name string, a *binanalysis.Analysis) {
+	g := a.CFG
+	fmt.Printf("%s: %d instructions, %d blocks, %d function entries, %d return points\n",
+		name, len(g.Code), len(g.Blocks), len(g.FuncEntries), len(g.RetPoints))
+	for bi, b := range g.Blocks {
+		attr := ""
+		if b.IsRet {
+			attr = " (return)"
+		}
+		if b.Unknown {
+			attr = " (indirect: successors unknown)"
+		}
+		fmt.Printf("\nblock %d [%d,%d) -> %v%s\n", bi, b.Start, b.End, b.Succs, attr)
+		for i := b.Start; i < b.End; i++ {
+			fmt.Printf("  %4d  %s\n", i, g.Code[i])
+		}
+	}
+}
+
+func dumpLiveness(a *binanalysis.Analysis, nregs int) {
+	for i, in := range a.CFG.Code {
+		fmt.Printf("%4d  %-28s live-out %-30s dead %s\n",
+			i, in.String(), a.LiveOut[i], a.DeadOut(i, nregs))
+	}
+}
+
+func dumpLifetimes(a *binanalysis.Analysis) {
+	bounds, counts := binanalysis.LifetimeHistogram(a.Lifetimes)
+	fmt.Printf("%d definition sites\n", len(a.Lifetimes))
+	fmt.Println("def->furthest-use distance histogram (instructions over CFG edges):")
+	for k := range bounds {
+		label := fmt.Sprintf("= %d", bounds[k])
+		if k >= 2 {
+			label = fmt.Sprintf("<= %d", bounds[k])
+		}
+		if k == 0 {
+			label = "dead"
+		}
+		fmt.Printf("  %-8s %6d\n", label, counts[k])
+	}
+	var longest binanalysis.Lifetime
+	for _, lt := range a.Lifetimes {
+		if lt.Dist > longest.Dist {
+			longest = lt
+		}
+	}
+	if longest.Dist > 0 {
+		fmt.Printf("longest-lived value: %s defined at %d, furthest use %d instructions away (%d uses)\n",
+			isa.RegName(longest.Reg), longest.DefIdx, longest.Dist, longest.Uses)
+	}
+}

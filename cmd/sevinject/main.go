@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 
+	"sevsim/internal/binanalysis"
 	"sevsim/internal/campaign"
 	"sevsim/internal/cli"
 	"sevsim/internal/compiler"
@@ -33,6 +34,7 @@ func main() {
 	seed := flag.Int64("seed", 2021, "sampling seed")
 	par := flag.Int("parallel", 0, "concurrent injections (0 = GOMAXPROCS)")
 	modelFlag := flag.String("model", "single", "fault model: single, double, quad (multi-bit upsets)")
+	prune := flag.Bool("prune", false, "statically prune provably-masked RF injections (identical outcomes, less simulation)")
 	flag.Parse()
 
 	cfg, err := cli.March(*marchFlag)
@@ -51,9 +53,28 @@ func main() {
 	if err != nil {
 		cli.Fatal(err)
 	}
-	exp, err := faultinj.NewExperiment(cfg, prog)
+	newExp := faultinj.NewExperiment
+	if *prune {
+		newExp = faultinj.NewTracedExperiment
+	}
+	exp, err := newExp(cfg, prog)
 	if err != nil {
 		cli.Fatal(err)
+	}
+	var pruner faultinj.Pruner
+	if *prune {
+		a, err := binanalysis.AnalyzeWords(prog.Code)
+		if err != nil {
+			cli.Fatal(err)
+		}
+		rf, err := binanalysis.NewRFPruner(a, exp)
+		if err != nil {
+			cli.Fatal(err)
+		}
+		pruner = rf
+		b := rf.Bound()
+		fmt.Printf("static RF bound: Masked >= %.2f%%, AVF <= %.2f%%\n",
+			b.MaskedLB*100, b.AVFUpperBound*100)
 	}
 	model := faultinj.SingleBit
 	switch *modelFlag {
@@ -88,7 +109,7 @@ func main() {
 		"target", "bits", "faults", "AVF", "SDC", "Crash", "Timeout", "Assert")
 	for _, t := range targets {
 		r := campaign.Run(exp, t, campaign.Options{
-			Faults: *faults, Seed: *seed, Pool: pool, Model: model,
+			Faults: *faults, Seed: *seed, Pool: pool, Model: model, Pruner: pruner,
 		})
 		if r.Skipped != "" {
 			fmt.Printf("%-10s %8d  skipped: %s\n", t.Name(), r.StructBits, r.Skipped)
@@ -101,6 +122,9 @@ func main() {
 			r.ClassRate(faultinj.Crash)*100,
 			r.ClassRate(faultinj.Timeout)*100,
 			r.ClassRate(faultinj.Assert)*100)
+		if r.Counts.Pruned > 0 {
+			fmt.Printf("  pruned: %d/%d proven Masked statically (never simulated)\n", r.Counts.Pruned, r.Faults)
+		}
 		if r.Counts.Unexpected > 0 {
 			fmt.Printf("  WARNING: %d unexpected simulator panics\n", r.Counts.Unexpected)
 		}

@@ -33,6 +33,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "benchmark size multiplier")
 	load := flag.String("load", "", "re-render figures from a saved study.json instead of running")
 	par := flag.Int("parallel", 0, "study-wide worker pool size (0 = GOMAXPROCS); results are identical at any setting")
+	prune := flag.Bool("prune", false, "statically prune provably-masked RF injections (identical outcomes, less simulation)")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
 
@@ -51,6 +52,7 @@ func main() {
 		spec := core.DefaultSpec(*faults)
 		spec.Seed = *seed
 		spec.Parallelism = cli.Parallelism(*par)
+		spec.Prune = *prune
 		if *scale != 1.0 {
 			spec.Size = func(b workloads.Benchmark) int {
 				s := int(float64(b.DefaultSize) * *scale)
@@ -92,13 +94,14 @@ func main() {
 		fatal(err)
 	}
 	headers := []string{"march", "bench", "level", "target", "faults",
-		"masked", "sdc", "crash", "timeout", "assert", "golden_cycles", "struct_bits"}
+		"masked", "sdc", "crash", "timeout", "assert", "pruned", "golden_cycles", "struct_bits"}
 	rows := make([][]string, 0, len(st.Results))
 	for _, r := range st.Results {
 		rows = append(rows, []string{
 			r.March, r.Bench, r.Level, r.Target,
 			fmt.Sprint(r.Faults), fmt.Sprint(r.Counts.Masked), fmt.Sprint(r.Counts.SDC),
 			fmt.Sprint(r.Counts.Crash), fmt.Sprint(r.Counts.Timeout), fmt.Sprint(r.Counts.Assert),
+			fmt.Sprint(r.Counts.Pruned),
 			fmt.Sprint(r.GoldenCycles), fmt.Sprint(r.StructBits),
 		})
 	}

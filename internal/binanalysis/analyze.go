@@ -1,0 +1,69 @@
+package binanalysis
+
+import "sevsim/internal/isa"
+
+// Analysis bundles every static result for one binary.
+type Analysis struct {
+	CFG     *CFG
+	LiveIn  []RegSet // per-instruction live-in (registers read before redefinition on some path)
+	LiveOut []RegSet // per-instruction live-out
+	// Lifetimes holds one record per definition site: how far (in
+	// instructions over CFG edges) the defined value travels to its
+	// furthest reached use.
+	Lifetimes []Lifetime
+}
+
+// Analyze reconstructs the CFG of an assembled binary and runs the
+// liveness and reaching-definitions fixpoints over it.
+func Analyze(code []isa.Instr) (*Analysis, error) {
+	g, err := BuildCFG(code)
+	if err != nil {
+		return nil, err
+	}
+	liveIn, liveOut := liveness(g)
+	return &Analysis{
+		CFG:       g,
+		LiveIn:    liveIn,
+		LiveOut:   liveOut,
+		Lifetimes: reachingDefs(g),
+	}, nil
+}
+
+// AnalyzeWords decodes an assembled code image and analyzes it; the
+// entry point for consumers holding a machine.Program.
+func AnalyzeWords(words []uint32) (*Analysis, error) {
+	code := make([]isa.Instr, len(words))
+	for i, w := range words {
+		code[i] = isa.Decode(w)
+	}
+	return Analyze(code)
+}
+
+// DeadOut returns the registers provably dead immediately after
+// instruction i, restricted to the machine's nregs architectural
+// registers. Register 0 is never reported dead: the zero register's
+// physical mapping is permanent and architecturally read-as-zero, so
+// its bits are handled by the injector, not the pruner.
+func (a *Analysis) DeadOut(i, nregs int) RegSet {
+	dead := ^a.LiveOut[i]
+	if nregs < 32 {
+		dead &= (1 << nregs) - 1
+	}
+	return dead.Without(isa.RegZero)
+}
+
+// EntryLive returns the registers live at program entry, i.e. read on
+// some path before any definition. For a well-formed binary this holds
+// no caller-saved registers (see CheckInvariants).
+func (a *Analysis) EntryLive() RegSet { return a.LiveIn[0] }
+
+// EntryDead mirrors DeadOut for the moment before the first
+// instruction commits: registers whose initial machine state is
+// provably never read.
+func (a *Analysis) EntryDead(nregs int) RegSet {
+	dead := ^a.LiveIn[0]
+	if nregs < 32 {
+		dead &= (1 << nregs) - 1
+	}
+	return dead.Without(isa.RegZero)
+}

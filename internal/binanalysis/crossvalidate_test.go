@@ -1,0 +1,97 @@
+package binanalysis_test
+
+// Cross-validation of the pruner's soundness claim against the actual
+// simulator: every injection the static analysis proves masked is also
+// simulated end to end, and the simulation must agree. This is the
+// property the whole pruning optimization rests on; if the analyzer
+// ever claims a live bit dead, this test catches it with the concrete
+// (benchmark, level, cycle, bit) witness.
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"sevsim/internal/binanalysis"
+	"sevsim/internal/compiler"
+	"sevsim/internal/faultinj"
+	"sevsim/internal/machine"
+	"sevsim/internal/workloads"
+)
+
+func TestPrunerSoundnessAgainstSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates every pruned injection; skipped in -short")
+	}
+	cfg := machine.CortexA15Like()
+	rf, ok := faultinj.TargetByName("RF")
+	if !ok {
+		t.Fatal("RF target missing")
+	}
+	const samplesPerCell = 400
+
+	benches := []string{"qsort", "gsm", "sha"}
+	var totalPruned atomic.Int64
+	for _, name := range benches {
+		bench, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, level := range compiler.Levels {
+			t.Run(fmt.Sprintf("%s-%s", name, level), func(t *testing.T) {
+				t.Parallel()
+				prog, err := compiler.Compile(bench.Source(bench.TestSize), bench.Name, level,
+					compiler.Target{XLEN: cfg.CPU.XLEN, NumArchRegs: cfg.CPU.NumArchRegs})
+				if err != nil {
+					t.Fatal(err)
+				}
+				exp, err := faultinj.NewTracedExperiment(cfg, prog)
+				if err != nil {
+					t.Fatal(err)
+				}
+				a, err := binanalysis.AnalyzeWords(prog.Code)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pruner, err := binanalysis.NewRFPruner(a, exp)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if vs := binanalysis.CheckInvariants(a); len(vs) != 0 {
+					t.Fatalf("compiler-emitted binary violates invariants: %v", vs)
+				}
+				b := pruner.Bound()
+				if b.MaskedLB <= 0 || b.MaskedLB >= 1 || b.PrunableBits > b.SpaceBits {
+					t.Fatalf("implausible bound: %+v", b)
+				}
+				injections, err := exp.Sample(rf, samplesPerCell, 13)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pruned := 0
+				for _, inj := range injections {
+					prunable, reason := pruner.Prunable(rf, inj)
+					if !prunable {
+						continue
+					}
+					pruned++
+					if r := exp.Inject(rf, inj); r.Outcome != faultinj.Masked {
+						t.Errorf("cycle %d bit %d pruned (%s) but simulated as %s (%s)",
+							inj.Cycle, inj.Bit, reason, r.Outcome, r.Reason)
+					}
+				}
+				if pruned == 0 {
+					t.Logf("no prunable injections in %d samples", samplesPerCell)
+				}
+				totalPruned.Add(int64(pruned))
+			})
+		}
+	}
+	// Subtests run in parallel, so totalPruned is checked in a cleanup
+	// after they all finish.
+	t.Cleanup(func() {
+		if totalPruned.Load() == 0 {
+			t.Error("no injection was prunable across any cell; cross-validation is vacuous")
+		}
+	})
+}

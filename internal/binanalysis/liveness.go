@@ -1,0 +1,94 @@
+package binanalysis
+
+// Backward architectural-register liveness to fixpoint, at basic-block
+// granularity with a per-instruction refinement pass.
+//
+// A register is live at a point when some static path from that point
+// reads it before any redefinition; dead (un-ACE) otherwise. The
+// analysis is a may-analysis over the union of static paths, so its
+// dead sets are conservative with respect to any dynamic execution —
+// including wrong-path (speculative) execution, because every
+// speculatively fetched path is also a static path of the binary.
+
+// liveness computes per-instruction live-in/live-out sets.
+func liveness(g *CFG) (liveIn, liveOut []RegSet) {
+	nb := len(g.Blocks)
+	blockIn := make([]RegSet, nb)
+	blockOut := make([]RegSet, nb)
+
+	// Per-block gen (upward-exposed uses) and kill (defs) summaries.
+	gen := make([]RegSet, nb)
+	kill := make([]RegSet, nb)
+	for bi, b := range g.Blocks {
+		var g1, k1 RegSet
+		for i := b.Start; i < b.End; i++ {
+			in := g.Code[i]
+			g1 |= uses(in) &^ k1
+			if d := def(in); d != 0xff {
+				k1 = k1.With(d)
+			}
+		}
+		gen[bi] = g1
+		kill[bi] = k1
+	}
+
+	// Worklist fixpoint. Seed every block so unreachable code is still
+	// analyzed (the invariant checker and sevanalyze dumps cover the
+	// whole binary, not just the reachable slice).
+	work := make([]int, 0, nb)
+	inWork := make([]bool, nb)
+	push := func(bi int) {
+		if !inWork[bi] {
+			inWork[bi] = true
+			work = append(work, bi)
+		}
+	}
+	preds := make([][]int, nb)
+	for bi, b := range g.Blocks {
+		for _, s := range b.Succs {
+			preds[s] = append(preds[s], bi)
+		}
+	}
+	for bi := nb - 1; bi >= 0; bi-- {
+		push(bi)
+	}
+	for len(work) > 0 {
+		bi := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[bi] = false
+		b := g.Blocks[bi]
+		var out RegSet
+		if b.Unknown {
+			out = AllRegs
+		}
+		for _, s := range b.Succs {
+			out |= blockIn[s]
+		}
+		blockOut[bi] = out
+		in := gen[bi] | (out &^ kill[bi])
+		if in != blockIn[bi] {
+			blockIn[bi] = in
+			for _, p := range preds[bi] {
+				push(p)
+			}
+		}
+	}
+
+	// Refine block sets to per-instruction sets in one backward sweep.
+	n := len(g.Code)
+	liveIn = make([]RegSet, n)
+	liveOut = make([]RegSet, n)
+	for bi, b := range g.Blocks {
+		cur := blockOut[bi]
+		for i := b.End - 1; i >= b.Start; i-- {
+			liveOut[i] = cur
+			in := g.Code[i]
+			if d := def(in); d != 0xff {
+				cur = cur.Without(d)
+			}
+			cur |= uses(in)
+			liveIn[i] = cur
+		}
+	}
+	return liveIn, liveOut
+}

@@ -1,0 +1,242 @@
+package binanalysis
+
+import "math/bits"
+
+// Forward reaching-definitions to fixpoint, plus the def->use chains
+// and static value-lifetime intervals derived from them.
+//
+// A definition site is an instruction with an architectural destination
+// register. The lifetime of a definition is the shortest-path distance
+// (in instructions, over CFG edges) from the definition to the furthest
+// use it reaches — the static analogue of the def->last-use intervals
+// that dynamic dead-value analyses measure, and the quantity the paper
+// community correlates with register-file vulnerability (long-lived
+// values are ACE for more cycles).
+
+// bitvec is a dense bitset over definition-site ids.
+type bitvec []uint64
+
+func newBitvec(n int) bitvec { return make(bitvec, (n+63)/64) }
+
+func (v bitvec) set(i int)      { v[i/64] |= 1 << (i % 64) }
+func (v bitvec) has(i int) bool { return v[i/64]&(1<<(i%64)) != 0 }
+
+func (v bitvec) orWith(o bitvec) bool {
+	changed := false
+	for i := range v {
+		n := v[i] | o[i]
+		if n != v[i] {
+			v[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (v bitvec) copyFrom(o bitvec) {
+	copy(v, o)
+}
+
+// Lifetime is one definition's static value-lifetime record.
+type Lifetime struct {
+	DefIdx int   // instruction index of the definition
+	Reg    uint8 // defined architectural register
+	Uses   int   // number of use sites this definition reaches
+	// Dist is the shortest-path distance to the furthest reached use; 0
+	// when the definition reaches no use (a statically dead write).
+	Dist int
+}
+
+// reachingDefs computes def->use chains and lifetimes.
+func reachingDefs(g *CFG) []Lifetime {
+	n := len(g.Code)
+
+	// Enumerate definition sites.
+	defID := make([]int, n) // instruction -> def id, -1 when none
+	var defs []Lifetime
+	for i := range defID {
+		defID[i] = -1
+	}
+	for i, in := range g.Code {
+		if d := def(in); d != 0xff {
+			defID[i] = len(defs)
+			defs = append(defs, Lifetime{DefIdx: i, Reg: d})
+		}
+	}
+	nd := len(defs)
+	if nd == 0 {
+		return defs
+	}
+
+	// Per-register definition-site masks (for kill sets).
+	defsOf := make([]bitvec, 32)
+	for r := range defsOf {
+		defsOf[r] = newBitvec(nd)
+	}
+	for id, d := range defs {
+		defsOf[d.Reg].set(id)
+	}
+
+	// Block-level gen/kill and in/out fixpoint.
+	nb := len(g.Blocks)
+	gen := make([]bitvec, nb)
+	kill := make([]bitvec, nb)
+	in := make([]bitvec, nb)
+	out := make([]bitvec, nb)
+	for bi, b := range g.Blocks {
+		gen[bi] = newBitvec(nd)
+		kill[bi] = newBitvec(nd)
+		in[bi] = newBitvec(nd)
+		out[bi] = newBitvec(nd)
+		for i := b.Start; i < b.End; i++ {
+			id := defID[i]
+			if id < 0 {
+				continue
+			}
+			r := defs[id].Reg
+			for w := range kill[bi] {
+				kill[bi][w] |= defsOf[r][w]
+				gen[bi][w] &^= defsOf[r][w]
+			}
+			gen[bi].set(id)
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for bi, b := range g.Blocks {
+			for _, s := range b.Succs {
+				if in[s].orWith(out[bi]) {
+					changed = true
+				}
+			}
+			// out = gen | (in &^ kill)
+			for w := range out[bi] {
+				n := gen[bi][w] | (in[bi][w] &^ kill[bi][w])
+				if n != out[bi][w] {
+					out[bi][w] = n
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Resolve each use to its reaching definitions.
+	useOf := make([][]int, nd) // def id -> use instruction indices
+	cur := newBitvec(nd)
+	for bi, b := range g.Blocks {
+		cur.copyFrom(in[bi])
+		for i := b.Start; i < b.End; i++ {
+			u := uses(g.Code[i])
+			for r := uint8(0); r < 32; r++ {
+				if !u.Has(r) {
+					continue
+				}
+				for w, word := range cur {
+					word &= defsOf[r][w]
+					for word != 0 {
+						id := w*64 + bits.TrailingZeros64(word)
+						useOf[id] = append(useOf[id], i)
+						word &= word - 1
+					}
+				}
+			}
+			if id := defID[i]; id >= 0 {
+				r := defs[id].Reg
+				for w := range cur {
+					cur[w] &^= defsOf[r][w]
+				}
+				cur.set(id)
+			}
+		}
+	}
+
+	// Shortest-path distances def -> reached uses; lifetime = max.
+	distCap := n + 1
+	dist := make([]int, n)
+	queue := make([]int, 0, 64)
+	succBuf := make([]int, 0, 8)
+	for id := range defs {
+		usesHere := useOf[id]
+		defs[id].Uses = len(usesHere)
+		if len(usesHere) == 0 {
+			continue
+		}
+		want := make(map[int]bool, len(usesHere))
+		for _, u := range usesHere {
+			want[u] = true
+		}
+		for i := range dist {
+			dist[i] = -1
+		}
+		start := defs[id].DefIdx
+		dist[start] = 0
+		queue = append(queue[:0], start)
+		remaining := len(want)
+		maxD := 0
+		for qi := 0; qi < len(queue) && remaining > 0; qi++ {
+			i := queue[qi]
+			d := dist[i]
+			if d >= distCap {
+				break
+			}
+			succBuf = g.InstrSuccs(i, succBuf[:0])
+			for _, s := range succBuf {
+				if dist[s] >= 0 {
+					continue
+				}
+				dist[s] = d + 1
+				if want[s] {
+					if d+1 > maxD {
+						maxD = d + 1
+					}
+					remaining--
+				}
+				// A reached use whose instruction redefines the register
+				// would stop the value's propagation, but for a shortest
+				// -path over-approximation of the interval we keep
+				// expanding; the distance to already-found uses is exact.
+				queue = append(queue, s)
+			}
+		}
+		defs[id].Dist = maxD
+	}
+	return defs
+}
+
+// LifetimeHistogram buckets lifetimes into power-of-two distance bins:
+// bin k holds definitions with Dist in [2^(k-1)+1 .. 2^k] (bin 0 is
+// Dist 0, i.e. dead writes; bin 1 is Dist 1). Returns the bucket upper
+// bounds and counts.
+func LifetimeHistogram(defs []Lifetime) (bounds []int, counts []int) {
+	maxD := 0
+	for _, d := range defs {
+		if d.Dist > maxD {
+			maxD = d.Dist
+		}
+	}
+	nb := 1
+	for ub := 1; ub < maxD; ub *= 2 {
+		nb++
+	}
+	nb++ // bin 0 for dead writes
+	bounds = make([]int, nb)
+	counts = make([]int, nb)
+	bounds[0] = 0
+	ub := 1
+	for k := 1; k < nb; k++ {
+		bounds[k] = ub
+		ub *= 2
+	}
+	for _, d := range defs {
+		k := 0
+		if d.Dist > 0 {
+			k = 1
+			for bounds[k] < d.Dist {
+				k++
+			}
+		}
+		counts[k]++
+	}
+	return bounds, counts
+}

@@ -61,6 +61,9 @@ type Counts struct {
 	// Unexpected counts asserts that came from recovered simulator
 	// panics rather than modelled invariant checks (should stay zero).
 	Unexpected int
+	// Pruned counts the Masked outcomes that were proven statically and
+	// never simulated (subset of Masked).
+	Pruned int
 }
 
 // Total returns the number of injections behind the counts.
@@ -84,6 +87,9 @@ func (c *Counts) Add(r faultinj.InjectResult) {
 	}
 	if r.Unexpected {
 		c.Unexpected++
+	}
+	if r.Pruned {
+		c.Pruned++
 	}
 }
 
@@ -152,6 +158,12 @@ type Options struct {
 	Pool *Pool
 	// Model selects the fault multiplicity (default single-bit).
 	Model faultinj.Model
+	// Pruner, when non-nil, is consulted before each injection: a fault
+	// it proves masked is recorded as Masked (with Counts.Pruned
+	// incremented) without running the simulation. Only single-bit
+	// campaigns are pruned — the static argument covers one bit in one
+	// physical register, so any wider Model bypasses the pruner.
+	Pruner faultinj.Pruner
 }
 
 // Run executes one campaign cell: Faults injections into target, in
@@ -181,6 +193,16 @@ func Run(exp *faultinj.Experiment, target faultinj.Target, opts Options) Result 
 		i := i
 		pool.Submit(func() {
 			defer wg.Done()
+			if opts.Pruner != nil && opts.Model.Width() <= 1 {
+				if ok, reason := opts.Pruner.Prunable(target, injections[i]); ok {
+					outcomes[i] = faultinj.InjectResult{
+						Outcome: faultinj.Masked,
+						Reason:  "pruned: " + reason,
+						Pruned:  true,
+					}
+					return
+				}
+			}
 			outcomes[i] = exp.InjectModel(target, injections[i], opts.Model)
 		})
 	}

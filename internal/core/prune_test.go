@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+
+	"sevsim/internal/compiler"
+	"sevsim/internal/faultinj"
+	"sevsim/internal/machine"
+	"sevsim/internal/workloads"
+)
+
+// pruneSpec: one machine, two benchmarks, all four levels, RF only —
+// the cells the static pruner can act on.
+func pruneSpec(t *testing.T) Spec {
+	t.Helper()
+	qsort, err := workloads.ByName("qsort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gsm, err := workloads.ByName("gsm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, _ := faultinj.TargetByName("RF")
+	return Spec{
+		Machines:   []machine.Config{machine.CortexA15Like()},
+		Benchmarks: []workloads.Benchmark{qsort, gsm},
+		Levels:     compiler.Levels,
+		Targets:    []faultinj.Target{rf},
+		Faults:     80,
+		Seed:       11,
+		Size:       func(b workloads.Benchmark) int { return b.TestSize },
+	}
+}
+
+// TestPruneEquivalence asserts the pruner's contract: a -prune study
+// classifies every injection exactly as the unpruned study does (same
+// seeds), while skipping a nonzero fraction of the simulations, and
+// the recorded static AVF upper bound dominates the injected AVF on
+// every cell.
+func TestPruneEquivalence(t *testing.T) {
+	spec := pruneSpec(t)
+	base, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Prune = true
+	pruned, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(pruned.Results) != len(base.Results) {
+		t.Fatalf("result count %d != %d", len(pruned.Results), len(base.Results))
+	}
+	totalPruned := 0
+	for i := range base.Results {
+		b, p := base.Results[i], pruned.Results[i]
+		bc, pc := b.Counts, p.Counts
+		pc.Pruned = 0 // the only field allowed to differ
+		if bc != pc {
+			t.Errorf("cell %s/%s/%s/%s classification changed: %+v -> %+v",
+				b.March, b.Bench, b.Level, b.Target, b.Counts, p.Counts)
+		}
+		totalPruned += p.Counts.Pruned
+		if p.Counts.Pruned > p.Counts.Masked {
+			t.Errorf("cell %s/%s/%s: pruned %d exceeds masked %d",
+				p.Bench, p.Level, p.Target, p.Counts.Pruned, p.Counts.Masked)
+		}
+	}
+	if totalPruned == 0 {
+		t.Error("pruner skipped zero injections across the whole study")
+	}
+
+	if len(pruned.Static) != len(pruned.Goldens) {
+		t.Fatalf("static records %d != units %d", len(pruned.Static), len(pruned.Goldens))
+	}
+	if len(base.Static) != 0 {
+		t.Errorf("unpruned study has %d static records, want none", len(base.Static))
+	}
+	for _, r := range pruned.Results {
+		s, ok := pruned.StaticFor(r.March, r.Bench, r.Level)
+		if !ok {
+			t.Fatalf("missing static bound for %s/%s/%s", r.March, r.Bench, r.Level)
+		}
+		if s.MaskedLB <= 0 || s.MaskedLB >= 1 {
+			t.Errorf("%s/%s: MaskedLB %v out of (0,1)", s.Bench, s.Level, s.MaskedLB)
+		}
+		if s.PrunableBits == 0 || s.PrunableBits > s.SpaceBits {
+			t.Errorf("%s/%s: prunable bits %d / space %d", s.Bench, s.Level, s.PrunableBits, s.SpaceBits)
+		}
+		// Soundness: the static upper bound must dominate the injected AVF.
+		if avf := r.AVF(); s.AVFUpperBound < avf {
+			t.Errorf("%s/%s: static AVF bound %.4f below injected AVF %.4f",
+				s.Bench, s.Level, s.AVFUpperBound, avf)
+		}
+	}
+}
+
+// TestPruneDeterminism: a pruned study is reproducible run to run.
+func TestPruneDeterminism(t *testing.T) {
+	spec := pruneSpec(t)
+	spec.Benchmarks = spec.Benchmarks[:1]
+	spec.Levels = spec.Levels[:2]
+	spec.Prune = true
+	a, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Results {
+		if a.Results[i] != b.Results[i] {
+			t.Fatalf("result %d differs:\n%+v\n%+v", i, a.Results[i], b.Results[i])
+		}
+	}
+	for i := range a.Static {
+		if a.Static[i] != b.Static[i] {
+			t.Fatalf("static %d differs:\n%+v\n%+v", i, a.Static[i], b.Static[i])
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"sevsim/internal/binanalysis"
 	"sevsim/internal/campaign"
 	"sevsim/internal/compiler"
 	"sevsim/internal/faultinj"
@@ -47,9 +48,12 @@ type prepUnit struct {
 	bench workloads.Benchmark
 	size  int
 	level compiler.OptLevel
+	prune bool
 
 	exp    *faultinj.Experiment
 	golden Golden
+	pruner faultinj.Pruner // non-nil only for prune units
+	static StaticRF
 	err    error
 	ready  chan struct{} // closed once exp/golden/err are final
 }
@@ -68,7 +72,11 @@ func (u *prepUnit) run(stop *atomic.Bool) {
 		stop.Store(true)
 		return
 	}
-	exp, err := faultinj.NewExperiment(u.cfg, prog)
+	newExp := faultinj.NewExperiment
+	if u.prune {
+		newExp = faultinj.NewTracedExperiment
+	}
+	exp, err := newExp(u.cfg, prog)
 	if err != nil {
 		u.err = fmt.Errorf("golden %s %v on %s: %w", u.bench.Name, u.level, u.cfg.Name, err)
 		stop.Store(true)
@@ -76,6 +84,27 @@ func (u *prepUnit) run(stop *atomic.Bool) {
 	}
 	u.exp = exp
 	u.golden = goldenOf(u.cfg, u.bench.Name, u.level, prog, exp)
+	if u.prune {
+		a, err := binanalysis.AnalyzeWords(prog.Code)
+		if err != nil {
+			u.err = fmt.Errorf("analyze %s %v for %s: %w", u.bench.Name, u.level, u.cfg.Name, err)
+			stop.Store(true)
+			return
+		}
+		pr, err := binanalysis.NewRFPruner(a, exp)
+		if err != nil {
+			u.err = fmt.Errorf("pruner %s %v for %s: %w", u.bench.Name, u.level, u.cfg.Name, err)
+			stop.Store(true)
+			return
+		}
+		u.pruner = pr
+		b := pr.Bound()
+		u.static = StaticRF{
+			March: u.cfg.Name, Bench: u.bench.Name, Level: u.level.String(),
+			MaskedLB: b.MaskedLB, AVFUpperBound: b.AVFUpperBound,
+			PrunableBits: b.PrunableBits, SpaceBits: b.SpaceBits,
+		}
+	}
 }
 
 // Run executes the study on a shared worker pool of Spec.Parallelism
@@ -111,6 +140,7 @@ func (s Spec) Run() (*Study, error) {
 			for _, level := range s.Levels {
 				units = append(units, &prepUnit{
 					cfg: cfg, bench: bench, size: size, level: level,
+					prune: s.Prune,
 					ready: make(chan struct{}),
 				})
 			}
@@ -122,6 +152,9 @@ func (s Spec) Run() (*Study, error) {
 	nt := len(s.Targets)
 	st.Goldens = make([]Golden, len(units))
 	st.Results = make([]campaign.Result, len(units)*nt)
+	if s.Prune {
+		st.Static = make([]StaticRF, len(units))
+	}
 
 	workers := s.Parallelism
 	if workers <= 0 {
@@ -157,6 +190,9 @@ func (s Spec) Run() (*Study, error) {
 				return
 			}
 			st.Goldens[ui] = u.golden
+			if s.Prune {
+				st.Static[ui] = u.static
+			}
 			rep.printf("golden %-16s %-9s %s: %d cycles (IPC %.2f)",
 				u.cfg.Name, u.bench.Name, u.level, u.exp.GoldenCycles, u.exp.GoldenStats.Stats.IPC())
 			var cells sync.WaitGroup
@@ -168,6 +204,7 @@ func (s Spec) Run() (*Study, error) {
 						Faults: s.Faults,
 						Seed:   cellSeed(s.Seed, u.cfg.Name, u.bench.Name, u.level.String(), target.Name()),
 						Pool:   pool,
+						Pruner: u.pruner,
 					})
 					r.March = u.cfg.Name
 					r.Bench = u.bench.Name

@@ -43,6 +43,15 @@ type Spec struct {
 	// Lines are serialized, but arrive in completion order, which under
 	// Parallelism > 1 differs from the deterministic result order.
 	Progress func(format string, args ...any)
+
+	// Prune enables the static ACE pruner: golden runs record commit
+	// traces, each unit gets a binary-level liveness analysis, and RF
+	// injections that provably land in dead registers are classified
+	// Masked without simulation (campaign.Counts.Pruned counts them).
+	// The study additionally records per-unit static RF bounds
+	// (Study.Static). Outcome classifications are identical with and
+	// without pruning; only the work to obtain them changes.
+	Prune bool
 }
 
 // DefaultSpec returns the full study of the paper at a configurable
@@ -89,12 +98,41 @@ type Study struct {
 	Goldens []Golden
 	Results []campaign.Result
 
+	// Static holds one static RF vulnerability bound per (march, bench,
+	// level) unit, parallel to Goldens. Populated only by Prune studies;
+	// empty otherwise (and omitted from saved JSON).
+	Static []StaticRF `json:",omitempty"`
+
 	// Lazily built lookup indexes; the aggregation accessors are called
 	// per cell by every figure, and a linear scan over the full study's
 	// 960 results per lookup made them O(n²).
 	indexOnce sync.Once
 	resultIdx map[cellKey]int
 	goldenIdx map[cellKey]int
+}
+
+// StaticRF is the static ACE bound for one unit's register file: the
+// provably-masked fraction of the (cycle x bit) space lower-bounds the
+// Masked rate, so its complement upper-bounds the injected RF AVF.
+type StaticRF struct {
+	March string
+	Bench string
+	Level string
+
+	MaskedLB      float64
+	AVFUpperBound float64
+	PrunableBits  uint64
+	SpaceBits     uint64
+}
+
+// StaticFor returns the static RF bound for a cell, when recorded.
+func (st *Study) StaticFor(march, bench, level string) (StaticRF, bool) {
+	for _, s := range st.Static {
+		if s.March == march && s.Bench == bench && s.Level == level {
+			return s, true
+		}
+	}
+	return StaticRF{}, false
 }
 
 // cellKey addresses one campaign cell (Target empty for goldens).

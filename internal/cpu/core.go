@@ -80,6 +80,10 @@ type Core struct {
 	opsBuf  []inflightOp
 	candBuf []int
 
+	// commitHook, when non-nil, observes every committed instruction in
+	// program order (see SetCommitHook).
+	commitHook func(CommitEvent)
+
 	Stats Stats
 }
 
@@ -262,6 +266,9 @@ func (c *Core) commit() {
 			c.expectPC = e.ActTarget
 		} else {
 			c.expectPC = e.PC + 4
+		}
+		if c.commitHook != nil {
+			c.commitHook(CommitEvent{Cycle: c.cycle, PC: e.PC, DestArch: e.DestArch, DestPhys: e.DestPhys})
 		}
 		c.rob.pop()
 		c.Stats.Committed++

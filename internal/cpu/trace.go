@@ -1,0 +1,30 @@
+package cpu
+
+// NoDest marks a CommitEvent whose instruction wrote no architectural
+// register (stores, branches, OUT, HALT, NOP).
+const NoDest uint8 = 0xff
+
+// CommitEvent describes one architecturally committed instruction. The
+// sequence of events of a fault-free run is exactly the program's
+// dynamic instruction stream in program order: squashed (wrong-path)
+// instructions never commit and therefore never appear.
+//
+// The binary-level ACE analysis uses the event stream to reconstruct,
+// for any cycle, (a) the index of the last committed instruction and
+// (b) the committed rename map (architectural register -> physical
+// register): when an instruction with DestArch=a commits, the committed
+// mapping of a becomes DestPhys and stays there until the next writer
+// of a commits.
+type CommitEvent struct {
+	Cycle    uint64 // cycle at which the instruction committed
+	PC       uint64 // instruction address
+	DestArch uint8  // architectural destination, NoDest when none
+	DestPhys uint16 // physical destination tag (undefined when DestArch is NoDest)
+}
+
+// SetCommitHook installs a callback invoked once per committed
+// instruction, in commit (program) order. A nil hook (the default)
+// costs one predictable branch per commit; tracing is enabled only for
+// golden runs that feed the static ACE analysis, never on the fault
+// injection hot path.
+func (c *Core) SetCommitHook(fn func(CommitEvent)) { c.commitHook = fn }

@@ -147,6 +147,13 @@ type Experiment struct {
 	GoldenOutput []uint64
 	GoldenStats  machine.Result
 
+	// Trace is the golden run's commit stream (program order), recorded
+	// only by NewTracedExperiment. It feeds the binary-level ACE
+	// analysis: reconstructing the committed rename map at any cycle is
+	// what lets an injection pruner prove a register-file fault masked
+	// without simulating it.
+	Trace []cpu.CommitEvent
+
 	// Bit counts depend only on the configuration, so they are computed
 	// once per (experiment, target) on a single probe machine instead of
 	// allocating a fresh machine per query.
@@ -162,7 +169,25 @@ const timeoutFactor = 2
 // NewExperiment runs the golden simulation and returns the prepared
 // experiment.
 func NewExperiment(cfg machine.Config, prog *machine.Program) (*Experiment, error) {
+	return newExperiment(cfg, prog, false)
+}
+
+// NewTracedExperiment is NewExperiment with commit tracing: the golden
+// run additionally records one CommitEvent per committed instruction
+// (Experiment.Trace), the input to static ACE analysis and injection
+// pruning. The trace costs ~16 bytes per committed instruction, so it
+// is opt-in rather than the default.
+func NewTracedExperiment(cfg machine.Config, prog *machine.Program) (*Experiment, error) {
+	return newExperiment(cfg, prog, true)
+}
+
+func newExperiment(cfg machine.Config, prog *machine.Program, traced bool) (*Experiment, error) {
 	m := machine.New(cfg, prog)
+	var trace []cpu.CommitEvent
+	if traced {
+		trace = make([]cpu.CommitEvent, 0, 1024)
+		m.Core.SetCommitHook(func(ev cpu.CommitEvent) { trace = append(trace, ev) })
+	}
 	res := m.Run(1 << 40)
 	if res.Outcome != machine.OutcomeOK {
 		return nil, &GoldenError{Result: res}
@@ -175,7 +200,20 @@ func NewExperiment(cfg machine.Config, prog *machine.Program) (*Experiment, erro
 		GoldenCycles: res.Cycles,
 		GoldenOutput: out,
 		GoldenStats:  res,
+		Trace:        trace,
 	}, nil
+}
+
+// Pruner decides, without simulating, that a sampled fault is provably
+// masked. Implementations must be safe for concurrent use: campaign
+// workers consult the pruner from many goroutines. The binary-level
+// ACE analyzer (internal/binanalysis) provides the register-file
+// pruner; the interface lives here so the campaign driver does not
+// depend on the analyzer.
+type Pruner interface {
+	// Prunable reports whether the injection into target is provably
+	// masked, with a short human-readable reason for audit trails.
+	Prunable(t Target, inj Injection) (bool, string)
 }
 
 // GoldenError reports a fault-free run that did not complete.
@@ -255,6 +293,7 @@ type InjectResult struct {
 	Reason     string
 	Cycles     uint64
 	Unexpected bool // assert came from a recovered non-modelled panic
+	Pruned     bool // Masked proven statically; the run was never simulated
 }
 
 // Inject runs one end-to-end fault injection: a fresh machine executes

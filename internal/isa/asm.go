@@ -40,6 +40,7 @@ func Asm(src string) ([]Instr, error) {
 	}
 	var (
 		instrs  []Instr
+		lines   []int // source line of each instruction, for diagnostics
 		labels  = map[string]int{}
 		fixups  []pending
 		lineNum int
@@ -184,6 +185,7 @@ func Asm(src string) ([]Instr, error) {
 			}
 		}
 		instrs = append(instrs, in)
+		lines = append(lines, lineNum)
 	}
 	for _, fx := range fixups {
 		target, ok := labels[fx.label]
@@ -192,7 +194,43 @@ func Asm(src string) ([]Instr, error) {
 		}
 		instrs[fx.instrIdx].Imm = int32(target - fx.instrIdx - 1)
 	}
+	// Validate immediate encode ranges after fixups, so both numeric
+	// offsets and resolved labels are covered: Encode truncates to the
+	// format's field width, which would silently retarget an out-of-range
+	// branch instead of failing here.
+	for i, in := range instrs {
+		if err := checkImmRange(in, lines[i]); err != nil {
+			return nil, err
+		}
+	}
 	return instrs, nil
+}
+
+// immRange returns the encodable immediate range of a format.
+func immRange(f Format) (lo, hi int32, ok bool) {
+	switch f {
+	case FmtI, FmtB:
+		return -1 << 15, 1<<15 - 1, true // 16-bit field, sign-extended on decode
+	case FmtJ:
+		return -1 << 20, 1<<20 - 1, true // 21-bit field, sign-extended on decode
+	}
+	return 0, 0, false
+}
+
+// checkImmRange rejects immediates that Encode would truncate.
+func checkImmRange(in Instr, line int) error {
+	lo, hi, ok := immRange(in.Op.Format())
+	if !ok {
+		return nil
+	}
+	if in.Imm < lo || in.Imm > hi {
+		what := "immediate"
+		if in.Op.IsBranch() || in.Op == OpJal {
+			what = "branch offset"
+		}
+		return asmErr(line, "%s %s %d out of range [%d, %d]", in.Op.Name(), what, in.Imm, lo, hi)
+	}
+	return nil
 }
 
 func opByName(name string) (Opcode, bool) {

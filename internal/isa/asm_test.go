@@ -133,6 +133,76 @@ func TestAsmErrors(t *testing.T) {
 	}
 }
 
+func TestAsmImmediateRangeErrors(t *testing.T) {
+	// Encode truncates immediates to the format's field width; the
+	// assembler must reject anything that would not round-trip, with the
+	// offending source line in the diagnostic.
+	cases := []struct {
+		name string
+		src  string
+		line int
+	}{
+		{"I-type too large", "nop\naddi a0, zr, 40000", 2},
+		{"I-type too negative", "addi a0, zr, -40000", 1},
+		{"branch offset too far", "beq a0, a1, 33000", 1},
+		{"branch offset too negative", "nop\nnop\nbeq a0, a1, -33000", 3},
+		{"jal offset too far", "jal ra, 2000000", 1},
+		{"store offset too large", "sw a0, 70000(sp)", 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Asm(tc.src)
+			if err == nil {
+				t.Fatal("expected range error")
+			}
+			ae, ok := err.(*AsmError)
+			if !ok {
+				t.Fatalf("error %v is not an *AsmError", err)
+			}
+			if ae.Line != tc.line {
+				t.Errorf("error on line %d, want %d: %v", ae.Line, tc.line, err)
+			}
+			if !strings.Contains(ae.Msg, "out of range") {
+				t.Errorf("unexpected message: %v", err)
+			}
+		})
+	}
+}
+
+func TestAsmImmediateRangeBoundaries(t *testing.T) {
+	// The extreme encodable values must still assemble and round-trip
+	// through Encode/Decode unchanged.
+	ins, err := Asm("addi a0, zr, 32767\naddi a1, zr, -32768")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []int32{32767, -32768} {
+		if got := Decode(ins[i].Encode()).Imm; got != want {
+			t.Errorf("imm %d round-trips to %d, want %d", ins[i].Imm, got, want)
+		}
+	}
+}
+
+func TestAsmBranchFixupRangeChecked(t *testing.T) {
+	// A label that resolves to an out-of-range offset must error too,
+	// not just numeric offsets. 40,000 nops put the target beyond the
+	// 16-bit branch field.
+	var sb strings.Builder
+	sb.WriteString("beq a0, a1, far\n")
+	for i := 0; i < 40_000; i++ {
+		sb.WriteString("nop\n")
+	}
+	sb.WriteString("far:\n  halt\n")
+	_, err := Asm(sb.String())
+	if err == nil {
+		t.Fatal("expected range error for label fixup beyond branch reach")
+	}
+	ae, ok := err.(*AsmError)
+	if !ok || ae.Line != 1 {
+		t.Fatalf("want *AsmError on line 1, got %v", err)
+	}
+}
+
 func TestAsmNumericRegisters(t *testing.T) {
 	ins, err := Asm("add r5, r0, r31")
 	if err != nil {

@@ -228,6 +228,40 @@ func Fig12ECC(w io.Writer, st *core.Study) {
 	}
 }
 
+// StaticVsDynamic prints the static ACE bound for the register file
+// next to the injected RF AVF: the static AVF upper bound must sit at
+// or above the measured AVF on every cell (soundness), and the gap
+// shows how much of the masking only the dynamic campaign can see
+// (speculative state, timing, values masked by arithmetic).
+func StaticVsDynamic(w io.Writer, st *core.Study) {
+	if len(st.Static) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "Static vs dynamic RF vulnerability (static ACE bound against injected AVF)")
+	for _, march := range st.MachineNames {
+		fmt.Fprintf(w, "\n[%s]\n", march)
+		headers := []string{"benchmark", "level", "static Masked>=", "static AVF<=", "injected AVF", "pruned"}
+		rows := [][]string{}
+		for _, bench := range st.BenchNames {
+			for _, level := range st.LevelNames {
+				s, ok := st.StaticFor(march, bench, level)
+				if !ok {
+					continue
+				}
+				row := []string{bench, level, Pct(s.MaskedLB), Pct(s.AVFUpperBound)}
+				if r, ok := st.Result(march, bench, level, "RF"); ok && r.Faults > 0 {
+					row = append(row, Pct(r.AVF()),
+						fmt.Sprintf("%d/%d", r.Counts.Pruned, r.Faults))
+				} else {
+					row = append(row, "-", "-")
+				}
+				rows = append(rows, row)
+			}
+		}
+		Table(w, headers, rows)
+	}
+}
+
 func componentOf(target string) string {
 	for i := 0; i < len(target); i++ {
 		if target[i] == '.' {
@@ -293,4 +327,8 @@ func Everything(w io.Writer, st *core.Study) {
 	Fig11FPE(w, st)
 	fmt.Fprintln(w)
 	Fig12ECC(w, st)
+	if len(st.Static) > 0 {
+		fmt.Fprintln(w)
+		StaticVsDynamic(w, st)
+	}
 }

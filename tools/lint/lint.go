@@ -1,0 +1,202 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"sort"
+	"strings"
+)
+
+// Finding is one determinism violation.
+type Finding struct {
+	Pos  token.Position
+	Rule string // "map-range", "wall-clock", "global-rand"
+	Msg  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Rule, f.Msg)
+}
+
+// suppression is the trailing comment that exempts a map range the
+// author has argued is order-insensitive.
+const suppression = "lint:ordered"
+
+// LintDir lints every non-test Go file in dir.
+func LintDir(dir string) ([]Finding, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+
+	var findings []Finding
+	var pkgNames []string
+	for name := range pkgs { //lint:ordered — sorted on the next line
+		pkgNames = append(pkgNames, name)
+	}
+	sort.Strings(pkgNames)
+	for _, name := range pkgNames {
+		pkg := pkgs[name]
+		var files []*ast.File
+		var fileNames []string
+		for fn := range pkg.Files { //lint:ordered — sorted on the next line
+			fileNames = append(fileNames, fn)
+		}
+		sort.Strings(fileNames)
+		for _, fn := range fileNames {
+			files = append(files, pkg.Files[fn])
+		}
+
+		// Best-effort type check: the stub importer satisfies every
+		// import with an empty package, so cross-package expressions
+		// degrade to invalid types while locally declared maps, channels,
+		// and import names still resolve — which is all the rules need.
+		info := &types.Info{
+			Types: map[ast.Expr]types.TypeAndValue{},
+			Uses:  map[*ast.Ident]types.Object{},
+			Defs:  map[*ast.Ident]types.Object{},
+		}
+		conf := types.Config{
+			Importer: &stubImporter{pkgs: map[string]*types.Package{}},
+			Error:    func(error) {}, // incomplete imports are expected
+		}
+		conf.Check(dir, fset, files, info) // error intentionally ignored
+
+		for _, file := range files {
+			findings = append(findings, lintFile(fset, file, info)...)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Offset < b.Offset
+	})
+	return findings, nil
+}
+
+// stubImporter satisfies any import with an empty, complete package so
+// go/types can resolve package names without compiled export data.
+type stubImporter struct{ pkgs map[string]*types.Package }
+
+func (im *stubImporter) Import(path string) (*types.Package, error) {
+	if p, ok := im.pkgs[path]; ok {
+		return p, nil
+	}
+	name := path
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		name = path[i+1:]
+	}
+	p := types.NewPackage(path, name)
+	p.MarkComplete()
+	im.pkgs[path] = p
+	return p, nil
+}
+
+func lintFile(fset *token.FileSet, file *ast.File, info *types.Info) []Finding {
+	var findings []Finding
+
+	// Lines carrying a suppression comment.
+	suppressed := map[int]bool{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, suppression) {
+				suppressed[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			pos := fset.Position(n.Pos())
+			if suppressed[pos.Line] {
+				return true
+			}
+			if isMapType(info.TypeOf(n.X)) {
+				findings = append(findings, Finding{
+					Pos:  pos,
+					Rule: "map-range",
+					Msg:  "map iteration order is nondeterministic; sort the keys (or mark the loop //lint:ordered if order cannot reach results or output)",
+				})
+			}
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			path, ok := importPath(ident, file, info)
+			if !ok {
+				return true
+			}
+			pos := fset.Position(n.Pos())
+			switch {
+			case path == "time" && (sel.Sel.Name == "Now" || sel.Sel.Name == "Since" || sel.Sel.Name == "Until"):
+				findings = append(findings, Finding{
+					Pos:  pos,
+					Rule: "wall-clock",
+					Msg:  fmt.Sprintf("time.%s makes results depend on the wall clock; thread timing through explicit parameters", sel.Sel.Name),
+				})
+			case path == "math/rand" && sel.Sel.Name != "New" && sel.Sel.Name != "NewSource":
+				findings = append(findings, Finding{
+					Pos:  pos,
+					Rule: "global-rand",
+					Msg:  fmt.Sprintf("rand.%s uses the shared global source; use rand.New(rand.NewSource(seed)) for reproducible sampling", sel.Sel.Name),
+				})
+			}
+		}
+		return true
+	})
+	return findings
+}
+
+// isMapType unwraps named types and reports whether t is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// importPath resolves a selector base identifier to the import path of
+// the package it names. Resolution prefers type information (which
+// handles renamed imports); when the checker could not bind the
+// identifier it falls back to matching the file's import declarations
+// syntactically.
+func importPath(ident *ast.Ident, file *ast.File, info *types.Info) (string, bool) {
+	if obj, ok := info.Uses[ident]; ok {
+		if pn, ok := obj.(*types.PkgName); ok {
+			return pn.Imported().Path(), true
+		}
+		return "", false // a variable or type, not a package name
+	}
+	// Syntactic fallback: an import whose (declared or default) name
+	// matches the identifier.
+	for _, imp := range file.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		name := path
+		if i := strings.LastIndex(path, "/"); i >= 0 {
+			name = path[i+1:]
+		}
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name == ident.Name {
+			return path, true
+		}
+	}
+	return "", false
+}

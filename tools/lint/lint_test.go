@@ -1,0 +1,197 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func lintSource(t *testing.T, src string) []Finding {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "x.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings, err := LintDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return findings
+}
+
+func rules(fs []Finding) []string {
+	var out []string
+	for _, f := range fs {
+		out = append(out, f.Rule)
+	}
+	return out
+}
+
+func TestMapRangeFlagged(t *testing.T) {
+	fs := lintSource(t, `package p
+func f(m map[string]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+`)
+	if len(fs) != 1 || fs[0].Rule != "map-range" {
+		t.Fatalf("findings = %v", fs)
+	}
+	if fs[0].Pos.Line != 4 {
+		t.Errorf("finding on line %d, want 4", fs[0].Pos.Line)
+	}
+}
+
+func TestNamedMapTypeFlagged(t *testing.T) {
+	fs := lintSource(t, `package p
+type set map[int]bool
+func f(s set) {
+	for k := range s {
+		_ = k
+	}
+}
+`)
+	if len(fs) != 1 || fs[0].Rule != "map-range" {
+		t.Fatalf("findings = %v", fs)
+	}
+}
+
+func TestSliceAndChannelRangesClean(t *testing.T) {
+	fs := lintSource(t, `package p
+func f(xs []int, ch chan func()) {
+	for _, x := range xs {
+		_ = x
+	}
+	for fn := range ch {
+		fn()
+	}
+	for i := 0; i < 3; i++ {
+	}
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("findings = %v", fs)
+	}
+}
+
+func TestSuppressionComment(t *testing.T) {
+	fs := lintSource(t, `package p
+func f(m map[string]int) {
+	for k := range m { //lint:ordered — keys only feed a set
+		delete(m, k)
+	}
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("suppressed range still flagged: %v", fs)
+	}
+}
+
+func TestWallClockFlagged(t *testing.T) {
+	fs := lintSource(t, `package p
+import "time"
+func f() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+`)
+	got := rules(fs)
+	if len(got) != 2 || got[0] != "wall-clock" || got[1] != "wall-clock" {
+		t.Fatalf("findings = %v", fs)
+	}
+}
+
+func TestGlobalRandFlagged(t *testing.T) {
+	fs := lintSource(t, `package p
+import "math/rand"
+func f() int {
+	rand.Seed(1)
+	return rand.Intn(10)
+}
+`)
+	got := rules(fs)
+	if len(got) != 2 || got[0] != "global-rand" || got[1] != "global-rand" {
+		t.Fatalf("findings = %v", fs)
+	}
+}
+
+func TestLocalRandConstructionClean(t *testing.T) {
+	fs := lintSource(t, `package p
+import "math/rand"
+func f(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("findings = %v", fs)
+	}
+}
+
+func TestRenamedImportResolved(t *testing.T) {
+	fs := lintSource(t, `package p
+import clock "time"
+func f() {
+	_ = clock.Now()
+}
+`)
+	if len(fs) != 1 || fs[0].Rule != "wall-clock" {
+		t.Fatalf("renamed import not resolved: %v", fs)
+	}
+}
+
+func TestShadowedPackageNameClean(t *testing.T) {
+	// A local variable named rand must not trip the rule.
+	fs := lintSource(t, `package p
+type gen struct{}
+func (gen) Intn(n int) int { return 0 }
+func f() int {
+	rand := gen{}
+	return rand.Intn(10)
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("shadowed name flagged: %v", fs)
+	}
+}
+
+func TestTestFilesExempt(t *testing.T) {
+	dir := t.TempDir()
+	src := `package p
+import "time"
+func f() { _ = time.Now() }
+`
+	if err := os.WriteFile(filepath.Join(dir, "x_test.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := LintDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Fatalf("test file flagged: %v", fs)
+	}
+}
+
+// TestDeterminismCriticalPackagesClean is the real gate: the packages
+// that produce, aggregate, and render study results must stay free of
+// nondeterminism sources.
+func TestDeterminismCriticalPackagesClean(t *testing.T) {
+	for _, dir := range defaultDirs {
+		fs, err := LintDir(filepath.Join("..", "..", dir))
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		if len(fs) != 0 {
+			var b strings.Builder
+			for _, f := range fs {
+				b.WriteString("\n  " + f.String())
+			}
+			t.Errorf("%s has determinism findings:%s", dir, b.String())
+		}
+	}
+}

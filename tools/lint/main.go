@@ -1,0 +1,57 @@
+// Command lint is sevsim's determinism linter. Study results must be
+// byte-identical run to run and across parallelism settings (the
+// scheduler's core guarantee), so the packages that produce or render
+// results may not contain the three classic sources of nondeterminism:
+//
+//   - ranging over a map (iteration order is randomized by the runtime;
+//     sort the keys first, or mark a genuinely order-insensitive loop
+//     with a trailing //lint:ordered comment),
+//   - time.Now / time.Since (wall-clock values leak into output),
+//   - the global math/rand source (shared, unseeded state; construct a
+//     local rand.New(rand.NewSource(seed)) instead).
+//
+// Test files are exempt. The linter is stdlib-only (go/parser +
+// go/types with a stub importer), so it runs in offline environments
+// where golang.org/x/tools is unavailable.
+//
+// Usage:
+//
+//	go run ./tools/lint                  # lint the default packages
+//	go run ./tools/lint ./internal/core  # lint specific directories
+//
+// Exits 1 when any finding is reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+// defaultDirs are the determinism-critical packages: result
+// production, aggregation, and rendering.
+var defaultDirs = []string{"internal/core", "internal/campaign", "internal/report"}
+
+func main() {
+	flag.Parse()
+	dirs := flag.Args()
+	if len(dirs) == 0 {
+		dirs = defaultDirs
+	}
+	total := 0
+	for _, dir := range dirs {
+		findings, err := LintDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lint:", err)
+			os.Exit(2)
+		}
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+		total += len(findings)
+	}
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "lint: %d finding(s)\n", total)
+		os.Exit(1)
+	}
+}
