@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 	"sync"
 
 	"sevsim/internal/campaign"
@@ -87,12 +88,15 @@ func main() {
 	pool := campaign.NewPool(workers)
 	defer pool.Close()
 	sem := make(chan struct{}, workers)
+	ctx, stop := cli.Interruptible()
+	defer stop()
 
 	type measured struct {
 		cycles uint64
 		code   int
 		avf    float64
 		skip   string
+		intr   bool
 		err    error
 	}
 	out := make([]measured, len(rows))
@@ -129,15 +133,17 @@ func main() {
 				return
 			}
 			cr := campaign.Run(exp, *avfTarget, campaign.Options{
-				Faults: *faults, Seed: *seed, Pool: pool,
+				Faults: *faults, Seed: *seed, Pool: pool, Context: ctx,
 			})
 			out[i].avf = cr.AVF()
 			out[i].skip = cr.Skipped
+			out[i].intr = cr.Interrupted
 		}(i, r)
 	}
 	wg.Wait()
 
 	fullCycles := out[0].cycles
+	interrupted := false
 	for i, r := range rows {
 		m := out[i]
 		if m.err != nil {
@@ -146,12 +152,20 @@ func main() {
 		fmt.Printf("%-16s %10d %7.3fx %8dw", r.label, m.cycles,
 			float64(m.cycles)/float64(fullCycles), m.code)
 		if avfTarget != nil {
-			if m.skip != "" {
+			switch {
+			case m.intr:
+				interrupted = true
+				fmt.Printf("   interrupted")
+			case m.skip != "":
 				fmt.Printf("   skipped: %s", m.skip)
-			} else {
+			default:
 				fmt.Printf(" %11.2f%%", m.avf*100)
 			}
 		}
 		fmt.Println()
+	}
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "interrupted: AVF columns marked interrupted are incomplete")
+		os.Exit(cli.ExitInterrupted)
 	}
 }

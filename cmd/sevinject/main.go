@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"sevsim/internal/binanalysis"
 	"sevsim/internal/campaign"
@@ -101,16 +102,27 @@ func main() {
 	}
 
 	// One shared worker pool serves every target's campaign, so the
-	// machine stays saturated across target boundaries.
+	// machine stays saturated across target boundaries. Ctrl-C drains
+	// in-flight injections and reports the partial campaign.
 	pool := campaign.NewPool(cli.Parallelism(*par))
 	defer pool.Close()
+	ctx, stop := cli.Interruptible()
+	defer stop()
 
+	interrupted := false
 	fmt.Printf("\n%-10s %8s %8s  %7s %7s %7s %7s %7s\n",
 		"target", "bits", "faults", "AVF", "SDC", "Crash", "Timeout", "Assert")
 	for _, t := range targets {
 		r := campaign.Run(exp, t, campaign.Options{
 			Faults: *faults, Seed: *seed, Pool: pool, Model: model, Pruner: pruner,
+			Context: ctx,
 		})
+		if r.Interrupted {
+			interrupted = true
+			fmt.Printf("%-10s %8d  interrupted after %d/%d injections\n",
+				t.Name(), r.StructBits, r.Faults, *faults)
+			continue
+		}
 		if r.Skipped != "" {
 			fmt.Printf("%-10s %8d  skipped: %s\n", t.Name(), r.StructBits, r.Skipped)
 			continue
@@ -131,4 +143,8 @@ func main() {
 	}
 	margin := stats.ErrorMargin(*faults, 1<<40, 0.99)
 	fmt.Printf("\nsampling error margin: ±%.2f%% at 99%% confidence\n", margin*100)
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "interrupted: partial campaigns above cover only the completed injections")
+		os.Exit(cli.ExitInterrupted)
+	}
 }

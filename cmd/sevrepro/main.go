@@ -11,9 +11,16 @@
 //	sevrepro -faults 150 -out results
 //	sevrepro -faults 2000 -scale 2 -out results-full   # closer to paper scale
 //	sevrepro -load results/study.json -out results     # re-render only
+//
+// Runs are journaled by default (<out>/journal.jsonl): Ctrl-C drains
+// gracefully, and re-running the same command resumes from the last
+// completed cell, producing the same study.json an uninterrupted run
+// would have.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +29,7 @@ import (
 
 	"sevsim/internal/cli"
 	"sevsim/internal/core"
+	"sevsim/internal/journal"
 	"sevsim/internal/report"
 	"sevsim/internal/workloads"
 )
@@ -34,6 +42,10 @@ func main() {
 	load := flag.String("load", "", "re-render figures from a saved study.json instead of running")
 	par := flag.Int("parallel", 0, "study-wide worker pool size (0 = GOMAXPROCS); results are identical at any setting")
 	prune := flag.Bool("prune", false, "statically prune provably-masked RF injections (identical outcomes, less simulation)")
+	jpath := flag.String("journal", "", "durable journal path for kill-and-resume (default <out>/journal.jsonl; \"off\" disables)")
+	keepGoing := flag.Bool("keep-going", false, "quarantine failed units/cells into the study instead of aborting on the first error")
+	retries := flag.Int("retries", 0, "extra preparation attempts per unit before quarantining (with -keep-going)")
+	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell wall-clock watchdog (0 = off); stuck cells are recorded and skipped")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
 
@@ -53,6 +65,16 @@ func main() {
 		spec.Seed = *seed
 		spec.Parallelism = cli.Parallelism(*par)
 		spec.Prune = *prune
+		spec.KeepGoing = *keepGoing
+		spec.Retries = *retries
+		spec.CellTimeout = *cellTimeout
+		switch *jpath {
+		case "off":
+		case "":
+			spec.Journal = filepath.Join(*outDir, "journal.jsonl")
+		default:
+			spec.Journal = *jpath
+		}
 		if *scale != 1.0 {
 			spec.Size = func(b workloads.Benchmark) int {
 				s := int(float64(b.DefaultSize) * *scale)
@@ -63,16 +85,33 @@ func main() {
 			}
 		}
 		spec.Progress = cli.Progress(*quiet)
+
+		ctx, stop := cli.Interruptible()
 		start := time.Now()
 		var err error
-		st, err = spec.Run()
+		st, err = spec.RunContext(ctx)
+		stop()
 		if err != nil {
+			if errors.Is(err, context.Canceled) && spec.Journal != "" {
+				fmt.Fprintf(os.Stderr, "\ninterrupted: completed cells are journaled in %s\n", spec.Journal)
+				fmt.Fprintln(os.Stderr, "re-run the same command to resume from where it stopped")
+				os.Exit(cli.ExitInterrupted)
+			}
 			fatal(err)
 		}
 		fmt.Printf("\nstudy complete: %d campaign cells, %d injections, %s\n",
 			len(st.Results), len(st.Results)*(*faults), time.Since(start).Round(time.Second))
 		if err := st.Save(filepath.Join(*outDir, "study.json")); err != nil {
 			fatal(err)
+		}
+		// The study is durably saved; the journal has served its purpose.
+		if spec.Journal != "" {
+			if err := journal.Remove(spec.Journal); err != nil {
+				fmt.Fprintln(os.Stderr, "warning: could not remove journal:", err)
+			}
+		}
+		if len(st.Failed) > 0 {
+			fmt.Printf("note: %d units/cells quarantined; see the failures table in figures.txt\n", len(st.Failed))
 		}
 	}
 
@@ -94,14 +133,15 @@ func main() {
 		fatal(err)
 	}
 	headers := []string{"march", "bench", "level", "target", "faults",
-		"masked", "sdc", "crash", "timeout", "assert", "pruned", "golden_cycles", "struct_bits"}
+		"masked", "sdc", "crash", "timeout", "assert", "pruned", "unexpected",
+		"golden_cycles", "struct_bits"}
 	rows := make([][]string, 0, len(st.Results))
 	for _, r := range st.Results {
 		rows = append(rows, []string{
 			r.March, r.Bench, r.Level, r.Target,
 			fmt.Sprint(r.Faults), fmt.Sprint(r.Counts.Masked), fmt.Sprint(r.Counts.SDC),
 			fmt.Sprint(r.Counts.Crash), fmt.Sprint(r.Counts.Timeout), fmt.Sprint(r.Counts.Assert),
-			fmt.Sprint(r.Counts.Pruned),
+			fmt.Sprint(r.Counts.Pruned), fmt.Sprint(r.Counts.Unexpected),
 			fmt.Sprint(r.GoldenCycles), fmt.Sprint(r.StructBits),
 		})
 	}
@@ -111,6 +151,18 @@ func main() {
 	}
 
 	fmt.Printf("wrote %s and %s\n", figPath, csvPath)
+
+	// Unexpected simulator panics mean the harness itself misbehaved for
+	// some injections; surface that as a failing exit so CI and scripted
+	// sweeps notice.
+	unexpected := 0
+	for _, r := range st.Results {
+		unexpected += r.Counts.Unexpected
+	}
+	if unexpected > 0 {
+		fmt.Fprintf(os.Stderr, "error: %d injections hit unexpected simulator panics (see the anomalies table in figures.txt)\n", unexpected)
+		os.Exit(1)
+	}
 }
 
 func fatal(err error) {

@@ -7,6 +7,7 @@
 package campaign
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -43,6 +44,21 @@ func NewPool(workers int) *Pool {
 // Submit enqueues one task, blocking while the queue is full. Tasks
 // must not Submit to or wait on the same pool, or workers can deadlock.
 func (p *Pool) Submit(fn func()) { p.tasks <- fn }
+
+// TrySubmit enqueues one task unless ctx is cancelled first; it reports
+// whether the task was enqueued. Cancellation is checked before
+// blocking, so a cancelled context never enqueues more work.
+func (p *Pool) TrySubmit(ctx context.Context, fn func()) bool {
+	if ctx.Err() != nil {
+		return false
+	}
+	select {
+	case p.tasks <- fn:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
 
 // Close drains the queue and stops the workers after all submitted
 // tasks have run. No Submit may follow or race with Close.
@@ -125,6 +141,12 @@ type Result struct {
 	// (e.g. a target with zero injectable bits); such cells report zero
 	// faults instead of aborting the study.
 	Skipped string `json:",omitempty"`
+
+	// Interrupted is set when the campaign's context was cancelled
+	// before every injection ran: Faults and Counts then cover only the
+	// injections that completed. Interrupted cells are partial data and
+	// are never journaled or saved by the study engine.
+	Interrupted bool `json:",omitempty"`
 }
 
 // AVF returns the architectural vulnerability factor measured by the
@@ -164,13 +186,25 @@ type Options struct {
 	// campaigns are pruned — the static argument covers one bit in one
 	// physical register, so any wider Model bypasses the pruner.
 	Pruner faultinj.Pruner
+	// Context, when non-nil, makes the campaign cancellable: once it is
+	// done, no further injections are dispatched, in-flight injections
+	// finish, and the Result comes back with Interrupted set and counts
+	// covering only the completed injections. A nil Context never
+	// cancels, preserving the historical behavior.
+	Context context.Context
 }
 
 // Run executes one campaign cell: Faults injections into target, in
 // parallel, deterministically derived from Seed. Outcome counts are
 // independent of worker count and scheduling order: injection i of a
-// cell is fully determined by (Seed, i).
+// cell is fully determined by (Seed, i). When Options.Context is
+// cancelled mid-campaign, dispatch stops, in-flight injections drain,
+// and the partial Result is marked Interrupted.
 func Run(exp *faultinj.Experiment, target faultinj.Target, opts Options) Result {
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	pool := opts.Pool
 	if pool == nil {
 		pool = NewPool(opts.Parallelism)
@@ -187,12 +221,22 @@ func Run(exp *faultinj.Experiment, target faultinj.Target, opts Options) Result 
 		return res
 	}
 	outcomes := make([]faultinj.InjectResult, len(injections))
+	ran := make([]bool, len(injections)) // outcome i was actually computed
 	var wg sync.WaitGroup
-	wg.Add(len(injections))
 	for i := range injections {
+		if ctx.Err() != nil {
+			break
+		}
 		i := i
-		pool.Submit(func() {
+		wg.Add(1)
+		ok := pool.TrySubmit(ctx, func() {
 			defer wg.Done()
+			// Queued-but-not-started injections drain without running
+			// once cancellation hits; injections already executing
+			// finish normally.
+			if ctx.Err() != nil {
+				return
+			}
 			if opts.Pruner != nil && opts.Model.Width() <= 1 {
 				if ok, reason := opts.Pruner.Prunable(target, injections[i]); ok {
 					outcomes[i] = faultinj.InjectResult{
@@ -200,17 +244,28 @@ func Run(exp *faultinj.Experiment, target faultinj.Target, opts Options) Result 
 						Reason:  "pruned: " + reason,
 						Pruned:  true,
 					}
+					ran[i] = true
 					return
 				}
 			}
 			outcomes[i] = exp.InjectModel(target, injections[i], opts.Model)
+			ran[i] = true
 		})
+		if !ok {
+			wg.Done()
+			break
+		}
 	}
 	wg.Wait()
 
-	res.Faults = len(injections)
-	for _, o := range outcomes {
-		res.Counts.Add(o)
+	completed := 0
+	for i := range outcomes {
+		if ran[i] {
+			res.Counts.Add(outcomes[i])
+			completed++
+		}
 	}
+	res.Faults = completed
+	res.Interrupted = completed < len(injections)
 	return res
 }

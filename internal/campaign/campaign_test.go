@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"testing"
 
 	"sevsim/internal/compiler"
@@ -127,6 +128,64 @@ func TestRunOnSharedPool(t *testing.T) {
 	}
 	if gotIQ != wantIQ {
 		t.Errorf("IQ on shared pool: %+v, want %+v", gotIQ, wantIQ)
+	}
+}
+
+// TestRunUncancelledContextIdentical: passing a live context must not
+// change any outcome relative to the historical nil-context path.
+func TestRunUncancelledContextIdentical(t *testing.T) {
+	exp := testExp(t)
+	rf, _ := faultinj.TargetByName("RF")
+	want := Run(exp, rf, Options{Faults: 40, Seed: 9})
+	got := Run(exp, rf, Options{Faults: 40, Seed: 9, Context: context.Background()})
+	if got != want {
+		t.Fatalf("context-carrying run differs: %+v vs %+v", got, want)
+	}
+	if got.Interrupted {
+		t.Error("uncancelled run marked Interrupted")
+	}
+}
+
+// TestRunCancellation cancels mid-campaign: the run must come back
+// Interrupted with counts covering only completed injections, and an
+// already-cancelled context must complete zero injections.
+func TestRunCancellation(t *testing.T) {
+	exp := testExp(t)
+	rf, _ := faultinj.TargetByName("RF")
+
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := Run(exp, rf, Options{Faults: 50, Seed: 2, Context: pre})
+	if !r.Interrupted {
+		t.Fatal("pre-cancelled run not marked Interrupted")
+	}
+	if r.Faults != 0 || r.Counts.Total() != 0 {
+		t.Fatalf("pre-cancelled run completed %d injections", r.Faults)
+	}
+
+	// Cancel after the first injection finishes: the drain must keep
+	// counts consistent (Total == Faults <= requested).
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	fired := make(chan struct{}, 1)
+	probe := faultinj.NewTarget("PROBE", "",
+		func(m *machine.Machine) uint64 { return 1024 },
+		func(m *machine.Machine, b uint64) {
+			select {
+			case fired <- struct{}{}:
+				cancel()
+			default:
+			}
+		})
+	r = Run(exp, probe, Options{Faults: 200, Seed: 2, Parallelism: 2, Context: ctx})
+	if r.Counts.Total() != r.Faults {
+		t.Fatalf("counts %d != faults %d", r.Counts.Total(), r.Faults)
+	}
+	if r.Faults == 200 && r.Interrupted {
+		t.Error("fully completed run marked Interrupted")
+	}
+	if r.Faults < 200 && !r.Interrupted {
+		t.Errorf("partial run (%d/200) not marked Interrupted", r.Faults)
 	}
 }
 

@@ -3,16 +3,33 @@
 package cli
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"sync"
+	"syscall"
 
 	"sevsim/internal/compiler"
 	"sevsim/internal/lang"
 	"sevsim/internal/machine"
 	"sevsim/internal/workloads"
 )
+
+// Interruptible returns a context cancelled by SIGINT or SIGTERM, for
+// graceful drain: a study or campaign given this context finishes its
+// in-flight injections, flushes its journal, and returns
+// context.Canceled instead of dying mid-write. A second signal while
+// draining kills the process immediately (the Go runtime default,
+// restored by stop).
+func Interruptible() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// ExitInterrupted is the conventional exit status for a run cut short
+// by SIGINT (128 + SIGINT).
+const ExitInterrupted = 130
 
 // Parallelism resolves a -parallel flag value: <= 0 means one worker
 // per available CPU (GOMAXPROCS).
@@ -101,7 +118,7 @@ func MustParse(src string) *lang.Program {
 	prog, err := lang.Parse(src)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "parse error:", err)
-		os.Exit(1)
+		os.Exit(1) //lint:exit process boundary for the CLI tools
 	}
 	return prog
 }
@@ -109,5 +126,5 @@ func MustParse(src string) *lang.Program {
 // Fatal prints an error and exits.
 func Fatal(err error) {
 	fmt.Fprintln(os.Stderr, "error:", err)
-	os.Exit(1)
+	os.Exit(1) //lint:exit process boundary for the CLI tools
 }

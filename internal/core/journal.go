@@ -1,0 +1,212 @@
+// Study journaling: the adapter between the generic durable record log
+// (internal/journal) and the study engine. Each completed prep-unit
+// golden and campaign cell is appended as it finishes; a resumed run
+// replays the records, skips the finished work, and lands every
+// replayed value at exactly the slice index a clean run would use, so
+// the final study.json is byte-identical either way.
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"sync"
+
+	"sevsim/internal/campaign"
+	"sevsim/internal/journal"
+)
+
+// Journal record kinds. The meta record is always first and pins the
+// spec; golden and cell records carry completed results; failure
+// records carry keep-going quarantines so a resume reproduces them
+// instead of retrying forever.
+const (
+	kindMeta    = "meta"
+	kindGolden  = "golden"
+	kindCell    = "cell"
+	kindFailure = "failure"
+)
+
+// metaRecord fingerprints the spec a journal belongs to. Everything
+// that can change a result is included; execution knobs that cannot
+// (Parallelism, Progress, KeepGoing, Retries, CellTimeout) are not, so
+// a study may be resumed with different ones.
+type metaRecord struct {
+	Machines []string
+	Benches  []string
+	Sizes    []int
+	Levels   []string
+	Targets  []string
+	Faults   int
+	Seed     int64
+	Prune    bool
+}
+
+// goldenRecord is one completed unit preparation.
+type goldenRecord struct {
+	Golden Golden
+	Static *StaticRF `json:",omitempty"`
+}
+
+// replayState is a journal decoded into keyed lookups.
+type replayState struct {
+	goldens  map[cellKey]goldenRecord
+	cells    map[cellKey]campaign.Result
+	failures map[cellKey]Failure // Target "" keys unit-level failures
+}
+
+func (rs *replayState) empty() bool {
+	return rs == nil || (len(rs.goldens) == 0 && len(rs.cells) == 0 && len(rs.failures) == 0)
+}
+
+// studyJournal wraps the writer with spec-level record helpers. A nil
+// *studyJournal is a valid no-op, so call sites need no journal guards.
+// The first append error cancels the study (the run must not outlive
+// its durability guarantee) and is reported after the drain.
+type studyJournal struct {
+	w      *journal.Writer
+	cancel func()
+
+	mu  sync.Mutex
+	err error
+}
+
+func (j *studyJournal) append(kind string, v any) {
+	if j == nil {
+		return
+	}
+	if err := j.w.Append(kind, v); err != nil {
+		j.mu.Lock()
+		if j.err == nil {
+			j.err = fmt.Errorf("study journal: %w", err)
+			j.cancel()
+		}
+		j.mu.Unlock()
+	}
+}
+
+func (j *studyJournal) appendGolden(g Golden, static *StaticRF) {
+	j.append(kindGolden, goldenRecord{Golden: g, Static: static})
+}
+
+func (j *studyJournal) appendCell(r campaign.Result) { j.append(kindCell, r) }
+
+func (j *studyJournal) appendFailure(f Failure) { j.append(kindFailure, f) }
+
+func (j *studyJournal) firstErr() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+func (j *studyJournal) close() {
+	if j != nil {
+		j.w.Close()
+	}
+}
+
+// fingerprint derives the meta record from the spec with benchmark
+// sizes already resolved.
+func (s Spec) fingerprint(sizes []int) metaRecord {
+	m := metaRecord{
+		Sizes:  sizes,
+		Faults: s.Faults,
+		Seed:   s.Seed,
+		Prune:  s.Prune,
+	}
+	for _, cfg := range s.Machines {
+		m.Machines = append(m.Machines, cfg.Name)
+	}
+	for _, b := range s.Benchmarks {
+		m.Benches = append(m.Benches, b.Name)
+	}
+	for _, l := range s.Levels {
+		m.Levels = append(m.Levels, l.String())
+	}
+	for _, t := range s.Targets {
+		m.Targets = append(m.Targets, t.Name())
+	}
+	return m
+}
+
+// resolveSizes returns the effective size of each benchmark.
+func (s Spec) resolveSizes() []int {
+	sizes := make([]int, len(s.Benchmarks))
+	for i, b := range s.Benchmarks {
+		sizes[i] = b.DefaultSize
+		if s.Size != nil {
+			sizes[i] = s.Size(b)
+		}
+	}
+	return sizes
+}
+
+// openStudyJournal opens (or creates) the journal at path, validates
+// the meta record against the spec, and decodes the replayable state.
+// cancel is invoked on the first append failure so the scheduler drains
+// instead of running ahead of a dead journal.
+func openStudyJournal(path string, meta metaRecord, cancel func()) (*studyJournal, *replayState, error) {
+	w, recs, err := journal.Open(path, journal.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	rs := &replayState{
+		goldens:  map[cellKey]goldenRecord{},
+		cells:    map[cellKey]campaign.Result{},
+		failures: map[cellKey]Failure{},
+	}
+	if len(recs) == 0 {
+		// Fresh journal: pin the spec before any result record.
+		j := &studyJournal{w: w, cancel: cancel}
+		if err := w.Append(kindMeta, meta); err != nil {
+			w.Close()
+			return nil, nil, fmt.Errorf("study journal: %w", err)
+		}
+		return j, rs, nil
+	}
+	if recs[0].Kind != kindMeta {
+		w.Close()
+		return nil, nil, fmt.Errorf("study journal %s: first record is %q, not %q", path, recs[0].Kind, kindMeta)
+	}
+	var got metaRecord
+	if err := json.Unmarshal(recs[0].Data, &got); err != nil {
+		w.Close()
+		return nil, nil, fmt.Errorf("study journal %s: meta record: %w", path, err)
+	}
+	if !reflect.DeepEqual(got, meta) {
+		w.Close()
+		return nil, nil, fmt.Errorf("study journal %s was recorded under a different spec; remove it or pass a different -journal path", path)
+	}
+	for _, r := range recs[1:] {
+		switch r.Kind {
+		case kindGolden:
+			var g goldenRecord
+			if err := json.Unmarshal(r.Data, &g); err != nil {
+				w.Close()
+				return nil, nil, fmt.Errorf("study journal %s: golden record: %w", path, err)
+			}
+			rs.goldens[cellKey{g.Golden.March, g.Golden.Bench, g.Golden.Level, ""}] = g
+		case kindCell:
+			var c campaign.Result
+			if err := json.Unmarshal(r.Data, &c); err != nil {
+				w.Close()
+				return nil, nil, fmt.Errorf("study journal %s: cell record: %w", path, err)
+			}
+			rs.cells[cellKey{c.March, c.Bench, c.Level, c.Target}] = c
+		case kindFailure:
+			var f Failure
+			if err := json.Unmarshal(r.Data, &f); err != nil {
+				w.Close()
+				return nil, nil, fmt.Errorf("study journal %s: failure record: %w", path, err)
+			}
+			rs.failures[cellKey{f.March, f.Bench, f.Level, f.Target}] = f
+		default:
+			w.Close()
+			return nil, nil, fmt.Errorf("study journal %s: unknown record kind %q", path, r.Kind)
+		}
+	}
+	return &studyJournal{w: w, cancel: cancel}, rs, nil
+}

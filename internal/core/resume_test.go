@@ -1,0 +1,386 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sevsim/internal/compiler"
+	"sevsim/internal/machine"
+)
+
+// resumeSpec is tinySpec narrowed to one machine: 4 prep units and 12
+// campaign cells, small enough to re-run repeatedly.
+func resumeSpec(t *testing.T) Spec {
+	t.Helper()
+	spec := tinySpec(t)
+	spec.Machines = spec.Machines[:1]
+	return spec
+}
+
+func saveBytes(t *testing.T, st *Study) []byte {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "study.json")
+	if err := st.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// runWithRandomKills drives spec.RunContext to completion, cancelling
+// at pseudo-random progress points (deterministic seed) and resuming
+// from the journal until the study completes.
+func runWithRandomKills(t *testing.T, spec Spec, seed int64) (*Study, int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	interrupts := 0
+	for attempt := 0; attempt < 100; attempt++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		// Cancel after a random number of progress lines; large limits
+		// let some attempts finish whole units or the study itself.
+		limit := int32(rng.Intn(9))
+		var lines int32
+		spec.Progress = func(format string, args ...any) {
+			if atomic.AddInt32(&lines, 1) > limit {
+				cancel()
+			}
+		}
+		st, err := spec.RunContext(ctx)
+		cancel()
+		if err == nil {
+			return st, interrupts
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("attempt %d: unexpected error: %v", attempt, err)
+		}
+		interrupts++
+	}
+	t.Fatal("study did not complete within 100 resume attempts")
+	return nil, 0
+}
+
+// TestKillAndResumeByteIdentical is the engine's crash-tolerance
+// guarantee: a journaled study killed at arbitrary points and resumed
+// produces a byte-identical study.json to an uninterrupted run, at any
+// parallelism.
+func TestKillAndResumeByteIdentical(t *testing.T) {
+	base := resumeSpec(t)
+	baseline, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := saveBytes(t, baseline)
+
+	for _, par := range []int{1, 8} {
+		par := par
+		t.Run(fmt.Sprintf("parallelism-%d", par), func(t *testing.T) {
+			spec := resumeSpec(t)
+			spec.Parallelism = par
+			spec.Journal = filepath.Join(t.TempDir(), "journal.jsonl")
+			st, interrupts := runWithRandomKills(t, spec, 42+int64(par))
+			if interrupts == 0 {
+				t.Log("note: no attempt was interrupted; cancellation points never fired")
+			}
+			got := saveBytes(t, st)
+			if !bytes.Equal(got, want) {
+				t.Errorf("resumed study.json differs from uninterrupted run (%d interrupts, %d vs %d bytes)",
+					interrupts, len(got), len(want))
+			}
+		})
+	}
+}
+
+// TestJournaledUninterruptedRunIdentical: merely enabling the journal
+// must not change a single byte of the output.
+func TestJournaledUninterruptedRunIdentical(t *testing.T) {
+	base := resumeSpec(t)
+	baseline, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := resumeSpec(t)
+	spec.Journal = filepath.Join(t.TempDir(), "journal.jsonl")
+	st, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(saveBytes(t, st), saveBytes(t, baseline)) {
+		t.Error("journaled run not byte-identical to plain run")
+	}
+
+	// A second run over the complete journal replays everything without
+	// re-simulating and still matches.
+	again, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(saveBytes(t, again), saveBytes(t, baseline)) {
+		t.Error("fully-replayed run not byte-identical")
+	}
+}
+
+// TestJournalSpecMismatchRejected: a journal recorded under one spec
+// must refuse to drive a different one.
+func TestJournalSpecMismatchRejected(t *testing.T) {
+	spec := resumeSpec(t)
+	spec.Benchmarks = spec.Benchmarks[:1]
+	spec.Levels = spec.Levels[:1]
+	spec.Journal = filepath.Join(t.TempDir(), "journal.jsonl")
+	if _, err := spec.Run(); err != nil {
+		t.Fatal(err)
+	}
+	spec.Seed++
+	if _, err := spec.Run(); err == nil || !strings.Contains(err.Error(), "different spec") {
+		t.Fatalf("seed change not rejected: %v", err)
+	}
+}
+
+// withCompileFailure injects a failure into compileUnit for the given
+// (bench, level) unit during the test.
+func withCompileFailure(t *testing.T, bench string, level compiler.OptLevel, failures int) {
+	t.Helper()
+	orig := compileUnit
+	t.Cleanup(func() { compileUnit = orig })
+	var mu sync.Mutex
+	failed := 0
+	compileUnit = func(src, name string, l compiler.OptLevel, tgt compiler.Target) (*machine.Program, error) {
+		if name == bench && l == level {
+			mu.Lock()
+			defer mu.Unlock()
+			if failed < failures {
+				failed++
+				return nil, fmt.Errorf("injected compile failure %d", failed)
+			}
+		}
+		return orig(src, name, l, tgt)
+	}
+}
+
+// TestKeepGoingIsolatesCompileFailure is the error-isolation
+// acceptance: a compile failure in one unit quarantines that unit and
+// leaves every other cell identical to a clean run.
+func TestKeepGoingIsolatesCompileFailure(t *testing.T) {
+	clean, err := resumeSpec(t).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	withCompileFailure(t, "gsm", compiler.O2, 1<<30)
+	spec := resumeSpec(t)
+	spec.KeepGoing = true
+	st, err := spec.Run()
+	if err != nil {
+		t.Fatalf("keep-going run aborted: %v", err)
+	}
+
+	if len(st.Failed) != 1 {
+		t.Fatalf("Failed = %+v, want exactly one record", st.Failed)
+	}
+	f := st.Failed[0]
+	if f.Bench != "gsm" || f.Level != "O2" || f.Stage != "compile" || f.Stuck {
+		t.Errorf("failure record = %+v", f)
+	}
+	if !strings.Contains(f.Err, "injected compile failure") {
+		t.Errorf("failure error = %q", f.Err)
+	}
+
+	if len(st.Results) != len(clean.Results) {
+		t.Fatalf("result count changed: %d vs %d", len(st.Results), len(clean.Results))
+	}
+	for i, r := range st.Results {
+		want := clean.Results[i]
+		if r.Bench == "gsm" && r.Level == "O2" {
+			if r.Skipped == "" || r.Faults != 0 {
+				t.Errorf("quarantined cell %d not skipped: %+v", i, r)
+			}
+			continue
+		}
+		if r != want {
+			t.Errorf("cell %d differs from clean run:\n%+v\n%+v", i, r, want)
+		}
+	}
+	for i, g := range st.Goldens {
+		if g.Bench == "gsm" && g.Level == "O2" {
+			if g.Cycles != 0 {
+				t.Errorf("quarantined golden has cycles: %+v", g)
+			}
+			continue
+		}
+		if g != clean.Goldens[i] {
+			t.Errorf("golden %d differs from clean run", i)
+		}
+	}
+}
+
+// TestAbortModeStillFailsFast: without KeepGoing a unit failure aborts
+// the study with that unit's error, as before.
+func TestAbortModeStillFailsFast(t *testing.T) {
+	withCompileFailure(t, "qsort", compiler.O0, 1<<30)
+	spec := resumeSpec(t)
+	st, err := spec.Run()
+	if err == nil || st != nil {
+		t.Fatalf("expected abort, got st=%v err=%v", st, err)
+	}
+	if !strings.Contains(err.Error(), "injected compile failure") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+// TestRetriesRideOutTransientFailure: a unit that fails once and then
+// succeeds completes cleanly when Retries covers the transient.
+func TestRetriesRideOutTransientFailure(t *testing.T) {
+	clean, err := resumeSpec(t).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	withCompileFailure(t, "gsm", compiler.O0, 1)
+	spec := resumeSpec(t)
+	spec.KeepGoing = true
+	spec.Retries = 2
+	st, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Failed) != 0 {
+		t.Fatalf("transient failure not retried away: %+v", st.Failed)
+	}
+	for i, r := range st.Results {
+		if r != clean.Results[i] {
+			t.Errorf("cell %d differs after retry: %+v vs %+v", i, r, clean.Results[i])
+		}
+	}
+}
+
+// TestRetriesBoundedAndRecorded: a persistent failure is quarantined
+// after exactly Retries extra attempts, and the count is recorded.
+func TestRetriesBoundedAndRecorded(t *testing.T) {
+	withCompileFailure(t, "gsm", compiler.O0, 1<<30)
+	spec := resumeSpec(t)
+	spec.KeepGoing = true
+	spec.Retries = 2
+	st, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Failed) != 1 {
+		t.Fatalf("Failed = %+v", st.Failed)
+	}
+	if st.Failed[0].Retries != 2 {
+		t.Errorf("recorded retries = %d, want 2", st.Failed[0].Retries)
+	}
+}
+
+// TestKeepGoingFailureReplaysFromJournal: a journaled keep-going run
+// with a quarantined unit replays byte-identically.
+func TestKeepGoingFailureReplaysFromJournal(t *testing.T) {
+	withCompileFailure(t, "gsm", compiler.O2, 1<<30)
+	spec := resumeSpec(t)
+	spec.KeepGoing = true
+	spec.Journal = filepath.Join(t.TempDir(), "journal.jsonl")
+	first, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(saveBytes(t, first), saveBytes(t, second)) {
+		t.Error("replayed keep-going study not byte-identical")
+	}
+	if len(second.Failed) != 1 || second.Failed[0].Stage != "compile" {
+		t.Errorf("replayed failure record = %+v", second.Failed)
+	}
+}
+
+// TestCellWatchdogRecordsStuck: an unreachably small cell deadline
+// must quarantine cells as stuck instead of hanging or aborting.
+func TestCellWatchdogRecordsStuck(t *testing.T) {
+	spec := resumeSpec(t)
+	spec.Benchmarks = spec.Benchmarks[:1]
+	spec.Levels = spec.Levels[:1]
+	spec.Targets = spec.Targets[:1]
+	spec.CellTimeout = time.Nanosecond
+	st, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Failed) != 1 {
+		t.Fatalf("Failed = %+v, want one stuck record", st.Failed)
+	}
+	if !st.Failed[0].Stuck || st.Failed[0].Stage != "cell" {
+		t.Errorf("failure record = %+v", st.Failed[0])
+	}
+	if !strings.Contains(st.Results[0].Skipped, "stuck") {
+		t.Errorf("stuck cell result = %+v", st.Results[0])
+	}
+}
+
+// TestLoadTornStudyFile is the torn-write regression test: a
+// study.json cut short mid-record must load with a clear error, not a
+// bare JSON parse failure.
+func TestLoadTornStudyFile(t *testing.T) {
+	spec := resumeSpec(t)
+	spec.Benchmarks = spec.Benchmarks[:1]
+	spec.Levels = spec.Levels[:1]
+	spec.Targets = spec.Targets[:1]
+	st, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "study.json")
+	if err := st.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:2*len(data)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Load(path)
+	if err == nil {
+		t.Fatal("torn study.json loaded without error")
+	}
+	if !strings.Contains(err.Error(), "corrupt or truncated") {
+		t.Errorf("torn-file error not clearly diagnosed: %v", err)
+	}
+
+	// Save leaves no temp litter next to the target.
+	dir := filepath.Dir(path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "study.json" {
+			t.Errorf("unexpected file %s left by Save", e.Name())
+		}
+	}
+}
+
+// TestRunContextPreCancelled: an already-cancelled context runs
+// nothing and reports interruption.
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	spec := resumeSpec(t)
+	if _, err := spec.RunContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,21 +1,29 @@
-// Study-level parallel execution engine. The serial predecessor walked
-// the 960 campaign cells of the full study one at a time, so the
-// machine idled whenever a cell's tail drained. Run now (1) pipelines
-// the compile + golden-run preparation of every (march, bench, level)
-// unit and (2) dispatches every cell's injections onto one shared
-// bounded worker pool, so cores stay busy across cell boundaries.
+// Study-level parallel execution engine. Run pipelines the compile +
+// golden-run preparation of every (march, bench, level) unit and
+// dispatches every cell's injections onto one shared bounded worker
+// pool, so cores stay busy across cell boundaries.
 //
 // Determinism: every result lands at the slice index the serial loop
 // would have used, and every cell samples with the same cellSeed, so a
 // saved study is byte-identical to a serial run regardless of
 // Parallelism.
+//
+// Crash tolerance: with Spec.Journal set, every finished golden and
+// cell is durably appended as it completes and replayed on restart, so
+// a study killed at any point resumes where it left off and still
+// saves byte-identical output. RunContext makes the whole engine
+// cancellable (SIGINT flows in as context cancellation: dispatch
+// stops, in-flight injections drain, the journal is flushed), and
+// Spec.KeepGoing quarantines failed units into Study.Failed instead of
+// aborting the run.
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"sevsim/internal/binanalysis"
 	"sevsim/internal/campaign"
@@ -24,6 +32,10 @@ import (
 	"sevsim/internal/machine"
 	"sevsim/internal/workloads"
 )
+
+// compileUnit is the compile entry point, indirected so fault-tolerance
+// tests can inject compile failures into chosen units.
+var compileUnit = compiler.Compile
 
 // reporter serializes progress lines so concurrent cells never
 // interleave partial output.
@@ -44,34 +56,65 @@ func (r *reporter) printf(format string, args ...any) {
 // prepUnit is one (march, bench, level) triple: a compile plus a golden
 // run that gates the unit's campaign cells.
 type prepUnit struct {
-	cfg   machine.Config
-	bench workloads.Benchmark
-	size  int
-	level compiler.OptLevel
-	prune bool
+	cfg     machine.Config
+	bench   workloads.Benchmark
+	size    int
+	level   compiler.OptLevel
+	prune   bool
+	retries int
 
-	exp    *faultinj.Experiment
-	golden Golden
-	pruner faultinj.Pruner // non-nil only for prune units
-	static StaticRF
-	err    error
-	ready  chan struct{} // closed once exp/golden/err are final
+	exp      *faultinj.Experiment
+	golden   Golden
+	pruner   faultinj.Pruner // non-nil only for prune units
+	static   StaticRF
+	err      error
+	stage    string // failing stage: "compile", "golden", "analyze"
+	attempts int
+	ready    chan struct{} // closed once exp/golden/err are final
+
+	// Resume / quarantine bookkeeping.
+	skip          bool               // fully satisfied by the journal; no prep, no cells
+	goldenFromLog bool               // golden replayed; do not re-append it
+	replayed      []*campaign.Result // per-target journaled cells (nil = must run)
+	failure       *Failure           // unit-level quarantine (replayed or new)
+	cellFailures  []*Failure         // per-target quarantines (stuck cells, panics)
 }
 
-// run prepares the unit; stop short-circuits pending units once any
-// unit has failed, mirroring the serial loop's early abort.
-func (u *prepUnit) run(stop *atomic.Bool) {
+// run prepares the unit with up to retries extra attempts; a cancelled
+// context short-circuits pending units.
+func (u *prepUnit) run(ctx context.Context) {
 	defer close(u.ready)
-	if stop.Load() {
-		return
+	for attempt := 0; ; attempt++ {
+		u.attempts = attempt + 1
+		if err := ctx.Err(); err != nil {
+			u.err, u.stage = err, "cancelled"
+			return
+		}
+		u.prepOnce()
+		if u.err == nil || attempt >= u.retries {
+			return
+		}
 	}
+}
+
+// prepOnce performs one compile + golden-run + (for prune units)
+// analysis attempt. Panics from any stage are recovered into errors so
+// one bad unit cannot take down the study.
+func (u *prepUnit) prepOnce() {
+	u.err, u.exp, u.pruner = nil, nil, nil
+	u.stage = "compile"
+	defer func() {
+		if r := recover(); r != nil {
+			u.err = fmt.Errorf("%s %s %v for %s: panic: %v", u.stage, u.bench.Name, u.level, u.cfg.Name, r)
+		}
+	}()
 	tgt := compilerTarget(u.cfg)
-	prog, err := compiler.Compile(u.bench.Source(u.size), u.bench.Name, u.level, tgt)
+	prog, err := compileUnit(u.bench.Source(u.size), u.bench.Name, u.level, tgt)
 	if err != nil {
 		u.err = fmt.Errorf("compile %s %v for %s: %w", u.bench.Name, u.level, u.cfg.Name, err)
-		stop.Store(true)
 		return
 	}
+	u.stage = "golden"
 	newExp := faultinj.NewExperiment
 	if u.prune {
 		newExp = faultinj.NewTracedExperiment
@@ -79,22 +122,20 @@ func (u *prepUnit) run(stop *atomic.Bool) {
 	exp, err := newExp(u.cfg, prog)
 	if err != nil {
 		u.err = fmt.Errorf("golden %s %v on %s: %w", u.bench.Name, u.level, u.cfg.Name, err)
-		stop.Store(true)
 		return
 	}
 	u.exp = exp
 	u.golden = goldenOf(u.cfg, u.bench.Name, u.level, prog, exp)
 	if u.prune {
+		u.stage = "analyze"
 		a, err := binanalysis.AnalyzeWords(prog.Code)
 		if err != nil {
 			u.err = fmt.Errorf("analyze %s %v for %s: %w", u.bench.Name, u.level, u.cfg.Name, err)
-			stop.Store(true)
 			return
 		}
 		pr, err := binanalysis.NewRFPruner(a, exp)
 		if err != nil {
 			u.err = fmt.Errorf("pruner %s %v for %s: %w", u.bench.Name, u.level, u.cfg.Name, err)
-			stop.Store(true)
 			return
 		}
 		u.pruner = pr
@@ -107,13 +148,102 @@ func (u *prepUnit) run(stop *atomic.Bool) {
 	}
 }
 
+// isCancel reports whether err is context cancellation rather than a
+// real failure.
+func isCancel(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// skippedCell is the deterministic placeholder recorded for every cell
+// of a quarantined unit. It is derived (not journaled), so an initial
+// run and a resumed run produce identical bytes.
+func skippedCell(f Failure, target string) campaign.Result {
+	return campaign.Result{
+		March: f.March, Bench: f.Bench, Level: f.Level, Target: target,
+		Skipped: "unit " + f.Stage + " failed: " + f.Err,
+	}
+}
+
+// quarantineUnit fills a failed unit's golden and cell slots with
+// deterministic placeholders.
+func quarantineUnit(st *Study, targets []faultinj.Target, ui int, f Failure) {
+	st.Goldens[ui] = Golden{March: f.March, Bench: f.Bench, Level: f.Level}
+	if st.Static != nil {
+		st.Static[ui] = StaticRF{March: f.March, Bench: f.Bench, Level: f.Level}
+	}
+	nt := len(targets)
+	for ti, t := range targets {
+		st.Results[ui*nt+ti] = skippedCell(f, t.Name())
+	}
+}
+
+// replayInto fills study slots from the journal's replay state and
+// marks fully-satisfied units for skipping. Returns how many cells
+// were replayed.
+func (s Spec) replayInto(st *Study, units []*prepUnit, rs *replayState) int {
+	if rs.empty() {
+		return 0
+	}
+	nt := len(s.Targets)
+	replayed := 0
+	for ui, u := range units {
+		ukey := cellKey{u.cfg.Name, u.bench.Name, u.level.String(), ""}
+		if f, ok := rs.failures[ukey]; ok {
+			f := f
+			u.failure = &f
+			u.skip = true
+			quarantineUnit(st, s.Targets, ui, f)
+			replayed += nt
+			continue
+		}
+		complete := true
+		for ti, t := range s.Targets {
+			ckey := cellKey{u.cfg.Name, u.bench.Name, u.level.String(), t.Name()}
+			c, ok := rs.cells[ckey]
+			if !ok {
+				complete = false
+				continue
+			}
+			u.replayed[ti] = &c
+			st.Results[ui*nt+ti] = c
+			replayed++
+			if cf, ok := rs.failures[ckey]; ok { // e.g. a stuck cell
+				cf := cf
+				u.cellFailures[ti] = &cf
+			}
+		}
+		if g, ok := rs.goldens[ukey]; ok {
+			u.goldenFromLog = true
+			u.golden = g.Golden
+			st.Goldens[ui] = g.Golden
+			if g.Static != nil {
+				u.static = *g.Static
+				if st.Static != nil {
+					st.Static[ui] = *g.Static
+				}
+			}
+			if complete {
+				u.skip = true
+			}
+		}
+	}
+	return replayed
+}
+
 // Run executes the study on a shared worker pool of Spec.Parallelism
 // workers (<= 0: GOMAXPROCS). Compile and golden runs are pipelined
 // with the injection campaigns: each unit's cells are dispatched the
 // moment its golden run finishes, while other units are still
 // preparing. Results are deterministic and identical to a serial
 // (Parallelism: 1) run.
-func (s Spec) Run() (*Study, error) {
+func (s Spec) Run() (*Study, error) { return s.RunContext(context.Background()) }
+
+// RunContext is Run with cancellation and crash tolerance: cancelling
+// ctx stops dispatching new work, drains in-flight injections, flushes
+// the journal (Spec.Journal), and returns the context's error. A
+// subsequent run with the same spec and journal resumes from the last
+// durable record.
+func (s Spec) RunContext(ctx context.Context) (*Study, error) {
 	st := &Study{Faults: s.Faults}
 	for _, m := range s.Machines {
 		st.MachineNames = append(st.MachineNames, m.Name)
@@ -130,18 +260,17 @@ func (s Spec) Run() (*Study, error) {
 
 	// Enumerate prep units in the serial loop's order; unit i owns
 	// Goldens[i] and Results[i*len(Targets) ... (i+1)*len(Targets)).
+	sizes := s.resolveSizes()
 	var units []*prepUnit
 	for _, cfg := range s.Machines {
-		for _, bench := range s.Benchmarks {
-			size := bench.DefaultSize
-			if s.Size != nil {
-				size = s.Size(bench)
-			}
+		for bi, bench := range s.Benchmarks {
 			for _, level := range s.Levels {
 				units = append(units, &prepUnit{
-					cfg: cfg, bench: bench, size: size, level: level,
-					prune: s.Prune,
-					ready: make(chan struct{}),
+					cfg: cfg, bench: bench, size: sizes[bi], level: level,
+					prune: s.Prune, retries: s.Retries,
+					ready:        make(chan struct{}),
+					replayed:     make([]*campaign.Result, len(s.Targets)),
+					cellFailures: make([]*Failure, len(s.Targets)),
 				})
 			}
 		}
@@ -156,23 +285,50 @@ func (s Spec) Run() (*Study, error) {
 		st.Static = make([]StaticRF, len(units))
 	}
 
+	// runCtx cancels the whole engine: external interruption, the first
+	// failure in abort (non-KeepGoing) mode, or a journal write error.
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+
+	rep := &reporter{fn: s.Progress}
+	var jn *studyJournal
+	if s.Journal != "" {
+		var rs *replayState
+		var err error
+		jn, rs, err = openStudyJournal(s.Journal, s.fingerprint(sizes), cancelRun)
+		if err != nil {
+			return nil, err
+		}
+		defer jn.close()
+		if n := s.replayInto(st, units, rs); n > 0 {
+			rep.printf("resume: %d/%d cells replayed from journal %s", n, len(units)*nt, s.Journal)
+		}
+	}
+
 	workers := s.Parallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	pool := campaign.NewPool(workers)
 	defer pool.Close()
-	rep := &reporter{fn: s.Progress}
+
+	// cellPanics collects recovered per-cell panics for abort mode, at
+	// deterministic indices so the first one in enumeration order wins.
+	cellPanics := make([]error, len(units)*nt)
 
 	// Feed the preparation work through the same pool as the
 	// injections: compiles and golden runs for later units overlap with
 	// the campaigns of earlier ones. The feeder is its own goroutine
-	// because Submit blocks when the queue is full.
-	var stop atomic.Bool
+	// because Submit blocks when the queue is full. Tasks are always
+	// enqueued (never dropped on cancellation) so every unit's ready
+	// channel is guaranteed to close.
 	go func() {
 		for _, u := range units {
+			if u.skip {
+				continue
+			}
 			u := u
-			pool.Submit(func() { u.run(&stop) })
+			pool.Submit(func() { u.run(runCtx) })
 		}
 	}()
 
@@ -182,34 +338,119 @@ func (s Spec) Run() (*Study, error) {
 	// runs) happens on pool workers, bounding CPU use at `workers`.
 	var wg sync.WaitGroup
 	for ui, u := range units {
+		if u.skip {
+			continue
+		}
 		wg.Add(1)
 		go func(ui int, u *prepUnit) {
 			defer wg.Done()
 			<-u.ready
-			if u.err != nil || u.exp == nil {
+			if u.err != nil {
+				if isCancel(u.err) {
+					return
+				}
+				if !s.KeepGoing {
+					cancelRun()
+					return
+				}
+				f := Failure{
+					March: u.cfg.Name, Bench: u.bench.Name, Level: u.level.String(),
+					Stage: u.stage, Err: u.err.Error(), Retries: u.attempts - 1,
+				}
+				u.failure = &f
+				jn.appendFailure(f)
+				quarantineUnit(st, s.Targets, ui, f)
+				rep.printf("FAILED %-16s %-9s %s: %s (quarantined after %d attempt(s))",
+					u.cfg.Name, u.bench.Name, u.level, u.err, u.attempts)
 				return
 			}
 			st.Goldens[ui] = u.golden
 			if s.Prune {
 				st.Static[ui] = u.static
 			}
+			if !u.goldenFromLog {
+				var static *StaticRF
+				if s.Prune {
+					sc := u.static
+					static = &sc
+				}
+				jn.appendGolden(u.golden, static)
+			}
 			rep.printf("golden %-16s %-9s %s: %d cycles (IPC %.2f)",
 				u.cfg.Name, u.bench.Name, u.level, u.exp.GoldenCycles, u.exp.GoldenStats.Stats.IPC())
 			var cells sync.WaitGroup
 			for ti, target := range s.Targets {
+				if u.replayed[ti] != nil {
+					continue // landed in st.Results during replay
+				}
 				cells.Add(1)
 				go func(ti int, target faultinj.Target) {
 					defer cells.Done()
+					defer func() {
+						if p := recover(); p != nil {
+							err := fmt.Errorf("cell %s/%s/%s/%s: panic: %v",
+								u.cfg.Name, u.bench.Name, u.level, target.Name(), p)
+							if !s.KeepGoing {
+								cellPanics[ui*nt+ti] = err
+								cancelRun()
+								return
+							}
+							f := Failure{
+								March: u.cfg.Name, Bench: u.bench.Name, Level: u.level.String(),
+								Target: target.Name(), Stage: "cell", Err: err.Error(),
+							}
+							u.cellFailures[ti] = &f
+							cell := campaign.Result{
+								March: f.March, Bench: f.Bench, Level: f.Level, Target: f.Target,
+								Skipped: "cell failed: " + err.Error(),
+							}
+							st.Results[ui*nt+ti] = cell
+							jn.appendFailure(f)
+							jn.appendCell(cell)
+						}
+					}()
+					// The watchdog: a per-cell deadline layered on the
+					// study context. When it fires, the campaign drains
+					// and reports Interrupted while the study is alive.
+					cellCtx := runCtx
+					cancelCell := func() {}
+					if s.CellTimeout > 0 {
+						cellCtx, cancelCell = context.WithTimeout(runCtx, s.CellTimeout)
+					}
+					defer cancelCell()
 					r := campaign.Run(u.exp, target, campaign.Options{
-						Faults: s.Faults,
-						Seed:   cellSeed(s.Seed, u.cfg.Name, u.bench.Name, u.level.String(), target.Name()),
-						Pool:   pool,
-						Pruner: u.pruner,
+						Faults:  s.Faults,
+						Seed:    cellSeed(s.Seed, u.cfg.Name, u.bench.Name, u.level.String(), target.Name()),
+						Pool:    pool,
+						Pruner:  u.pruner,
+						Context: cellCtx,
 					})
 					r.March = u.cfg.Name
 					r.Bench = u.bench.Name
 					r.Level = u.level.String()
+					if r.Interrupted {
+						if runCtx.Err() != nil {
+							return // study-wide cancellation: drop the partial cell
+						}
+						// Watchdog expiry: quarantine the cell as stuck.
+						f := Failure{
+							March: r.March, Bench: r.Bench, Level: r.Level, Target: r.Target,
+							Stage: "cell", Err: "exceeded per-cell wall-clock deadline", Stuck: true,
+						}
+						stuck := campaign.Result{
+							March: r.March, Bench: r.Bench, Level: r.Level, Target: r.Target,
+							Skipped: "stuck: exceeded per-cell wall-clock deadline",
+						}
+						u.cellFailures[ti] = &f
+						st.Results[ui*nt+ti] = stuck
+						jn.appendFailure(f)
+						jn.appendCell(stuck)
+						rep.printf("  %-16s %-9s %-2s %-9s STUCK after %d/%d injections (watchdog)",
+							r.March, r.Bench, r.Level, r.Target, r.Faults, s.Faults)
+						return
+					}
 					st.Results[ui*nt+ti] = r
+					jn.appendCell(r)
 					rep.printf("  %-16s %-9s %-2s %-9s AVF %5.1f%%  (SDC %d, crash %d, timeout %d, assert %d)",
 						r.March, r.Bench, r.Level, r.Target, r.AVF()*100, r.Counts.SDC, r.Counts.Crash,
 						r.Counts.Timeout, r.Counts.Assert)
@@ -220,11 +461,37 @@ func (s Spec) Run() (*Study, error) {
 	}
 	wg.Wait()
 
-	// Match the serial loop's abort semantics: the first failing unit in
-	// enumeration order determines the returned error.
+	// A journal that stopped persisting invalidates the run's
+	// durability guarantee; surface it over everything else.
+	if err := jn.firstErr(); err != nil {
+		return nil, err
+	}
+	// Abort mode: the first failing unit or cell in enumeration order
+	// determines the returned error, matching the serial loop.
+	if !s.KeepGoing {
+		for ui, u := range units {
+			if u.err != nil && !isCancel(u.err) {
+				return nil, u.err
+			}
+			for ti := 0; ti < nt; ti++ {
+				if err := cellPanics[ui*nt+ti]; err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("study interrupted (completed cells are journaled; rerun with the same spec and journal to resume): %w", err)
+	}
+	// Assemble quarantine records in deterministic unit order.
 	for _, u := range units {
-		if u.err != nil {
-			return nil, u.err
+		if u.failure != nil {
+			st.Failed = append(st.Failed, *u.failure)
+		}
+		for _, cf := range u.cellFailures {
+			if cf != nil {
+				st.Failed = append(st.Failed, *cf)
+			}
 		}
 	}
 	return st, nil

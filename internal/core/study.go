@@ -8,13 +8,16 @@ package core
 
 import (
 	"encoding/json"
+	"fmt"
 	"hash/fnv"
 	"os"
 	"sync"
+	"time"
 
 	"sevsim/internal/campaign"
 	"sevsim/internal/compiler"
 	"sevsim/internal/faultinj"
+	"sevsim/internal/journal"
 	"sevsim/internal/machine"
 	"sevsim/internal/workloads"
 )
@@ -52,6 +55,36 @@ type Spec struct {
 	// (Study.Static). Outcome classifications are identical with and
 	// without pruning; only the work to obtain them changes.
 	Prune bool
+
+	// Journal, when non-empty, is the path of a durable JSONL journal:
+	// every completed prep-unit golden and campaign cell is appended
+	// (checksummed, fsync'd) as it finishes, and a later run with the
+	// same spec replays the journal to skip already-finished work. A
+	// study killed at any point and resumed this way produces a
+	// byte-identical study.json to an uninterrupted run. A journal
+	// recorded under a different spec is rejected.
+	Journal string
+
+	// KeepGoing quarantines failures instead of aborting the study: a
+	// unit whose compile, golden run, or analysis fails (after Retries
+	// bounded retries) is recorded in Study.Failed, its cells are marked
+	// skipped, and every other cell completes exactly as in a clean
+	// run. Without KeepGoing the first failure cancels the study, which
+	// is the historical behavior.
+	KeepGoing bool
+
+	// Retries is the number of additional preparation attempts after a
+	// unit's first failure, for riding out transient faults (0: fail on
+	// the first error). The attempt count is recorded in the Failure.
+	Retries int
+
+	// CellTimeout, when positive, arms a per-cell watchdog: a campaign
+	// cell that exceeds this wall-clock budget is abandoned (in-flight
+	// injections drain), recorded in Study.Failed as stuck, and marked
+	// skipped — instead of hanging the whole pool. Stuck classification
+	// depends on the wall clock, so enable it only for unattended runs
+	// where liveness beats strict reproducibility.
+	CellTimeout time.Duration
 }
 
 // DefaultSpec returns the full study of the paper at a configurable
@@ -103,6 +136,12 @@ type Study struct {
 	// empty otherwise (and omitted from saved JSON).
 	Static []StaticRF `json:",omitempty"`
 
+	// Failed records the units and cells quarantined by a keep-going
+	// run (Spec.KeepGoing) or flagged stuck by the cell watchdog, in
+	// unit-enumeration order. Empty for clean or aborting studies, and
+	// omitted from saved JSON so historical files are byte-stable.
+	Failed []Failure `json:",omitempty"`
+
 	// Lazily built lookup indexes; the aggregation accessors are called
 	// per cell by every figure, and a linear scan over the full study's
 	// 960 results per lookup made them O(n²).
@@ -123,6 +162,39 @@ type StaticRF struct {
 	AVFUpperBound float64
 	PrunableBits  uint64
 	SpaceBits     uint64
+}
+
+// Failure is one quarantined unit or cell: the error that removed it
+// from the study without aborting the rest.
+type Failure struct {
+	March string
+	Bench string
+	Level string
+	// Target is empty for unit-level (compile/golden/analysis) failures
+	// and names the structure field for per-cell failures.
+	Target string `json:",omitempty"`
+
+	// Stage is where the failure happened: "compile", "golden",
+	// "analyze", or "cell".
+	Stage string
+	Err   string
+	// Retries is how many extra attempts were made before quarantining
+	// (bounded by Spec.Retries).
+	Retries int `json:",omitempty"`
+	// Stuck marks a cell abandoned by the watchdog for exceeding
+	// Spec.CellTimeout rather than failing outright.
+	Stuck bool `json:",omitempty"`
+}
+
+// FailuresFor returns the quarantined failures recorded for one unit.
+func (st *Study) FailuresFor(march, bench, level string) []Failure {
+	var out []Failure
+	for _, f := range st.Failed {
+		if f.March == march && f.Bench == bench && f.Level == level {
+			out = append(out, f)
+		}
+	}
+	return out
 }
 
 // StaticFor returns the static RF bound for a cell, when recorded.
@@ -254,16 +326,21 @@ func MachineConfig(name string) (machine.Config, bool) {
 
 // --- persistence -------------------------------------------------------------
 
-// Save writes the study as JSON.
+// Save writes the study as JSON, crash-safely: the bytes go to a temp
+// file in the destination directory, are fsync'd, and are renamed over
+// the target, so a crash mid-save leaves either the old file or the new
+// one — never a torn mixture.
 func (st *Study) Save(path string) error {
 	data, err := json.MarshalIndent(st, "", " ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, data, 0o644)
+	return journal.AtomicWriteFile(path, data)
 }
 
-// Load reads a study saved with Save.
+// Load reads a study saved with Save. A file cut short by a crash of a
+// pre-atomic-save writer (or by disk corruption) is reported as such
+// rather than as a bare JSON parse error.
 func Load(path string) (*Study, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -271,7 +348,7 @@ func Load(path string) (*Study, error) {
 	}
 	st := &Study{}
 	if err := json.Unmarshal(data, st); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: study file %s is corrupt or truncated (re-run or resume the study to regenerate it): %w", path, err)
 	}
 	return st, nil
 }

@@ -1,0 +1,301 @@
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type payload struct {
+	Name string
+	N    int
+}
+
+func mustAppend(t *testing.T, w *Writer, kind string, v any) {
+	t.Helper()
+	if err := w.Append(kind, v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendAndScanRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	w, recs, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(recs))
+	}
+	for i := 0; i < 10; i++ {
+		mustAppend(t, w, "cell", payload{Name: fmt.Sprintf("r%d", i), N: i})
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := Scan(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("replayed %d records, want 10", len(got))
+	}
+	for i, r := range got {
+		if r.Kind != "cell" {
+			t.Errorf("record %d kind %q", i, r.Kind)
+		}
+		var p payload
+		if err := json.Unmarshal(r.Data, &p); err != nil {
+			t.Fatal(err)
+		}
+		if p.N != i {
+			t.Errorf("record %d payload N=%d", i, p.N)
+		}
+	}
+}
+
+func TestReopenReplaysAndAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	w, _, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, w, "a", payload{N: 1})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w, recs, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Kind != "a" {
+		t.Fatalf("replay after reopen: %+v", recs)
+	}
+	mustAppend(t, w, "b", payload{N: 2})
+	w.Close()
+
+	recs, err = Scan(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1].Kind != "b" {
+		t.Fatalf("after second append: %+v", recs)
+	}
+}
+
+// TestTornTailDropped simulates a crash mid-write: the journal must
+// replay the valid prefix and Open must compact the torn tail away.
+func TestTornTailDropped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	w, _, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		mustAppend(t, w, "cell", payload{N: i})
+	}
+	w.Close()
+
+	// Tear the last record: drop its final 7 bytes.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := Scan(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("torn journal replayed %d records, want 4", len(recs))
+	}
+
+	// Open compacts: the file on disk afterwards is exactly the valid
+	// prefix, and appending continues cleanly.
+	w, recs, err = Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("open after tear replayed %d records, want 4", len(recs))
+	}
+	mustAppend(t, w, "cell", payload{N: 99})
+	w.Close()
+	recs, err = Scan(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("after compaction + append: %d records, want 5", len(recs))
+	}
+	var p payload
+	if err := json.Unmarshal(recs[4].Data, &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.N != 99 {
+		t.Errorf("last record N=%d, want 99", p.N)
+	}
+}
+
+// TestChecksumMismatchEndsReplay flips one byte inside a record's
+// payload: the replay must stop at the corrupt record.
+func TestChecksumMismatchEndsReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	w, _, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, w, "cell", payload{Name: "aaaa", N: 1})
+	mustAppend(t, w, "cell", payload{Name: "bbbb", N: 2})
+	mustAppend(t, w, "cell", payload{Name: "cccc", N: 3})
+	w.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := strings.Replace(string(data), "bbbb", "bXbb", 1)
+	if err := os.WriteFile(path, []byte(corrupted), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := Scan(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("replayed %d records past a corrupt one, want 1", len(recs))
+	}
+}
+
+// TestSegmentRotation forces a tiny segment limit and checks that
+// records span multiple segment files and replay in order.
+func TestSegmentRotation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	w, _, err := Open(path, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	for i := 0; i < n; i++ {
+		mustAppend(t, w, "cell", payload{Name: "record-payload", N: i})
+	}
+	w.Close()
+
+	if _, err := os.Stat(path + ".1"); err != nil {
+		t.Fatalf("expected rotated segment %s.1: %v", path, err)
+	}
+	recs, err := Scan(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != n {
+		t.Fatalf("replayed %d records across segments, want %d", len(recs), n)
+	}
+	for i, r := range recs {
+		var p payload
+		if err := json.Unmarshal(r.Data, &p); err != nil {
+			t.Fatal(err)
+		}
+		if p.N != i {
+			t.Fatalf("record %d out of order: N=%d", i, p.N)
+		}
+	}
+
+	// Reopen appends to the last segment, not a new one.
+	w, recs, err = Open(path, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != n {
+		t.Fatalf("reopen replayed %d, want %d", len(recs), n)
+	}
+	mustAppend(t, w, "cell", payload{N: n})
+	w.Close()
+	recs, _ = Scan(path)
+	if len(recs) != n+1 {
+		t.Fatalf("after reopen append: %d records", len(recs))
+	}
+}
+
+// TestTornMiddleSegmentRejected: a corrupt record in a non-final
+// segment cannot be silently skipped — later records would replay
+// against a hole.
+func TestTornMiddleSegmentRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	w, _, err := Open(path, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		mustAppend(t, w, "cell", payload{Name: "record-payload", N: i})
+	}
+	w.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Scan(path); err == nil {
+		t.Fatal("expected an error for a torn non-final segment")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	w, _, err := Open(path, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		mustAppend(t, w, "cell", payload{Name: "record-payload", N: i})
+	}
+	w.Close()
+	if err := Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{path, path + ".1"} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("%s still exists after Remove", p)
+		}
+	}
+	// Removing a journal that never existed is fine.
+	if err := Remove(filepath.Join(t.TempDir(), "nope.jsonl")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAtomicWriteFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := AtomicWriteFile(path, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := AtomicWriteFile(path, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "v2" {
+		t.Fatalf("content %q", data)
+	}
+	// No temp litter left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries, want 1", len(entries))
+	}
+}

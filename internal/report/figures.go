@@ -262,6 +262,57 @@ func StaticVsDynamic(w io.Writer, st *core.Study) {
 	}
 }
 
+// Failures prints the units and cells quarantined by a keep-going run
+// or flagged stuck by the cell watchdog. Prints nothing for a clean
+// study, so historical figure output is unchanged.
+func Failures(w io.Writer, st *core.Study) {
+	if len(st.Failed) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "Harness failures: units/cells quarantined instead of aborting the study")
+	headers := []string{"march", "benchmark", "level", "target", "stage", "retries", "stuck", "error"}
+	rows := make([][]string, 0, len(st.Failed))
+	for _, f := range st.Failed {
+		target := f.Target
+		if target == "" {
+			target = "(unit)"
+		}
+		stuck := ""
+		if f.Stuck {
+			stuck = "yes"
+		}
+		rows = append(rows, []string{
+			f.March, f.Bench, f.Level, target, f.Stage,
+			fmt.Sprint(f.Retries), stuck, f.Err,
+		})
+	}
+	Table(w, headers, rows)
+}
+
+// Anomalies prints the cells whose campaigns recorded unexpected
+// simulator panics (injections classified Crash by recovery rather than
+// by a modeled exception). A nonzero row here means the harness itself
+// misbehaved and the cell's rates deserve suspicion. Prints nothing
+// when every cell is clean.
+func Anomalies(w io.Writer, st *core.Study) {
+	headers := []string{"march", "benchmark", "level", "target", "unexpected", "faults"}
+	rows := [][]string{}
+	for _, r := range st.Results {
+		if r.Counts.Unexpected == 0 {
+			continue
+		}
+		rows = append(rows, []string{
+			r.March, r.Bench, r.Level, r.Target,
+			fmt.Sprint(r.Counts.Unexpected), fmt.Sprint(r.Faults),
+		})
+	}
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "Anomalies: cells with unexpected simulator panics (rates suspect)")
+	Table(w, headers, rows)
+}
+
 func componentOf(target string) string {
 	for i := 0; i < len(target); i++ {
 		if target[i] == '.' {
@@ -330,5 +381,16 @@ func Everything(w io.Writer, st *core.Study) {
 	if len(st.Static) > 0 {
 		fmt.Fprintln(w)
 		StaticVsDynamic(w, st)
+	}
+	if len(st.Failed) > 0 {
+		fmt.Fprintln(w)
+		Failures(w, st)
+	}
+	for _, r := range st.Results {
+		if r.Counts.Unexpected > 0 {
+			fmt.Fprintln(w)
+			Anomalies(w, st)
+			break
+		}
 	}
 }

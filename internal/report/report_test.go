@@ -109,6 +109,61 @@ func TestFig12ECCReducesFIT(t *testing.T) {
 	}
 }
 
+func TestFailuresTable(t *testing.T) {
+	st := fakeStudy()
+	var buf bytes.Buffer
+	Failures(&buf, st)
+	if buf.Len() != 0 {
+		t.Fatalf("clean study rendered a failures table:\n%s", buf.String())
+	}
+
+	st.Failed = []core.Failure{
+		{March: "Cortex-A15-like", Bench: "gsm", Level: "O2",
+			Stage: "compile", Err: "boom", Retries: 2},
+		{March: "Cortex-A72-like", Bench: "qsort", Level: "O0", Target: "RF",
+			Stage: "cell", Err: "exceeded per-cell wall-clock deadline", Stuck: true},
+	}
+	Failures(&buf, st)
+	out := buf.String()
+	for _, want := range []string{"Harness failures", "(unit)", "compile", "boom", "RF", "yes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("failures table missing %q:\n%s", want, out)
+		}
+	}
+
+	// Everything includes the table only when failures exist.
+	var all bytes.Buffer
+	Everything(&all, st)
+	if !strings.Contains(all.String(), "Harness failures") {
+		t.Error("Everything omitted the failures table")
+	}
+}
+
+func TestAnomaliesTable(t *testing.T) {
+	st := fakeStudy()
+	var buf bytes.Buffer
+	Anomalies(&buf, st)
+	if buf.Len() != 0 {
+		t.Fatalf("clean study rendered an anomalies table:\n%s", buf.String())
+	}
+
+	st.Results[3].Counts.Unexpected = 2
+	Anomalies(&buf, st)
+	out := buf.String()
+	bad := st.Results[3]
+	for _, want := range []string{"Anomalies", bad.March, bad.Target, "2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("anomalies table missing %q:\n%s", want, out)
+		}
+	}
+
+	var all bytes.Buffer
+	Everything(&all, st)
+	if !strings.Contains(all.String(), "Anomalies") {
+		t.Error("Everything omitted the anomalies table")
+	}
+}
+
 func TestNumAndPct(t *testing.T) {
 	if Pct(0.1234) != "12.34%" {
 		t.Errorf("Pct = %s", Pct(0.1234))

@@ -11,10 +11,10 @@ import (
 	"strings"
 )
 
-// Finding is one determinism violation.
+// Finding is one linter violation.
 type Finding struct {
 	Pos  token.Position
-	Rule string // "map-range", "wall-clock", "global-rand"
+	Rule string // see AllRules
 	Msg  string
 }
 
@@ -22,12 +22,32 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Rule, f.Msg)
 }
 
-// suppression is the trailing comment that exempts a map range the
-// author has argued is order-insensitive.
-const suppression = "lint:ordered"
+// AllRules lists every rule the linter knows. The first three are the
+// determinism rules; os-exit and signal-notify are the robustness rules
+// that keep library code interruptible (os.Exit skips deferred journal
+// flushes; bare signal.Notify hides signals from the scheduler's
+// context).
+var AllRules = []string{"map-range", "wall-clock", "global-rand", "os-exit", "signal-notify"}
 
-// LintDir lints every non-test Go file in dir.
-func LintDir(dir string) ([]Finding, error) {
+// suppression is the trailing comment that exempts a map range the
+// author has argued is order-insensitive; suppressionExit exempts an
+// os.Exit the author has argued sits at a process boundary (the CLI
+// helpers, nothing deeper).
+const (
+	suppression     = "lint:ordered"
+	suppressionExit = "lint:exit"
+)
+
+// LintDir lints every non-test Go file in dir. With no explicit rules
+// every rule runs; otherwise only the named ones do.
+func LintDir(dir string, rules ...string) ([]Finding, error) {
+	enabled := map[string]bool{}
+	if len(rules) == 0 {
+		rules = AllRules
+	}
+	for _, r := range rules {
+		enabled[r] = true
+	}
 	fset := token.NewFileSet()
 	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
 		return !strings.HasSuffix(fi.Name(), "_test.go")
@@ -70,7 +90,7 @@ func LintDir(dir string) ([]Finding, error) {
 		conf.Check(dir, fset, files, info) // error intentionally ignored
 
 		for _, file := range files {
-			findings = append(findings, lintFile(fset, file, info)...)
+			findings = append(findings, lintFile(fset, file, info, enabled)...)
 		}
 	}
 	sort.Slice(findings, func(i, j int) bool {
@@ -101,15 +121,25 @@ func (im *stubImporter) Import(path string) (*types.Package, error) {
 	return p, nil
 }
 
-func lintFile(fset *token.FileSet, file *ast.File, info *types.Info) []Finding {
+func lintFile(fset *token.FileSet, file *ast.File, info *types.Info, enabled map[string]bool) []Finding {
 	var findings []Finding
+	emit := func(f Finding) {
+		if enabled[f.Rule] {
+			findings = append(findings, f)
+		}
+	}
 
-	// Lines carrying a suppression comment.
+	// Lines carrying a suppression comment, per suppression kind.
 	suppressed := map[int]bool{}
+	exitOK := map[int]bool{}
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
+			line := fset.Position(c.Pos()).Line
 			if strings.Contains(c.Text, suppression) {
-				suppressed[fset.Position(c.Pos()).Line] = true
+				suppressed[line] = true
+			}
+			if strings.Contains(c.Text, suppressionExit) {
+				exitOK[line] = true
 			}
 		}
 	}
@@ -122,7 +152,7 @@ func lintFile(fset *token.FileSet, file *ast.File, info *types.Info) []Finding {
 				return true
 			}
 			if isMapType(info.TypeOf(n.X)) {
-				findings = append(findings, Finding{
+				emit(Finding{
 					Pos:  pos,
 					Rule: "map-range",
 					Msg:  "map iteration order is nondeterministic; sort the keys (or mark the loop //lint:ordered if order cannot reach results or output)",
@@ -144,16 +174,31 @@ func lintFile(fset *token.FileSet, file *ast.File, info *types.Info) []Finding {
 			pos := fset.Position(n.Pos())
 			switch {
 			case path == "time" && (sel.Sel.Name == "Now" || sel.Sel.Name == "Since" || sel.Sel.Name == "Until"):
-				findings = append(findings, Finding{
+				emit(Finding{
 					Pos:  pos,
 					Rule: "wall-clock",
 					Msg:  fmt.Sprintf("time.%s makes results depend on the wall clock; thread timing through explicit parameters", sel.Sel.Name),
 				})
 			case path == "math/rand" && sel.Sel.Name != "New" && sel.Sel.Name != "NewSource":
-				findings = append(findings, Finding{
+				emit(Finding{
 					Pos:  pos,
 					Rule: "global-rand",
 					Msg:  fmt.Sprintf("rand.%s uses the shared global source; use rand.New(rand.NewSource(seed)) for reproducible sampling", sel.Sel.Name),
+				})
+			case path == "os" && sel.Sel.Name == "Exit":
+				if exitOK[pos.Line] {
+					return true
+				}
+				emit(Finding{
+					Pos:  pos,
+					Rule: "os-exit",
+					Msg:  "os.Exit inside internal/ skips deferred cleanup (journal flush, pool drain); return an error to the caller (or mark a genuine process boundary //lint:exit)",
+				})
+			case path == "os/signal" && sel.Sel.Name == "Notify":
+				emit(Finding{
+					Pos:  pos,
+					Rule: "signal-notify",
+					Msg:  "bare signal.Notify hides the signal from the study's context; use signal.NotifyContext so cancellation reaches the scheduler",
 				})
 			}
 		}

@@ -177,9 +177,93 @@ func f() { _ = time.Now() }
 	}
 }
 
+func TestOsExitFlagged(t *testing.T) {
+	fs := lintSource(t, `package p
+import "os"
+func f() {
+	os.Exit(1)
+}
+`)
+	if len(fs) != 1 || fs[0].Rule != "os-exit" {
+		t.Fatalf("findings = %v", fs)
+	}
+}
+
+func TestOsExitSuppression(t *testing.T) {
+	fs := lintSource(t, `package p
+import "os"
+func f() {
+	os.Exit(1) //lint:exit process boundary
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("suppressed os.Exit still flagged: %v", fs)
+	}
+}
+
+func TestSignalNotifyFlagged(t *testing.T) {
+	fs := lintSource(t, `package p
+import (
+	"os"
+	"os/signal"
+)
+func f() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+}
+`)
+	if len(fs) != 1 || fs[0].Rule != "signal-notify" {
+		t.Fatalf("findings = %v", fs)
+	}
+}
+
+func TestSignalNotifyContextClean(t *testing.T) {
+	fs := lintSource(t, `package p
+import (
+	"context"
+	"os"
+	"os/signal"
+)
+func f() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt)
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("NotifyContext flagged: %v", fs)
+	}
+}
+
+func TestRuleSelection(t *testing.T) {
+	src := `package p
+import (
+	"os"
+	"time"
+)
+func f() {
+	_ = time.Now()
+	os.Exit(1)
+}
+`
+	fs := lintSource(t, src)
+	if got := rules(fs); len(got) != 2 {
+		t.Fatalf("all-rules findings = %v", fs)
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "x.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	only, err := LintDir(dir, "os-exit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(only) != 1 || only[0].Rule != "os-exit" {
+		t.Fatalf("restricted findings = %v", only)
+	}
+}
+
 // TestDeterminismCriticalPackagesClean is the real gate: the packages
 // that produce, aggregate, and render study results must stay free of
-// nondeterminism sources.
+// nondeterminism sources (and of the robustness violations).
 func TestDeterminismCriticalPackagesClean(t *testing.T) {
 	for _, dir := range defaultDirs {
 		fs, err := LintDir(filepath.Join("..", "..", dir))
@@ -192,6 +276,32 @@ func TestDeterminismCriticalPackagesClean(t *testing.T) {
 				b.WriteString("\n  " + f.String())
 			}
 			t.Errorf("%s has determinism findings:%s", dir, b.String())
+		}
+	}
+}
+
+// TestAllInternalPackagesInterruptible enforces the robustness rules
+// across every internal/ package: no os.Exit outside marked process
+// boundaries, no bare signal.Notify.
+func TestAllInternalPackagesInterruptible(t *testing.T) {
+	dirs, err := internalDirs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no internal packages found")
+	}
+	for _, dir := range dirs {
+		fs, err := LintDir(dir, robustnessRules...)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		if len(fs) != 0 {
+			var b strings.Builder
+			for _, f := range fs {
+				b.WriteString("\n  " + f.String())
+			}
+			t.Errorf("%s has robustness findings:%s", dir, b.String())
 		}
 	}
 }

@@ -1,7 +1,8 @@
-// Command lint is sevsim's determinism linter. Study results must be
-// byte-identical run to run and across parallelism settings (the
-// scheduler's core guarantee), so the packages that produce or render
-// results may not contain the three classic sources of nondeterminism:
+// Command lint is sevsim's determinism and robustness linter. Study
+// results must be byte-identical run to run and across parallelism
+// settings (the scheduler's core guarantee), so the packages that
+// produce or render results may not contain the three classic sources
+// of nondeterminism:
 //
 //   - ranging over a map (iteration order is randomized by the runtime;
 //     sort the keys first, or mark a genuinely order-insensitive loop
@@ -10,14 +11,23 @@
 //   - the global math/rand source (shared, unseeded state; construct a
 //     local rand.New(rand.NewSource(seed)) instead).
 //
+// Additionally, every internal/ package must stay interruptible and
+// crash-tolerant, so two robustness rules apply across all of them:
+//
+//   - os.Exit (skips deferred cleanup such as journal flushes and pool
+//     drains; return an error instead, or mark a genuine process
+//     boundary with a trailing //lint:exit comment),
+//   - bare signal.Notify (hides signals from the study's context; use
+//     signal.NotifyContext so cancellation reaches the scheduler).
+//
 // Test files are exempt. The linter is stdlib-only (go/parser +
 // go/types with a stub importer), so it runs in offline environments
 // where golang.org/x/tools is unavailable.
 //
 // Usage:
 //
-//	go run ./tools/lint                  # lint the default packages
-//	go run ./tools/lint ./internal/core  # lint specific directories
+//	go run ./tools/lint                  # default sweep (see above)
+//	go run ./tools/lint ./internal/core  # all rules on specific dirs
 //
 // Exits 1 when any finding is reported.
 package main
@@ -26,21 +36,39 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 )
 
 // defaultDirs are the determinism-critical packages: result
-// production, aggregation, and rendering.
+// production, aggregation, and rendering. They get every rule.
 var defaultDirs = []string{"internal/core", "internal/campaign", "internal/report"}
+
+// robustnessRules are enforced on every internal/ package, including
+// ones where wall-clock or map-order use is legitimate.
+var robustnessRules = []string{"os-exit", "signal-notify"}
+
+// internalDirs lists the package directories under root/internal.
+func internalDirs(root string) ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(root, "internal"))
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			dirs = append(dirs, filepath.Join(root, "internal", e.Name()))
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
 
 func main() {
 	flag.Parse()
-	dirs := flag.Args()
-	if len(dirs) == 0 {
-		dirs = defaultDirs
-	}
-	total := 0
-	for _, dir := range dirs {
-		findings, err := LintDir(dir)
+
+	lint := func(dir string, rules ...string) int {
+		findings, err := LintDir(dir, rules...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "lint:", err)
 			os.Exit(2)
@@ -48,7 +76,32 @@ func main() {
 		for _, f := range findings {
 			fmt.Println(f)
 		}
-		total += len(findings)
+		return len(findings)
+	}
+
+	total := 0
+	if dirs := flag.Args(); len(dirs) > 0 {
+		for _, dir := range dirs {
+			total += lint(dir)
+		}
+	} else {
+		// Default sweep: all rules on the determinism-critical packages,
+		// robustness rules on every other internal package.
+		critical := map[string]bool{}
+		for _, dir := range defaultDirs {
+			critical[filepath.Clean(dir)] = true
+			total += lint(dir)
+		}
+		all, err := internalDirs(".")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lint:", err)
+			os.Exit(2)
+		}
+		for _, dir := range all {
+			if !critical[filepath.Clean(dir)] {
+				total += lint(dir, robustnessRules...)
+			}
+		}
 	}
 	if total > 0 {
 		fmt.Fprintf(os.Stderr, "lint: %d finding(s)\n", total)
