@@ -312,6 +312,87 @@ func BenchmarkStudyScheduler(b *testing.B) {
 	}
 }
 
+// BenchmarkInjectionCell quantifies the checkpoint fast path on a
+// representative campaign cell (qsort, O2, A15-like). The printed
+// figure runs the cell's campaigns with the fast path fully off
+// (fresh machine per injection, simulated from cycle 0) and fully on
+// (checkpoint fast-forward + early-convergence exit), asserts the
+// classification counts are identical, and reports the wall-clock
+// speedup. The timed unit runs single injections under both
+// configurations as sub-benchmarks, so `-benchmem` exposes the
+// per-injection allocation reduction from the pooled scratch machines.
+func BenchmarkInjectionCell(b *testing.B) {
+	bench, _ := workloads.ByName("qsort")
+	prog, err := compiler.Compile(bench.Source(bench.TestSize), "qsort", compiler.O2,
+		compiler.Target{XLEN: 32, NumArchRegs: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := machine.CortexA15Like()
+	newExp := func(opts faultinj.Options) *faultinj.Experiment {
+		exp, err := faultinj.NewExperimentOptions(cfg, prog, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return exp
+	}
+	refOpts := faultinj.Options{Checkpoints: -1, NoFastExit: true}
+
+	printFigure("injection-cell", func() {
+		faults := envInt("SEV_FAULTS", 8) * 32
+		var targets []faultinj.Target
+		for _, name := range []string{"RF", "L1D.data", "ROB.pc"} {
+			t, _ := faultinj.TargetByName(name)
+			targets = append(targets, t)
+		}
+		pool := campaign.NewPool(runtime.GOMAXPROCS(0))
+		defer pool.Close()
+		// Each measurement includes experiment preparation, so the
+		// recording pass the fast path adds is charged against it.
+		measure := func(opts faultinj.Options) (time.Duration, []campaign.Counts) {
+			t0 := time.Now()
+			exp := newExp(opts)
+			var counts []campaign.Counts
+			for _, t := range targets {
+				r := campaign.Run(exp, t, campaign.Options{Faults: faults, Seed: 2021, Pool: pool})
+				counts = append(counts, r.Counts)
+			}
+			return time.Since(t0), counts
+		}
+		refD, refC := measure(refOpts)
+		fastD, fastC := measure(faultinj.Options{})
+		for i := range refC {
+			if refC[i] != fastC[i] {
+				b.Fatalf("fast path classified %s differently: %+v vs %+v",
+					targets[i].Name(), fastC[i], refC[i])
+			}
+		}
+		fmt.Printf("\nInjection cell (qsort, O2, A15-like; %d targets x %d faults): reference %v, checkpointed %v (%.2fx, identical classification)\n",
+			len(targets), faults, refD.Round(time.Millisecond), fastD.Round(time.Millisecond),
+			float64(refD)/float64(fastD))
+	})
+
+	// Unit: one end-to-end RF injection, reference vs fast path.
+	rf, _ := faultinj.TargetByName("RF")
+	ref := newExp(refOpts)
+	fast := newExp(faultinj.Options{})
+	inj, err := ref.Sample(rf, 256, 99)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, sub := range []struct {
+		name string
+		exp  *faultinj.Experiment
+	}{{"reference", ref}, {"fastpath", fast}} {
+		b.Run(sub.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sub.exp.Inject(rf, inj[i%len(inj)])
+			}
+		})
+	}
+}
+
 // BenchmarkPrunedStudy quantifies the static injection pruner: it runs
 // the same RF study with Spec.Prune off and on, asserts the
 // classification is identical, and reports the wall-clock saving plus

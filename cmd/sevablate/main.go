@@ -33,6 +33,8 @@ func main() {
 	faults := flag.Int("faults", 200, "faults per AVF measurement")
 	seed := flag.Int64("seed", 2021, "sampling seed")
 	par := flag.Int("parallel", 0, "concurrent measurements (0 = GOMAXPROCS)")
+	ckpts := flag.Int("checkpoints", faultinj.DefaultCheckpoints, "golden checkpoints per row for injection fast-forward (0 disables); results are identical at any setting")
+	fastExit := flag.Bool("fastexit", true, "classify Masked at the first provable state convergence with golden; results are identical either way")
 	flag.Parse()
 
 	cfg, err := cli.March(*marchFlag)
@@ -124,7 +126,10 @@ func main() {
 				<-sem
 				return
 			}
-			exp, err := faultinj.NewExperiment(cfg, prog)
+			exp, err := faultinj.NewExperimentOptions(cfg, prog, faultinj.Options{
+				Checkpoints: cli.Checkpoints(*ckpts),
+				NoFastExit:  !*fastExit,
+			})
 			// The campaign runs on the shared pool; this goroutine only
 			// waits, so its semaphore slot is released first.
 			<-sem

@@ -36,6 +36,8 @@ func main() {
 	par := flag.Int("parallel", 0, "concurrent injections (0 = GOMAXPROCS)")
 	modelFlag := flag.String("model", "single", "fault model: single, double, quad (multi-bit upsets)")
 	prune := flag.Bool("prune", false, "statically prune provably-masked RF injections (identical outcomes, less simulation)")
+	ckpts := flag.Int("checkpoints", faultinj.DefaultCheckpoints, "golden checkpoints for injection fast-forward (0 disables); results are identical at any setting")
+	fastExit := flag.Bool("fastexit", true, "classify Masked at the first provable state convergence with golden; results are identical either way")
 	flag.Parse()
 
 	cfg, err := cli.March(*marchFlag)
@@ -54,11 +56,11 @@ func main() {
 	if err != nil {
 		cli.Fatal(err)
 	}
-	newExp := faultinj.NewExperiment
-	if *prune {
-		newExp = faultinj.NewTracedExperiment
-	}
-	exp, err := newExp(cfg, prog)
+	exp, err := faultinj.NewExperimentOptions(cfg, prog, faultinj.Options{
+		Traced:      *prune,
+		Checkpoints: cli.Checkpoints(*ckpts),
+		NoFastExit:  !*fastExit,
+	})
 	if err != nil {
 		cli.Fatal(err)
 	}

@@ -29,6 +29,7 @@ import (
 
 	"sevsim/internal/cli"
 	"sevsim/internal/core"
+	"sevsim/internal/faultinj"
 	"sevsim/internal/journal"
 	"sevsim/internal/report"
 	"sevsim/internal/workloads"
@@ -46,12 +47,22 @@ func main() {
 	keepGoing := flag.Bool("keep-going", false, "quarantine failed units/cells into the study instead of aborting on the first error")
 	retries := flag.Int("retries", 0, "extra preparation attempts per unit before quarantining (with -keep-going)")
 	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell wall-clock watchdog (0 = off); stuck cells are recorded and skipped")
+	ckpts := flag.Int("checkpoints", faultinj.DefaultCheckpoints, "golden checkpoints per cell for injection fast-forward (0 disables); results are identical at any setting")
+	fastExit := flag.Bool("fastexit", true, "classify Masked at the first provable state convergence with golden; results are identical either way")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fatal(err)
 	}
+
+	stopProfiles, err := cli.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
 
 	var st *core.Study
 	if *load != "" {
@@ -68,6 +79,8 @@ func main() {
 		spec.KeepGoing = *keepGoing
 		spec.Retries = *retries
 		spec.CellTimeout = *cellTimeout
+		spec.Checkpoints = cli.Checkpoints(*ckpts)
+		spec.NoFastExit = !*fastExit
 		switch *jpath {
 		case "off":
 		case "":
@@ -95,6 +108,7 @@ func main() {
 			if errors.Is(err, context.Canceled) && spec.Journal != "" {
 				fmt.Fprintf(os.Stderr, "\ninterrupted: completed cells are journaled in %s\n", spec.Journal)
 				fmt.Fprintln(os.Stderr, "re-run the same command to resume from where it stopped")
+				stopProfiles()
 				os.Exit(cli.ExitInterrupted)
 			}
 			fatal(err)
@@ -161,6 +175,7 @@ func main() {
 	}
 	if unexpected > 0 {
 		fmt.Fprintf(os.Stderr, "error: %d injections hit unexpected simulator panics (see the anomalies table in figures.txt)\n", unexpected)
+		stopProfiles()
 		os.Exit(1)
 	}
 }

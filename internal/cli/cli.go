@@ -8,6 +8,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"syscall"
 
@@ -127,4 +128,51 @@ func MustParse(src string) *lang.Program {
 func Fatal(err error) {
 	fmt.Fprintln(os.Stderr, "error:", err)
 	os.Exit(1) //lint:exit process boundary for the CLI tools
+}
+
+// Checkpoints maps a -checkpoints flag value (0 disables, the natural
+// CLI convention) to the faultinj.Options / core.Spec convention, where
+// 0 means "package default" and a negative value disables.
+func Checkpoints(n int) int {
+	if n <= 0 {
+		return -1
+	}
+	return n
+}
+
+// StartProfiles starts CPU and/or heap profiling for a CLI run. Either
+// path may be empty to skip that profile. The returned stop function
+// must run at exit (defer it): it stops the CPU profile and writes the
+// heap profile after a final GC, so the snapshot shows live allocations
+// rather than garbage.
+func StartProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			memFile, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mem profile:", err)
+				return
+			}
+			defer memFile.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(memFile); err != nil {
+				fmt.Fprintln(os.Stderr, "mem profile:", err)
+			}
+		}
+	}, nil
 }

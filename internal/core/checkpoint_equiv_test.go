@@ -1,0 +1,68 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// TestCheckpointEquivalence is the study-level soundness acceptance for
+// the injection fast path: with checkpoint fast-forward and the
+// early-convergence exit fully disabled, the study must produce a
+// byte-identical study.json to the default configuration (both on), at
+// any parallelism.
+func TestCheckpointEquivalence(t *testing.T) {
+	ref := resumeSpec(t)
+	ref.Checkpoints = -1
+	ref.NoFastExit = true
+	baseline, err := ref.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := saveBytes(t, baseline)
+
+	for _, par := range []int{1, 8} {
+		par := par
+		t.Run(fmt.Sprintf("parallelism-%d", par), func(t *testing.T) {
+			spec := resumeSpec(t) // defaults: checkpointing and fast exit on
+			spec.Parallelism = par
+			st, err := spec.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := saveBytes(t, st)
+			if !bytes.Equal(got, want) {
+				t.Errorf("fast-path study.json differs from reference (%d vs %d bytes)",
+					len(got), len(want))
+			}
+		})
+	}
+}
+
+// TestKillAndResumeNoCheckpoints guards the interaction between the
+// fast path and the crash-tolerance engine: with checkpointing disabled
+// (the -checkpoints 0 CLI setting) a journaled study killed at random
+// points still resumes to a byte-identical study.json — and because the
+// journal does not fingerprint the fast-path knobs, the reference for
+// comparison is a default (checkpointing on) uninterrupted run.
+func TestKillAndResumeNoCheckpoints(t *testing.T) {
+	baseline, err := resumeSpec(t).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := saveBytes(t, baseline)
+
+	spec := resumeSpec(t)
+	spec.Checkpoints = -1
+	spec.NoFastExit = true
+	spec.Parallelism = 4
+	spec.Journal = filepath.Join(t.TempDir(), "journal.jsonl")
+	st, interrupts := runWithRandomKills(t, spec, 1337)
+	if interrupts == 0 {
+		t.Log("note: no attempt was interrupted; cancellation points never fired")
+	}
+	if got := saveBytes(t, st); !bytes.Equal(got, want) {
+		t.Errorf("no-checkpoint resumed study.json differs from default run (%d interrupts)", interrupts)
+	}
+}

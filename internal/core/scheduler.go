@@ -56,12 +56,14 @@ func (r *reporter) printf(format string, args ...any) {
 // prepUnit is one (march, bench, level) triple: a compile plus a golden
 // run that gates the unit's campaign cells.
 type prepUnit struct {
-	cfg     machine.Config
-	bench   workloads.Benchmark
-	size    int
-	level   compiler.OptLevel
-	prune   bool
-	retries int
+	cfg         machine.Config
+	bench       workloads.Benchmark
+	size        int
+	level       compiler.OptLevel
+	prune       bool
+	retries     int
+	checkpoints int
+	noFastExit  bool
 
 	exp      *faultinj.Experiment
 	golden   Golden
@@ -115,11 +117,11 @@ func (u *prepUnit) prepOnce() {
 		return
 	}
 	u.stage = "golden"
-	newExp := faultinj.NewExperiment
-	if u.prune {
-		newExp = faultinj.NewTracedExperiment
-	}
-	exp, err := newExp(u.cfg, prog)
+	exp, err := faultinj.NewExperimentOptions(u.cfg, prog, faultinj.Options{
+		Traced:      u.prune,
+		Checkpoints: u.checkpoints,
+		NoFastExit:  u.noFastExit,
+	})
 	if err != nil {
 		u.err = fmt.Errorf("golden %s %v on %s: %w", u.bench.Name, u.level, u.cfg.Name, err)
 		return
@@ -268,6 +270,7 @@ func (s Spec) RunContext(ctx context.Context) (*Study, error) {
 				units = append(units, &prepUnit{
 					cfg: cfg, bench: bench, size: sizes[bi], level: level,
 					prune: s.Prune, retries: s.Retries,
+					checkpoints: s.Checkpoints, noFastExit: s.NoFastExit,
 					ready:        make(chan struct{}),
 					replayed:     make([]*campaign.Result, len(s.Targets)),
 					cellFailures: make([]*Failure, len(s.Targets)),

@@ -56,6 +56,20 @@ type Spec struct {
 	// without pruning; only the work to obtain them changes.
 	Prune bool
 
+	// Checkpoints is the per-cell golden checkpoint budget for injection
+	// fast-forward (see faultinj.Options.Checkpoints): 0 uses
+	// faultinj.DefaultCheckpoints, a negative value disables
+	// checkpointing so every injection simulates from cycle 0.
+	// Classifications are byte-identical at every setting, so the
+	// journal does not fingerprint it and a study may be resumed under a
+	// different value.
+	Checkpoints int
+
+	// NoFastExit disables the early-convergence Masked exit while
+	// keeping checkpoint fast-forward. Like Checkpoints, it changes only
+	// the work done, never the results.
+	NoFastExit bool
+
 	// Journal, when non-empty, is the path of a durable JSONL journal:
 	// every completed prep-unit golden and campaign cell is appended
 	// (checksummed, fsync'd) as it finishes, and a later run with the

@@ -1,0 +1,383 @@
+package cpu
+
+// Full-core snapshot and restore, the foundation of the checkpoint
+// fast-forward in the injection engine (internal/checkpoint). A
+// CoreState captures every piece of state that can influence future
+// execution — pipeline structures, rename state, predictor, fetch
+// engine, commit bookkeeping — plus the Stats needed so a run restored
+// mid-flight reports the same statistics a from-zero run would.
+//
+// Three operations with three distinct equality notions live here:
+//
+//   - Snapshot/Restore are bit-exact: a restored core replays the
+//     remainder of the run cycle-for-cycle identically to the core the
+//     snapshot was taken from. Scratch buffers (dueBuf, opsBuf,
+//     candBuf) are the only exclusions; their contents are dead across
+//     cycles by construction (each is reset with [:0] before use).
+//
+//   - StateEquals is the *behavioral* equivalence used by the
+//     early-convergence Masked exit: it ignores architecturally dead
+//     state (values of unallocated or not-yet-written physical
+//     registers, fields of unoccupied ROB/IQ/LQ/SQ slots) so that a
+//     fault parked in a dead slot converges as soon as the live state
+//     matches, not only when the dead bits are coincidentally
+//     rewritten. See the dead-state arguments on each exclusion below;
+//     DESIGN.md §10 carries the full soundness argument.
+//
+//   - CoreState.Equal is strict: every captured bit, dead or live.
+//     Tests use it to prove Restore(Snapshot()) round-trips exactly.
+
+import (
+	"sevsim/internal/simerr"
+	"slices"
+)
+
+// CoreState is a point-in-time copy of all authoritative core state.
+// It shares no memory with the core it was taken from, so a snapshot
+// may be restored concurrently into many cores.
+type CoreState struct {
+	PRF      []uint64
+	PRFReady []bool
+	PRFAlloc []bool
+	RAT      []uint16
+	FreeList []uint16
+
+	ROB      []robEntry
+	ROBHead  int
+	ROBCount int
+	IQ       []iqEntry
+	LQ       []lqEntry
+	LQHead   int
+	LQCount  int
+	SQ       []sqEntry
+	SQHead   int
+	SQCount  int
+
+	Bimodal []uint8
+	BTBTag  []uint64
+	BTBTgt  []uint64
+	RAS     []uint64
+	RASTop  int
+
+	FetchPC     uint64
+	FetchQ      []fetchSlot
+	FetchStall  uint64
+	FetchFrozen bool
+
+	Inflight []inflightOp
+
+	Cycle    uint64
+	Seq      uint64
+	ExpectPC uint64
+	Halted   bool
+	Crash    *simerr.Crash
+
+	Output        []uint64
+	SquashedAfter uint64
+	IQCount       int
+	PRFLive       int
+
+	Stats Stats
+}
+
+// Snapshot captures the complete core state. The result is immutable by
+// contract: Restore never writes through it, so one snapshot can be
+// shared read-only across concurrent injection workers.
+func (c *Core) Snapshot() *CoreState {
+	s := &CoreState{
+		PRF:      slices.Clone(c.prf),
+		PRFReady: slices.Clone(c.prfReady),
+		PRFAlloc: slices.Clone(c.prfAlloc),
+		RAT:      slices.Clone(c.rat),
+		FreeList: slices.Clone(c.freeList),
+
+		ROB:      slices.Clone(c.rob.entries),
+		ROBHead:  c.rob.head,
+		ROBCount: c.rob.count,
+		IQ:       slices.Clone(c.iq),
+		LQ:       slices.Clone(c.lq.entries),
+		LQHead:   c.lq.head,
+		LQCount:  c.lq.count,
+		SQ:       slices.Clone(c.sq.entries),
+		SQHead:   c.sq.head,
+		SQCount:  c.sq.count,
+
+		Bimodal: slices.Clone(c.pred.bimodal),
+		BTBTag:  slices.Clone(c.pred.btbTag),
+		BTBTgt:  slices.Clone(c.pred.btbTgt),
+		RAS:     slices.Clone(c.pred.ras),
+		RASTop:  c.pred.rasTop,
+
+		FetchPC:     c.fetchPC,
+		FetchQ:      slices.Clone(c.fetchQ),
+		FetchStall:  c.fetchStall,
+		FetchFrozen: c.fetchFrozen,
+
+		Inflight: slices.Clone(c.inflight),
+
+		Cycle:    c.cycle,
+		Seq:      c.seq,
+		ExpectPC: c.expectPC,
+		Halted:   c.halted,
+
+		Output:        slices.Clone(c.output),
+		SquashedAfter: c.squashedAfter,
+		IQCount:       c.iqCount,
+		PRFLive:       c.prfLive,
+
+		Stats: c.Stats,
+	}
+	if c.crash != nil {
+		crash := *c.crash
+		s.Crash = &crash
+	}
+	return s
+}
+
+// Restore overwrites the core's state with the snapshot's, reusing the
+// core's existing backing arrays (restore-into), so the injection hot
+// loop recycles one scratch core per worker instead of allocating a
+// fresh core per injection. The snapshot must come from an identically
+// configured core.
+func (c *Core) Restore(s *CoreState) {
+	if len(c.prf) != len(s.PRF) || len(c.rob.entries) != len(s.ROB) ||
+		len(c.iq) != len(s.IQ) || len(c.lq.entries) != len(s.LQ) ||
+		len(c.sq.entries) != len(s.SQ) {
+		simerr.Assertf("cpu: restore from a differently configured core snapshot")
+	}
+	copy(c.prf, s.PRF)
+	copy(c.prfReady, s.PRFReady)
+	copy(c.prfAlloc, s.PRFAlloc)
+	copy(c.rat, s.RAT)
+	c.freeList = append(c.freeList[:0], s.FreeList...)
+
+	copy(c.rob.entries, s.ROB)
+	c.rob.head, c.rob.count = s.ROBHead, s.ROBCount
+	copy(c.iq, s.IQ)
+	copy(c.lq.entries, s.LQ)
+	c.lq.head, c.lq.count = s.LQHead, s.LQCount
+	copy(c.sq.entries, s.SQ)
+	c.sq.head, c.sq.count = s.SQHead, s.SQCount
+
+	copy(c.pred.bimodal, s.Bimodal)
+	copy(c.pred.btbTag, s.BTBTag)
+	copy(c.pred.btbTgt, s.BTBTgt)
+	copy(c.pred.ras, s.RAS)
+	c.pred.rasTop = s.RASTop
+
+	c.fetchPC = s.FetchPC
+	c.fetchQ = append(c.fetchQ[:0], s.FetchQ...)
+	c.fetchStall = s.FetchStall
+	c.fetchFrozen = s.FetchFrozen
+
+	c.inflight = append(c.inflight[:0], s.Inflight...)
+
+	c.cycle = s.Cycle
+	c.seq = s.Seq
+	c.expectPC = s.ExpectPC
+	c.halted = s.Halted
+	c.crash = nil
+	if s.Crash != nil {
+		crash := *s.Crash
+		c.crash = &crash
+	}
+
+	c.output = append(c.output[:0], s.Output...)
+	c.squashedAfter = s.SquashedAfter
+	c.iqCount = s.IQCount
+	c.prfLive = s.PRFLive
+
+	c.Stats = s.Stats
+}
+
+// fnv64 is a 64-bit FNV-1a accumulator over uint64 blocks, used as the
+// cheap prefilter hash of the convergence check. Determinism matters
+// (the hash feeds no persisted result, but a stable hash keeps the
+// fast-exit behavior identical run to run); cryptographic strength does
+// not.
+type fnv64 uint64
+
+const fnv64Offset fnv64 = 14695981039346656037
+const fnv64Prime fnv64 = 1099511628211
+
+func (h *fnv64) mix(v uint64) {
+	*h = (*h ^ fnv64(v)) * fnv64Prime
+}
+
+func (h *fnv64) mixBool(b bool) {
+	if b {
+		h.mix(1)
+	} else {
+		h.mix(0)
+	}
+}
+
+// StateHash is the cheap prefilter of the early-convergence check. It
+// mixes a *subset* of the state StateEquals compares — the scalar run
+// position (cycle, seq, PCs), structure occupancies, the rename map,
+// the live register values, and the output stream — which is enough to
+// discriminate virtually every divergent execution in one pass over a
+// few hundred words. A hash collision merely costs one exact
+// StateEquals call; equality is never decided by the hash alone.
+//
+// The subset must stay inside the set StateEquals compares: hashing
+// excluded state (e.g. Stats, which legitimately differ between a
+// converged faulty run and the golden run) would make the hash miss on
+// truly converged states and silently disable the early exit.
+func (c *Core) StateHash() uint64 {
+	h := fnv64Offset
+	h.mix(c.cycle)
+	h.mix(c.seq)
+	h.mix(c.expectPC)
+	h.mix(c.fetchPC)
+	h.mix(c.fetchStall)
+	h.mixBool(c.fetchFrozen)
+	h.mixBool(c.halted)
+	h.mixBool(c.crash != nil)
+	h.mix(uint64(c.rob.head))
+	h.mix(uint64(c.rob.count))
+	h.mix(uint64(c.lq.head))
+	h.mix(uint64(c.lq.count))
+	h.mix(uint64(c.sq.head))
+	h.mix(uint64(c.sq.count))
+	h.mix(uint64(c.iqCount))
+	h.mix(uint64(c.prfLive))
+	h.mix(uint64(len(c.fetchQ)))
+	h.mix(uint64(len(c.inflight)))
+	for _, p := range c.rat {
+		h.mix(uint64(p))
+	}
+	h.mix(uint64(len(c.freeList)))
+	for _, p := range c.freeList {
+		h.mix(uint64(p))
+	}
+	for p := range c.prf {
+		// Mirror the StateEquals exclusion: only live values.
+		if c.prfAlloc[p] && c.prfReady[p] {
+			h.mix(uint64(p))
+			h.mix(c.prf[p])
+		}
+	}
+	h.mix(uint64(len(c.output)))
+	for _, v := range c.output {
+		h.mix(v)
+	}
+	return uint64(h)
+}
+
+// StateEquals reports whether the core's behavioral state equals the
+// snapshot's: equal states produce bit-identical future execution. The
+// comparison skips state that is provably dead — overwritten before it
+// can be read on every path that reaches it:
+//
+//   - prf[p] when !prfAlloc[p] (free registers are re-written by
+//     writePhys before any readPhys; readers wait on ready bits that
+//     are cleared at allocation) or when !prfReady[p] (the in-flight
+//     producer writes the value before any consumer issues);
+//   - ROB/LQ/SQ ring slots outside [head, head+count) and IQ slots
+//     with Valid == false: push/iqInsert overwrite the whole entry on
+//     allocation, and no reader reaches an unoccupied slot from equal
+//     occupied state (corrupt linkage that could reach one lives in
+//     occupied entries, which are compared in full).
+//
+// SquashedAfter and the scratch buffers are reassigned before every use
+// within a cycle, and Stats never feed back into execution or
+// classification; all three are excluded. Everything else — including
+// the predictor (it steers speculative cache fills and timing) and the
+// committed output stream (the classification observable) — must match
+// exactly.
+func (c *Core) StateEquals(s *CoreState) bool {
+	if c.cycle != s.Cycle || c.seq != s.Seq || c.expectPC != s.ExpectPC ||
+		c.halted != s.Halted || (c.crash != nil) != (s.Crash != nil) {
+		return false
+	}
+	if c.fetchPC != s.FetchPC || c.fetchStall != s.FetchStall || c.fetchFrozen != s.FetchFrozen {
+		return false
+	}
+	if c.iqCount != s.IQCount || c.prfLive != s.PRFLive {
+		return false
+	}
+	if !slices.Equal(c.prfReady, s.PRFReady) || !slices.Equal(c.prfAlloc, s.PRFAlloc) {
+		return false
+	}
+	for p := range c.prf {
+		if c.prfAlloc[p] && c.prfReady[p] && c.prf[p] != s.PRF[p] {
+			return false
+		}
+	}
+	if !slices.Equal(c.rat, s.RAT) || !slices.Equal(c.freeList, s.FreeList) {
+		return false
+	}
+	if c.rob.head != s.ROBHead || c.rob.count != s.ROBCount {
+		return false
+	}
+	for i := 0; i < c.rob.count; i++ {
+		idx := (c.rob.head + i) % len(c.rob.entries)
+		if c.rob.entries[idx] != s.ROB[idx] {
+			return false
+		}
+	}
+	for i := range c.iq {
+		if c.iq[i].Valid != s.IQ[i].Valid {
+			return false
+		}
+		if c.iq[i].Valid && c.iq[i] != s.IQ[i] {
+			return false
+		}
+	}
+	if c.lq.head != s.LQHead || c.lq.count != s.LQCount {
+		return false
+	}
+	for i := 0; i < c.lq.count; i++ {
+		idx := (c.lq.head + i) % len(c.lq.entries)
+		if c.lq.entries[idx] != s.LQ[idx] {
+			return false
+		}
+	}
+	if c.sq.head != s.SQHead || c.sq.count != s.SQCount {
+		return false
+	}
+	for i := 0; i < c.sq.count; i++ {
+		idx := (c.sq.head + i) % len(c.sq.entries)
+		if c.sq.entries[idx] != s.SQ[idx] {
+			return false
+		}
+	}
+	if !slices.Equal(c.pred.bimodal, s.Bimodal) || !slices.Equal(c.pred.btbTag, s.BTBTag) ||
+		!slices.Equal(c.pred.btbTgt, s.BTBTgt) || !slices.Equal(c.pred.ras, s.RAS) ||
+		c.pred.rasTop != s.RASTop {
+		return false
+	}
+	if !slices.Equal(c.fetchQ, s.FetchQ) || !slices.Equal(c.inflight, s.Inflight) {
+		return false
+	}
+	return slices.Equal(c.output, s.Output)
+}
+
+// Equal is the strict bit-for-bit comparison of two snapshots,
+// including dead state. Tests use it to assert Restore(Snapshot())
+// round-trips every structure bit.
+func (s *CoreState) Equal(o *CoreState) bool {
+	if s.ROBHead != o.ROBHead || s.ROBCount != o.ROBCount ||
+		s.LQHead != o.LQHead || s.LQCount != o.LQCount ||
+		s.SQHead != o.SQHead || s.SQCount != o.SQCount ||
+		s.RASTop != o.RASTop ||
+		s.FetchPC != o.FetchPC || s.FetchStall != o.FetchStall || s.FetchFrozen != o.FetchFrozen ||
+		s.Cycle != o.Cycle || s.Seq != o.Seq || s.ExpectPC != o.ExpectPC || s.Halted != o.Halted ||
+		s.SquashedAfter != o.SquashedAfter || s.IQCount != o.IQCount || s.PRFLive != o.PRFLive ||
+		s.Stats != o.Stats {
+		return false
+	}
+	if (s.Crash != nil) != (o.Crash != nil) || (s.Crash != nil && *s.Crash != *o.Crash) {
+		return false
+	}
+	return slices.Equal(s.PRF, o.PRF) && slices.Equal(s.PRFReady, o.PRFReady) &&
+		slices.Equal(s.PRFAlloc, o.PRFAlloc) && slices.Equal(s.RAT, o.RAT) &&
+		slices.Equal(s.FreeList, o.FreeList) &&
+		slices.Equal(s.ROB, o.ROB) && slices.Equal(s.IQ, o.IQ) &&
+		slices.Equal(s.LQ, o.LQ) && slices.Equal(s.SQ, o.SQ) &&
+		slices.Equal(s.Bimodal, o.Bimodal) && slices.Equal(s.BTBTag, o.BTBTag) &&
+		slices.Equal(s.BTBTgt, o.BTBTgt) && slices.Equal(s.RAS, o.RAS) &&
+		slices.Equal(s.FetchQ, o.FetchQ) && slices.Equal(s.Inflight, o.Inflight) &&
+		slices.Equal(s.Output, o.Output)
+}

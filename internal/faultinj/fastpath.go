@@ -1,0 +1,108 @@
+package faultinj
+
+// The injection hot path: checkpoint fast-forward, per-worker scratch
+// machines, and the early-convergence Masked exit. Every injection used
+// to build a fresh machine and simulate from cycle 0; with K golden
+// checkpoints per cell an injection at cycle c now restores the latest
+// checkpoint at-or-before c (removing ~(1 − 1/2K) of all pre-injection
+// simulation across a uniform cycle sample) into a pooled scratch
+// machine, and a post-flip run that provably returns to golden state is
+// classified Masked at the first matching checkpoint instead of
+// simulating its tail. Classifications are bit-identical with the
+// optimizations on or off; see DESIGN.md §10 for the soundness
+// argument.
+
+import (
+	"math"
+
+	"sevsim/internal/machine"
+)
+
+// DefaultCheckpoints is the per-cell golden checkpoint budget when
+// Options.Checkpoints is zero. Eight checkpoints remove ~94% of
+// pre-injection simulation while the snapshots (dominated by the cache
+// copies; memory pages are copy-on-write) stay a few MiB per cell.
+const DefaultCheckpoints = 8
+
+// Options configures experiment preparation beyond the config/program
+// pair.
+type Options struct {
+	// Traced records the golden commit stream, as NewTracedExperiment
+	// does; see Experiment.Trace.
+	Traced bool
+
+	// Checkpoints is the golden checkpoint budget: 0 means
+	// DefaultCheckpoints, a negative value disables checkpointing
+	// entirely (every injection then builds a fresh machine and
+	// simulates from cycle 0 — the reference behavior the equivalence
+	// tests compare against).
+	Checkpoints int
+
+	// NoFastExit disables the early-convergence Masked exit while
+	// keeping checkpoint fast-forward.
+	NoFastExit bool
+}
+
+// cycleBudget is the simulation budget of one injection run:
+// timeoutFactor times the golden run plus drain slack, saturating
+// instead of wrapping for absurdly long goldens.
+func (e *Experiment) cycleBudget() uint64 {
+	const slack = 1000
+	if e.GoldenCycles > (math.MaxUint64-slack)/timeoutFactor {
+		return math.MaxUint64
+	}
+	return e.GoldenCycles*timeoutFactor + slack
+}
+
+// getMachine returns a scratch machine for one injection run. With
+// checkpointing on, machines are pooled and recycled (the caller
+// restores a checkpoint over whatever state the machine retired with);
+// otherwise every run builds a fresh machine, the reference behavior.
+func (e *Experiment) getMachine() *machine.Machine {
+	if e.ckpts == nil {
+		return machine.New(e.Config, e.Program)
+	}
+	if m, _ := e.scratch.Get().(*machine.Machine); m != nil {
+		return m
+	}
+	return machine.New(e.Config, e.Program)
+}
+
+// putMachine returns a scratch machine to the pool. Only meaningful
+// with checkpointing on; it must not be called before the machine's
+// Result has been fully consumed (Result.Output aliases the core's
+// output buffer).
+func (e *Experiment) putMachine(m *machine.Machine) {
+	if e.ckpts != nil {
+		e.scratch.Put(m)
+	}
+}
+
+// runInjection executes one injection run with the given flip hook and
+// classifies it. This is the single hot path behind Inject and
+// InjectModel.
+func (e *Experiment) runInjection(inj Injection, hook machine.Hook) InjectResult {
+	budget := e.cycleBudget()
+	m := e.getMachine()
+	if e.ckpts == nil {
+		return e.classify(m.Run(budget, hook))
+	}
+	m.Restore(e.ckpts.Latest(inj.Cycle))
+	var watches []machine.Watch
+	if e.fastExit {
+		watches = e.ckpts.WatchesAfter(inj.Cycle)
+	}
+	res, converged := m.RunWatched(budget, watches, hook)
+	var out InjectResult
+	if converged {
+		// State equality with golden at the same cycle proves the rest
+		// of the run replays golden bit-for-bit: it would halt at
+		// GoldenCycles with the golden output. Synthesize exactly the
+		// result the full run would have produced.
+		out = InjectResult{Outcome: Masked, Cycles: e.GoldenCycles}
+	} else {
+		out = e.classify(res)
+	}
+	e.putMachine(m)
+	return out
+}

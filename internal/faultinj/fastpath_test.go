@@ -1,0 +1,227 @@
+package faultinj
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"sevsim/internal/compiler"
+	"sevsim/internal/machine"
+)
+
+// testExperimentOptions is testExperiment with explicit fast-path
+// options, sharing the same source, level, and machine configuration.
+func testExperimentOptions(t *testing.T, opts Options) *Experiment {
+	t.Helper()
+	prog, err := compiler.Compile(testSrc, "t", compiler.O1,
+		compiler.Target{XLEN: 32, NumArchRegs: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := NewExperimentOptions(machine.CortexA15Like(), prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exp
+}
+
+// TestCycleBudget covers the hoisted timeout computation and its
+// overflow guard: the budget is timeoutFactor x golden plus slack, and
+// saturates instead of wrapping for absurd golden lengths.
+func TestCycleBudget(t *testing.T) {
+	e := &Experiment{GoldenCycles: 100}
+	if got := e.cycleBudget(); got != 100*timeoutFactor+1000 {
+		t.Errorf("budget = %d, want %d", got, 100*timeoutFactor+1000)
+	}
+	e.GoldenCycles = (math.MaxUint64 - 1000) / timeoutFactor
+	if got := e.cycleBudget(); got != e.GoldenCycles*timeoutFactor+1000 {
+		t.Errorf("largest non-saturating budget = %d", got)
+	}
+	e.GoldenCycles = (math.MaxUint64-1000)/timeoutFactor + 1
+	if got := e.cycleBudget(); got != math.MaxUint64 {
+		t.Errorf("overflowing budget = %d, want saturation at MaxUint64", got)
+	}
+	e.GoldenCycles = math.MaxUint64
+	if got := e.cycleBudget(); got != math.MaxUint64 {
+		t.Errorf("MaxUint64 golden budget = %d, want MaxUint64", got)
+	}
+}
+
+// TestFastPathDefaultsEnabled: the default constructor must actually
+// arm the checkpoint stream and the early exit — otherwise every other
+// test here compares the reference path against itself.
+func TestFastPathDefaultsEnabled(t *testing.T) {
+	exp := testExperimentOptions(t, Options{})
+	if exp.ckpts == nil {
+		t.Fatal("default experiment has no checkpoint stream")
+	}
+	if exp.ckpts.Len() != DefaultCheckpoints {
+		t.Fatalf("default stream has %d checkpoints, want %d", exp.ckpts.Len(), DefaultCheckpoints)
+	}
+	if !exp.fastExit {
+		t.Error("default experiment has the early-convergence exit disabled")
+	}
+	off := testExperimentOptions(t, Options{Checkpoints: -1})
+	if off.ckpts != nil {
+		t.Error("Checkpoints: -1 still recorded a stream")
+	}
+	noExit := testExperimentOptions(t, Options{NoFastExit: true})
+	if noExit.ckpts == nil || noExit.fastExit {
+		t.Error("NoFastExit must keep fast-forward but disable the early exit")
+	}
+}
+
+// TestInjectEquivalenceAcrossFastPathModes is the per-injection half of
+// the soundness acceptance: for every target, the full InjectResult
+// (outcome, reason, cycle count) of the reference path — fresh machine,
+// simulate from cycle 0 — is reproduced bit-for-bit with checkpoint
+// fast-forward alone and with the early-convergence exit on top.
+func TestInjectEquivalenceAcrossFastPathModes(t *testing.T) {
+	ref := testExperimentOptions(t, Options{Checkpoints: -1, NoFastExit: true})
+	ffwd := testExperimentOptions(t, Options{NoFastExit: true})
+	fast := testExperimentOptions(t, Options{})
+
+	for _, target := range Targets() {
+		target := target
+		t.Run(target.Name(), func(t *testing.T) {
+			t.Parallel()
+			for i, inj := range mustSample(t, ref, target, 10, 4242) {
+				want := ref.Inject(target, inj)
+				if got := ffwd.Inject(target, inj); got != want {
+					t.Errorf("injection %d (%+v): fast-forward %+v, reference %+v", i, inj, got, want)
+				}
+				if got := fast.Inject(target, inj); got != want {
+					t.Errorf("injection %d (%+v): fast exit %+v, reference %+v", i, inj, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestInjectModelEquivalenceAcrossFastPathModes extends the equivalence
+// check to the multi-bit models, which share the same hot path.
+func TestInjectModelEquivalenceAcrossFastPathModes(t *testing.T) {
+	ref := testExperimentOptions(t, Options{Checkpoints: -1, NoFastExit: true})
+	fast := testExperimentOptions(t, Options{})
+	rf, _ := TargetByName("RF")
+	l1d, _ := TargetByName("L1D.data")
+	for _, target := range []Target{rf, l1d} {
+		for _, model := range []Model{DoubleAdjacent, QuadAdjacent} {
+			for i, inj := range mustSample(t, ref, target, 8, 77) {
+				want := ref.InjectModel(target, inj, model)
+				if got := fast.InjectModel(target, inj, model); got != want {
+					t.Errorf("%s %s injection %d: %+v, reference %+v", target.Name(), model, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSnapshotCoversEveryTargetField is the per-target snapshot
+// coverage check: for each of the fifteen injectable fields, flipping a
+// bit must change the strict snapshot, flipping it back must restore
+// strict equality (all flips are involutions), and restoring the
+// flipped snapshot into a fresh machine must reproduce it exactly.
+func TestSnapshotCoversEveryTargetField(t *testing.T) {
+	exp := testExperimentOptions(t, Options{Checkpoints: -1})
+	mid := exp.GoldenCycles / 2
+	for _, target := range Targets() {
+		target := target
+		t.Run(target.Name(), func(t *testing.T) {
+			t.Parallel()
+			m := machine.New(exp.Config, exp.Program)
+			if _, stopped := m.RunWatched(mid+1, []machine.Watch{
+				{At: mid, Fn: func(*machine.Machine) bool { return true }},
+			}); !stopped {
+				t.Fatalf("machine ended before cycle %d", mid)
+			}
+			base := m.Snapshot()
+			bits := target.Bits(m)
+			probes := []uint64{0, bits - 1, bits / 2, bits / 3, bits / 7}
+			seen := map[uint64]bool{}
+			for _, bit := range probes {
+				if seen[bit] {
+					continue
+				}
+				seen[bit] = true
+				target.Flip(m, bit)
+				flipped := m.Snapshot()
+				if flipped.Equal(base) {
+					t.Errorf("bit %d: flip not captured by the snapshot", bit)
+				}
+				fresh := machine.New(exp.Config, exp.Program)
+				fresh.Restore(flipped)
+				if !fresh.Snapshot().Equal(flipped) {
+					t.Errorf("bit %d: flipped snapshot does not restore bit-exactly", bit)
+				}
+				target.Flip(m, bit)
+				if !m.Snapshot().Equal(base) {
+					t.Errorf("bit %d: flip-back did not return to the base snapshot", bit)
+				}
+			}
+		})
+	}
+}
+
+var (
+	fuzzExpOnce sync.Once
+	fuzzExp     *Experiment
+	fuzzExpErr  error
+)
+
+func fuzzExperiment() (*Experiment, error) {
+	fuzzExpOnce.Do(func() {
+		prog, err := compiler.Compile(testSrc, "t", compiler.O1,
+			compiler.Target{XLEN: 32, NumArchRegs: 16})
+		if err != nil {
+			fuzzExpErr = err
+			return
+		}
+		fuzzExp, fuzzExpErr = NewExperimentOptions(machine.CortexA15Like(), prog, Options{Checkpoints: -1})
+	})
+	return fuzzExp, fuzzExpErr
+}
+
+// FuzzFlipSnapshotRestore fuzzes Restore(Snapshot()) round-trips over
+// every structure bit: an arbitrary (target, cycle, bit) flip must be
+// captured by the snapshot, restore bit-exactly into a fresh machine,
+// and flip back to the pre-flip snapshot.
+func FuzzFlipSnapshotRestore(f *testing.F) {
+	f.Add(uint8(0), uint64(0), uint64(0))
+	f.Add(uint8(6), uint64(100), uint64(31))
+	f.Add(uint8(14), uint64(1<<32), uint64(1<<50))
+	f.Fuzz(func(t *testing.T, targetIdx uint8, cycleSeed, bitSeed uint64) {
+		exp, err := fuzzExperiment()
+		if err != nil {
+			t.Fatal(err)
+		}
+		targets := Targets()
+		target := targets[int(targetIdx)%len(targets)]
+		cycle := cycleSeed % exp.GoldenCycles
+
+		m := machine.New(exp.Config, exp.Program)
+		if cycle > 0 {
+			if _, stopped := m.RunWatched(cycle+1, []machine.Watch{
+				{At: cycle, Fn: func(*machine.Machine) bool { return true }},
+			}); !stopped {
+				t.Fatalf("machine ended before cycle %d", cycle)
+			}
+		}
+		base := m.Snapshot()
+		bit := bitSeed % target.Bits(m)
+		target.Flip(m, bit)
+		flipped := m.Snapshot()
+		if flipped.Equal(base) {
+			t.Errorf("%s bit %d at cycle %d: flip invisible to the snapshot", target.Name(), bit, cycle)
+		}
+		fresh := machine.New(exp.Config, exp.Program)
+		fresh.Restore(flipped)
+		if !fresh.Snapshot().Equal(flipped) {
+			t.Errorf("%s bit %d at cycle %d: restore not bit-exact", target.Name(), bit, cycle)
+		}
+		target.Flip(m, bit)
+		if !m.Snapshot().Equal(base) {
+			t.Errorf("%s bit %d at cycle %d: flip-back not bit-exact", target.Name(), bit, cycle)
+		}
+	})
+}

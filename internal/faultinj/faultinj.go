@@ -5,9 +5,11 @@
 package faultinj
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 
+	"sevsim/internal/checkpoint"
 	"sevsim/internal/cpu"
 	"sevsim/internal/machine"
 )
@@ -160,6 +162,17 @@ type Experiment struct {
 	bitsMu   sync.Mutex
 	bitCache map[string]uint64
 	probe    *machine.Machine
+
+	// ckpts is the golden checkpoint stream (nil when checkpointing is
+	// disabled): injections fast-forward to the latest checkpoint
+	// at-or-before their cycle instead of simulating from 0, and, with
+	// fastExit, compare against later checkpoints to classify Masked at
+	// the first provable state convergence. The stream is immutable and
+	// shared read-only by every worker; scratch holds the per-worker
+	// recycled machines that checkpoints are restored into.
+	ckpts    *checkpoint.Stream
+	fastExit bool
+	scratch  sync.Pool
 }
 
 // timeoutFactor follows the paper: a run is a Timeout when it exceeds
@@ -167,9 +180,10 @@ type Experiment struct {
 const timeoutFactor = 2
 
 // NewExperiment runs the golden simulation and returns the prepared
-// experiment.
+// experiment, with checkpoint fast-forward and the early-convergence
+// Masked exit enabled at their defaults.
 func NewExperiment(cfg machine.Config, prog *machine.Program) (*Experiment, error) {
-	return newExperiment(cfg, prog, false)
+	return NewExperimentOptions(cfg, prog, Options{})
 }
 
 // NewTracedExperiment is NewExperiment with commit tracing: the golden
@@ -178,13 +192,17 @@ func NewExperiment(cfg machine.Config, prog *machine.Program) (*Experiment, erro
 // pruning. The trace costs ~16 bytes per committed instruction, so it
 // is opt-in rather than the default.
 func NewTracedExperiment(cfg machine.Config, prog *machine.Program) (*Experiment, error) {
-	return newExperiment(cfg, prog, true)
+	return NewExperimentOptions(cfg, prog, Options{Traced: true})
 }
 
-func newExperiment(cfg machine.Config, prog *machine.Program, traced bool) (*Experiment, error) {
+// NewExperimentOptions is the fully configurable constructor: it runs
+// the golden simulation, then (unless opts.Checkpoints is negative)
+// replays it once more to record the golden checkpoint stream the
+// injection fast path restores from.
+func NewExperimentOptions(cfg machine.Config, prog *machine.Program, opts Options) (*Experiment, error) {
 	m := machine.New(cfg, prog)
 	var trace []cpu.CommitEvent
-	if traced {
+	if opts.Traced {
 		trace = make([]cpu.CommitEvent, 0, 1024)
 		m.Core.SetCommitHook(func(ev cpu.CommitEvent) { trace = append(trace, ev) })
 	}
@@ -194,14 +212,33 @@ func newExperiment(cfg machine.Config, prog *machine.Program, traced bool) (*Exp
 	}
 	out := make([]uint64, len(res.Output))
 	copy(out, res.Output)
-	return &Experiment{
+	e := &Experiment{
 		Config:       cfg,
 		Program:      prog,
 		GoldenCycles: res.Cycles,
 		GoldenOutput: out,
 		GoldenStats:  res,
 		Trace:        trace,
-	}, nil
+	}
+	if opts.Checkpoints >= 0 {
+		k := opts.Checkpoints
+		if k == 0 {
+			k = DefaultCheckpoints
+		}
+		if cycles := checkpoint.Cycles(res.Cycles, k); len(cycles) > 0 {
+			stream, rec := checkpoint.Record(machine.New(cfg, prog), 1<<40, cycles)
+			if rec.Outcome != machine.OutcomeOK || rec.Cycles != res.Cycles || !sameOutput(rec.Output, out) {
+				// Simulation is deterministic; a recording pass that
+				// deviates from the first golden run is a simulator bug
+				// and checkpoints built from it would be unsound.
+				return nil, fmt.Errorf("faultinj: checkpoint recording diverged from golden run (%s after %d cycles vs ok after %d)",
+					rec.Outcome, rec.Cycles, res.Cycles)
+			}
+			e.ckpts = stream
+			e.fastExit = !opts.NoFastExit
+		}
+	}
+	return e, nil
 }
 
 // Pruner decides, without simulating, that a sampled fault is provably
@@ -296,21 +333,16 @@ type InjectResult struct {
 	Pruned     bool // Masked proven statically; the run was never simulated
 }
 
-// Inject runs one end-to-end fault injection: a fresh machine executes
-// the program, the addressed bit is flipped at the chosen cycle, and
-// the run is classified against the golden reference.
+// Inject runs one end-to-end fault injection: the machine is
+// fast-forwarded to the latest golden checkpoint at-or-before the
+// injection cycle (or started fresh when checkpointing is disabled),
+// the addressed bit is flipped at the chosen cycle, and the run is
+// classified against the golden reference.
 func (e *Experiment) Inject(t Target, inj Injection) InjectResult {
-	m := newMachineFor(e)
-	res := m.Run(e.GoldenCycles*timeoutFactor+1000, machine.Hook{
+	return e.runInjection(inj, machine.Hook{
 		At: inj.Cycle,
 		Fn: func(mm *machine.Machine) { t.Flip(mm, inj.Bit) },
 	})
-	return e.classify(res)
-}
-
-// newMachineFor builds a fresh machine instance for one injection run.
-func newMachineFor(e *Experiment) *machine.Machine {
-	return machine.New(e.Config, e.Program)
 }
 
 // hookFor schedules the model's bit flips at the injection cycle.

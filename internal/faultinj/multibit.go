@@ -49,11 +49,8 @@ func (e *Experiment) InjectModel(t Target, inj Injection, model Model) InjectRes
 	if model == SingleBit {
 		return e.Inject(t, inj)
 	}
-	m := newMachineFor(e)
-	bits := t.Bits(m)
-	res := m.Run(e.GoldenCycles*timeoutFactor+1000, hookFor(e, t, inj, model, bits))
-	return e.classify(res)
+	// TargetBits consults the cached per-target count instead of probing
+	// a throwaway machine, so the multi-bit path allocates no more than
+	// the single-bit one.
+	return e.runInjection(inj, hookFor(e, t, inj, model, e.TargetBits(t)))
 }
-
-// The helpers below are shared with Inject; kept separate so the
-// single-bit fast path stays allocation-light.

@@ -115,9 +115,31 @@ type Hook struct {
 	Fn func(*Machine)
 }
 
+// Watch is a scheduled state probe: at the start of cycle At (after any
+// Hook scheduled for the same cycle, so a probe at the injection cycle
+// observes post-flip state) Fn inspects the machine; returning true
+// stops the run immediately. The fault injector uses watches to detect
+// early convergence back to golden state.
+type Watch struct {
+	At uint64
+	Fn func(*Machine) bool
+}
+
 // Run simulates until HALT, a crash, an assert, or the cycle budget is
 // exhausted. Hooks fire at the start of their scheduled cycle.
-func (m *Machine) Run(maxCycles uint64, hooks ...Hook) (res Result) {
+func (m *Machine) Run(maxCycles uint64, hooks ...Hook) Result {
+	res, _ := m.RunWatched(maxCycles, nil, hooks...)
+	return res
+}
+
+// RunWatched is Run plus a sorted list of state watches. When a watch
+// fires (its Fn returns true) the run stops at that cycle and stopped
+// is true; the caller decides what the truncated run means. Watches
+// scheduled before the machine's current cycle (possible after a
+// checkpoint restore) are skipped, and a watch never observes the
+// machine mid-cycle: both hooks and watches run only at cycle
+// boundaries, hooks first.
+func (m *Machine) RunWatched(maxCycles uint64, watches []Watch, hooks ...Hook) (res Result, stopped bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			if a, ok := r.(*simerr.Assert); ok {
@@ -131,23 +153,30 @@ func (m *Machine) Run(maxCycles uint64, hooks ...Hook) (res Result) {
 			res.Unexpected = true
 		}
 	}()
-	next := 0
+	next, nextW := 0, 0
 	for m.Core.Cycle() < maxCycles {
-		for next < len(hooks) && hooks[next].At <= m.Core.Cycle() {
+		cyc := m.Core.Cycle()
+		for next < len(hooks) && hooks[next].At <= cyc {
 			hooks[next].Fn(m)
 			next++
+		}
+		for nextW < len(watches) && watches[nextW].At <= cyc {
+			if watches[nextW].At == cyc && watches[nextW].Fn(m) {
+				return m.result(OutcomeOK, "state converged"), true
+			}
+			nextW++
 		}
 		if !m.Core.Step() {
 			break
 		}
 	}
 	if m.Core.Halted() {
-		return m.result(OutcomeOK, "")
+		return m.result(OutcomeOK, ""), false
 	}
 	if c := m.Core.Crash(); c != nil {
-		return m.result(OutcomeCrash, c.Reason)
+		return m.result(OutcomeCrash, c.Reason), false
 	}
-	return m.result(OutcomeTimeout, "cycle budget exhausted")
+	return m.result(OutcomeTimeout, "cycle budget exhausted"), false
 }
 
 func (m *Machine) result(o Outcome, reason string) Result {

@@ -1,0 +1,209 @@
+package machine
+
+import (
+	"testing"
+
+	"sevsim/internal/isa"
+)
+
+// snapIns is the snapshot-test workload: store and load loops plus a
+// multiply and data-dependent branches, so the caches, backing memory,
+// predictor, and out-of-order structures all carry live state at any
+// mid-run snapshot point.
+func snapIns() []isa.Instr {
+	const a0, a1, a2, a3, t0 = isa.RegA0, isa.RegA1, isa.RegA2, isa.RegA3, isa.RegT0
+	return []isa.Instr{
+		/*0*/ isa.I(isa.OpLui, a0, 0, int32(GlobalBase>>16)), // base
+		/*1*/ isa.I(isa.OpAddi, a1, isa.RegZero, 0), // i
+		/*2*/ isa.I(isa.OpAddi, a2, isa.RegZero, 10),
+		// store loop: mem[base+i*4] = i*i
+		/*3*/ isa.R(isa.OpMul, a3, a1, a1),
+		/*4*/ isa.I(isa.OpSlli, t0, a1, 2),
+		/*5*/ isa.R(isa.OpAdd, t0, a0, t0),
+		/*6*/ isa.Store(isa.OpSw, a3, t0, 0),
+		/*7*/ isa.I(isa.OpAddi, a1, a1, 1),
+		/*8*/ isa.Branch(isa.OpBlt, a1, a2, off(8, 3)),
+		// sum loop
+		/*9*/ isa.I(isa.OpAddi, a1, isa.RegZero, 0),
+		/*10*/ isa.I(isa.OpAddi, a3, isa.RegZero, 0), // sum
+		/*11*/ isa.I(isa.OpSlli, t0, a1, 2),
+		/*12*/ isa.R(isa.OpAdd, t0, a0, t0),
+		/*13*/ isa.Load(isa.OpLw, t0, t0, 0),
+		/*14*/ isa.R(isa.OpAdd, a3, a3, t0),
+		/*15*/ isa.I(isa.OpAddi, a1, a1, 1),
+		/*16*/ isa.Branch(isa.OpBlt, a1, a2, off(16, 11)),
+		/*17*/ isa.Out(a3), // 285
+		/*18*/ isa.Halt(),
+	}
+}
+
+// runTo advances a fresh machine to the start of cycle c using a watch
+// that fires unconditionally there.
+func runTo(t *testing.T, m *Machine, c uint64) {
+	t.Helper()
+	_, stopped := m.RunWatched(c+1, []Watch{{At: c, Fn: func(*Machine) bool { return true }}})
+	if !stopped {
+		t.Fatalf("machine ended before cycle %d", c)
+	}
+	if got := m.Core.Cycle(); got != c {
+		t.Fatalf("runTo stopped at cycle %d, want %d", got, c)
+	}
+}
+
+// goldenRun returns the fault-free reference result for the snapshot
+// workload under cfg.
+func goldenRun(t *testing.T, cfg Config) Result {
+	t.Helper()
+	res := New(cfg, prog(snapIns())).Run(2_000_000)
+	if res.Outcome != OutcomeOK {
+		t.Fatalf("%s: golden run %v %s", cfg.Name, res.Outcome, res.Reason)
+	}
+	return res
+}
+
+// snapCycles picks representative snapshot points across a run: the
+// very first cycle, interior points, and the last cycle before halt.
+func snapCycles(golden uint64) []uint64 {
+	return []uint64{0, golden / 4, golden / 2, 3 * golden / 4, golden - 1}
+}
+
+func sameResult(a, b Result) bool {
+	if a.Outcome != b.Outcome || a.Cycles != b.Cycles || len(a.Output) != len(b.Output) {
+		return false
+	}
+	for i := range a.Output {
+		if a.Output[i] != b.Output[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSnapshotRestoreRoundTrip is the core property of the checkpoint
+// layer: restoring a snapshot into the machine it was taken from — even
+// after that machine has run arbitrarily far past it — reproduces the
+// snapshot bit for bit, including the convergence hash, and the
+// continuation replays the golden run exactly.
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	for _, cfg := range Configs() {
+		golden := goldenRun(t, cfg)
+		for _, c := range snapCycles(golden.Cycles) {
+			m := New(cfg, prog(snapIns()))
+			runTo(t, m, c)
+			s1 := m.Snapshot()
+			if m.StateHash() != s1.Hash {
+				t.Fatalf("%s@%d: snapshot hash disagrees with live StateHash", cfg.Name, c)
+			}
+			if !m.Converged(s1) {
+				t.Fatalf("%s@%d: machine not Converged with its own snapshot", cfg.Name, c)
+			}
+
+			// Dirty every structure by running to completion, then rewind.
+			m.Run(2_000_000)
+			m.Restore(s1)
+			if m.StateHash() != s1.Hash {
+				t.Errorf("%s@%d: restored StateHash differs from snapshot hash", cfg.Name, c)
+			}
+			s2 := m.Snapshot()
+			if !s1.Equal(s2) {
+				t.Errorf("%s@%d: re-snapshot after restore not strictly equal", cfg.Name, c)
+			}
+
+			// The restored machine must finish exactly like the golden run.
+			res := m.Run(2_000_000)
+			if !sameResult(res, golden) {
+				t.Errorf("%s@%d: continuation %v after %d cycles %v, golden %v after %d cycles %v",
+					cfg.Name, c, res.Outcome, res.Cycles, res.Output,
+					golden.Outcome, golden.Cycles, golden.Output)
+			}
+		}
+	}
+}
+
+// TestRestoreIntoFreshMachine checks the fast-forward use case: a
+// snapshot taken on one machine restores into a newly built machine
+// (same config and program) and that machine continues identically.
+func TestRestoreIntoFreshMachine(t *testing.T) {
+	for _, cfg := range Configs() {
+		golden := goldenRun(t, cfg)
+		for _, c := range snapCycles(golden.Cycles) {
+			src := New(cfg, prog(snapIns()))
+			runTo(t, src, c)
+			s := src.Snapshot()
+
+			fresh := New(cfg, prog(snapIns()))
+			fresh.Restore(s)
+			if !fresh.Snapshot().Equal(s) {
+				t.Errorf("%s@%d: fresh machine's re-snapshot not equal to source snapshot", cfg.Name, c)
+			}
+			res := fresh.Run(2_000_000)
+			if !sameResult(res, golden) {
+				t.Errorf("%s@%d: fresh-machine continuation diverged: %v after %d cycles",
+					cfg.Name, c, res.Outcome, res.Cycles)
+			}
+
+			// The snapshot survives its consumer: the pages it shares with
+			// the continued run are copy-on-write, so a second restore must
+			// still replay golden.
+			again := New(cfg, prog(snapIns()))
+			again.Restore(s)
+			if res := again.Run(2_000_000); !sameResult(res, golden) {
+				t.Errorf("%s@%d: second restore from the same snapshot diverged", cfg.Name, c)
+			}
+		}
+	}
+}
+
+// TestConvergedDetectsDivergence: Converged must reject a different
+// cycle and any behavioral state difference, e.g. a mutated live
+// register value.
+func TestConvergedDetectsDivergence(t *testing.T) {
+	cfg := Configs()[0]
+	golden := goldenRun(t, cfg)
+	c := golden.Cycles / 2
+
+	m := New(cfg, prog(snapIns()))
+	runTo(t, m, c)
+	s := m.Snapshot()
+
+	// Same machine one step later: different cycle.
+	m.Core.Step()
+	if m.Converged(s) {
+		t.Error("Converged true across different cycles")
+	}
+
+	// Same cycle, one architectural register changed.
+	m2 := New(cfg, prog(snapIns()))
+	m2.Restore(s)
+	m2.Core.SetReg(isa.RegA3, 0xdeadbeef)
+	if m2.Converged(s) {
+		t.Error("Converged true despite a mutated register value")
+	}
+}
+
+// FuzzSnapshotRoundTrip fuzzes the snapshot cycle: at an arbitrary
+// point of the run, Snapshot → dirty → Restore must round-trip the full
+// machine state bit for bit on both microarchitectures.
+func FuzzSnapshotRoundTrip(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(uint64(1))
+	f.Add(uint64(17))
+	f.Add(uint64(1 << 40))
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		for _, cfg := range Configs() {
+			golden := goldenRun(t, cfg)
+			c := seed % golden.Cycles
+			m := New(cfg, prog(snapIns()))
+			runTo(t, m, c)
+			s1 := m.Snapshot()
+			m.Run(2_000_000)
+			m.Restore(s1)
+			if !m.Snapshot().Equal(s1) {
+				t.Errorf("%s@%d: snapshot round trip not bit-exact", cfg.Name, c)
+			}
+			if res := m.Run(2_000_000); !sameResult(res, golden) {
+				t.Errorf("%s@%d: restored continuation diverged from golden", cfg.Name, c)
+			}
+		}
+	})
+}

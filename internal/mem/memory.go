@@ -80,6 +80,13 @@ type Memory struct {
 	regions []Region
 	pages   map[uint64]*[PageSize]byte
 
+	// shared marks pages whose backing array is aliased by at least one
+	// snapshot (see snapshot.go). Writers must go through writablePage,
+	// which clones a shared page before the first store to it, so the K
+	// checkpoints of a golden run cost one page copy per *written* page
+	// rather than K copies of the whole memory.
+	shared map[uint64]struct{}
+
 	// Latency is the flat access latency in cycles charged per line
 	// transfer to or from memory.
 	Latency int
@@ -87,7 +94,11 @@ type Memory struct {
 
 // NewMemory creates an empty memory with the given flat access latency.
 func NewMemory(latency int) *Memory {
-	return &Memory{pages: make(map[uint64]*[PageSize]byte), Latency: latency}
+	return &Memory{
+		pages:   make(map[uint64]*[PageSize]byte),
+		shared:  make(map[uint64]struct{}),
+		Latency: latency,
+	}
 }
 
 // Map adds a region. Overlapping regions are rejected via assert since
@@ -161,6 +172,27 @@ func (m *Memory) page(addr uint64, create bool) *[PageSize]byte {
 	return p
 }
 
+// writablePage returns the page containing addr, cloning it first when
+// its backing array is aliased by a snapshot. All stores into memory
+// must come through here; reads may keep using page, which never
+// mutates the array.
+func (m *Memory) writablePage(addr uint64) *[PageSize]byte {
+	key := addr / PageSize
+	p := m.pages[key]
+	if p == nil {
+		p = new([PageSize]byte)
+		m.pages[key] = p
+		return p
+	}
+	if _, ok := m.shared[key]; ok {
+		cl := *p
+		p = &cl
+		m.pages[key] = p
+		delete(m.shared, key)
+	}
+	return p
+}
+
 // ReadLine copies a naturally aligned line from memory into dst. It
 // asserts when the address is outside the system map: only corrupted
 // microarchitectural state can route a line fill to an unmapped address.
@@ -199,7 +231,7 @@ func (m *Memory) WriteLine(addr uint64, src []byte) int {
 		simerr.Assertf("mem: line write outside system map at %#x", addr)
 	}
 	for i := uint64(0); i < size; {
-		p := m.page(addr+i, true)
+		p := m.writablePage(addr + i)
 		off := (addr + i) % PageSize
 		n := min(size-i, PageSize-off)
 		copy(p[off:off+n], src[i:i+n])
@@ -212,7 +244,7 @@ func (m *Memory) WriteLine(addr uint64, src []byte) int {
 // checks. Used by the program loader before simulation starts.
 func (m *Memory) LoadImage(addr uint64, data []byte) {
 	for i := range data {
-		p := m.page(addr+uint64(i), true)
+		p := m.writablePage(addr + uint64(i))
 		p[(addr+uint64(i))%PageSize] = data[i]
 	}
 }

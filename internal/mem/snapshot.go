@@ -1,0 +1,257 @@
+package mem
+
+// Snapshot and restore for the memory hierarchy, the cache/memory half
+// of the machine checkpoints used by the injection engine. Cache
+// snapshots are deep copies (the data arrays are authoritative fault
+// targets and small); physical memory snapshots are copy-on-write at
+// page granularity — the snapshot aliases the live page arrays and the
+// live memory clones a page on the first store after the snapshot — so
+// K checkpoints of a large-footprint benchmark cost one page copy per
+// written page, not K full memory copies.
+//
+// Like the core layer (internal/cpu/snapshot.go), each structure offers
+// a strict Equal on the snapshot (bit-for-bit, for round-trip tests)
+// and a behavioral StateEquals on the live structure (skips dead state,
+// for the early-convergence Masked exit).
+
+import "sevsim/internal/simerr"
+
+// CacheLineState is one line of a cache snapshot. Data is nil when the
+// line has never been filled or flipped (its bytes read as zero only
+// through a fill, which overwrites them anyway).
+type CacheLineState struct {
+	Tag   uint64
+	Valid bool
+	Dirty bool
+	LRU   uint64
+	Data  []byte
+}
+
+// CacheState is a point-in-time copy of one cache's authoritative
+// arrays plus the LRU clock and event counters. It shares no memory
+// with the cache, so it may be restored concurrently into many caches.
+type CacheState struct {
+	Clock uint64
+	Stats CacheStats
+	Lines []CacheLineState
+}
+
+// Snapshot captures the cache's complete state.
+func (c *Cache) Snapshot() *CacheState {
+	s := &CacheState{
+		Clock: c.clock,
+		Stats: c.Stats,
+		Lines: make([]CacheLineState, len(c.lines)),
+	}
+	for i := range c.lines {
+		ln := &c.lines[i]
+		s.Lines[i] = CacheLineState{Tag: ln.tag, Valid: ln.valid, Dirty: ln.dirty, LRU: ln.lru}
+		if ln.data != nil {
+			s.Lines[i].Data = append([]byte(nil), ln.data...)
+		}
+	}
+	return s
+}
+
+// Restore overwrites the cache's state with the snapshot's, reusing the
+// cache's existing line buffers. When the snapshot line has no data
+// buffer but the cache does, the buffer is zeroed rather than dropped:
+// a later FlipTagBit or FlipDataBit reuses whatever buffer exists, and
+// stale bytes from a previous injection would otherwise leak into the
+// restored run and break bit-exact equivalence.
+func (c *Cache) Restore(s *CacheState) {
+	if len(s.Lines) != len(c.lines) {
+		simerr.Assertf("mem: cache restore from a differently configured cache snapshot")
+	}
+	c.clock = s.Clock
+	c.Stats = s.Stats
+	for i := range c.lines {
+		ln := &c.lines[i]
+		src := &s.Lines[i]
+		ln.tag, ln.valid, ln.dirty, ln.lru = src.Tag, src.Valid, src.Dirty, src.LRU
+		switch {
+		case src.Data == nil && ln.data != nil:
+			clear(ln.data)
+		case src.Data != nil:
+			if ln.data == nil {
+				ln.data = make([]byte, len(src.Data))
+			}
+			copy(ln.data, src.Data)
+		}
+	}
+}
+
+// Clock returns the LRU clock, the cheap per-cache component of the
+// machine-level convergence prefilter hash. The clock advances on every
+// access, so two executions that touched the caches differently almost
+// always disagree on it; it is part of the StateEquals relation (LRU
+// state steers future victim selection), which keeps the hash a sound
+// subset of the exact comparison.
+func (c *Cache) Clock() uint64 { return c.clock }
+
+// dataEqual compares two line buffers treating nil as all-zero, which
+// is exactly how a missing buffer behaves (it is only ever observed
+// after a fill overwrites it, or as zeroes via flips that allocate).
+func dataEqual(a, b []byte, size int) bool {
+	if a == nil && b == nil {
+		return true
+	}
+	for i := 0; i < size; i++ {
+		var av, bv byte
+		if a != nil {
+			av = a[i]
+		}
+		if b != nil {
+			bv = b[i]
+		}
+		if av != bv {
+			return false
+		}
+	}
+	return true
+}
+
+// StateEquals reports whether the cache's behavioral state equals the
+// snapshot's. Invalid lines compare only their valid bit: fill
+// overwrites tag, dirty, and the whole data buffer before the line can
+// be observed, and touch assigns the line a fresh LRU stamp before the
+// next victim scan can read it, so everything but the valid bit of an
+// invalid line is dead state. Valid lines compare in full, and so does
+// the LRU clock (it steers future victim selection). Stats are
+// excluded: they never feed back into execution or classification, and
+// a behaviorally converged run may carry different event counts from
+// its pre-convergence excursion.
+func (c *Cache) StateEquals(s *CacheState) bool {
+	if c.clock != s.Clock {
+		return false
+	}
+	for i := range c.lines {
+		ln := &c.lines[i]
+		src := &s.Lines[i]
+		if ln.valid != src.Valid {
+			return false
+		}
+		if !ln.valid {
+			continue
+		}
+		if ln.tag != src.Tag || ln.dirty != src.Dirty || ln.lru != src.LRU {
+			return false
+		}
+		if !dataEqual(ln.data, src.Data, c.cfg.LineSize) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal is the strict comparison of two cache snapshots, including dead
+// state, with nil data buffers equivalent to all-zero buffers.
+func (s *CacheState) Equal(o *CacheState) bool {
+	if s.Clock != o.Clock || s.Stats != o.Stats || len(s.Lines) != len(o.Lines) {
+		return false
+	}
+	for i := range s.Lines {
+		a, b := &s.Lines[i], &o.Lines[i]
+		if a.Tag != b.Tag || a.Valid != b.Valid || a.Dirty != b.Dirty || a.LRU != b.LRU {
+			return false
+		}
+		size := max(len(a.Data), len(b.Data))
+		if !dataEqual(a.Data, b.Data, size) {
+			return false
+		}
+	}
+	return true
+}
+
+// MemoryState is a copy-on-write snapshot of physical memory: it
+// aliases the live memory's page arrays at snapshot time. The arrays
+// are immutable from then on — the live memory clones any aliased page
+// before writing to it (writablePage) and Restore only copies pointers
+// — so one snapshot can be shared read-only across concurrent workers.
+type MemoryState struct {
+	pages map[uint64]*[PageSize]byte
+}
+
+// Snapshot captures memory as a COW snapshot. Cost is one map copy;
+// page contents are shared with the live memory until it next writes.
+func (m *Memory) Snapshot() *MemoryState {
+	s := &MemoryState{pages: make(map[uint64]*[PageSize]byte, len(m.pages))}
+	for k, p := range m.pages {
+		s.pages[k] = p
+		m.shared[k] = struct{}{}
+	}
+	return s
+}
+
+// Restore points the memory at the snapshot's pages. Every restored
+// page is marked shared, so the first post-restore store to it clones
+// it and the snapshot stays intact for the next restore. The memory's
+// existing maps are reused to avoid per-injection allocation.
+func (m *Memory) Restore(s *MemoryState) {
+	clear(m.pages)
+	clear(m.shared)
+	for k, p := range s.pages {
+		m.pages[k] = p
+		m.shared[k] = struct{}{}
+	}
+}
+
+// StateEquals reports whether memory contents equal the snapshot's,
+// with an absent page equivalent to an all-zero page (the only way
+// either is observed). The common case after a checkpoint restore is
+// that almost every live page still aliases the snapshot's array, so
+// the pointer fast path skips nearly all byte comparison.
+func (m *Memory) StateEquals(s *MemoryState) bool {
+	for k, p := range m.pages {
+		sp := s.pages[k]
+		if p == sp {
+			continue
+		}
+		if !pageEqual(p, sp) {
+			return false
+		}
+	}
+	for k, sp := range s.pages {
+		if _, ok := m.pages[k]; ok {
+			continue
+		}
+		if !pageEqual(nil, sp) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal is the strict comparison of two memory snapshots, with absent
+// pages equivalent to all-zero pages.
+func (s *MemoryState) Equal(o *MemoryState) bool {
+	for k, p := range s.pages {
+		if op := o.pages[k]; p != op && !pageEqual(p, op) {
+			return false
+		}
+	}
+	for k, op := range o.pages {
+		if _, ok := s.pages[k]; !ok && !pageEqual(nil, op) {
+			return false
+		}
+	}
+	return true
+}
+
+func pageEqual(a, b *[PageSize]byte) bool {
+	if a == nil && b == nil {
+		return true
+	}
+	if a == nil {
+		a, b = b, a
+	}
+	if b == nil {
+		for _, v := range a {
+			if v != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	return *a == *b
+}
