@@ -171,6 +171,6 @@ func main() {
 	}
 	if interrupted {
 		fmt.Fprintln(os.Stderr, "interrupted: AVF columns marked interrupted are incomplete")
-		os.Exit(cli.ExitInterrupted)
+		os.Exit(cli.ExitInterrupted) //lint:exit process boundary: interrupted-run exit after partial output is printed
 	}
 }

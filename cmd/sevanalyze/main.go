@@ -187,7 +187,7 @@ func main() {
 		}
 	}
 	if failed {
-		os.Exit(1)
+		os.Exit(1) //lint:exit process boundary: non-zero verdict when invariant checks fail
 	}
 }
 

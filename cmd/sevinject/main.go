@@ -147,6 +147,6 @@ func main() {
 	fmt.Printf("\nsampling error margin: ±%.2f%% at 99%% confidence\n", margin*100)
 	if interrupted {
 		fmt.Fprintln(os.Stderr, "interrupted: partial campaigns above cover only the completed injections")
-		os.Exit(cli.ExitInterrupted)
+		os.Exit(cli.ExitInterrupted) //lint:exit process boundary: interrupted-run exit after partial campaigns are printed
 	}
 }

@@ -100,7 +100,7 @@ func main() {
 		spec.Progress = cli.Progress(*quiet)
 
 		ctx, stop := cli.Interruptible()
-		start := time.Now()
+		start := time.Now() //lint:clock progress display only; elapsed time never reaches study.json
 		var err error
 		st, err = spec.RunContext(ctx)
 		stop()
@@ -109,12 +109,13 @@ func main() {
 				fmt.Fprintf(os.Stderr, "\ninterrupted: completed cells are journaled in %s\n", spec.Journal)
 				fmt.Fprintln(os.Stderr, "re-run the same command to resume from where it stopped")
 				stopProfiles()
-				os.Exit(cli.ExitInterrupted)
+				os.Exit(cli.ExitInterrupted) //lint:exit process boundary: interrupted-study exit after the journal is flushed
 			}
 			fatal(err)
 		}
 		fmt.Printf("\nstudy complete: %d campaign cells, %d injections, %s\n",
-			len(st.Results), len(st.Results)*(*faults), time.Since(start).Round(time.Second))
+			len(st.Results), len(st.Results)*(*faults),
+			time.Since(start).Round(time.Second)) //lint:clock progress display only; elapsed time never reaches study.json
 		if err := st.Save(filepath.Join(*outDir, "study.json")); err != nil {
 			fatal(err)
 		}
@@ -176,11 +177,11 @@ func main() {
 	if unexpected > 0 {
 		fmt.Fprintf(os.Stderr, "error: %d injections hit unexpected simulator panics (see the anomalies table in figures.txt)\n", unexpected)
 		stopProfiles()
-		os.Exit(1)
+		os.Exit(1) //lint:exit process boundary: non-zero verdict for unexpected simulator panics
 	}
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "error:", err)
-	os.Exit(1)
+	os.Exit(1) //lint:exit process boundary: the CLI's fatal-error helper
 }

@@ -264,7 +264,7 @@ func LiveIntervals(f *Func, layout []*Block) []Interval {
 			b := layout[i]
 			out := liveOut[b]
 			for _, s := range b.Succs() {
-				for v := range liveIn[s] {
+				for v := range liveIn[s] { //lint:ordered monotone set union to fixpoint; order cannot change the fixpoint
 					if !out[v] {
 						out[v] = true
 						changed = true
@@ -272,13 +272,13 @@ func LiveIntervals(f *Func, layout []*Block) []Interval {
 				}
 			}
 			in := liveIn[b]
-			for v := range use[b] {
+			for v := range use[b] { //lint:ordered monotone set union to fixpoint; order cannot change the fixpoint
 				if !in[v] {
 					in[v] = true
 					changed = true
 				}
 			}
-			for v := range out {
+			for v := range out { //lint:ordered monotone set union to fixpoint; order cannot change the fixpoint
 				if !def[b][v] && !in[v] {
 					in[v] = true
 					changed = true
@@ -321,10 +321,10 @@ func LiveIntervals(f *Func, layout []*Block) []Interval {
 			pos++
 		}
 		blockEnd := pos - 1
-		for v := range liveIn[b] {
+		for v := range liveIn[b] { //lint:ordered touch widens interval min/max; commutative
 			touch(v, blockStart)
 		}
-		for v := range liveOut[b] {
+		for v := range liveOut[b] { //lint:ordered touch widens interval min/max; commutative
 			touch(v, blockEnd)
 		}
 	}

@@ -160,7 +160,7 @@ func (g *codegen) planSkippedConsts() {
 			}
 		}
 	}
-	for v := range g.consts {
+	for v := range g.consts { //lint:ordered per-key membership test filling a set; order cannot reach the emitted code
 		if g.uses[v] > 0 && foldableUses[v] == g.uses[v] {
 			g.skipped[v] = true
 		}

@@ -97,7 +97,7 @@ func hoistLoop(f *Func, lp *Loop, defs []int, hoistCap int) bool {
 	// Deterministic block order: map iteration order would make the
 	// hoist order (and hence generated code) vary run to run.
 	blocks := make([]*Block, 0, len(lp.Blocks))
-	for b := range lp.Blocks {
+	for b := range lp.Blocks { //lint:ordered collected into a slice and sorted by block ID on the next lines
 		blocks = append(blocks, b)
 	}
 	sort.Slice(blocks, func(i, j int) bool { return blocks[i].ID < blocks[j].ID })

@@ -1,5 +1,7 @@
 package compiler
 
+import "sort"
+
 // The O3 pass set: function inlining and loop unrolling. Both mirror
 // GCC's O3 signature the paper describes: faster or comparable code at
 // the cost of larger text (more L1I pressure).
@@ -146,7 +148,7 @@ func UnrollLoops(f *Func) {
 		}
 		size := 0
 		nested := false
-		for b := range lp.Blocks {
+		for b := range lp.Blocks { //lint:ordered accumulates a sum and a boolean; both order-insensitive
 			size += len(b.Instrs)
 			if b != lp.Header {
 				// Skip loops containing inner loop headers.
@@ -168,7 +170,7 @@ func UnrollLoops(f *Func) {
 func unrollLoop(f *Func, lp *Loop) {
 	clones := map[*Block]*Block{}
 	members := make([]*Block, 0, len(lp.Blocks))
-	for b := range lp.Blocks {
+	for b := range lp.Blocks { //lint:ordered collected into a slice and sorted by block ID just below
 		members = append(members, b)
 	}
 	// Deterministic order for reproducible code.
@@ -207,11 +209,20 @@ func unrollLoop(f *Func, lp *Loop) {
 			}
 		}
 	}
-	rename := map[Value]Value{}
-	for v := range definedIn {
+	// Sorted order: NewValue hands out sequential IDs, so iterating the
+	// definedIn map here would number the clone's fresh registers
+	// differently run to run and the unrolled code would not be
+	// reproducible.
+	renamed := make([]Value, 0, len(definedIn))
+	for v := range definedIn { //lint:ordered collected into a slice and sorted before any ID is assigned
 		if defs[v] == 1 && !usedOutside[v] {
-			rename[v] = f.NewValue()
+			renamed = append(renamed, v)
 		}
+	}
+	sort.Slice(renamed, func(i, j int) bool { return renamed[i] < renamed[j] })
+	rename := map[Value]Value{}
+	for _, v := range renamed {
+		rename[v] = f.NewValue()
 	}
 	remap := func(v Value) Value {
 		if nv, ok := rename[v]; ok {

@@ -146,7 +146,7 @@ func CopyProp(f *Func) bool {
 			changed = rewriteUses(in, res) || changed
 			if d := in.Def(); d != NoValue {
 				delete(local, d)
-				for k, v := range local {
+				for k, v := range local { //lint:ordered deletes every entry whose value matches; order cannot change the surviving set
 					if v == d {
 						delete(local, k)
 					}

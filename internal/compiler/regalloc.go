@@ -172,7 +172,7 @@ func Allocate(f *Func, layout []*Block, t Target, forceSlotUserVars bool) *Alloc
 		active = append(active, c)
 	}
 
-	for r := range usedCallee {
+	for r := range usedCallee { //lint:ordered collected into a slice and sorted on the next lines
 		a.UsedCalleeSaved = append(a.UsedCalleeSaved, r)
 	}
 	sort.Slice(a.UsedCalleeSaved, func(i, j int) bool {

@@ -108,11 +108,15 @@ func (j *studyJournal) close() {
 	}
 }
 
-// fingerprint derives the meta record from the spec with benchmark
-// sizes already resolved.
-func (s Spec) fingerprint(sizes []int) metaRecord {
+// fingerprint derives the meta record from the spec. Everything that
+// can change a result must be reachable from here — the
+// fingerprintcover pass of cmd/sevlint checks that every Spec field is
+// either referenced by fingerprint (directly or via resolveSizes) or
+// annotated //journal:ephemeral with the argument for why a resume may
+// change it.
+func (s Spec) fingerprint() metaRecord {
 	m := metaRecord{
-		Sizes:  sizes,
+		Sizes:  s.resolveSizes(),
 		Faults: s.Faults,
 		Seed:   s.Seed,
 		Prune:  s.Prune,

@@ -298,7 +298,7 @@ func (s Spec) RunContext(ctx context.Context) (*Study, error) {
 	if s.Journal != "" {
 		var rs *replayState
 		var err error
-		jn, rs, err = openStudyJournal(s.Journal, s.fingerprint(sizes), cancelRun)
+		jn, rs, err = openStudyJournal(s.Journal, s.fingerprint(), cancelRun)
 		if err != nil {
 			return nil, err
 		}

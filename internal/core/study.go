@@ -34,17 +34,24 @@ type Spec struct {
 	Faults int
 	Seed   int64
 
-	// Size overrides the benchmark scale; nil uses DefaultSize.
+	// Size overrides the benchmark scale; nil uses DefaultSize. The
+	// journal fingerprints the *resolved* sizes (see Spec.fingerprint
+	// calling resolveSizes), so two specs whose Size funcs differ but
+	// resolve identically share a journal.
 	Size func(workloads.Benchmark) int
 
 	// Parallelism sizes the study-wide worker pool that all compiles,
 	// golden runs, and injections share (<=0: GOMAXPROCS). Results are
 	// identical at every setting; see Run.
+	//
+	//journal:ephemeral execution shape only; results are byte-identical at every parallelism
 	Parallelism int
 
 	// Progress, when non-nil, receives human-readable progress lines.
 	// Lines are serialized, but arrive in completion order, which under
 	// Parallelism > 1 differs from the deterministic result order.
+	//
+	//journal:ephemeral progress observer; never reaches results
 	Progress func(format string, args ...any)
 
 	// Prune enables the static ACE pruner: golden runs record commit
@@ -63,11 +70,15 @@ type Spec struct {
 	// Classifications are byte-identical at every setting, so the
 	// journal does not fingerprint it and a study may be resumed under a
 	// different value.
+	//
+	//journal:ephemeral classifications are byte-identical at any checkpoint budget (TestCheckpointEquivalence), so a resume may change it
 	Checkpoints int
 
 	// NoFastExit disables the early-convergence Masked exit while
 	// keeping checkpoint fast-forward. Like Checkpoints, it changes only
 	// the work done, never the results.
+	//
+	//journal:ephemeral work-shaping only; the Masked fast exit synthesizes the result the full run would produce
 	NoFastExit bool
 
 	// Journal, when non-empty, is the path of a durable JSONL journal:
@@ -77,6 +88,8 @@ type Spec struct {
 	// study killed at any point and resumed this way produces a
 	// byte-identical study.json to an uninterrupted run. A journal
 	// recorded under a different spec is rejected.
+	//
+	//journal:ephemeral the journal's own path; where results are logged, not what they are
 	Journal string
 
 	// KeepGoing quarantines failures instead of aborting the study: a
@@ -85,11 +98,15 @@ type Spec struct {
 	// skipped, and every other cell completes exactly as in a clean
 	// run. Without KeepGoing the first failure cancels the study, which
 	// is the historical behavior.
+	//
+	//journal:ephemeral failure-handling policy; cells that complete are byte-identical either way, and quarantined failures are journaled as such
 	KeepGoing bool
 
 	// Retries is the number of additional preparation attempts after a
 	// unit's first failure, for riding out transient faults (0: fail on
 	// the first error). The attempt count is recorded in the Failure.
+	//
+	//journal:ephemeral retry budget for transient host faults; successful results are independent of it
 	Retries int
 
 	// CellTimeout, when positive, arms a per-cell watchdog: a campaign
@@ -98,6 +115,8 @@ type Spec struct {
 	// skipped — instead of hanging the whole pool. Stuck classification
 	// depends on the wall clock, so enable it only for unattended runs
 	// where liveness beats strict reproducibility.
+	//
+	//journal:ephemeral wall-clock watchdog for unattended runs; deliberately outside the reproducibility contract
 	CellTimeout time.Duration
 }
 

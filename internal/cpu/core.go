@@ -35,11 +35,19 @@ func (s Stats) IPC() float64 {
 }
 
 // Core is one out-of-order processor core.
+//
+// Every field is either carried through Snapshot/Restore and compared
+// by StateEquals, or annotated with why it is not; the snapshotcover
+// and equalitycover passes of cmd/sevlint enforce this, so a new field
+// cannot silently break the checkpoint and convergence guarantees.
 type Core struct {
-	cfg    Config
-	memory *mem.Memory
-	icache *mem.Cache
-	dcache *mem.Cache
+	cfg Config //snapshot:skip immutable configuration, fixed at construction
+
+	// Wiring to the shared memory hierarchy: pointers, not state. The
+	// structures they reach are snapshotted by machine.Snapshot.
+	memory *mem.Memory //snapshot:skip hierarchy wiring; snapshotted at machine level
+	icache *mem.Cache  //snapshot:skip hierarchy wiring; snapshotted at machine level
+	dcache *mem.Cache  //snapshot:skip hierarchy wiring; snapshotted at machine level
 
 	// Physical register file and rename state.
 	prf      []uint64
@@ -67,8 +75,10 @@ type Core struct {
 	halted   bool
 	crash    *simerr.Crash
 
-	output        []uint64
-	maxOutput     int
+	output    []uint64
+	maxOutput int //snapshot:skip immutable output-ring bound, fixed at construction
+
+	//equality:dead reassigned before every use within a cycle; never read across a cycle boundary
 	squashedAfter uint64
 
 	// Incrementally maintained occupancy counters (hot path).
@@ -76,14 +86,15 @@ type Core struct {
 	prfLive int
 
 	// Scratch buffers reused across cycles to avoid per-cycle allocation.
-	dueBuf  []int
-	opsBuf  []inflightOp
-	candBuf []int
+	dueBuf  []int        //snapshot:skip scratch, reset with [:0] before every use
+	opsBuf  []inflightOp //snapshot:skip scratch, reset with [:0] before every use
+	candBuf []int        //snapshot:skip scratch, reset with [:0] before every use
 
 	// commitHook, when non-nil, observes every committed instruction in
 	// program order (see SetCommitHook).
-	commitHook func(CommitEvent)
+	commitHook func(CommitEvent) //snapshot:skip observer wiring, not simulated state
 
+	//equality:dead event counters; never fed back into execution or classification (a converged run may carry different counts)
 	Stats Stats
 }
 

@@ -70,7 +70,7 @@ type Result struct {
 // Machine is one assembled system instance. Machines are single-use:
 // build one per simulation.
 type Machine struct {
-	Cfg  Config
+	Cfg  Config //snapshot:skip immutable configuration; a Snap restores only into an identically configured machine
 	Mem  *mem.Memory
 	L1I  *mem.Cache
 	L1D  *mem.Cache

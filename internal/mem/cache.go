@@ -44,15 +44,19 @@ type cacheLine struct {
 // Cache is a set-associative write-back write-allocate cache with
 // authoritative tag and data arrays.
 type Cache struct {
-	cfg      CacheConfig
-	sets     int
-	offBits  int
-	setBits  int
-	tagWidth int
+	// Geometry, derived from the config at construction and immutable
+	// after; snapshotcover (cmd/sevlint) checks every other field is
+	// carried through Snapshot/Restore.
+	cfg      CacheConfig //snapshot:skip immutable configuration, fixed at construction
+	sets     int         //snapshot:skip immutable geometry, derived at construction
+	offBits  int         //snapshot:skip immutable geometry, derived at construction
+	setBits  int         //snapshot:skip immutable geometry, derived at construction
+	tagWidth int         //snapshot:skip immutable geometry, derived at construction
 	lines    []cacheLine // sets*ways, row-major by set
-	lower    Backend
+	lower    Backend     //snapshot:skip hierarchy wiring; the lower level is snapshotted separately
 	clock    uint64
-	Stats    CacheStats
+	//equality:dead event counters; never fed back into execution or classification
+	Stats CacheStats
 }
 
 // NewCache builds a cache over the given lower level. Geometry values

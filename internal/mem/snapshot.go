@@ -176,7 +176,7 @@ type MemoryState struct {
 // page contents are shared with the live memory until it next writes.
 func (m *Memory) Snapshot() *MemoryState {
 	s := &MemoryState{pages: make(map[uint64]*[PageSize]byte, len(m.pages))}
-	for k, p := range m.pages {
+	for k, p := range m.pages { //lint:ordered builds a map and marks a set; order cannot reach any result
 		s.pages[k] = p
 		m.shared[k] = struct{}{}
 	}
@@ -190,7 +190,7 @@ func (m *Memory) Snapshot() *MemoryState {
 func (m *Memory) Restore(s *MemoryState) {
 	clear(m.pages)
 	clear(m.shared)
-	for k, p := range s.pages {
+	for k, p := range s.pages { //lint:ordered rebuilds a map and marks a set; order cannot reach any result
 		m.pages[k] = p
 		m.shared[k] = struct{}{}
 	}
@@ -202,7 +202,7 @@ func (m *Memory) Restore(s *MemoryState) {
 // that almost every live page still aliases the snapshot's array, so
 // the pointer fast path skips nearly all byte comparison.
 func (m *Memory) StateEquals(s *MemoryState) bool {
-	for k, p := range m.pages {
+	for k, p := range m.pages { //lint:ordered all-pages-must-match check; order cannot reach the boolean result
 		sp := s.pages[k]
 		if p == sp {
 			continue
@@ -211,7 +211,7 @@ func (m *Memory) StateEquals(s *MemoryState) bool {
 			return false
 		}
 	}
-	for k, sp := range s.pages {
+	for k, sp := range s.pages { //lint:ordered all-pages-must-match check; order cannot reach the boolean result
 		if _, ok := m.pages[k]; ok {
 			continue
 		}
@@ -225,12 +225,12 @@ func (m *Memory) StateEquals(s *MemoryState) bool {
 // Equal is the strict comparison of two memory snapshots, with absent
 // pages equivalent to all-zero pages.
 func (s *MemoryState) Equal(o *MemoryState) bool {
-	for k, p := range s.pages {
+	for k, p := range s.pages { //lint:ordered all-pages-must-match check; order cannot reach the boolean result
 		if op := o.pages[k]; p != op && !pageEqual(p, op) {
 			return false
 		}
 	}
-	for k, op := range o.pages {
+	for k, op := range o.pages { //lint:ordered all-pages-must-match check; order cannot reach the boolean result
 		if _, ok := s.pages[k]; !ok && !pageEqual(nil, op) {
 			return false
 		}

@@ -1,0 +1,93 @@
+package statan
+
+import "fmt"
+
+// AnnEqualityDead marks a checkpoint-authoritative struct field
+// deliberately excluded from the behavioral-equality relation
+// (StateEquals / Converged) that powers the early-convergence Masked
+// exit. Every exclusion must be dead state — overwritten before it can
+// be read on every path, or never fed back into execution or
+// classification — and the mandatory reason records that argument at
+// the field, mirroring the DESIGN.md §10 exclusion table so the doc
+// and the code cannot drift.
+const AnnEqualityDead = "equality:dead"
+
+// equalityCoverPass enforces the soundness shape of the fastpath
+// equality relation, for every struct with both Snapshot and a
+// behavioral-equality method (StateEquals, or Converged at machine
+// level):
+//
+//   - completeness: every field Snapshot captures (checkpoint-
+//     authoritative state) is either compared by the equality method
+//     or annotated "//equality:dead <reason>" — a new field cannot
+//     silently escape the relation, which would let the Masked exit
+//     declare convergence on states that still differ;
+//   - hash subset: every field the StateHash prefilter mixes must be
+//     part of the equality relation — hashing excluded state (e.g.
+//     Stats) would make the hash miss on truly converged states and
+//     silently disable the early exit (a correctness-preserving but
+//     real performance bug), while the converse (hashing a field the
+//     relation ignores) is checked here because it breaks the "hash
+//     inequality proves state inequality" soundness argument;
+//   - hygiene: annotations without reasons, and stale annotations on
+//     fields the relation actually compares, are themselves errors.
+func equalityCoverPass() *Pass {
+	return &Pass{
+		Name: "equalitycover",
+		Doc:  "snapshot-authoritative fields are compared by StateEquals/Converged or annotated //equality:dead <reason>; StateHash mixes only compared fields",
+		Run: func(pkg *Package, r *Reporter) {
+			for _, sd := range packageStructs(pkg) {
+				if sd.Methods["Snapshot"] == nil {
+					continue
+				}
+				eqName := ""
+				for _, cand := range []string{"StateEquals", "Converged"} {
+					if sd.Methods[cand] != nil {
+						eqName = cand
+						break
+					}
+				}
+				if eqName == "" {
+					continue
+				}
+				snap := sd.methodFieldRefs("Snapshot")
+				eq := sd.methodFieldRefs(eqName)
+				var hash map[string]bool
+				if sd.Methods["StateHash"] != nil {
+					hash = sd.methodFieldRefs("StateHash")
+				}
+				for _, field := range sd.Struct.Fields.List {
+					skip := fieldAnnotation(pkg.Fset, field, AnnSnapshotSkip)
+					dead := fieldAnnotation(pkg.Fset, field, AnnEqualityDead)
+					if dead != nil && dead.Reason == "" {
+						r.Report(field.Pos(), "annotation-reason",
+							fmt.Sprintf("//%s annotation needs a reason (//%s <why this state is dead>)", AnnEqualityDead, AnnEqualityDead))
+					}
+					for _, name := range fieldNames(field) {
+						authoritative := snap[name.Name] && skip == nil
+						compared := eq[name.Name]
+						switch {
+						case authoritative && !compared && dead == nil:
+							r.Report(name.Pos(), "missing-field", fmt.Sprintf(
+								"field %s.%s is captured by Snapshot but not compared by %s; the Masked fast exit would ignore it — compare it, or argue it dead with //%s <reason>",
+								sd.Name, name.Name, eqName, AnnEqualityDead))
+						case dead != nil && compared:
+							r.Report(name.Pos(), "stale-annotation", fmt.Sprintf(
+								"field %s.%s is annotated //%s but %s compares it; delete the annotation",
+								sd.Name, name.Name, AnnEqualityDead, eqName))
+						case dead != nil && !authoritative:
+							r.Report(name.Pos(), "stale-annotation", fmt.Sprintf(
+								"field %s.%s is annotated //%s but is not snapshot-authoritative state; the annotation is meaningless here",
+								sd.Name, name.Name, AnnEqualityDead))
+						}
+						if hash[name.Name] && !compared {
+							r.Report(name.Pos(), "hash-not-subset", fmt.Sprintf(
+								"StateHash mixes field %s.%s which %s does not compare; the prefilter would miss converged states (hash must cover a subset of the equality relation)",
+								sd.Name, name.Name, eqName))
+						}
+					}
+				}
+			}
+		},
+	}
+}

@@ -1,0 +1,63 @@
+package statan
+
+import (
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRepoIsClean is the in-tree mirror of the CI gate
+// (`go run ./cmd/sevlint ./...`): every package under internal/ and
+// cmd/ must pass the full pass set with suppression hygiene, so `go
+// test` alone catches a violation without the separate lint step.
+// Fixture packages under testdata/ are excluded — they exist to
+// contain violations.
+func TestRepoIsClean(t *testing.T) {
+	var dirs []string
+	roots := []string{filepath.Join("..", "..", "internal"), filepath.Join("..", "..", "cmd")}
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				name := d.Name()
+				if name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if strings.HasSuffix(d.Name(), ".go") && !strings.HasSuffix(d.Name(), "_test.go") {
+				dir := filepath.Dir(path)
+				if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+					dirs = append(dirs, dir)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(dirs) < 10 {
+		t.Fatalf("found only %d package directories under internal/ and cmd/; the walk is broken", len(dirs))
+	}
+
+	var bad []string
+	for _, dir := range dirs {
+		pkgs, err := LoadDir(dir)
+		if err != nil {
+			t.Errorf("LoadDir(%s): %v", dir, err)
+			continue
+		}
+		for _, pkg := range pkgs {
+			for _, d := range Run(pkg, RunOptions{CheckSuppressions: true}) {
+				bad = append(bad, d.String())
+			}
+		}
+	}
+	if len(bad) != 0 {
+		t.Errorf("sevlint findings in the repo (the CI gate would fail):\n%s", strings.Join(bad, "\n"))
+	}
+}

@@ -1,0 +1,83 @@
+package statan
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// robustnessPass keeps library code interruptible and crash-tolerant:
+//
+//   - os.Exit skips deferred cleanup (journal flush, pool drain);
+//     return an error to the caller, or mark a genuine process
+//     boundary "//lint:exit <reason>" (the CLI mains, nothing deeper);
+//   - bare signal.Notify hides signals from the study's context; use
+//     signal.NotifyContext so cancellation reaches the scheduler
+//     ("//lint:signal <reason>" suppresses).
+func robustnessPass() *Pass {
+	return &Pass{
+		Name: "robustness",
+		Doc:  "bans os.Exit outside marked process boundaries and bare signal.Notify",
+		Run: func(pkg *Package, r *Reporter) {
+			for _, file := range pkg.Files {
+				f := file
+				ast.Inspect(file, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					path, sel, ok := pkgSelector(call, f, pkg.Info)
+					if !ok {
+						return true
+					}
+					switch {
+					case path == "os" && sel == "Exit":
+						r.ReportSuppressible(call.Pos(), "os-exit", "exit",
+							"os.Exit skips deferred cleanup (journal flush, pool drain); return an error to the caller (or mark a genuine process boundary //lint:exit <reason>)")
+					case path == "os/signal" && sel == "Notify":
+						r.ReportSuppressible(call.Pos(), "signal-notify", "signal",
+							"bare signal.Notify hides the signal from the study's context; use signal.NotifyContext so cancellation reaches the scheduler")
+					}
+					return true
+				})
+			}
+		},
+	}
+}
+
+// pkgSelector decomposes a call of the form pkgname.Func(...) into the
+// import path of pkgname and the selected name.
+func pkgSelector(call *ast.CallExpr, file *ast.File, info *types.Info) (path, sel string, ok bool) {
+	se, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	ident, ok := se.X.(*ast.Ident)
+	if !ok {
+		return "", "", false
+	}
+	path, ok = importPath(ident, file, info)
+	if !ok {
+		return "", "", false
+	}
+	return path, se.Sel.Name, true
+}
+
+// isMapType unwraps named types and reports whether t is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// unknownType reports whether the best-effort checker failed to type
+// the expression (nil or invalid), which happens for values flowing
+// out of stub-imported packages.
+func unknownType(t types.Type) bool {
+	if t == nil {
+		return true
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Invalid
+}

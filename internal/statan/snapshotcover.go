@@ -1,0 +1,66 @@
+package statan
+
+import "fmt"
+
+// AnnSnapshotSkip marks a struct field deliberately outside the
+// Snapshot/Restore relation: configuration fixed at construction,
+// wiring to structures snapshotted elsewhere, scratch buffers dead
+// across cycles, or observer hooks. The reason is mandatory.
+const AnnSnapshotSkip = "snapshot:skip"
+
+// snapshotCoverPass enforces checkpoint completeness, the invariant
+// behind the byte-identical resume guarantee (DESIGN.md §9/§10): for
+// every struct with a Snapshot/Restore method pair (cpu.Core,
+// mem.Cache, mem.Memory, machine.Machine), every field is either
+// referenced by BOTH Snapshot and Restore — i.e. actually carried
+// through a checkpoint round-trip — or carries an explicit
+// "//snapshot:skip <reason>" annotation. Adding a struct field without
+// extending the snapshot layer used to silently break checkpoint
+// fast-forward, kill-and-resume, and the equality fast path at once;
+// now it is a lint error at the field's declaration.
+func snapshotCoverPass() *Pass {
+	return &Pass{
+		Name: "snapshotcover",
+		Doc:  "every field of a struct with Snapshot/Restore is copied by both, or annotated //snapshot:skip <reason>",
+		Run: func(pkg *Package, r *Reporter) {
+			for _, sd := range packageStructs(pkg) {
+				if sd.Methods["Snapshot"] == nil || sd.Methods["Restore"] == nil {
+					continue
+				}
+				snap := sd.methodFieldRefs("Snapshot")
+				rest := sd.methodFieldRefs("Restore")
+				for _, field := range sd.Struct.Fields.List {
+					ann := fieldAnnotation(pkg.Fset, field, AnnSnapshotSkip)
+					if ann != nil && ann.Reason == "" {
+						r.Report(field.Pos(), "annotation-reason",
+							fmt.Sprintf("//%s annotation needs a reason (//%s <why this field needs no checkpointing>)", AnnSnapshotSkip, AnnSnapshotSkip))
+					}
+					for _, name := range fieldNames(field) {
+						covered := snap[name.Name] && rest[name.Name]
+						switch {
+						case ann == nil && !covered:
+							r.Report(name.Pos(), "missing-field", fmt.Sprintf(
+								"field %s.%s is not %s; a checkpoint would silently drop it — copy it in both, or annotate //%s <reason>",
+								sd.Name, name.Name, missingHalf(snap[name.Name], rest[name.Name]), AnnSnapshotSkip))
+						case ann != nil && covered:
+							r.Report(name.Pos(), "stale-annotation", fmt.Sprintf(
+								"field %s.%s is annotated //%s but Snapshot and Restore both copy it; delete the annotation",
+								sd.Name, name.Name, AnnSnapshotSkip))
+						}
+					}
+				}
+			}
+		},
+	}
+}
+
+func missingHalf(inSnap, inRest bool) string {
+	switch {
+	case !inSnap && !inRest:
+		return "read by Snapshot or written by Restore"
+	case !inSnap:
+		return "read by Snapshot"
+	default:
+		return "written by Restore"
+	}
+}

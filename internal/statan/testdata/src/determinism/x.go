@@ -1,0 +1,56 @@
+// Package determinism is a sevlint fixture: every construct the
+// determinism pass must flag, suppress, or leave alone, with the
+// expected diagnostics in testdata/golden/determinism.golden.
+package determinism
+
+import (
+	"math/rand"
+	"time"
+)
+
+func mapRanges(m map[string]int) int {
+	s := 0
+	for _, v := range m { // flagged: map-range
+		s += v
+	}
+	for k := range m { //lint:ordered keys feed a commutative sum
+		s += len(k)
+	}
+	for k := range m { //lint:ordered
+		_ = k // suppressed, but the bare suppression is its own finding
+	}
+	return s
+}
+
+type set map[int]bool
+
+func namedMapType(s set) {
+	for k := range s { // flagged: named map type unwraps to a map
+		_ = k
+	}
+}
+
+func clean(xs []int, ch chan int) {
+	for range xs {
+	}
+	for range ch {
+	}
+}
+
+func clocks() time.Duration {
+	start := time.Now() // flagged: wall-clock
+	return time.Since(start)
+}
+
+func dice(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // clean: local source
+	_ = r.Intn(6)
+	return rand.Intn(6) // flagged: global source
+}
+
+func shadowed() int {
+	type gen struct{}
+	_ = gen{}
+	rand := struct{ Intn func(int) int }{Intn: func(n int) int { return 0 }}
+	return rand.Intn(10) // clean: local variable shadows the package name
+}

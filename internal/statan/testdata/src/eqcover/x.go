@@ -1,0 +1,38 @@
+// Package eqcover is a sevlint fixture for the equalitycover pass: a
+// struct with Snapshot, Restore, StateEquals, and StateHash whose
+// fields exercise every diagnostic (authoritative state missing from
+// the equality relation, clean and stale //equality:dead annotations,
+// an annotation on non-authoritative state, and a StateHash that mixes
+// a field the relation does not compare).
+package eqcover
+
+type Core struct {
+	x     int
+	y     int // snapshotted but not compared, unannotated: flagged
+	stats int //equality:dead fixture counters, never fed back into execution
+	z     int //equality:dead stale: StateEquals compares it
+	//snapshot:skip fixture wiring, not state
+	//equality:dead stale: q is not snapshot-authoritative, so the annotation is meaningless
+	q int
+	h int // hashed but not compared: flagged twice (missing + hash-not-subset)
+}
+
+type State struct {
+	X, Y, Stats, Z, H int
+}
+
+func (c *Core) Snapshot() *State {
+	return &State{X: c.x, Y: c.y, Stats: c.stats, Z: c.z, H: c.h}
+}
+
+func (c *Core) Restore(s *State) {
+	c.x, c.y, c.stats, c.z, c.h = s.X, s.Y, s.Stats, s.Z, s.H
+}
+
+func (c *Core) StateEquals(s *State) bool {
+	return c.x == s.X && c.z == s.Z
+}
+
+func (c *Core) StateHash() uint64 {
+	return uint64(c.x ^ c.h)
+}

@@ -1,0 +1,26 @@
+// Package fpcover is a sevlint fixture for the fingerprintcover pass:
+// a Spec-shaped struct with a fingerprint method whose fields exercise
+// every diagnostic (un-fingerprinted knob, transitive reference
+// through a sibling method, clean and stale //journal:ephemeral
+// annotations, annotation without a reason).
+package fpcover
+
+type Spec struct {
+	Seed   int64
+	Faults int // referenced via the faultCount helper: clean
+	Knob   int // neither fingerprinted nor annotated: flagged
+	Par    int //journal:ephemeral fixture execution shape; results identical at every value
+	Stale  int //journal:ephemeral stale: fingerprint references it
+	Bare   int //journal:ephemeral
+}
+
+type meta struct {
+	Seed          int64
+	Faults, Stale int
+}
+
+func (s Spec) fingerprint() meta {
+	return meta{Seed: s.Seed, Faults: s.faultCount(), Stale: s.Stale}
+}
+
+func (s Spec) faultCount() int { return s.Faults }

@@ -1,0 +1,26 @@
+// Package robustness is a sevlint fixture for the os-exit and
+// signal-notify rules.
+package robustness
+
+import (
+	"context"
+	"os"
+	"os/signal"
+)
+
+func exits() {
+	os.Exit(1) // flagged: os-exit
+}
+
+func boundary() {
+	os.Exit(0) //lint:exit fixture process boundary
+}
+
+func notify() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt) // flagged: signal-notify
+}
+
+func notifyContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt) // clean
+}

@@ -1,0 +1,17 @@
+// Package suppress is a sevlint fixture for suppression hygiene:
+// a used suppression with a reason (silent), a stale suppression on a
+// line with no finding, an unknown key, and a reasonless suppression.
+package suppress
+
+import "os"
+
+func f(m map[int]int) int {
+	s := 0
+	for k := range m { //lint:ordered keys feed a commutative sum
+		s += k
+	}
+	x := 1             //lint:ordered stale: no map range on this line
+	y := 2             //lint:wat unknown suppression key
+	os.Exit(s + x + y) //lint:exit
+	return 0
+}
