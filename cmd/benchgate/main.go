@@ -1,0 +1,108 @@
+// Command benchgate turns a benchmark run into a pass/fail regression
+// gate. It reads `go test -bench` output on stdin, extracts the ns/op
+// of one benchmark, and compares it against the number recorded in a
+// bench trajectory file (BENCH_checkpoint.json / BENCH_layout.json):
+//
+//	go test -run '^$' -bench 'BenchmarkInjectionCell' -benchtime=1x . |
+//	    go run ./cmd/benchgate -baseline BENCH_checkpoint.json -max-regression 2
+//
+// The gate fails (exit 1) when the measured time exceeds the baseline
+// by more than the allowed factor. The factor is deliberately loose:
+// CI runners are noisy and -benchtime=1x is a single iteration, so the
+// gate is a tripwire for order-of-magnitude regressions (a lost fast
+// path, an accidental full-copy restore), not a microbenchmark judge.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// trajectory mirrors the per-injection section of the BENCH_*.json
+// files; unknown fields are ignored so the schema can grow.
+type trajectory struct {
+	Benchmark    string `json:"benchmark"`
+	PerInjection struct {
+		Fastpath struct {
+			NsPerOp float64 `json:"ns_per_op"`
+		} `json:"fastpath"`
+	} `json:"per_injection"`
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_checkpoint.json", "bench trajectory file holding the recorded ns/op")
+	bench := flag.String("bench", "BenchmarkInjectionCell/fastpath", "benchmark name to gate on (prefix match on the output line)")
+	maxRegression := flag.Float64("max-regression", 2, "fail when measured ns/op exceeds baseline by more than this factor")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baseline)
+	if err != nil {
+		fatalf("read baseline: %v", err)
+	}
+	var t trajectory
+	if err := json.Unmarshal(raw, &t); err != nil {
+		fatalf("parse %s: %v", *baseline, err)
+	}
+	base := t.PerInjection.Fastpath.NsPerOp
+	if base <= 0 {
+		fatalf("%s: no per_injection.fastpath.ns_per_op recorded", *baseline)
+	}
+
+	measured, err := scanNsPerOp(os.Stdin, *bench)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	ratio := measured / base
+	fmt.Printf("benchgate: %s measured %.0f ns/op, baseline %.0f ns/op (%s), ratio %.2fx (limit %.2fx)\n",
+		*bench, measured, base, *baseline, ratio, *maxRegression)
+	if ratio > *maxRegression {
+		fatalf("regression: %.2fx exceeds the %.2fx limit", ratio, *maxRegression)
+	}
+}
+
+// scanNsPerOp echoes stdin through (so the CI log keeps the full
+// benchmark output) and returns the ns/op of the first line naming the
+// benchmark. Benchmark output lines look like:
+//
+//	BenchmarkInjectionCell/fastpath-8    3594    577754 ns/op    8 B/op ...
+func scanNsPerOp(r *os.File, bench string) (float64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	found := -1.0
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if found >= 0 || !strings.HasPrefix(line, bench) {
+			continue
+		}
+		fields := strings.Fields(line)
+		for i := 2; i < len(fields); i++ {
+			if fields[i] == "ns/op" {
+				v, err := strconv.ParseFloat(fields[i-1], 64)
+				if err != nil {
+					return 0, fmt.Errorf("parse ns/op on %q: %v", line, err)
+				}
+				found = v
+				break
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, fmt.Errorf("read benchmark output: %v", err)
+	}
+	if found < 0 {
+		return 0, fmt.Errorf("no %q ns/op line in benchmark output", bench)
+	}
+	return found, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
+	os.Exit(1) //lint:exit CLI gate verdict; nothing is open to clean up
+}

@@ -54,7 +54,10 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
 
-	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+	// The output directory must itself be durable before the journal and
+	// study files inside it are: a crash that loses the dentry loses
+	// everything written under it, fsynced or not.
+	if err := journal.MkdirAllSync(*outDir, 0o755); err != nil {
 		fatal(err)
 	}
 

@@ -222,38 +222,54 @@ func Run(exp *faultinj.Experiment, target faultinj.Target, opts Options) Result 
 	}
 	outcomes := make([]faultinj.InjectResult, len(injections))
 	ran := make([]bool, len(injections)) // outcome i was actually computed
+
+	// Injections are dispatched in chunks of same-checkpoint faults:
+	// each chunk runs on one batch (one held scratch machine), so every
+	// restore after the chunk's first is a cache delta restore. Chunks
+	// stay small enough that all workers get work even when one
+	// checkpoint dominates the sample. Outcome i is still fully
+	// determined by (Seed, i) — restores are bit-exact, so grouping and
+	// scheduling cannot change any classification.
+	const chunkSize = 32
 	var wg sync.WaitGroup
-	for i := range injections {
-		if ctx.Err() != nil {
-			break
-		}
-		i := i
-		wg.Add(1)
-		ok := pool.TrySubmit(ctx, func() {
-			defer wg.Done()
-			// Queued-but-not-started injections drain without running
-			// once cancellation hits; injections already executing
-			// finish normally.
+dispatch:
+	for _, group := range exp.BatchByCheckpoint(injections) {
+		for start := 0; start < len(group); start += chunkSize {
 			if ctx.Err() != nil {
-				return
+				break dispatch
 			}
-			if opts.Pruner != nil && opts.Model.Width() <= 1 {
-				if ok, reason := opts.Pruner.Prunable(target, injections[i]); ok {
-					outcomes[i] = faultinj.InjectResult{
-						Outcome: faultinj.Masked,
-						Reason:  "pruned: " + reason,
-						Pruned:  true,
+			chunk := group[start:min(start+chunkSize, len(group))]
+			wg.Add(1)
+			ok := pool.TrySubmit(ctx, func() {
+				defer wg.Done()
+				// Queued-but-not-started chunks drain without running
+				// once cancellation hits; a chunk already executing
+				// finishes its current injection, then stops.
+				b := exp.NewBatch()
+				defer b.Close()
+				for _, i := range chunk {
+					if ctx.Err() != nil {
+						return
 					}
+					if opts.Pruner != nil && opts.Model.Width() <= 1 {
+						if ok, reason := opts.Pruner.Prunable(target, injections[i]); ok {
+							outcomes[i] = faultinj.InjectResult{
+								Outcome: faultinj.Masked,
+								Reason:  "pruned: " + reason,
+								Pruned:  true,
+							}
+							ran[i] = true
+							continue
+						}
+					}
+					outcomes[i] = b.InjectModel(target, injections[i], opts.Model)
 					ran[i] = true
-					return
 				}
+			})
+			if !ok {
+				wg.Done()
+				break dispatch
 			}
-			outcomes[i] = exp.InjectModel(target, injections[i], opts.Model)
-			ran[i] = true
-		})
-		if !ok {
-			wg.Done()
-			break
 		}
 	}
 	wg.Wait()

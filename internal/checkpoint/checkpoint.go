@@ -85,14 +85,32 @@ func (s *Stream) Len() int { return len(s.snaps) }
 // the snapshots are shared — treat both as read-only.
 func (s *Stream) Snaps() []*machine.Snap { return s.snaps }
 
+// LatestIndex returns the index of the latest checkpoint at-or-before
+// cycle, or -1 when none exists (only possible if cycle 0 was not
+// recorded). Callers batching injections per checkpoint key on this
+// index so every run of a batch restores the same snapshot.
+func (s *Stream) LatestIndex(cycle uint64) int {
+	return sort.Search(len(s.snaps), func(i int) bool { return s.snaps[i].Cycle > cycle }) - 1
+}
+
 // Latest returns the latest checkpoint at-or-before cycle, or nil when
 // none exists (only possible if cycle 0 was not recorded).
 func (s *Stream) Latest(cycle uint64) *machine.Snap {
-	i := sort.Search(len(s.snaps), func(i int) bool { return s.snaps[i].Cycle > cycle })
-	if i == 0 {
-		return nil
+	if i := s.LatestIndex(cycle); i >= 0 {
+		return s.snaps[i]
 	}
-	return s.snaps[i-1]
+	return nil
+}
+
+// Release returns every snapshot's pooled buffers (core and cache
+// states) to their pools and empties the stream. The caller must be
+// the stream's last user: no restore, watch, or Latest call may follow.
+func (s *Stream) Release() {
+	for _, sn := range s.snaps {
+		sn.Release()
+	}
+	s.snaps = nil
+	s.watches = nil
 }
 
 // WatchesAfter returns the convergence watches for every checkpoint

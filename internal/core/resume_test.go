@@ -361,6 +361,27 @@ func TestLoadTornStudyFile(t *testing.T) {
 		t.Errorf("torn-file error not clearly diagnosed: %v", err)
 	}
 
+	// A zero-byte file — what a crash between create and write leaves
+	// behind on some filesystems — must get the same diagnosis.
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Load(path)
+	if err == nil {
+		t.Fatal("zero-byte study.json loaded without error")
+	}
+	if !strings.Contains(err.Error(), "corrupt or truncated") {
+		t.Errorf("zero-byte-file error not clearly diagnosed: %v", err)
+	}
+
+	// Restore the good bytes: a full file written by Save round-trips.
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err != nil {
+		t.Fatalf("intact study.json failed to load: %v", err)
+	}
+
 	// Save leaves no temp litter next to the target.
 	dir := filepath.Dir(path)
 	entries, err := os.ReadDir(dir)

@@ -460,6 +460,10 @@ func (s Spec) RunContext(ctx context.Context) (*Study, error) {
 				}(ti, target)
 			}
 			cells.Wait()
+			// Every cell of this unit is done: hand the unit's golden
+			// checkpoint snapshots back to the buffer pools so the next
+			// unit's checkpoints reuse them instead of allocating.
+			u.exp.Close()
 		}(ui, u)
 	}
 	wg.Wait()

@@ -1,6 +1,8 @@
 package cpu
 
 import (
+	"math/bits"
+
 	"sevsim/internal/isa"
 	"sevsim/internal/mem"
 	"sevsim/internal/simerr"
@@ -34,12 +36,20 @@ func (s Stats) IPC() float64 {
 	return float64(s.Committed) / float64(s.Cycles)
 }
 
+// predecodeSlots sizes the direct-mapped predecode memo (fetch.go). A
+// power of two; 4096 entries cover every distinct word of the built-in
+// benchmarks with few conflicts.
+const predecodeSlots = 4096
+
 // Core is one out-of-order processor core.
 //
-// Every field is either carried through Snapshot/Restore and compared
-// by StateEquals, or annotated with why it is not; the snapshotcover
-// and equalitycover passes of cmd/sevlint enforce this, so a new field
-// cannot silently break the checkpoint and convergence guarantees.
+// The fixed-size hot state lives in the embedded soa slabs
+// (structures.go); ring positions, counters, and the variable-length
+// queues are ordinary fields. Every field is either carried through
+// Snapshot/Restore and compared by StateEquals, or annotated with why
+// it is not; the snapshotcover and equalitycover passes of cmd/sevlint
+// enforce this, so a new field cannot silently break the checkpoint
+// and convergence guarantees.
 type Core struct {
 	cfg Config //snapshot:skip immutable configuration, fixed at construction
 
@@ -49,23 +59,31 @@ type Core struct {
 	icache *mem.Cache  //snapshot:skip hierarchy wiring; snapshotted at machine level
 	dcache *mem.Cache  //snapshot:skip hierarchy wiring; snapshotted at machine level
 
-	// Physical register file and rename state.
-	prf      []uint64
-	prfReady []bool
-	prfAlloc []bool
-	rat      []uint16
-	freeList []uint16
+	// Flat register/queue/predictor state (slabs + views).
+	soa
 
-	rob *rob
-	iq  []iqEntry
-	lq  *queue[lqEntry]
-	sq  *queue[sqEntry]
+	// Ring positions and incrementally maintained counters over the
+	// soa arrays. freeCount is the live length of the freeBack stack;
+	// entries past it are dead.
+	robHead   int
+	robCount  int
+	lqHead    int
+	lqCount   int
+	sqHead    int
+	sqCount   int
+	rasTop    int
+	freeCount int
 
-	pred        *predictor
 	fetchPC     uint64
 	fetchQ      []fetchSlot
 	fetchStall  uint64
 	fetchFrozen bool // stop fetching: fetch fault or HALT seen
+
+	// fetchHead is the start of the logical fetch queue within fetchQ:
+	// rename consumes by advancing it and fetchPop compacts lazily, so
+	// a pop is an index increment instead of a slide of the slice. The
+	// logical queue every other layer sees is fetchQ[fetchHead:].
+	fetchHead int // representation offset: Snapshot captures fetchQ[fetchHead:], Restore resets it to zero
 
 	inflight []inflightOp
 
@@ -85,6 +103,37 @@ type Core struct {
 	iqCount int
 	prfLive int
 
+	// iqValid mirrors the qValid bits of iqFlags, one bit per slot, so
+	// the per-cycle insert/issue/wakeup scans walk set bits instead of
+	// every slot. Sound because faults never flip a valid bit (see
+	// faults.go); IQSize <= 64 is asserted at construction.
+	iqValid uint64 //snapshot:skip derived index over the qValid bits of iqFlags; Restore rebuilds it from the slab
+
+	// iqReady marks the valid, unissued entries whose two ready bits are
+	// both set — exactly the candidates the issue scan used to find by
+	// walking every slot. iqInsert/wakeup/issue/squash maintain it, and
+	// FlipBit re-derives a slot's bit after flipping a ready bit.
+	iqReady uint64 //snapshot:skip derived index over iqFlags ready state; Restore rebuilds it from the slab
+
+	// lqPending marks load-queue slots whose flag byte reads "address
+	// known, not yet performed" (valid|addrReady, done and inflight
+	// clear) — the entries loadStep can act on. Bits are meaningful only
+	// inside the occupied ring window; loadStep masks with ringMask.
+	lqPending uint64 //snapshot:skip derived index over lqFlags state bits; Restore rebuilds it from the slab
+
+	// Memoized bounds of the executable region serving fetches: a pc
+	// with pc&3 == 0 inside [fetchSpanLo, fetchSpanHi] needs no
+	// CheckFetch walk. The address map is immutable after program load.
+	fetchSpanLo uint64 //snapshot:skip memo over the immutable executable mapping; misses fall back to Memory.CheckFetch
+	fetchSpanHi uint64 //snapshot:skip memo over the immutable executable mapping; misses fall back to Memory.CheckFetch
+
+	// Direct-mapped predecode memo: decWords[i] holds the last word
+	// decoded into slot i, decInstrs[i] its decode. Every slot always
+	// holds a consistent (word, decode-of-word) pair, so a hit — even
+	// on a fault-flipped word — returns exactly isa.Decode(word).
+	decWords  []uint32    //snapshot:skip memo of the pure function isa.Decode; hits depend only on the fetched word
+	decInstrs []isa.Instr //snapshot:skip memo of the pure function isa.Decode; hits depend only on the fetched word
+
 	// Scratch buffers reused across cycles to avoid per-cycle allocation.
 	dueBuf  []int        //snapshot:skip scratch, reset with [:0] before every use
 	opsBuf  []inflightOp //snapshot:skip scratch, reset with [:0] before every use
@@ -101,32 +150,41 @@ type Core struct {
 // NewCore builds a core over the given memory system, with fetch
 // starting at entry.
 func NewCore(cfg Config, memory *mem.Memory, icache, dcache *mem.Cache, entry uint64) *Core {
+	if cfg.IQSize > 64 {
+		simerr.Assertf("cpu: IQSize %d exceeds the 64-slot issue-queue valid-mask limit", cfg.IQSize)
+	}
+	if cfg.LQSize > 64 {
+		simerr.Assertf("cpu: LQSize %d exceeds the 64-slot load-queue pending-mask limit", cfg.LQSize)
+	}
 	c := &Core{
 		cfg:       cfg,
 		memory:    memory,
 		icache:    icache,
 		dcache:    dcache,
-		prf:       make([]uint64, cfg.NumPhysRegs),
-		prfReady:  make([]bool, cfg.NumPhysRegs),
-		prfAlloc:  make([]bool, cfg.NumPhysRegs),
-		rat:       make([]uint16, cfg.NumArchRegs),
-		rob:       newROB(cfg.ROBSize),
-		iq:        make([]iqEntry, cfg.IQSize),
-		lq:        newQueue[lqEntry](cfg.LQSize),
-		sq:        newQueue[sqEntry](cfg.SQSize),
-		pred:      newPredictor(cfg),
 		fetchPC:   entry,
 		expectPC:  entry,
 		maxOutput: 1 << 20,
 	}
+	c.carve(&c.cfg)
 	for a := 0; a < cfg.NumArchRegs; a++ {
 		c.rat[a] = uint16(a)
-		c.prfReady[a] = true
-		c.prfAlloc[a] = true
+		c.prfReady[a] = 1
+		c.prfAlloc[a] = 1
 	}
 	c.prfLive = cfg.NumArchRegs
 	for p := cfg.NumPhysRegs - 1; p >= cfg.NumArchRegs; p-- {
-		c.freeList = append(c.freeList, uint16(p))
+		c.freeBack[c.freeCount] = uint16(p)
+		c.freeCount++
+	}
+	for i := range c.bimodal {
+		c.bimodal[i] = 1 // weakly not-taken
+	}
+	c.fetchSpanLo, c.fetchSpanHi = 1, 0 // empty span until the first fetch resolves it
+	c.decWords = make([]uint32, predecodeSlots)
+	c.decInstrs = make([]isa.Instr, predecodeSlots)
+	zero := isa.Decode(0)
+	for i := range c.decInstrs {
+		c.decInstrs[i] = zero
 	}
 	return c
 }
@@ -173,11 +231,26 @@ func (c *Core) Step() bool {
 }
 
 func (c *Core) accountOccupancy() {
-	c.Stats.ROBOccupancy += uint64(c.rob.count)
-	c.Stats.LQOccupancy += uint64(c.lq.count)
-	c.Stats.SQOccupancy += uint64(c.sq.count)
+	c.Stats.ROBOccupancy += uint64(c.robCount)
+	c.Stats.LQOccupancy += uint64(c.lqCount)
+	c.Stats.SQOccupancy += uint64(c.sqCount)
 	c.Stats.IQOccupancy += uint64(c.iqCount)
 	c.Stats.PRFLive += uint64(c.prfLive)
+}
+
+// --- ring helpers ---------------------------------------------------------
+
+// robAlloc claims the next ROB slot and returns the raw slot index.
+// The caller must write every per-entry array at that index — writing
+// zero where a field is unused — so recycled-slot bytes stay
+// deterministic without a zeroing pass on the hot path.
+func (c *Core) robAlloc() int {
+	idx := c.robHead + c.robCount
+	if idx >= c.cfg.ROBSize {
+		idx -= c.cfg.ROBSize
+	}
+	c.robCount++
+	return idx
 }
 
 // --- register helpers ----------------------------------------------------
@@ -194,94 +267,104 @@ func (c *Core) writePhys(p uint16, v uint64) {
 		simerr.Assertf("cpu: write of physical register %d outside file of %d", p, c.cfg.NumPhysRegs)
 	}
 	c.prf[p] = c.cfg.maskTo(v)
-	c.prfReady[p] = true
+	c.prfReady[p] = 1
 }
 
 func (c *Core) popFree() uint16 {
-	p := c.freeList[len(c.freeList)-1]
-	c.freeList = c.freeList[:len(c.freeList)-1]
-	if int(p) >= c.cfg.NumPhysRegs || c.prfAlloc[p] {
+	p := c.freeBack[c.freeCount-1]
+	c.freeCount--
+	if int(p) >= c.cfg.NumPhysRegs || c.prfAlloc[p] != 0 {
 		simerr.Assertf("cpu: free list produced corrupt register %d", p)
 	}
-	c.prfAlloc[p] = true
-	c.prfReady[p] = false
+	c.prfAlloc[p] = 1
+	c.prfReady[p] = 0
 	c.prfLive++
 	return p
 }
 
 func (c *Core) freePhys(p uint16) {
-	if int(p) >= c.cfg.NumPhysRegs || p == 0 || !c.prfAlloc[p] {
+	if int(p) >= c.cfg.NumPhysRegs || p == 0 || c.prfAlloc[p] == 0 {
 		simerr.Assertf("cpu: double free or corrupt free of physical register %d", p)
 	}
-	c.prfAlloc[p] = false
+	c.prfAlloc[p] = 0
 	c.prfLive--
-	c.freeList = append(c.freeList, p)
+	c.freeBack[c.freeCount] = p
+	c.freeCount++
 }
 
-// robAt fetches a ROB entry by (possibly corrupted) index and validates
-// it still belongs to the expected instruction.
-func (c *Core) robAt(idx uint16, seq uint64) *robEntry {
+// robAt validates a (possibly corrupted) ROB index and that the slot
+// still belongs to the expected instruction, returning the raw index.
+func (c *Core) robAt(idx uint16, seq uint64) int {
 	if int(idx) >= c.cfg.ROBSize {
 		simerr.Assertf("cpu: ROB index %d out of range", idx)
 	}
-	e := c.rob.at(idx)
-	if e.Seq != seq {
+	if c.robSeq[idx] != seq {
 		simerr.Assertf("cpu: ROB entry %d sequence mismatch", idx)
 	}
-	return e
+	return int(idx)
 }
 
 // --- commit ----------------------------------------------------------------
 
 func (c *Core) commit() {
-	for n := 0; n < c.cfg.CommitWidth && !c.rob.empty(); n++ {
-		e := c.rob.headEntry()
-		if !e.Done {
+	for n := 0; n < c.cfg.CommitWidth && c.robCount > 0; n++ {
+		h := c.robHead
+		flags := c.robFlags[h]
+		if flags&rDone == 0 {
 			return
 		}
-		if e.Exc != excNone {
-			c.crash = &simerr.Crash{Reason: excName(e.Exc), PC: e.PC}
+		if c.robExc[h] != excNone {
+			c.crash = &simerr.Crash{Reason: excName(c.robExc[h]), PC: c.robPC[h]}
 			return
 		}
-		if e.PC != c.expectPC {
-			simerr.Assertf("cpu: commit PC %#x does not match expected %#x", e.PC, c.expectPC)
+		pc := c.robPC[h]
+		if pc != c.expectPC {
+			simerr.Assertf("cpu: commit PC %#x does not match expected %#x", pc, c.expectPC)
 		}
-		if e.IsBranch && !e.Resolved {
-			simerr.Assertf("cpu: committing unresolved branch at %#x", e.PC)
+		if flags&rIsBranch != 0 && flags&rResolved == 0 {
+			simerr.Assertf("cpu: committing unresolved branch at %#x", pc)
 		}
-		if e.IsStore {
-			if !c.commitStore(e) {
+		if flags&rIsStore != 0 {
+			if !c.commitStore(h) {
 				return // crash recorded
 			}
 			c.Stats.Stores++
 		}
-		if e.IsLoad {
-			if e.LQIdx == badIdx || c.lq.empty() || c.lq.headIdx() != e.LQIdx {
+		if flags&rIsLoad != 0 {
+			if c.robLQ[h] == badIdx || c.lqCount == 0 || c.lqHead != int(c.robLQ[h]) {
 				simerr.Assertf("cpu: LQ drain mismatch at commit")
 			}
-			c.lq.pop()
+			c.lqHead++
+			if c.lqHead == c.cfg.LQSize {
+				c.lqHead = 0
+			}
+			c.lqCount--
 			c.Stats.Loads++
 		}
-		switch e.Op {
+		switch isa.Opcode(c.robOp[h]) {
 		case isa.OpOut:
 			if len(c.output) < c.maxOutput {
-				c.output = append(c.output, e.OutVal)
+				c.output = append(c.output, c.robOutVal[h])
 			}
 		case isa.OpHalt:
 			c.halted = true
 		}
-		if e.DestArch != noReg {
-			c.freePhys(e.OldPhys)
+		if c.robArch[h] != noReg {
+			c.freePhys(c.robOld[h])
 		}
-		if e.Resolved && e.ActTaken {
-			c.expectPC = e.ActTarget
+		if flags&rResolved != 0 && flags&rActTaken != 0 {
+			c.expectPC = c.robActTgt[h]
 		} else {
-			c.expectPC = e.PC + 4
+			c.expectPC = pc + 4
 		}
 		if c.commitHook != nil {
-			c.commitHook(CommitEvent{Cycle: c.cycle, PC: e.PC, DestArch: e.DestArch, DestPhys: e.DestPhys})
+			c.commitHook(CommitEvent{Cycle: c.cycle, PC: pc, DestArch: c.robArch[h], DestPhys: c.robDest[h]})
 		}
-		c.rob.pop()
+		c.robHead++
+		if c.robHead == c.cfg.ROBSize {
+			c.robHead = 0
+		}
+		c.robCount--
 		c.Stats.Committed++
 		if c.halted {
 			return
@@ -291,24 +374,30 @@ func (c *Core) commit() {
 
 // commitStore drains the store-queue head for a committing store. It
 // returns false when the store raises a memory fault (crash recorded).
-func (c *Core) commitStore(e *robEntry) bool {
-	if e.SQIdx == badIdx || c.sq.empty() || c.sq.headIdx() != e.SQIdx {
+func (c *Core) commitStore(h int) bool {
+	sqIdx := c.robSQ[h]
+	if sqIdx == badIdx || c.sqCount == 0 || c.sqHead != int(sqIdx) {
 		simerr.Assertf("cpu: SQ drain mismatch at commit")
 	}
-	s := c.sq.at(e.SQIdx)
-	if !s.Valid || !s.Ready {
+	si := int(sqIdx)
+	if c.sqFlags[si]&sValid == 0 || c.sqFlags[si]&sReady == 0 {
 		simerr.Assertf("cpu: committing store with invalid SQ entry state")
 	}
-	if s.ROBIdx != uint16(c.rob.head) {
+	if c.sqROB[si] != uint16(c.robHead) {
 		simerr.Assertf("cpu: SQ entry ROB linkage corrupt")
 	}
-	size := uint64(s.Size)
-	if f := c.memory.CheckAccess(s.Addr, size, true); f != nil {
-		c.crash = &simerr.Crash{Reason: "store " + f.Kind.String(), Addr: s.Addr, PC: e.PC}
+	size := uint64(c.sqSize[si])
+	addr := c.sqAddr[si]
+	if f := c.memory.CheckAccess(addr, size, true); f != nil {
+		c.crash = &simerr.Crash{Reason: "store " + f.Kind.String(), Addr: addr, PC: c.robPC[h]}
 		return false
 	}
-	c.dcache.Write(s.Addr, int(size), s.Data)
-	c.sq.pop()
+	c.dcache.Write(addr, int(size), c.sqData[si])
+	c.sqHead++
+	if c.sqHead == c.cfg.SQSize {
+		c.sqHead = 0
+	}
+	c.sqCount--
 	return true
 }
 
@@ -368,129 +457,189 @@ func (c *Core) finish(op *inflightOp) {
 		c.wakeup(op.Dest)
 	}
 	e := c.robAt(op.ROBIdx, op.Seq)
-	e.Done = true
-	if e.IsBranch && e.Resolved {
+	c.robFlags[e] |= rDone
+	if c.robFlags[e]&rIsBranch != 0 && c.robFlags[e]&rResolved != 0 {
 		c.resolveBranch(e)
 	}
 }
 
 // resolveBranch trains the predictor and squashes on a misprediction.
-func (c *Core) resolveBranch(e *robEntry) {
+func (c *Core) resolveBranch(e int) {
 	c.Stats.Branches++
-	if e.Op.IsBranch() {
-		c.pred.updateCond(e.PC, e.ActTaken)
+	pc := c.robPC[e]
+	op := isa.Opcode(c.robOp[e])
+	actTaken := c.robFlags[e]&rActTaken != 0
+	if op.IsBranch() {
+		c.updateCond(pc, actTaken)
 	}
-	if e.Op == isa.OpJalr {
-		c.pred.updateIndirect(e.PC, e.ActTarget)
+	if op == isa.OpJalr {
+		c.updateIndirect(pc, c.robActTgt[e])
 	}
-	next := e.PC + 4
-	if e.ActTaken {
-		next = e.ActTarget
+	next := pc + 4
+	if actTaken {
+		next = c.robActTgt[e]
 	}
-	predNext := e.PC + 4
-	if e.PredTaken {
-		predNext = e.PredTarget
+	predNext := pc + 4
+	if c.robFlags[e]&rPredTaken != 0 {
+		predNext = c.robPredTgt[e]
 	}
 	if next != predNext {
 		c.Stats.Mispredicts++
-		c.squash(e.Seq, next)
-		if e.Seq < c.squashedAfter {
-			c.squashedAfter = e.Seq
+		seq := c.robSeq[e]
+		c.squash(seq, next)
+		if seq < c.squashedAfter {
+			c.squashedAfter = seq
 		}
 	}
 }
 
 func (c *Core) wakeup(tag uint16) {
-	for i := range c.iq {
-		q := &c.iq[i]
-		if !q.Valid {
-			continue
+	// Entries already in iqReady have both ready bits set, so a wakeup
+	// cannot change them; only the still-waiting valid entries matter.
+	for m := c.iqValid &^ c.iqReady; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros64(m)
+		f := c.iqFlags[i]
+		nf := f
+		if nf&qRdy1 == 0 && c.iqSrc1[i] == tag {
+			nf |= qRdy1
 		}
-		if !q.Rdy1 && q.Src1 == tag {
-			q.Rdy1 = true
+		if nf&qRdy2 == 0 && c.iqSrc2[i] == tag {
+			nf |= qRdy2
 		}
-		if !q.Rdy2 && q.Src2 == tag {
-			q.Rdy2 = true
+		if nf != f {
+			c.iqFlags[i] = nf
+			if nf&(qIssued|qRdy1|qRdy2) == qRdy1|qRdy2 {
+				c.iqReady |= 1 << uint(i)
+			}
 		}
 	}
+}
+
+// iqSyncReady re-derives one slot's iqReady bit from its flag byte.
+// Fault injection calls it after flipping a ready bit so the derived
+// index stays consistent with the slab.
+func (c *Core) iqSyncReady(i int) {
+	if f := c.iqFlags[i]; f&(qValid|qIssued|qRdy1|qRdy2) == qValid|qRdy1|qRdy2 {
+		c.iqReady |= 1 << uint(i)
+	} else {
+		c.iqReady &^= 1 << uint(i)
+	}
+}
+
+// lqSyncPending re-derives one slot's lqPending bit from its flag byte.
+func (c *Core) lqSyncPending(i int) {
+	if f := c.lqFlags[i]; f&(lValid|lAddrReady|lDone|lInflight) == lValid|lAddrReady {
+		c.lqPending |= 1 << uint(i)
+	} else {
+		c.lqPending &^= 1 << uint(i)
+	}
+}
+
+// ringMask returns a bitmask of the occupied ring slots
+// [head, head+count) mod size, for size <= 64.
+func ringMask(head, count, size int) uint64 {
+	if n := head + count - size; n > 0 {
+		// Occupancy wraps: [head, size) plus [0, n).
+		return (uint64(1)<<uint(size-head)-1)<<uint(head) | (uint64(1)<<uint(n) - 1)
+	}
+	return (uint64(1)<<uint(count) - 1) << uint(head)
 }
 
 // --- load queue ------------------------------------------------------------
 
 func (c *Core) loadStep() {
-	if c.lq.count == 0 {
+	if c.lqCount == 0 {
 		return
 	}
-	for n := 0; n < c.lq.count; n++ {
-		idx := uint16((c.lq.head + n) % len(c.lq.entries))
-		l := c.lq.at(idx)
-		if !l.Valid || !l.AddrReady || l.Done || l.Inflight {
-			continue
-		}
-		// Memory-ordering check: walk older stores youngest-first; the
-		// first one that could affect this load decides (forward on an
-		// exact match, stall on a partial overlap or unknown address).
-		conflict := false
-		var fwdVal uint64
-		fwd := false
-		for i := c.sq.count - 1; i >= 0; i-- {
-			s := c.sq.at(uint16((c.sq.head + i) % len(c.sq.entries)))
-			if !s.Valid || s.Seq >= l.Seq {
-				continue
-			}
-			if !s.Ready {
-				conflict = true // unknown older store address: wait
-				break
-			}
-			ss, ls := uint64(s.Size), uint64(l.Size)
-			if s.Addr < l.Addr+ls && l.Addr < s.Addr+ss {
-				if c.cfg.StoreForwarding && s.Addr == l.Addr && ss >= ls {
-					fwdVal = s.Data
-					fwd = true
-				} else {
-					conflict = true // partial overlap: wait for drain
-				}
-				break
-			}
-		}
-		if conflict {
-			continue
-		}
-		size := uint64(l.Size)
-		if f := c.memory.CheckAccess(l.Addr, size, false); f != nil {
-			// Precise memory fault: record on the ROB entry.
-			e := c.robAt(l.ROBIdx, l.Seq)
-			switch f.Kind {
-			case mem.FaultMisaligned:
-				e.Exc = excMisalign
-			case mem.FaultProtection:
-				e.Exc = excProt
-			default:
-				e.Exc = excUnmapped
-			}
-			e.Done = true
-			l.Done = true
-			continue
-		}
-		var val uint64
-		lat := 1
-		if fwd {
-			val = fwdVal
-		} else {
-			val, lat = c.dcache.Read(l.Addr, int(size))
-		}
-		val = c.extendLoad(val, l.Size, l.SignExt)
-		l.Inflight = true
-		l.FillAt = c.cycle + uint64(lat)
-		c.inflight = append(c.inflight, inflightOp{
-			DoneAt: l.FillAt,
-			Dest:   l.Dest,
-			Value:  val,
-			ROBIdx: l.ROBIdx,
-			Seq:    l.Seq,
-		})
-		l.Done = true
+	// Pending bits outside the occupied window are stale (a fault can
+	// repaint a drained slot's flags); the ring mask filters them, and
+	// the head-split iteration visits survivors oldest first, matching
+	// the original head-to-tail walk (the d-cache LRU clock makes the
+	// visit order architecturally visible).
+	pend := c.lqPending & ringMask(c.lqHead, c.lqCount, c.cfg.LQSize)
+	if pend == 0 {
+		return
 	}
+	headMask := uint64(1)<<uint(c.lqHead) - 1
+	for _, part := range [2]uint64{pend &^ headMask, pend & headMask} {
+		for ; part != 0; part &= part - 1 {
+			li := bits.TrailingZeros64(part)
+			c.loadOne(li)
+		}
+	}
+}
+
+// loadOne attempts one actionable load-queue entry: forward from an
+// older store, stall on a conflict, fault precisely, or start the
+// d-cache access.
+func (c *Core) loadOne(li int) {
+	lf := c.lqFlags[li]
+	lAddrV := c.lqAddr[li]
+	lSeqV := c.lqSeq[li]
+	lSizeV := c.lqSize[li]
+	// Memory-ordering check: walk older stores youngest-first; the
+	// first one that could affect this load decides (forward on an
+	// exact match, stall on a partial overlap or unknown address).
+	var fwdVal uint64
+	fwd := false
+	for i := c.sqCount - 1; i >= 0; i-- {
+		si := c.sqHead + i
+		if si >= c.cfg.SQSize {
+			si -= c.cfg.SQSize
+		}
+		if c.sqFlags[si]&sValid == 0 || c.sqSeq[si] >= lSeqV {
+			continue
+		}
+		if c.sqFlags[si]&sReady == 0 {
+			return // unknown older store address: wait
+		}
+		ss, ls := uint64(c.sqSize[si]), uint64(lSizeV)
+		sAddrV := c.sqAddr[si]
+		if sAddrV < lAddrV+ls && lAddrV < sAddrV+ss {
+			if c.cfg.StoreForwarding && sAddrV == lAddrV && ss >= ls {
+				fwdVal = c.sqData[si]
+				fwd = true
+				break
+			}
+			return // partial overlap: wait for drain
+		}
+	}
+	size := uint64(lSizeV)
+	if f := c.memory.CheckAccess(lAddrV, size, false); f != nil {
+		// Precise memory fault: record on the ROB entry.
+		e := c.robAt(c.lqROB[li], lSeqV)
+		switch f.Kind {
+		case mem.FaultMisaligned:
+			c.robExc[e] = excMisalign
+		case mem.FaultProtection:
+			c.robExc[e] = excProt
+		default:
+			c.robExc[e] = excUnmapped
+		}
+		c.robFlags[e] |= rDone
+		c.lqFlags[li] |= lDone
+		c.lqPending &^= 1 << uint(li)
+		return
+	}
+	var val uint64
+	lat := 1
+	if fwd {
+		val = fwdVal
+	} else {
+		val, lat = c.dcache.Read(lAddrV, int(size))
+	}
+	val = c.extendLoad(val, lSizeV, lf&lSignExt != 0)
+	fillAt := c.cycle + uint64(lat)
+	c.lqFlags[li] |= lInflight | lDone
+	c.lqPending &^= 1 << uint(li)
+	c.lqFillAt[li] = fillAt
+	c.inflight = append(c.inflight, inflightOp{
+		DoneAt: fillAt,
+		Dest:   c.lqDest[li],
+		Value:  val,
+		ROBIdx: c.lqROB[li],
+		Seq:    lSeqV,
+	})
 }
 
 func (c *Core) extendLoad(v uint64, size uint8, signExt bool) uint64 {
@@ -513,19 +662,16 @@ func (c *Core) extendLoad(v uint64, size uint8, signExt bool) uint64 {
 
 func (c *Core) issue() {
 	// Select the oldest ready entries, up to IssueWidth.
-	if c.iqCount == 0 {
+	if c.iqReady == 0 {
 		return
 	}
 	cand := c.candBuf[:0]
-	for i := range c.iq {
-		q := &c.iq[i]
-		if q.Valid && !q.Issued && q.Rdy1 && q.Rdy2 {
-			cand = append(cand, i)
-		}
+	for m := c.iqReady; m != 0; m &= m - 1 {
+		cand = append(cand, bits.TrailingZeros64(m))
 	}
 	c.candBuf = cand
 	for i := 1; i < len(cand); i++ {
-		for j := i; j > 0 && c.iq[cand[j]].Seq < c.iq[cand[j-1]].Seq; j-- {
+		for j := i; j > 0 && c.iqSeq[cand[j]] < c.iqSeq[cand[j-1]]; j-- {
 			cand[j], cand[j-1] = cand[j-1], cand[j]
 		}
 	}
@@ -533,8 +679,10 @@ func (c *Core) issue() {
 		cand = cand[:c.cfg.IssueWidth]
 	}
 	for _, i := range cand {
-		c.execute(&c.iq[i])
-		c.iq[i].Valid = false
+		c.execute(i)
+		c.iqFlags[i] &^= qValid
+		c.iqValid &^= 1 << uint(i)
+		c.iqReady &^= 1 << uint(i)
 		c.iqCount--
 	}
 }
@@ -551,74 +699,79 @@ func (c *Core) latFor(op isa.Opcode) int {
 	}
 }
 
-func (c *Core) execute(q *iqEntry) {
-	v1 := c.readPhys(q.Src1)
-	v2 := c.readPhys(q.Src2)
-	e := c.robAt(q.ROBIdx, q.Seq)
-	op := q.Op
+func (c *Core) execute(qi int) {
+	v1 := c.readPhys(c.iqSrc1[qi])
+	v2 := c.readPhys(c.iqSrc2[qi])
+	seq := c.iqSeq[qi]
+	imm := int64(c.iqImm[qi])
+	robIdx := c.iqROB[qi]
+	e := c.robAt(robIdx, seq)
+	op := isa.Opcode(c.iqOp[qi])
 	done := func(dest uint16, val uint64, lat int) {
 		c.inflight = append(c.inflight, inflightOp{
 			DoneAt: c.cycle + uint64(lat),
 			Dest:   dest,
 			Value:  val,
-			ROBIdx: q.ROBIdx,
-			Seq:    q.Seq,
+			ROBIdx: robIdx,
+			Seq:    seq,
 		})
 	}
 	switch {
 	case op.IsLoad():
-		addr := c.cfg.maskTo(uint64(int64(v1) + int64(q.Imm)))
-		l := c.lqAt(e.LQIdx, q.Seq)
-		l.Addr = addr
-		l.AddrReady = true
+		addr := c.cfg.maskTo(uint64(int64(v1) + imm))
+		l := c.lqAt(c.robLQ[e], seq)
+		c.lqAddr[l] = addr
+		c.lqFlags[l] |= lAddrReady
+		c.lqSyncPending(l)
 	case op.IsStore():
-		addr := c.cfg.maskTo(uint64(int64(v1) + int64(q.Imm)))
-		s := c.sqAt(e.SQIdx, q.Seq)
-		s.Addr = addr
-		s.Data = c.cfg.maskTo(v2)
-		s.Ready = true
+		addr := c.cfg.maskTo(uint64(int64(v1) + imm))
+		s := c.sqAt(c.robSQ[e], seq)
+		c.sqAddr[s] = addr
+		c.sqData[s] = c.cfg.maskTo(v2)
+		c.sqFlags[s] |= sReady
 		done(noPhys, 0, 1)
 	case op.IsBranch():
-		e.ActTaken = c.evalBranch(op, v1, v2)
-		e.ActTarget = e.PC + 4 + uint64(int64(q.Imm))*4
-		e.Resolved = true
+		if c.evalBranch(op, v1, v2) {
+			c.robFlags[e] |= rActTaken
+		} else {
+			c.robFlags[e] &^= rActTaken
+		}
+		c.robActTgt[e] = c.robPC[e] + 4 + uint64(imm)*4
+		c.robFlags[e] |= rResolved
 		done(noPhys, 0, 1)
 	case op == isa.OpJalr:
-		e.ActTaken = true
-		e.ActTarget = c.cfg.maskTo(uint64(int64(v1)+int64(q.Imm))) &^ 3
-		e.Resolved = true
-		done(q.Dest, e.PC+4, 1)
+		c.robFlags[e] |= rActTaken | rResolved
+		c.robActTgt[e] = c.cfg.maskTo(uint64(int64(v1)+imm)) &^ 3
+		done(c.iqDest[qi], c.robPC[e]+4, 1)
 	case op == isa.OpJal:
-		done(q.Dest, e.PC+4, 1)
+		done(c.iqDest[qi], c.robPC[e]+4, 1)
 	case op == isa.OpOut:
-		e.OutVal = c.cfg.maskTo(v1)
+		c.robOutVal[e] = c.cfg.maskTo(v1)
 		done(noPhys, 0, 1)
 	default:
-		val := c.alu(op, v1, v2, q.Imm)
-		done(q.Dest, val, c.latFor(op))
+		val := c.alu(op, v1, v2, imm)
+		done(c.iqDest[qi], val, c.latFor(op))
 	}
 }
 
-func (c *Core) lqAt(idx uint16, seq uint64) *lqEntry {
+func (c *Core) lqAt(idx uint16, seq uint64) int {
 	if int(idx) >= c.cfg.LQSize {
 		simerr.Assertf("cpu: LQ index %d out of range", idx)
 	}
-	l := c.lq.at(idx)
-	if !l.Valid || l.Seq != seq {
+	if c.lqFlags[idx]&lValid == 0 || c.lqSeq[idx] != seq {
 		simerr.Assertf("cpu: LQ entry %d inconsistent", idx)
 	}
-	return l
+	return int(idx)
 }
 
-func (c *Core) sqAt(idx uint16, seq uint64) *sqEntry {
+func (c *Core) sqAt(idx uint16, seq uint64) int {
 	if int(idx) >= c.cfg.SQSize {
 		simerr.Assertf("cpu: SQ index %d out of range", idx)
 	}
-	s := c.sq.at(idx)
-	if !s.Valid || s.Seq != seq {
+	if c.sqFlags[idx]&sValid == 0 || c.sqSeq[idx] != seq {
 		simerr.Assertf("cpu: SQ entry %d inconsistent", idx)
 	}
-	return s
+	return int(idx)
 }
 
 func (c *Core) evalBranch(op isa.Opcode, v1, v2 uint64) bool {

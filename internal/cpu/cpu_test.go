@@ -137,91 +137,162 @@ func TestIllegalFieldPanics(t *testing.T) {
 }
 
 func TestPredictorBimodal(t *testing.T) {
-	p := newPredictor(testConfig())
+	c := testCore([]isa.Instr{isa.Halt()})
 	pc := uint64(0x1000)
-	if p.predictCond(pc) {
+	if c.predictCond(pc) {
 		t.Error("initial prediction should be not-taken (weak)")
 	}
-	p.updateCond(pc, true)
-	p.updateCond(pc, true)
-	if !p.predictCond(pc) {
+	c.updateCond(pc, true)
+	c.updateCond(pc, true)
+	if !c.predictCond(pc) {
 		t.Error("after two taken outcomes, predict taken")
 	}
-	p.updateCond(pc, false)
-	p.updateCond(pc, false)
-	p.updateCond(pc, false)
-	if p.predictCond(pc) {
+	c.updateCond(pc, false)
+	c.updateCond(pc, false)
+	c.updateCond(pc, false)
+	if c.predictCond(pc) {
 		t.Error("after three not-taken outcomes, predict not-taken")
 	}
 }
 
 func TestPredictorBTB(t *testing.T) {
-	p := newPredictor(testConfig())
-	if _, ok := p.predictIndirect(0x1000); ok {
+	c := testCore([]isa.Instr{isa.Halt()})
+	if _, ok := c.predictIndirect(0x1000); ok {
 		t.Error("cold BTB should miss")
 	}
-	p.updateIndirect(0x1000, 0x2000)
-	if tgt, ok := p.predictIndirect(0x1000); !ok || tgt != 0x2000 {
+	c.updateIndirect(0x1000, 0x2000)
+	if tgt, ok := c.predictIndirect(0x1000); !ok || tgt != 0x2000 {
 		t.Errorf("BTB = %#x, %v", tgt, ok)
 	}
 }
 
 func TestPredictorRAS(t *testing.T) {
-	p := newPredictor(testConfig())
-	if _, ok := p.popRAS(); ok {
+	c := testCore([]isa.Instr{isa.Halt()})
+	if _, ok := c.popRAS(); ok {
 		t.Error("empty RAS should miss")
 	}
-	p.pushRAS(0x1004)
-	p.pushRAS(0x2004)
-	if v, ok := p.popRAS(); !ok || v != 0x2004 {
+	c.pushRAS(0x1004)
+	c.pushRAS(0x2004)
+	if v, ok := c.popRAS(); !ok || v != 0x2004 {
 		t.Errorf("RAS pop = %#x", v)
 	}
-	if v, ok := p.popRAS(); !ok || v != 0x1004 {
+	if v, ok := c.popRAS(); !ok || v != 0x1004 {
 		t.Errorf("RAS pop 2 = %#x", v)
 	}
 }
 
 func TestROBCircularity(t *testing.T) {
-	r := newROB(4)
-	for i := 0; i < 4; i++ {
-		r.push(robEntry{Seq: uint64(i)})
+	c := testCore([]isa.Instr{isa.Halt()})
+	n := c.cfg.ROBSize
+	for i := 0; i < n; i++ {
+		idx := c.robAlloc()
+		c.robSeq[idx] = uint64(i + 1)
 	}
-	if !r.full() {
+	if c.robCount != n {
 		t.Fatal("should be full")
 	}
-	r.pop()
-	r.pop()
-	idx := r.push(robEntry{Seq: 10})
+	// Retire two from the head the way commit does; slot bytes stay in
+	// place (dead but injectable).
+	c.robHead = (c.robHead + 1) % n
+	c.robCount--
+	c.robHead = (c.robHead + 1) % n
+	c.robCount--
+	if c.robSeq[0] != 1 || c.robSeq[1] != 2 {
+		t.Error("retired slot bytes should stay in place")
+	}
+	idx := c.robAlloc()
 	if idx != 0 {
 		t.Errorf("wraparound index = %d", idx)
 	}
-	if r.headEntry().Seq != 2 {
-		t.Errorf("head seq = %d", r.headEntry().Seq)
+	// robAlloc no longer clears the slot: the recycled bytes survive
+	// until the caller overwrites every field (the rename paths do).
+	if c.robSeq[idx] != 1 {
+		t.Error("recycled slot must keep its bytes until the caller writes them")
 	}
-	e := r.popTail()
-	if e.Seq != 10 {
-		t.Errorf("tail seq = %d", e.Seq)
+	if c.robSeq[c.robHead] != 3 {
+		t.Errorf("head seq = %d", c.robSeq[c.robHead])
 	}
 }
 
-func TestQueueEachOrder(t *testing.T) {
-	q := newQueue[int](4)
-	q.push(10)
-	q.push(11)
-	q.pop()
-	q.push(12)
-	q.push(13) // wraps
-	var got []int
-	q.each(func(_ uint16, v *int) { got = append(got, *v) })
-	want := []int{11, 12, 13}
-	if len(got) != len(want) {
-		t.Fatalf("got %v", got)
+func TestFreeListLIFO(t *testing.T) {
+	c := testCore([]isa.Instr{isa.Halt()})
+	before := c.freeCount
+	a := c.popFree()
+	b := c.popFree()
+	if a == b {
+		t.Fatalf("popFree returned %d twice", a)
 	}
-	for i := range want {
-		if got[i] != want[i] {
-			t.Errorf("each[%d] = %d, want %d", i, got[i], want[i])
+	if c.prfAlloc[a] == 0 || c.prfReady[a] != 0 {
+		t.Error("popFree must mark the register allocated and not-ready")
+	}
+	c.freePhys(b)
+	c.freePhys(a)
+	if c.freeCount != before {
+		t.Errorf("freeCount = %d, want %d", c.freeCount, before)
+	}
+	if got := c.popFree(); got != a {
+		t.Errorf("free list is not LIFO: popped %d, want %d", got, a)
+	}
+	c.freePhys(a)
+}
+
+func TestRestoreMismatchedConfigPanics(t *testing.T) {
+	// A snapshot from a differently configured core must be rejected
+	// loudly: the old per-field bare copies silently truncated (e.g. a
+	// 64-phys-reg snapshot restored into a 32-phys-reg core kept half
+	// the registers stale), corrupting the run instead of failing it.
+	big := testCore([]isa.Instr{isa.Halt()})
+	s := big.Snapshot()
+	smallCfg := testConfig()
+	smallCfg.NumPhysRegs = 32
+	m := mem.NewMemory(50)
+	m.Map(mem.Region{Name: "code", Base: 0x1000, Size: 0x4000, Perm: mem.PermR | mem.PermX})
+	l2 := mem.NewCache(mem.CacheConfig{Name: "l2", Size: 16384, Ways: 4, LineSize: 64, HitLatency: 8, AddrBits: 32}, m)
+	l1i := mem.NewCache(mem.CacheConfig{Name: "l1i", Size: 2048, Ways: 2, LineSize: 64, HitLatency: 1, AddrBits: 32, ReadOnly: true}, l2)
+	l1d := mem.NewCache(mem.CacheConfig{Name: "l1d", Size: 2048, Ways: 2, LineSize: 64, HitLatency: 2, AddrBits: 32}, l2)
+	small := NewCore(smallCfg, m, l1i, l1d, 0x1000)
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("restore from a mismatched snapshot must assert")
+		} else if _, ok := r.(*simerr.Assert); !ok {
+			panic(r)
 		}
+	}()
+	small.Restore(s)
+}
+
+func TestSnapshotRoundTripStrictEqual(t *testing.T) {
+	// Run mid-program, snapshot, perturb, restore: the restored core's
+	// snapshot must be bit-identical (strict Equal, dead state included).
+	c := testCore([]isa.Instr{
+		isa.I(isa.OpAddi, isa.RegA0, isa.RegZero, 5),
+		isa.R(isa.OpMul, isa.RegA1, isa.RegA0, isa.RegA0),
+		isa.Out(isa.RegA1),
+		isa.Halt(),
+	})
+	for i := 0; i < 3; i++ {
+		c.Step()
 	}
+	s := c.Snapshot()
+	run(c, 10000)
+	if !c.Halted() {
+		t.Fatal("did not halt")
+	}
+	c.Restore(s)
+	s2 := c.Snapshot()
+	if !s.Equal(s2) {
+		t.Fatal("Restore(Snapshot()) did not round-trip bit-exactly")
+	}
+	if !c.StateEquals(s) || c.StateHash() == 0 {
+		t.Fatal("restored core must StateEquals its own snapshot")
+	}
+	// The restored core must replay to the same architectural result.
+	run(c, 10000)
+	if got := c.Output()[0]; got != 25 {
+		t.Errorf("output after restore = %d, want 25", got)
+	}
+	s.Release()
+	s2.Release()
 }
 
 func TestStatsIPCZeroCycles(t *testing.T) {

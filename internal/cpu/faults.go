@@ -98,7 +98,9 @@ func (c *Core) FieldBits(f Field) uint64 {
 
 // FlipBit flips one bit of the named field. The bit index addresses the
 // raw array, occupied or not: a flip landing on a free entry is masked
-// naturally, exactly as in hardware.
+// naturally, exactly as in hardware. The bit-to-state mapping is the
+// layout contract pinned by TestFieldBitsMatchLayout; the SoA views
+// make each case a direct array access.
 func (c *Core) FlipBit(f Field, bit uint64) {
 	switch f {
 	case FieldPRF:
@@ -106,83 +108,85 @@ func (c *Core) FlipBit(f Field, bit uint64) {
 		c.prf[reg] ^= 1 << (bit % uint64(c.cfg.XLEN))
 	case FieldIQSrc:
 		per := uint64(c.iqSrcEntryBits())
-		q := &c.iq[bit/per]
+		i := bit / per
 		switch b := bit % per; {
 		case b < physTagBits:
-			q.Src1 ^= 1 << b
+			c.iqSrc1[i] ^= 1 << b
 		case b == physTagBits:
-			q.Rdy1 = !q.Rdy1
+			c.iqFlags[i] ^= qRdy1
+			c.iqSyncReady(int(i))
 		case b < 2*physTagBits+1:
-			q.Src2 ^= 1 << (b - physTagBits - 1)
+			c.iqSrc2[i] ^= 1 << (b - physTagBits - 1)
 		default:
-			q.Rdy2 = !q.Rdy2
+			c.iqFlags[i] ^= qRdy2
+			c.iqSyncReady(int(i))
 		}
 	case FieldIQDst:
 		per := uint64(c.iqDstEntryBits())
-		q := &c.iq[bit/per]
+		i := bit / per
 		if b := bit % per; b < physTagBits {
-			q.Dest ^= 1 << b
+			c.iqDest[i] ^= 1 << b
 		} else {
-			q.ROBIdx ^= 1 << (b - physTagBits)
+			c.iqROB[i] ^= 1 << (b - physTagBits)
 		}
 	case FieldLQ:
 		per := uint64(c.lqEntryBits())
-		l := c.lq.at(uint16(bit / per))
+		i := bit / per
 		xlen := uint64(c.cfg.XLEN)
 		switch b := bit % per; {
 		case b < xlen:
-			l.Addr ^= 1 << b
+			c.lqAddr[i] ^= 1 << b
 		case b < xlen+physTagBits:
-			l.Dest ^= 1 << (b - xlen)
+			c.lqDest[i] ^= 1 << (b - xlen)
 		case b < xlen+physTagBits+uint64(c.robIdxBits()):
-			l.ROBIdx ^= 1 << (b - xlen - physTagBits)
+			c.lqROB[i] ^= 1 << (b - xlen - physTagBits)
 		case b == per-3:
-			l.Valid = !l.Valid
+			c.lqFlags[i] ^= lValid
+			c.lqSyncPending(int(i))
 		case b == per-2:
-			l.AddrReady = !l.AddrReady
+			c.lqFlags[i] ^= lAddrReady
+			c.lqSyncPending(int(i))
 		default:
-			l.Done = !l.Done
+			c.lqFlags[i] ^= lDone
+			c.lqSyncPending(int(i))
 		}
 	case FieldSQ:
 		per := uint64(c.sqEntryBits())
-		s := c.sq.at(uint16(bit / per))
+		i := bit / per
 		xlen := uint64(c.cfg.XLEN)
 		switch b := bit % per; {
 		case b < xlen:
-			s.Addr ^= 1 << b
+			c.sqAddr[i] ^= 1 << b
 		case b < 2*xlen:
-			s.Data ^= 1 << (b - xlen)
+			c.sqData[i] ^= 1 << (b - xlen)
 		case b < 2*xlen+uint64(c.robIdxBits()):
-			s.ROBIdx ^= 1 << (b - 2*xlen)
+			c.sqROB[i] ^= 1 << (b - 2*xlen)
 		case b == per-2:
-			s.Valid = !s.Valid
+			c.sqFlags[i] ^= sValid
 		default:
-			s.Ready = !s.Ready
+			c.sqFlags[i] ^= sReady
 		}
 	case FieldROBPC:
-		e := &c.rob.entries[bit/uint64(c.cfg.XLEN)]
-		e.PC ^= 1 << (bit % uint64(c.cfg.XLEN))
+		c.robPC[bit/uint64(c.cfg.XLEN)] ^= 1 << (bit % uint64(c.cfg.XLEN))
 	case FieldROBDest:
-		e := &c.rob.entries[bit/physTagBits]
-		e.DestPhys ^= 1 << (bit % physTagBits)
+		c.robDest[bit/physTagBits] ^= 1 << (bit % physTagBits)
 	case FieldROBOld:
-		e := &c.rob.entries[bit/physTagBits]
-		e.OldPhys ^= 1 << (bit % physTagBits)
+		c.robOld[bit/physTagBits] ^= 1 << (bit % physTagBits)
 	case FieldROBCtrl:
-		e := &c.rob.entries[bit/robCtrlBits]
+		i := bit / robCtrlBits
 		switch b := bit % robCtrlBits; {
 		case b < 5:
-			e.DestArch ^= 1 << b
+			c.robArch[i] ^= 1 << b
 		case b == 5:
-			e.Done = !e.Done
+			c.robFlags[i] ^= rDone
 		case b < 9:
-			e.Exc ^= 1 << (b - 6)
+			c.robExc[i] ^= 1 << (b - 6)
 		case b == 9:
-			e.IsStore = !e.IsStore
+			c.robFlags[i] ^= rIsStore
 		case b == 10:
-			e.IsLoad = !e.IsLoad
+			c.robFlags[i] ^= rIsLoad
 		default:
-			e.IsBranch = !e.IsBranch
+			c.robFlags[i] ^= rIsBranch
 		}
 	default:
 		simerr.Assertf("cpu: FlipBit on unknown field %d", f)

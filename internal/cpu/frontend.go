@@ -1,6 +1,8 @@
 package cpu
 
 import (
+	"math/bits"
+
 	"sevsim/internal/isa"
 	"sevsim/internal/simerr"
 )
@@ -9,20 +11,24 @@ import (
 // registers, and dispatches them into the ROB, issue queue, and
 // load/store queues, stopping when a structural resource is exhausted.
 func (c *Core) rename() {
-	for n := 0; n < c.cfg.FetchWidth && len(c.fetchQ) > 0; n++ {
-		slot := c.fetchQ[0]
-		if c.rob.full() {
+	for n := 0; n < c.cfg.FetchWidth && c.fetchHead < len(c.fetchQ); n++ {
+		slot := &c.fetchQ[c.fetchHead]
+		if c.robCount == c.cfg.ROBSize {
 			return
 		}
 		if slot.FetchFault {
 			c.seq++
-			c.rob.push(robEntry{PC: slot.PC, Seq: c.seq, Done: true, Exc: excBadFetch,
-				DestArch: noReg, LQIdx: badIdx, SQIdx: badIdx})
-			c.fetchQ = c.fetchQ[1:]
+			c.robFault(slot.PC, excBadFetch)
+			c.fetchPop()
 			continue
 		}
 		in := slot.In
-		illegal := !in.Op.Valid() || c.badRegs(in)
+		illegal := !in.Op.Valid()
+		var s1, s2 uint8 = noReg, noReg
+		if !illegal {
+			s1, s2 = in.SourceRegs()
+			illegal = c.badRegs(in, s1, s2)
+		}
 		if in.Op == isa.OpLd || in.Op == isa.OpSd {
 			if c.cfg.XLEN == 32 {
 				illegal = true
@@ -30,9 +36,8 @@ func (c *Core) rename() {
 		}
 		if illegal {
 			c.seq++
-			c.rob.push(robEntry{PC: slot.PC, Seq: c.seq, Done: true, Exc: excIllegal,
-				DestArch: noReg, LQIdx: badIdx, SQIdx: badIdx})
-			c.fetchQ = c.fetchQ[1:]
+			c.robFault(slot.PC, excIllegal)
+			c.fetchPop()
 			continue
 		}
 
@@ -40,42 +45,36 @@ func (c *Core) rename() {
 		if needsIQ && !c.iqHasRoom() {
 			return
 		}
-		if in.Op.IsLoad() && c.lq.full() {
+		if in.Op.IsLoad() && c.lqCount == c.cfg.LQSize {
 			return
 		}
-		if in.Op.IsStore() && c.sq.full() {
+		if in.Op.IsStore() && c.sqCount == c.cfg.SQSize {
 			return
 		}
 		destArch := in.DestReg()
-		if destArch != noReg && len(c.freeList) == 0 {
+		if destArch != noReg && c.freeCount == 0 {
 			return
 		}
 
 		c.seq++
-		e := robEntry{
-			PC:         slot.PC,
-			Seq:        c.seq,
-			Op:         in.Op,
-			DestArch:   destArch,
-			DestPhys:   noPhys,
-			OldPhys:    noPhys,
-			IsLoad:     in.Op.IsLoad(),
-			IsStore:    in.Op.IsStore(),
-			IsBranch:   in.Op.IsBranch() || in.Op == isa.OpJalr,
-			LQIdx:      badIdx,
-			SQIdx:      badIdx,
-			PredTaken:  slot.PredTaken,
-			PredTarget: slot.PredTarget,
-			Done:       !needsIQ,
+		seq := c.seq
+		flags := uint8(0)
+		if in.Op.IsLoad() {
+			flags |= rIsLoad
 		}
-		if in.Op == isa.OpJal {
-			// Direct jumps are fully resolved in the front end.
-			e.Resolved = true
-			e.ActTaken = true
-			e.ActTarget = slot.PC + 4 + uint64(int64(in.Imm))*4
+		if in.Op.IsStore() {
+			flags |= rIsStore
+		}
+		if in.Op.IsBranch() || in.Op == isa.OpJalr {
+			flags |= rIsBranch
+		}
+		if slot.PredTaken {
+			flags |= rPredTaken
+		}
+		if !needsIQ {
+			flags |= rDone
 		}
 
-		s1, s2 := in.SourceRegs()
 		src1, src2 := uint16(0), uint16(0) // phys 0 = always-ready zero
 		if s1 != noReg {
 			src1 = c.rat[s1]
@@ -84,43 +83,120 @@ func (c *Core) rename() {
 			src2 = c.rat[s2]
 		}
 
+		destPhys, oldPhys := uint16(noPhys), uint16(noPhys)
 		if destArch != noReg {
-			e.OldPhys = c.rat[destArch]
-			e.DestPhys = c.popFree()
-			c.rat[destArch] = e.DestPhys
+			oldPhys = c.rat[destArch]
+			destPhys = c.popFree()
+			c.rat[destArch] = destPhys
 		}
 
-		robIdx := c.rob.push(e)
-		ent := c.rob.at(robIdx)
+		idx := c.robAlloc()
+		robIdx := uint16(idx)
+		c.robPC[idx] = slot.PC
+		c.robSeq[idx] = seq
+		c.robOp[idx] = uint8(in.Op)
+		c.robArch[idx] = destArch
+		c.robDest[idx] = destPhys
+		c.robOld[idx] = oldPhys
+		c.robLQ[idx] = badIdx
+		c.robSQ[idx] = badIdx
+		c.robPredTgt[idx] = slot.PredTarget
+		c.robActTgt[idx] = 0
+		c.robOutVal[idx] = 0
+		c.robExc[idx] = excNone
+		if in.Op == isa.OpJal {
+			// Direct jumps are fully resolved in the front end.
+			flags |= rResolved | rActTaken
+			c.robActTgt[idx] = slot.PC + 4 + uint64(int64(in.Imm))*4
+		}
+		c.robFlags[idx] = flags
 
 		if in.Op.IsLoad() {
-			ent.LQIdx = c.lq.push(lqEntry{
-				Valid: true, Dest: ent.DestPhys, ROBIdx: robIdx, Seq: c.seq,
-				Size: uint8(in.Op.MemSize()), SignExt: in.Op != isa.OpLbu,
-			})
+			li := c.lqHead + c.lqCount
+			if li >= c.cfg.LQSize {
+				li -= c.cfg.LQSize
+			}
+			c.lqCount++
+			c.robLQ[idx] = uint16(li)
+			c.lqAddr[li] = 0
+			c.lqSeq[li] = seq
+			c.lqFillAt[li] = 0
+			c.lqDest[li] = destPhys
+			c.lqROB[li] = robIdx
+			c.lqSize[li] = uint8(in.Op.MemSize())
+			lf := uint8(lValid)
+			if in.Op != isa.OpLbu {
+				lf |= lSignExt
+			}
+			c.lqFlags[li] = lf
+			c.lqPending &^= 1 << uint(li) // address not ready yet; clear any stale bit
 		}
 		if in.Op.IsStore() {
-			ent.SQIdx = c.sq.push(sqEntry{
-				Valid: true, ROBIdx: robIdx, Seq: c.seq, Size: uint8(in.Op.MemSize()),
-			})
+			si := c.sqHead + c.sqCount
+			if si >= c.cfg.SQSize {
+				si -= c.cfg.SQSize
+			}
+			c.sqCount++
+			c.robSQ[idx] = uint16(si)
+			c.sqAddr[si] = 0
+			c.sqData[si] = 0
+			c.sqSeq[si] = seq
+			c.sqROB[si] = robIdx
+			c.sqSize[si] = uint8(in.Op.MemSize())
+			c.sqFlags[si] = sValid
 		}
 		if needsIQ {
-			c.iqInsert(iqEntry{
-				Valid: true, Op: in.Op, Src1: src1, Src2: src2,
-				Rdy1: c.prfReady[src1], Rdy2: c.prfReady[src2],
-				Dest: ent.DestPhys, ROBIdx: robIdx, Imm: int64(in.Imm), Seq: c.seq,
-			})
+			c.iqInsert(in.Op, src1, src2, destPhys, robIdx, int64(in.Imm), seq)
 		}
-		c.fetchQ = c.fetchQ[1:]
+		c.fetchPop()
+	}
+}
+
+// robFault pushes a ROB entry for an instruction that faulted before
+// rename (fetch fault or illegal encoding): done immediately, carrying
+// only the exception. Every per-entry field is written (robAlloc does
+// not zero), with the unused ones zeroed exactly as the old
+// zero-then-set allocation left them.
+func (c *Core) robFault(pc uint64, exc uint8) {
+	idx := c.robAlloc()
+	c.robPC[idx] = pc
+	c.robSeq[idx] = c.seq
+	c.robPredTgt[idx] = 0
+	c.robActTgt[idx] = 0
+	c.robOutVal[idx] = 0
+	c.robDest[idx] = 0
+	c.robOld[idx] = 0
+	c.robOp[idx] = 0
+	c.robFlags[idx] = rDone
+	c.robExc[idx] = exc
+	c.robArch[idx] = noReg
+	c.robLQ[idx] = badIdx
+	c.robSQ[idx] = badIdx
+}
+
+// fetchPop drops the oldest fetch-queue slot by advancing the head
+// offset; the slide of the old compacting pop is amortized to once per
+// FetchQueueSize pops, and the backing array is reused whenever the
+// queue drains.
+func (c *Core) fetchPop() {
+	c.fetchHead++
+	if c.fetchHead == len(c.fetchQ) {
+		c.fetchQ = c.fetchQ[:0]
+		c.fetchHead = 0
+	} else if c.fetchHead >= c.cfg.FetchQueueSize {
+		n := copy(c.fetchQ, c.fetchQ[c.fetchHead:])
+		c.fetchQ = c.fetchQ[:n]
+		c.fetchHead = 0
 	}
 }
 
 // badRegs reports whether the instruction references a register outside
 // the configured architectural register count (possible when a fault
-// corrupts an instruction word on a 16-register machine).
-func (c *Core) badRegs(in isa.Instr) bool {
+// corrupts an instruction word on a 16-register machine). s1 and s2
+// are the caller's in.SourceRegs() — rename needs them afterwards, so
+// they are decoded once and passed in.
+func (c *Core) badRegs(in isa.Instr, s1, s2 uint8) bool {
 	n := uint8(c.cfg.NumArchRegs)
-	s1, s2 := in.SourceRegs()
 	if s1 != noReg && s1 >= n {
 		return true
 	}
@@ -136,24 +212,55 @@ func (c *Core) badRegs(in isa.Instr) bool {
 	return false
 }
 
+// iqHasRoom reports whether the issue queue has a free slot. iqCount
+// mirrors the number of qValid entries (faults never flip a valid
+// bit), so the occupancy counter answers without a scan.
 func (c *Core) iqHasRoom() bool {
-	for i := range c.iq {
-		if !c.iq[i].Valid {
-			return true
-		}
-	}
-	return false
+	return c.iqCount < c.cfg.IQSize
 }
 
-func (c *Core) iqInsert(e iqEntry) {
-	for i := range c.iq {
-		if !c.iq[i].Valid {
-			c.iq[i] = e
-			c.iqCount++
-			return
-		}
+func (c *Core) iqInsert(op isa.Opcode, src1, src2, dest, robIdx uint16, imm int64, seq uint64) {
+	// First free slot = lowest clear bit of the valid mask, the same
+	// slot the old linear scan chose.
+	i := bits.TrailingZeros64(^c.iqValid)
+	if i >= c.cfg.IQSize {
+		simerr.Assertf("cpu: issue queue insert with no free slot")
 	}
-	simerr.Assertf("cpu: issue queue insert with no free slot")
+	flags := uint8(qValid)
+	if c.prfReady[src1] != 0 {
+		flags |= qRdy1
+	}
+	if c.prfReady[src2] != 0 {
+		flags |= qRdy2
+	}
+	c.iqSrc1[i] = src1
+	c.iqSrc2[i] = src2
+	c.iqDest[i] = dest
+	c.iqROB[i] = robIdx
+	c.iqOp[i] = uint8(op)
+	c.iqImm[i] = uint64(imm)
+	c.iqSeq[i] = seq
+	c.iqFlags[i] = flags
+	c.iqValid |= 1 << uint(i)
+	if flags&(qRdy1|qRdy2) == qRdy1|qRdy2 {
+		c.iqReady |= 1 << uint(i)
+	}
+	c.iqCount++
+}
+
+// decode memoizes isa.Decode through a small direct-mapped table. Every
+// slot holds a consistent (word, decode) pair at all times — including
+// after NewCore seeds it with word 0 — so a hit returns exactly what
+// isa.Decode(word) would, even for fault-corrupted words.
+func (c *Core) decode(word uint32) isa.Instr {
+	i := (word ^ word>>12 ^ word>>22) & (predecodeSlots - 1)
+	if c.decWords[i] == word {
+		return c.decInstrs[i]
+	}
+	in := isa.Decode(word)
+	c.decWords[i] = word
+	c.decInstrs[i] = in
+	return in
 }
 
 // fetch brings up to FetchWidth instruction words from the L1I cache
@@ -162,12 +269,21 @@ func (c *Core) fetch() {
 	if c.fetchFrozen || c.cycle < c.fetchStall {
 		return
 	}
-	for n := 0; n < c.cfg.FetchWidth && len(c.fetchQ) < c.cfg.FetchQueueSize; n++ {
+	for n := 0; n < c.cfg.FetchWidth && len(c.fetchQ)-c.fetchHead < c.cfg.FetchQueueSize; n++ {
 		pc := c.fetchPC
-		if f := c.memory.CheckFetch(pc); f != nil {
-			c.fetchQ = append(c.fetchQ, fetchSlot{PC: pc, FetchFault: true})
-			c.fetchFrozen = true
-			return
+		// Fast path: an aligned pc inside the memoized executable span
+		// cannot fault, so the region walk is skipped. The span starts
+		// empty and is refilled from the (immutable) address map after
+		// every successful slow-path check.
+		if pc&3 != 0 || pc < c.fetchSpanLo || pc > c.fetchSpanHi {
+			if f := c.memory.CheckFetch(pc); f != nil {
+				c.fetchQ = append(c.fetchQ, fetchSlot{PC: pc, FetchFault: true})
+				c.fetchFrozen = true
+				return
+			}
+			if base, size, ok := c.memory.ExecSpan(pc); ok {
+				c.fetchSpanLo, c.fetchSpanHi = base, base+size-4
+			}
 		}
 		word64, lat := c.icache.Read(pc, 4)
 		word := uint32(word64)
@@ -177,15 +293,18 @@ func (c *Core) fetch() {
 			c.fetchStall = c.cycle + uint64(lat-c.icache.Config().HitLatency)
 		}
 		c.Stats.Fetched++
-		in := isa.Decode(word)
-		slot := fetchSlot{PC: pc, Word: word, In: in}
+		in := c.decode(word)
+		// Append first, then fill the slot through the pointer: one
+		// 40-byte slot copy instead of build-then-append's two.
+		c.fetchQ = append(c.fetchQ, fetchSlot{PC: pc, Word: word, In: in})
+		slot := &c.fetchQ[len(c.fetchQ)-1]
 		stop := false
 		switch {
 		case in.Op == isa.OpJal:
 			slot.PredTaken = true
 			slot.PredTarget = pc + 4 + uint64(int64(in.Imm))*4
 			if in.Rd == isa.RegRA {
-				c.pred.pushRAS(pc + 4)
+				c.pushRAS(pc + 4)
 			}
 			c.fetchPC = slot.PredTarget
 			stop = true
@@ -193,12 +312,12 @@ func (c *Core) fetch() {
 			var target uint64
 			var ok bool
 			if in.Rd == isa.RegZero && in.Rs1 == isa.RegRA {
-				target, ok = c.pred.popRAS()
+				target, ok = c.popRAS()
 			} else {
-				target, ok = c.pred.predictIndirect(pc)
+				target, ok = c.predictIndirect(pc)
 			}
 			if in.Rd == isa.RegRA {
-				c.pred.pushRAS(pc + 4)
+				c.pushRAS(pc + 4)
 			}
 			if ok {
 				slot.PredTaken = true
@@ -209,7 +328,7 @@ func (c *Core) fetch() {
 				c.fetchPC = pc + 4 // will mispredict at execute
 			}
 		case in.Op.IsBranch():
-			if c.pred.predictCond(pc) {
+			if c.predictCond(pc) {
 				slot.PredTaken = true
 				slot.PredTarget = pc + 4 + uint64(int64(in.Imm))*4
 				c.fetchPC = slot.PredTarget
@@ -224,7 +343,6 @@ func (c *Core) fetch() {
 		default:
 			c.fetchPC = pc + 4
 		}
-		c.fetchQ = append(c.fetchQ, slot)
 		if stop {
 			return
 		}
@@ -237,41 +355,53 @@ func (c *Core) fetch() {
 // squash removes every instruction younger than afterSeq from the
 // pipeline, restores the rename map from the ROB, and redirects fetch.
 func (c *Core) squash(afterSeq uint64, newPC uint64) {
-	for !c.rob.empty() {
-		tail := (c.rob.head + c.rob.count - 1) % len(c.rob.entries)
-		e := c.rob.at(uint16(tail))
-		if e.Seq <= afterSeq {
+	for c.robCount > 0 {
+		tail := c.robHead + c.robCount - 1
+		if tail >= c.cfg.ROBSize {
+			tail -= c.cfg.ROBSize
+		}
+		if c.robSeq[tail] <= afterSeq {
 			break
 		}
-		if e.DestArch != noReg {
-			if e.DestArch >= uint8(c.cfg.NumArchRegs) {
-				simerr.Assertf("cpu: squash with corrupt arch dest %d", e.DestArch)
+		if c.robArch[tail] != noReg {
+			if c.robArch[tail] >= uint8(c.cfg.NumArchRegs) {
+				simerr.Assertf("cpu: squash with corrupt arch dest %d", c.robArch[tail])
 			}
-			if int(e.OldPhys) >= c.cfg.NumPhysRegs {
-				simerr.Assertf("cpu: squash with corrupt old mapping %d", e.OldPhys)
+			if int(c.robOld[tail]) >= c.cfg.NumPhysRegs {
+				simerr.Assertf("cpu: squash with corrupt old mapping %d", c.robOld[tail])
 			}
-			c.rat[e.DestArch] = e.OldPhys
-			c.freePhys(e.DestPhys)
+			c.rat[c.robArch[tail]] = c.robOld[tail]
+			c.freePhys(c.robDest[tail])
 		}
-		c.rob.popTail()
+		c.robCount-- // deallocate the slot, leaving its bytes in place
 	}
-	for !c.lq.empty() {
-		tail := (c.lq.head + c.lq.count - 1) % len(c.lq.entries)
-		if c.lq.entries[tail].Seq <= afterSeq {
+	for c.lqCount > 0 {
+		tail := c.lqHead + c.lqCount - 1
+		if tail >= c.cfg.LQSize {
+			tail -= c.cfg.LQSize
+		}
+		if c.lqSeq[tail] <= afterSeq {
 			break
 		}
-		c.lq.popTail()
+		c.lqCount--
+		c.lqPending &^= 1 << uint(tail)
 	}
-	for !c.sq.empty() {
-		tail := (c.sq.head + c.sq.count - 1) % len(c.sq.entries)
-		if c.sq.entries[tail].Seq <= afterSeq {
+	for c.sqCount > 0 {
+		tail := c.sqHead + c.sqCount - 1
+		if tail >= c.cfg.SQSize {
+			tail -= c.cfg.SQSize
+		}
+		if c.sqSeq[tail] <= afterSeq {
 			break
 		}
-		c.sq.popTail()
+		c.sqCount--
 	}
-	for i := range c.iq {
-		if c.iq[i].Valid && c.iq[i].Seq > afterSeq {
-			c.iq[i].Valid = false
+	for m := c.iqValid; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros64(m)
+		if c.iqSeq[i] > afterSeq {
+			c.iqFlags[i] &^= qValid
+			c.iqValid &^= 1 << uint(i)
+			c.iqReady &^= 1 << uint(i)
 			c.iqCount--
 		}
 	}
@@ -283,6 +413,7 @@ func (c *Core) squash(afterSeq uint64, newPC uint64) {
 	}
 	c.inflight = kept
 	c.fetchQ = c.fetchQ[:0]
+	c.fetchHead = 0
 	c.fetchFrozen = false
 	c.fetchStall = 0
 	c.fetchPC = newPC

@@ -1,79 +1,61 @@
 package cpu
 
-// predictor is the front-end branch predictor: a bimodal table of 2-bit
-// saturating counters for conditional branch direction, a direct-mapped
-// BTB for indirect-jump targets, and a return-address stack.
+// Front-end branch prediction over the soa predictor views: a bimodal
+// table of 2-bit saturating counters for conditional branch direction,
+// a direct-mapped BTB for indirect-jump targets, and a return-address
+// stack.
 //
 // Predictor state is not a fault-injection target (a corrupted
 // prediction is architecturally masked by construction — it only costs
-// time), so the predictor keeps plain Go state.
-type predictor struct {
-	bimodal []uint8
-	btbTag  []uint64
-	btbTgt  []uint64
-	ras     []uint64
-	rasTop  int
-}
+// time), but it is checkpoint state: it steers speculative fetches and
+// cache fills, so it lives in the slabs and is carried by Snapshot.
 
-func newPredictor(cfg Config) *predictor {
-	p := &predictor{
-		bimodal: make([]uint8, cfg.BimodalSize),
-		btbTag:  make([]uint64, cfg.BTBSize),
-		btbTgt:  make([]uint64, cfg.BTBSize),
-		ras:     make([]uint64, cfg.RASSize),
-	}
-	for i := range p.bimodal {
-		p.bimodal[i] = 1 // weakly not-taken
-	}
-	return p
-}
-
-func (p *predictor) bimodalIdx(pc uint64) int { return int(pc>>2) & (len(p.bimodal) - 1) }
-func (p *predictor) btbIdx(pc uint64) int     { return int(pc>>2) & (len(p.btbTag) - 1) }
+func (c *Core) bimodalIdx(pc uint64) int { return int(pc>>2) & (len(c.bimodal) - 1) }
+func (c *Core) btbIdx(pc uint64) int     { return int(pc>>2) & (len(c.btbTag) - 1) }
 
 // predictCond predicts the direction of a conditional branch.
-func (p *predictor) predictCond(pc uint64) bool { return p.bimodal[p.bimodalIdx(pc)] >= 2 }
+func (c *Core) predictCond(pc uint64) bool { return c.bimodal[c.bimodalIdx(pc)] >= 2 }
 
 // updateCond trains the bimodal counter.
-func (p *predictor) updateCond(pc uint64, taken bool) {
-	i := p.bimodalIdx(pc)
+func (c *Core) updateCond(pc uint64, taken bool) {
+	i := c.bimodalIdx(pc)
 	if taken {
-		if p.bimodal[i] < 3 {
-			p.bimodal[i]++
+		if c.bimodal[i] < 3 {
+			c.bimodal[i]++
 		}
-	} else if p.bimodal[i] > 0 {
-		p.bimodal[i]--
+	} else if c.bimodal[i] > 0 {
+		c.bimodal[i]--
 	}
 }
 
 // predictIndirect predicts a JALR target, or returns false when the BTB
 // has no entry for this PC.
-func (p *predictor) predictIndirect(pc uint64) (uint64, bool) {
-	i := p.btbIdx(pc)
-	if p.btbTag[i] == pc {
-		return p.btbTgt[i], true
+func (c *Core) predictIndirect(pc uint64) (uint64, bool) {
+	i := c.btbIdx(pc)
+	if c.btbTag[i] == pc {
+		return c.btbTgt[i], true
 	}
 	return 0, false
 }
 
 // updateIndirect records a resolved JALR target.
-func (p *predictor) updateIndirect(pc, target uint64) {
-	i := p.btbIdx(pc)
-	p.btbTag[i] = pc
-	p.btbTgt[i] = target
+func (c *Core) updateIndirect(pc, target uint64) {
+	i := c.btbIdx(pc)
+	c.btbTag[i] = pc
+	c.btbTgt[i] = target
 }
 
 // pushRAS records a call's return address.
-func (p *predictor) pushRAS(ret uint64) {
-	p.ras[p.rasTop%len(p.ras)] = ret
-	p.rasTop++
+func (c *Core) pushRAS(ret uint64) {
+	c.ras[c.rasTop%len(c.ras)] = ret
+	c.rasTop++
 }
 
 // popRAS predicts a return target; ok is false when the stack is empty.
-func (p *predictor) popRAS() (uint64, bool) {
-	if p.rasTop == 0 {
+func (c *Core) popRAS() (uint64, bool) {
+	if c.rasTop == 0 {
 		return 0, false
 	}
-	p.rasTop--
-	return p.ras[p.rasTop%len(p.ras)], true
+	c.rasTop--
+	return c.ras[c.rasTop%len(c.ras)], true
 }

@@ -7,57 +7,67 @@ package cpu
 // engine, commit bookkeeping — plus the Stats needed so a run restored
 // mid-flight reports the same statistics a from-zero run would.
 //
+// Because the fixed-size hot state lives in three flat slabs
+// (structures.go), a snapshot is three slice copies plus the scalars
+// and the small variable-length queues, and the strict comparison is
+// three flat compares. Snapshots are pooled: Snapshot draws a
+// CoreState from a sync.Pool and reuses its buffers (length/capacity
+// discipline in snapCopy), and Release returns it. Ownership rule
+// (DESIGN.md §12): the snapshot owner is whoever holds the pointer;
+// Release may be called exactly once, only after every reader —
+// restore workers, convergence watches — is done with it. In the
+// engine that point is faultinj.Experiment.Close.
+//
 // Three operations with three distinct equality notions live here:
 //
 //   - Snapshot/Restore are bit-exact: a restored core replays the
 //     remainder of the run cycle-for-cycle identically to the core the
 //     snapshot was taken from. Scratch buffers (dueBuf, opsBuf,
-//     candBuf) are the only exclusions; their contents are dead across
-//     cycles by construction (each is reset with [:0] before use).
+//     candBuf) and the predecode memo are the only exclusions; the
+//     buffers are dead across cycles by construction and the memo
+//     caches a pure function of the fetched word.
 //
 //   - StateEquals is the *behavioral* equivalence used by the
 //     early-convergence Masked exit: it ignores architecturally dead
 //     state (values of unallocated or not-yet-written physical
-//     registers, fields of unoccupied ROB/IQ/LQ/SQ slots) so that a
-//     fault parked in a dead slot converges as soon as the live state
-//     matches, not only when the dead bits are coincidentally
-//     rewritten. See the dead-state arguments on each exclusion below;
-//     DESIGN.md §10 carries the full soundness argument.
+//     registers, fields of unoccupied ROB/IQ/LQ/SQ slots, the dead
+//     tail of the free-list stack) so that a fault parked in a dead
+//     slot converges as soon as the live state matches, not only when
+//     the dead bits are coincidentally rewritten. It first tries the
+//     flat slab compare — identical slabs imply behavioral equality —
+//     and only walks per-entry when the slabs differ. See the
+//     dead-state arguments on each exclusion below; DESIGN.md §10 and
+//     §12 carry the full soundness argument.
 //
 //   - CoreState.Equal is strict: every captured bit, dead or live.
 //     Tests use it to prove Restore(Snapshot()) round-trips exactly.
 
 import (
-	"sevsim/internal/simerr"
+	"bytes"
 	"slices"
+	"sync"
+
+	"sevsim/internal/simerr"
 )
 
-// CoreState is a point-in-time copy of all authoritative core state.
-// It shares no memory with the core it was taken from, so a snapshot
-// may be restored concurrently into many cores.
+// CoreState is a point-in-time copy of all authoritative core state:
+// the three slabs (with views carved over them, so the equality walks
+// index snapshot and live core identically), the ring positions and
+// counters, and the variable-length queues. It shares no memory with
+// the core it was taken from, so a snapshot may be restored
+// concurrently into many cores. It is immutable from Snapshot until
+// Release: Restore never writes through it.
 type CoreState struct {
-	PRF      []uint64
-	PRFReady []bool
-	PRFAlloc []bool
-	RAT      []uint16
-	FreeList []uint16
+	soa
 
-	ROB      []robEntry
-	ROBHead  int
-	ROBCount int
-	IQ       []iqEntry
-	LQ       []lqEntry
-	LQHead   int
-	LQCount  int
-	SQ       []sqEntry
-	SQHead   int
-	SQCount  int
-
-	Bimodal []uint8
-	BTBTag  []uint64
-	BTBTgt  []uint64
-	RAS     []uint64
-	RASTop  int
+	ROBHead   int
+	ROBCount  int
+	LQHead    int
+	LQCount   int
+	SQHead    int
+	SQCount   int
+	RASTop    int
+	FreeCount int
 
 	FetchPC     uint64
 	FetchQ      []fetchSlot
@@ -80,57 +90,73 @@ type CoreState struct {
 	Stats Stats
 }
 
-// Snapshot captures the complete core state. The result is immutable by
-// contract: Restore never writes through it, so one snapshot can be
-// shared read-only across concurrent injection workers.
-func (c *Core) Snapshot() *CoreState {
-	s := &CoreState{
-		PRF:      slices.Clone(c.prf),
-		PRFReady: slices.Clone(c.prfReady),
-		PRFAlloc: slices.Clone(c.prfAlloc),
-		RAT:      slices.Clone(c.rat),
-		FreeList: slices.Clone(c.freeList),
+// coreStatePool recycles snapshot buffers across checkpoints and
+// units. A pooled CoreState keeps its slabs and queue buffers, so a
+// same-config Snapshot is three copies with zero allocation.
+var coreStatePool = sync.Pool{New: func() any { return new(CoreState) }}
 
-		ROB:      slices.Clone(c.rob.entries),
-		ROBHead:  c.rob.head,
-		ROBCount: c.rob.count,
-		IQ:       slices.Clone(c.iq),
-		LQ:       slices.Clone(c.lq.entries),
-		LQHead:   c.lq.head,
-		LQCount:  c.lq.count,
-		SQ:       slices.Clone(c.sq.entries),
-		SQHead:   c.sq.head,
-		SQCount:  c.sq.count,
+// Release returns the snapshot's buffers to the pool. The caller must
+// be the last holder: no restore, comparison, or convergence watch may
+// use the snapshot afterwards, and Release must not be called twice.
+func (s *CoreState) Release() {
+	s.Crash = nil
+	coreStatePool.Put(s)
+}
 
-		Bimodal: slices.Clone(c.pred.bimodal),
-		BTBTag:  slices.Clone(c.pred.btbTag),
-		BTBTgt:  slices.Clone(c.pred.btbTgt),
-		RAS:     slices.Clone(c.pred.ras),
-		RASTop:  c.pred.rasTop,
-
-		FetchPC:     c.fetchPC,
-		FetchQ:      slices.Clone(c.fetchQ),
-		FetchStall:  c.fetchStall,
-		FetchFrozen: c.fetchFrozen,
-
-		Inflight: slices.Clone(c.inflight),
-
-		Cycle:    c.cycle,
-		Seq:      c.seq,
-		ExpectPC: c.expectPC,
-		Halted:   c.halted,
-
-		Output:        slices.Clone(c.output),
-		SquashedAfter: c.squashedAfter,
-		IQCount:       c.iqCount,
-		PRFLive:       c.prfLive,
-
-		Stats: c.Stats,
+// snapCopy copies src into dst, reusing dst's backing array when its
+// capacity suffices (the pooled-buffer length/capacity discipline: the
+// result always has len(src), and only grows an allocation when the
+// pooled buffer is too small).
+func snapCopy[T any](dst, src []T) []T {
+	if cap(dst) < len(src) {
+		dst = make([]T, len(src))
+	} else {
+		dst = dst[:len(src)]
 	}
+	copy(dst, src)
+	return dst
+}
+
+// Snapshot captures the complete core state into a pooled CoreState.
+// The result is immutable by contract until Release: Restore never
+// writes through it, so one snapshot can be shared read-only across
+// concurrent injection workers.
+func (c *Core) Snapshot() *CoreState {
+	s := coreStatePool.Get().(*CoreState)
+	s.u64 = snapCopy(s.u64, c.u64)
+	s.u16 = snapCopy(s.u16, c.u16)
+	s.u8 = snapCopy(s.u8, c.u8)
+	s.carve(&c.cfg) // re-slice the views over the copied slabs
+
+	s.ROBHead, s.ROBCount = c.robHead, c.robCount
+	s.LQHead, s.LQCount = c.lqHead, c.lqCount
+	s.SQHead, s.SQCount = c.sqHead, c.sqCount
+	s.RASTop = c.rasTop
+	s.FreeCount = c.freeCount
+
+	s.FetchPC = c.fetchPC
+	s.FetchQ = snapCopy(s.FetchQ, c.fetchQ[c.fetchHead:])
+	s.FetchStall = c.fetchStall
+	s.FetchFrozen = c.fetchFrozen
+
+	s.Inflight = snapCopy(s.Inflight, c.inflight)
+
+	s.Cycle = c.cycle
+	s.Seq = c.seq
+	s.ExpectPC = c.expectPC
+	s.Halted = c.halted
+	s.Crash = nil
 	if c.crash != nil {
 		crash := *c.crash
 		s.Crash = &crash
 	}
+
+	s.Output = snapCopy(s.Output, c.output)
+	s.SquashedAfter = c.squashedAfter
+	s.IQCount = c.iqCount
+	s.PRFLive = c.prfLive
+
+	s.Stats = c.Stats
 	return s
 }
 
@@ -138,35 +164,28 @@ func (c *Core) Snapshot() *CoreState {
 // core's existing backing arrays (restore-into), so the injection hot
 // loop recycles one scratch core per worker instead of allocating a
 // fresh core per injection. The snapshot must come from an identically
-// configured core.
+// configured core: every slab length is validated, which covers every
+// fixed-size structure including the predictor tables (a mismatched
+// snapshot used to silently truncate on the bare copies).
 func (c *Core) Restore(s *CoreState) {
-	if len(c.prf) != len(s.PRF) || len(c.rob.entries) != len(s.ROB) ||
-		len(c.iq) != len(s.IQ) || len(c.lq.entries) != len(s.LQ) ||
-		len(c.sq.entries) != len(s.SQ) {
-		simerr.Assertf("cpu: restore from a differently configured core snapshot")
+	if len(c.u64) != len(s.u64) || len(c.u16) != len(s.u16) || len(c.u8) != len(s.u8) {
+		simerr.Assertf(
+			"cpu: restore from a differently configured core snapshot: slab lengths %d/%d/%d (u64/u16/u8), core has %d/%d/%d",
+			len(s.u64), len(s.u16), len(s.u8), len(c.u64), len(c.u16), len(c.u8))
 	}
-	copy(c.prf, s.PRF)
-	copy(c.prfReady, s.PRFReady)
-	copy(c.prfAlloc, s.PRFAlloc)
-	copy(c.rat, s.RAT)
-	c.freeList = append(c.freeList[:0], s.FreeList...)
+	copy(c.u64, s.u64)
+	copy(c.u16, s.u16)
+	copy(c.u8, s.u8)
 
-	copy(c.rob.entries, s.ROB)
-	c.rob.head, c.rob.count = s.ROBHead, s.ROBCount
-	copy(c.iq, s.IQ)
-	copy(c.lq.entries, s.LQ)
-	c.lq.head, c.lq.count = s.LQHead, s.LQCount
-	copy(c.sq.entries, s.SQ)
-	c.sq.head, c.sq.count = s.SQHead, s.SQCount
-
-	copy(c.pred.bimodal, s.Bimodal)
-	copy(c.pred.btbTag, s.BTBTag)
-	copy(c.pred.btbTgt, s.BTBTgt)
-	copy(c.pred.ras, s.RAS)
-	c.pred.rasTop = s.RASTop
+	c.robHead, c.robCount = s.ROBHead, s.ROBCount
+	c.lqHead, c.lqCount = s.LQHead, s.LQCount
+	c.sqHead, c.sqCount = s.SQHead, s.SQCount
+	c.rasTop = s.RASTop
+	c.freeCount = s.FreeCount
 
 	c.fetchPC = s.FetchPC
 	c.fetchQ = append(c.fetchQ[:0], s.FetchQ...)
+	c.fetchHead = 0
 	c.fetchStall = s.FetchStall
 	c.fetchFrozen = s.FetchFrozen
 
@@ -186,6 +205,25 @@ func (c *Core) Restore(s *CoreState) {
 	c.squashedAfter = s.SquashedAfter
 	c.iqCount = s.IQCount
 	c.prfLive = s.PRFLive
+
+	// Rebuild the derived issue-queue and load-queue masks from the
+	// restored slabs.
+	c.iqValid = 0
+	c.iqReady = 0
+	for i, f := range c.iqFlags {
+		if f&qValid != 0 {
+			c.iqValid |= 1 << uint(i)
+		}
+		if f&(qValid|qIssued|qRdy1|qRdy2) == qValid|qRdy1|qRdy2 {
+			c.iqReady |= 1 << uint(i)
+		}
+	}
+	c.lqPending = 0
+	for i, f := range c.lqFlags {
+		if f&(lValid|lAddrReady|lDone|lInflight) == lValid|lAddrReady {
+			c.lqPending |= 1 << uint(i)
+		}
+	}
 
 	c.Stats = s.Stats
 }
@@ -234,26 +272,26 @@ func (c *Core) StateHash() uint64 {
 	h.mixBool(c.fetchFrozen)
 	h.mixBool(c.halted)
 	h.mixBool(c.crash != nil)
-	h.mix(uint64(c.rob.head))
-	h.mix(uint64(c.rob.count))
-	h.mix(uint64(c.lq.head))
-	h.mix(uint64(c.lq.count))
-	h.mix(uint64(c.sq.head))
-	h.mix(uint64(c.sq.count))
+	h.mix(uint64(c.robHead))
+	h.mix(uint64(c.robCount))
+	h.mix(uint64(c.lqHead))
+	h.mix(uint64(c.lqCount))
+	h.mix(uint64(c.sqHead))
+	h.mix(uint64(c.sqCount))
 	h.mix(uint64(c.iqCount))
 	h.mix(uint64(c.prfLive))
-	h.mix(uint64(len(c.fetchQ)))
+	h.mix(uint64(len(c.fetchQ) - c.fetchHead))
 	h.mix(uint64(len(c.inflight)))
 	for _, p := range c.rat {
 		h.mix(uint64(p))
 	}
-	h.mix(uint64(len(c.freeList)))
-	for _, p := range c.freeList {
+	h.mix(uint64(c.freeCount))
+	for _, p := range c.freeBack[:c.freeCount] {
 		h.mix(uint64(p))
 	}
 	for p := range c.prf {
 		// Mirror the StateEquals exclusion: only live values.
-		if c.prfAlloc[p] && c.prfReady[p] {
+		if c.prfAlloc[p] != 0 && c.prfReady[p] != 0 {
 			h.mix(uint64(p))
 			h.mix(c.prf[p])
 		}
@@ -270,15 +308,16 @@ func (c *Core) StateHash() uint64 {
 // comparison skips state that is provably dead — overwritten before it
 // can be read on every path that reaches it:
 //
-//   - prf[p] when !prfAlloc[p] (free registers are re-written by
+//   - prf[p] when prfAlloc[p] == 0 (free registers are re-written by
 //     writePhys before any readPhys; readers wait on ready bits that
-//     are cleared at allocation) or when !prfReady[p] (the in-flight
-//     producer writes the value before any consumer issues);
-//   - ROB/LQ/SQ ring slots outside [head, head+count) and IQ slots
-//     with Valid == false: push/iqInsert overwrite the whole entry on
-//     allocation, and no reader reaches an unoccupied slot from equal
-//     occupied state (corrupt linkage that could reach one lives in
-//     occupied entries, which are compared in full).
+//     are cleared at allocation) or when prfReady[p] == 0 (the
+//     in-flight producer writes the value before any consumer issues);
+//   - ROB/LQ/SQ ring slots outside [head, head+count), IQ slots with
+//     the valid flag clear, and freeBack entries at or above
+//     freeCount: allocation overwrites the whole entry, and no reader
+//     reaches an unoccupied slot from equal occupied state (corrupt
+//     linkage that could reach one lives in occupied entries, which
+//     are compared in full).
 //
 // SquashedAfter and the scratch buffers are reassigned before every use
 // within a cycle, and Stats never feed back into execution or
@@ -286,7 +325,15 @@ func (c *Core) StateHash() uint64 {
 // the predictor (it steers speculative cache fills and timing) and the
 // committed output stream (the classification observable) — must match
 // exactly.
+//
+// The flat fast path compares whole slabs first: identical slabs (with
+// equal scalars and queues, checked before) are sufficient for
+// behavioral equality, so the per-entry dead-state walk only runs when
+// some slab byte differs.
 func (c *Core) StateEquals(s *CoreState) bool {
+	if len(c.u64) != len(s.u64) || len(c.u16) != len(s.u16) || len(c.u8) != len(s.u8) {
+		return false
+	}
 	if c.cycle != s.Cycle || c.seq != s.Seq || c.expectPC != s.ExpectPC ||
 		c.halted != s.Halted || (c.crash != nil) != (s.Crash != nil) {
 		return false
@@ -294,74 +341,95 @@ func (c *Core) StateEquals(s *CoreState) bool {
 	if c.fetchPC != s.FetchPC || c.fetchStall != s.FetchStall || c.fetchFrozen != s.FetchFrozen {
 		return false
 	}
-	if c.iqCount != s.IQCount || c.prfLive != s.PRFLive {
+	if c.robHead != s.ROBHead || c.robCount != s.ROBCount ||
+		c.lqHead != s.LQHead || c.lqCount != s.LQCount ||
+		c.sqHead != s.SQHead || c.sqCount != s.SQCount ||
+		c.rasTop != s.RASTop || c.freeCount != s.FreeCount ||
+		c.iqCount != s.IQCount || c.prfLive != s.PRFLive {
 		return false
 	}
-	if !slices.Equal(c.prfReady, s.PRFReady) || !slices.Equal(c.prfAlloc, s.PRFAlloc) {
+	if !slices.Equal(c.fetchQ[c.fetchHead:], s.FetchQ) || !slices.Equal(c.inflight, s.Inflight) ||
+		!slices.Equal(c.output, s.Output) {
+		return false
+	}
+	if slices.Equal(c.u64, s.u64) && slices.Equal(c.u16, s.u16) && bytes.Equal(c.u8, s.u8) {
+		return true
+	}
+	// Some slab byte differs: walk per entry and decide whether every
+	// difference is dead state.
+	if !slices.Equal(c.prfReady, s.prfReady) || !slices.Equal(c.prfAlloc, s.prfAlloc) {
 		return false
 	}
 	for p := range c.prf {
-		if c.prfAlloc[p] && c.prfReady[p] && c.prf[p] != s.PRF[p] {
+		if c.prfAlloc[p] != 0 && c.prfReady[p] != 0 && c.prf[p] != s.prf[p] {
 			return false
 		}
 	}
-	if !slices.Equal(c.rat, s.RAT) || !slices.Equal(c.freeList, s.FreeList) {
+	if !slices.Equal(c.rat, s.rat) {
 		return false
 	}
-	if c.rob.head != s.ROBHead || c.rob.count != s.ROBCount {
+	if !slices.Equal(c.freeBack[:c.freeCount], s.freeBack[:s.FreeCount]) {
 		return false
 	}
-	for i := 0; i < c.rob.count; i++ {
-		idx := (c.rob.head + i) % len(c.rob.entries)
-		if c.rob.entries[idx] != s.ROB[idx] {
+	for i := 0; i < c.robCount; i++ {
+		idx := (c.robHead + i) % c.cfg.ROBSize
+		if c.robPC[idx] != s.robPC[idx] || c.robSeq[idx] != s.robSeq[idx] ||
+			c.robPredTgt[idx] != s.robPredTgt[idx] || c.robActTgt[idx] != s.robActTgt[idx] ||
+			c.robOutVal[idx] != s.robOutVal[idx] || c.robDest[idx] != s.robDest[idx] ||
+			c.robOld[idx] != s.robOld[idx] || c.robLQ[idx] != s.robLQ[idx] ||
+			c.robSQ[idx] != s.robSQ[idx] || c.robArch[idx] != s.robArch[idx] ||
+			c.robExc[idx] != s.robExc[idx] || c.robOp[idx] != s.robOp[idx] ||
+			c.robFlags[idx] != s.robFlags[idx] {
 			return false
 		}
 	}
-	for i := range c.iq {
-		if c.iq[i].Valid != s.IQ[i].Valid {
+	for i := range c.iqFlags {
+		f, g := c.iqFlags[i], s.iqFlags[i]
+		if f&qValid != g&qValid {
 			return false
 		}
-		if c.iq[i].Valid && c.iq[i] != s.IQ[i] {
-			return false
+		if f&qValid == 0 {
+			continue
 		}
-	}
-	if c.lq.head != s.LQHead || c.lq.count != s.LQCount {
-		return false
-	}
-	for i := 0; i < c.lq.count; i++ {
-		idx := (c.lq.head + i) % len(c.lq.entries)
-		if c.lq.entries[idx] != s.LQ[idx] {
+		if f != g || c.iqSrc1[i] != s.iqSrc1[i] || c.iqSrc2[i] != s.iqSrc2[i] ||
+			c.iqDest[i] != s.iqDest[i] || c.iqROB[i] != s.iqROB[i] ||
+			c.iqOp[i] != s.iqOp[i] || c.iqImm[i] != s.iqImm[i] || c.iqSeq[i] != s.iqSeq[i] {
 			return false
 		}
 	}
-	if c.sq.head != s.SQHead || c.sq.count != s.SQCount {
-		return false
-	}
-	for i := 0; i < c.sq.count; i++ {
-		idx := (c.sq.head + i) % len(c.sq.entries)
-		if c.sq.entries[idx] != s.SQ[idx] {
+	for i := 0; i < c.lqCount; i++ {
+		idx := (c.lqHead + i) % c.cfg.LQSize
+		if c.lqAddr[idx] != s.lqAddr[idx] || c.lqSeq[idx] != s.lqSeq[idx] ||
+			c.lqFillAt[idx] != s.lqFillAt[idx] || c.lqDest[idx] != s.lqDest[idx] ||
+			c.lqROB[idx] != s.lqROB[idx] || c.lqSize[idx] != s.lqSize[idx] ||
+			c.lqFlags[idx] != s.lqFlags[idx] {
 			return false
 		}
 	}
-	if !slices.Equal(c.pred.bimodal, s.Bimodal) || !slices.Equal(c.pred.btbTag, s.BTBTag) ||
-		!slices.Equal(c.pred.btbTgt, s.BTBTgt) || !slices.Equal(c.pred.ras, s.RAS) ||
-		c.pred.rasTop != s.RASTop {
+	for i := 0; i < c.sqCount; i++ {
+		idx := (c.sqHead + i) % c.cfg.SQSize
+		if c.sqAddr[idx] != s.sqAddr[idx] || c.sqData[idx] != s.sqData[idx] ||
+			c.sqSeq[idx] != s.sqSeq[idx] || c.sqROB[idx] != s.sqROB[idx] ||
+			c.sqSize[idx] != s.sqSize[idx] || c.sqFlags[idx] != s.sqFlags[idx] {
+			return false
+		}
+	}
+	if !slices.Equal(c.bimodal, s.bimodal) || !slices.Equal(c.btbTag, s.btbTag) ||
+		!slices.Equal(c.btbTgt, s.btbTgt) || !slices.Equal(c.ras, s.ras) {
 		return false
 	}
-	if !slices.Equal(c.fetchQ, s.FetchQ) || !slices.Equal(c.inflight, s.Inflight) {
-		return false
-	}
-	return slices.Equal(c.output, s.Output)
+	return true
 }
 
 // Equal is the strict bit-for-bit comparison of two snapshots,
-// including dead state. Tests use it to assert Restore(Snapshot())
-// round-trips every structure bit.
+// including dead state: three flat slab compares plus the scalars and
+// queues. Tests use it to assert Restore(Snapshot()) round-trips every
+// structure bit.
 func (s *CoreState) Equal(o *CoreState) bool {
 	if s.ROBHead != o.ROBHead || s.ROBCount != o.ROBCount ||
 		s.LQHead != o.LQHead || s.LQCount != o.LQCount ||
 		s.SQHead != o.SQHead || s.SQCount != o.SQCount ||
-		s.RASTop != o.RASTop ||
+		s.RASTop != o.RASTop || s.FreeCount != o.FreeCount ||
 		s.FetchPC != o.FetchPC || s.FetchStall != o.FetchStall || s.FetchFrozen != o.FetchFrozen ||
 		s.Cycle != o.Cycle || s.Seq != o.Seq || s.ExpectPC != o.ExpectPC || s.Halted != o.Halted ||
 		s.SquashedAfter != o.SquashedAfter || s.IQCount != o.IQCount || s.PRFLive != o.PRFLive ||
@@ -371,13 +439,7 @@ func (s *CoreState) Equal(o *CoreState) bool {
 	if (s.Crash != nil) != (o.Crash != nil) || (s.Crash != nil && *s.Crash != *o.Crash) {
 		return false
 	}
-	return slices.Equal(s.PRF, o.PRF) && slices.Equal(s.PRFReady, o.PRFReady) &&
-		slices.Equal(s.PRFAlloc, o.PRFAlloc) && slices.Equal(s.RAT, o.RAT) &&
-		slices.Equal(s.FreeList, o.FreeList) &&
-		slices.Equal(s.ROB, o.ROB) && slices.Equal(s.IQ, o.IQ) &&
-		slices.Equal(s.LQ, o.LQ) && slices.Equal(s.SQ, o.SQ) &&
-		slices.Equal(s.Bimodal, o.Bimodal) && slices.Equal(s.BTBTag, o.BTBTag) &&
-		slices.Equal(s.BTBTgt, o.BTBTgt) && slices.Equal(s.RAS, o.RAS) &&
+	return slices.Equal(s.u64, o.u64) && slices.Equal(s.u16, o.u16) && bytes.Equal(s.u8, o.u8) &&
 		slices.Equal(s.FetchQ, o.FetchQ) && slices.Equal(s.Inflight, o.Inflight) &&
 		slices.Equal(s.Output, o.Output)
 }

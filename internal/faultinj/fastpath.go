@@ -54,55 +54,193 @@ func (e *Experiment) cycleBudget() uint64 {
 	return e.GoldenCycles*timeoutFactor + slack
 }
 
-// getMachine returns a scratch machine for one injection run. With
-// checkpointing on, machines are pooled and recycled (the caller
-// restores a checkpoint over whatever state the machine retired with);
-// otherwise every run builds a fresh machine, the reference behavior.
+// getMachine returns a pooled scratch machine for checkpointed
+// injection runs; the caller restores a checkpoint over whatever state
+// the machine retired with. Callers on the no-checkpoint reference
+// path build fresh machines instead.
 func (e *Experiment) getMachine() *machine.Machine {
-	if e.ckpts == nil {
-		return machine.New(e.Config, e.Program)
-	}
 	if m, _ := e.scratch.Get().(*machine.Machine); m != nil {
 		return m
 	}
 	return machine.New(e.Config, e.Program)
 }
 
-// putMachine returns a scratch machine to the pool. Only meaningful
-// with checkpointing on; it must not be called before the machine's
-// Result has been fully consumed (Result.Output aliases the core's
-// output buffer).
+// putMachine returns a scratch machine to the pool. It must not be
+// called before the machine's Result has been fully consumed
+// (Result.Output aliases the core's output buffer).
 func (e *Experiment) putMachine(m *machine.Machine) {
-	if e.ckpts != nil {
-		e.scratch.Put(m)
+	e.scratch.Put(m)
+}
+
+// getMachineFor prefers the machine parked on checkpoint k — its
+// delta-restore base is k's snapshot, so the upcoming restore copies
+// only touched lines — before falling back to the generic pool.
+func (e *Experiment) getMachineFor(k int) *machine.Machine {
+	e.scratchMu.Lock()
+	m := e.scratchByCkpt[k]
+	if m != nil {
+		delete(e.scratchByCkpt, k)
+	}
+	e.scratchMu.Unlock()
+	if m != nil {
+		return m
+	}
+	return e.getMachine()
+}
+
+// putMachineFor parks the machine on checkpoint k for the next
+// injection restoring from it; if the slot is taken the machine goes
+// back to the generic pool. Same consumption contract as putMachine.
+func (e *Experiment) putMachineFor(k int, m *machine.Machine) {
+	e.scratchMu.Lock()
+	if e.scratchByCkpt == nil {
+		e.scratchByCkpt = make(map[int]*machine.Machine)
+	}
+	if _, taken := e.scratchByCkpt[k]; !taken {
+		e.scratchByCkpt[k] = m
+		m = nil
+	}
+	e.scratchMu.Unlock()
+	if m != nil {
+		e.putMachine(m)
 	}
 }
 
 // runInjection executes one injection run with the given flip hook and
-// classifies it. This is the single hot path behind Inject and
-// InjectModel.
+// classifies it, managing a scratch machine for just this run. Batched
+// callers hold one machine across many runs instead (Batch).
 func (e *Experiment) runInjection(inj Injection, hook machine.Hook) InjectResult {
-	budget := e.cycleBudget()
-	m := e.getMachine()
 	if e.ckpts == nil {
-		return e.classify(m.Run(budget, hook))
+		// Reference behavior: a fresh machine simulating from cycle 0.
+		return e.classify(machine.New(e.Config, e.Program).Run(e.cycleBudget(), hook))
 	}
+	k := e.ckpts.LatestIndex(inj.Cycle)
+	m := e.getMachineFor(k)
+	out := e.runInjectionOn(m, inj, hook)
+	e.putMachineFor(k, m)
+	return out
+}
+
+// runInjectionOn executes one checkpointed injection run on the given
+// scratch machine: fast-forward restore, flip at the injection cycle,
+// classify (with the early-convergence Masked exit when enabled). The
+// machine must have been built from this experiment's Config/Program;
+// its pre-call state is irrelevant — the restore overwrites it. Only
+// valid with checkpointing on.
+func (e *Experiment) runInjectionOn(m *machine.Machine, inj Injection, hook machine.Hook) InjectResult {
 	m.Restore(e.ckpts.Latest(inj.Cycle))
 	var watches []machine.Watch
 	if e.fastExit {
 		watches = e.ckpts.WatchesAfter(inj.Cycle)
 	}
-	res, converged := m.RunWatched(budget, watches, hook)
-	var out InjectResult
+	res, converged := m.RunWatched(e.cycleBudget(), watches, hook)
 	if converged {
 		// State equality with golden at the same cycle proves the rest
 		// of the run replays golden bit-for-bit: it would halt at
 		// GoldenCycles with the golden output. Synthesize exactly the
 		// result the full run would have produced.
-		out = InjectResult{Outcome: Masked, Cycles: e.GoldenCycles}
-	} else {
-		out = e.classify(res)
+		return InjectResult{Outcome: Masked, Cycles: e.GoldenCycles}
 	}
-	e.putMachine(m)
+	return e.classify(res)
+}
+
+// Batch runs a sequence of injections on one held scratch machine.
+// Grouping a batch by fast-forward checkpoint (BatchByCheckpoint) makes
+// every restore after the first a delta: the caches copy back only the
+// lines the previous run touched, instead of their full arrays. A Batch
+// is single-goroutine; concurrency comes from running many batches on a
+// worker pool. Outcomes are bit-identical to calling Experiment.Inject
+// per fault — restores are bit-exact, so machine reuse cannot leak
+// state between runs.
+type Batch struct {
+	e *Experiment
+	m *machine.Machine // nil when checkpointing is disabled
+}
+
+// NewBatch prepares a batch, drawing a scratch machine from the
+// experiment's pool. Close must be called to return it.
+func (e *Experiment) NewBatch() *Batch {
+	b := &Batch{e: e}
+	if e.ckpts != nil {
+		b.m = e.getMachine()
+	}
+	return b
+}
+
+// Inject runs one single-bit injection on the batch's machine.
+func (b *Batch) Inject(t Target, inj Injection) InjectResult {
+	return b.run(inj, flipHook(t, inj))
+}
+
+// InjectModel is Inject under the given fault-multiplicity model.
+func (b *Batch) InjectModel(t Target, inj Injection, model Model) InjectResult {
+	if model == SingleBit {
+		return b.Inject(t, inj)
+	}
+	return b.run(inj, hookFor(b.e, t, inj, model, b.e.TargetBits(t)))
+}
+
+func (b *Batch) run(inj Injection, hook machine.Hook) InjectResult {
+	if b.m == nil {
+		// Checkpointing disabled: the reference from-zero path, one
+		// fresh machine per run (a recycled machine would need a way to
+		// reset to cycle 0, which is exactly what checkpoints provide).
+		return b.e.classify(machine.New(b.e.Config, b.e.Program).Run(b.e.cycleBudget(), hook))
+	}
+	return b.e.runInjectionOn(b.m, inj, hook)
+}
+
+// Close returns the batch's scratch machine to the experiment pool. No
+// Inject may follow.
+func (b *Batch) Close() {
+	if b.m != nil {
+		b.e.putMachine(b.m)
+		b.m = nil
+	}
+}
+
+// BatchByCheckpoint partitions injection indices into groups that
+// fast-forward from the same checkpoint, preserving index order within
+// each group (first-seen checkpoint order across groups, so the result
+// is deterministic). Running a group as one Batch keeps the scratch
+// machine's delta-restore base stable across the whole group. With
+// checkpointing disabled all indices form one group — there is nothing
+// to key on, and the grouping is only a scheduling hint.
+func (e *Experiment) BatchByCheckpoint(inj []Injection) [][]int {
+	if len(inj) == 0 {
+		return nil
+	}
+	if e.ckpts == nil {
+		all := make([]int, len(inj))
+		for i := range all {
+			all[i] = i
+		}
+		return [][]int{all}
+	}
+	groups := map[int][]int{}
+	var order []int
+	for i, in := range inj {
+		k := e.ckpts.LatestIndex(in.Cycle)
+		if groups[k] == nil {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+	out := make([][]int, 0, len(order))
+	for _, k := range order {
+		out = append(out, groups[k])
+	}
 	return out
+}
+
+// Close releases the experiment's checkpoint snapshots back to their
+// buffer pools. Call it only after every injection, batch, and watch
+// using the experiment has finished. Injecting after Close remains
+// correct — the experiment falls back to the from-zero reference path —
+// but loses fast-forward, so treat Close as end-of-life.
+func (e *Experiment) Close() {
+	if e.ckpts != nil {
+		e.ckpts.Release()
+		e.ckpts = nil
+	}
 }

@@ -173,6 +173,14 @@ type Experiment struct {
 	ckpts    *checkpoint.Stream
 	fastExit bool
 	scratch  sync.Pool
+
+	// scratchByCkpt parks, per checkpoint index, one idle machine whose
+	// caches' delta-restore base is that checkpoint, so single Inject
+	// calls that hop between checkpoints still restore by delta instead
+	// of copying the full cache slabs. Bounded by the checkpoint count;
+	// overflow machines fall back to the generic scratch pool.
+	scratchMu     sync.Mutex
+	scratchByCkpt map[int]*machine.Machine
 }
 
 // timeoutFactor follows the paper: a run is a Timeout when it exceeds
@@ -339,10 +347,15 @@ type InjectResult struct {
 // the addressed bit is flipped at the chosen cycle, and the run is
 // classified against the golden reference.
 func (e *Experiment) Inject(t Target, inj Injection) InjectResult {
-	return e.runInjection(inj, machine.Hook{
+	return e.runInjection(inj, flipHook(t, inj))
+}
+
+// flipHook schedules a single-bit flip at the injection cycle.
+func flipHook(t Target, inj Injection) machine.Hook {
+	return machine.Hook{
 		At: inj.Cycle,
 		Fn: func(mm *machine.Machine) { t.Flip(mm, inj.Bit) },
-	})
+	}
 }
 
 // hookFor schedules the model's bit flips at the injection cycle.

@@ -314,11 +314,15 @@ func atomicWriteFile(path string, data []byte) error {
 		cleanup()
 		return err
 	}
-	if err := tmp.Sync(); err != nil {
+	// Chmod before Sync: the permission bits are inode metadata, and
+	// fsync only guarantees durability of what was already applied. A
+	// chmod after the fsync could be lost in a crash, leaving the
+	// renamed file with the 0o600 CreateTemp mode.
+	if err := tmp.Chmod(0o644); err != nil {
 		cleanup()
 		return err
 	}
-	if err := tmp.Chmod(0o644); err != nil {
+	if err := tmp.Sync(); err != nil {
 		cleanup()
 		return err
 	}
@@ -338,6 +342,33 @@ func atomicWriteFile(path string, data []byte) error {
 // the directory.
 func AtomicWriteFile(path string, data []byte) error {
 	return atomicWriteFile(path, data)
+}
+
+// MkdirAllSync is os.MkdirAll followed by an fsync of each directory
+// that may have just been created (every component from the first
+// missing one down) plus the parent of the topmost new directory.
+// Plain MkdirAll leaves the new dentries only in the page cache: a
+// crash right after it returns can lose the whole tree, and with it
+// any journal or study file later written inside — the files would be
+// durable but unreachable. Existing directories cost one extra fsync
+// of the leaf and its parent.
+func MkdirAllSync(path string, perm os.FileMode) error {
+	if err := os.MkdirAll(path, perm); err != nil {
+		return err
+	}
+	// Walk from the leaf up, syncing each component and its parent.
+	// Stopping at the filesystem root (Dir(p) == p) bounds the walk;
+	// syncing already-existing ancestors is harmless.
+	for p := filepath.Clean(path); ; {
+		if err := syncDir(p); err != nil {
+			return err
+		}
+		parent := filepath.Dir(p)
+		if parent == p {
+			return nil
+		}
+		p = parent
+	}
 }
 
 // syncDir fsyncs a directory so renames and file creations in it are

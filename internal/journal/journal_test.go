@@ -298,4 +298,41 @@ func TestAtomicWriteFile(t *testing.T) {
 	if len(entries) != 1 {
 		t.Fatalf("directory has %d entries, want 1", len(entries))
 	}
+	// The replaced file carries the intended 0o644, not the 0o600 the
+	// temp file was born with (the Chmod must happen, and before the
+	// fsync so the bits are durable).
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := info.Mode().Perm(); got != 0o644 {
+		t.Errorf("file mode %v, want -rw-r--r--", got)
+	}
+}
+
+func TestMkdirAllSync(t *testing.T) {
+	root := t.TempDir()
+	nested := filepath.Join(root, "a", "b", "c")
+	if err := MkdirAllSync(nested, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(nested)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.IsDir() {
+		t.Fatalf("%s is not a directory", nested)
+	}
+	// Idempotent on an existing tree, like os.MkdirAll.
+	if err := MkdirAllSync(nested, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// A file in the way surfaces the MkdirAll error.
+	blocked := filepath.Join(root, "file")
+	if err := os.WriteFile(blocked, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := MkdirAllSync(filepath.Join(blocked, "sub"), 0o755); err == nil {
+		t.Fatal("MkdirAllSync through a regular file did not fail")
+	}
 }

@@ -40,6 +40,19 @@ func (m *Machine) Snapshot() *Snap {
 	}
 }
 
+// Release returns the snapshot's pooled component states (core and
+// cache buffers) to their pools. The caller must be the snapshot's last
+// holder: no Restore, Converged, or Equal may use it afterwards, and
+// Release must not be called twice. Memory state is not pooled (its
+// pages are copy-on-write shared) and is simply dropped.
+func (s *Snap) Release() {
+	s.Core.Release()
+	s.L1I.Release()
+	s.L1D.Release()
+	s.L2.Release()
+	s.Core, s.L1I, s.L1D, s.L2, s.Mem = nil, nil, nil, nil, nil
+}
+
 // Restore rewinds the machine to the snapshot, reusing the machine's
 // existing backing arrays so a scratch machine can be recycled across
 // thousands of injections without reallocating. The machine must have

@@ -3,6 +3,7 @@ package machine
 import (
 	"testing"
 
+	"sevsim/internal/cpu"
 	"sevsim/internal/isa"
 )
 
@@ -204,6 +205,87 @@ func FuzzSnapshotRoundTrip(f *testing.F) {
 			if res := m.Run(2_000_000); !sameResult(res, golden) {
 				t.Errorf("%s@%d: restored continuation diverged from golden", cfg.Name, c)
 			}
+		}
+	})
+}
+
+// FuzzStateHashEquals fuzzes the hash/equality contract the convergence
+// fast-exit rests on, over mid-run core states perturbed by random bit
+// flips. StateHash mixes a strict subset of the StateEquals fields, so
+// the two agree one way only: StateEquals true must force equal hashes
+// (hash inequality soundly proves state inequality — the Converged
+// prefilter), while equal hashes prove nothing. The fuzzer pins that
+// implication, the pre/post-restore hash round trip, and
+// CoreState.Equal reflexivity and symmetry.
+func FuzzStateHashEquals(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint8(0))
+	f.Add(uint64(3), uint64(12345), uint8(1))
+	f.Add(uint64(40), uint64(0xfeedface), uint8(7))
+	f.Add(uint64(1<<40), uint64(1), uint8(255))
+	f.Fuzz(func(t *testing.T, at, flipSeed uint64, nflips uint8) {
+		for _, cfg := range Configs() {
+			golden := goldenRun(t, cfg)
+			m := New(cfg, prog(snapIns()))
+			runTo(t, m, at%golden.Cycles)
+			s1 := m.Core.Snapshot()
+			h1 := m.Core.StateHash()
+			if !m.Core.StateEquals(s1) {
+				t.Fatal("core not state-equal to its own snapshot")
+			}
+			if !s1.Equal(s1) {
+				t.Fatal("CoreState.Equal not reflexive")
+			}
+
+			// Perturb the core in place: up to 7 flips at LCG-derived
+			// positions across the injectable fields. Flips may land on
+			// dead state (free registers, unoccupied slots) or live state
+			// — both sides of the StateEquals exclusions get exercised.
+			x := flipSeed
+			for i := 0; i < int(nflips%8); i++ {
+				x = x*6364136223846793005 + 1442695040888963407
+				fld := cpu.Field((x >> 33) % uint64(cpu.NumFields))
+				x = x*6364136223846793005 + 1442695040888963407
+				m.Core.FlipBit(fld, (x>>17)%m.Core.FieldBits(fld))
+			}
+			s2 := m.Core.Snapshot()
+			h2 := m.Core.StateHash()
+
+			// Soundness: behavioral equality implies hash agreement.
+			if m.Core.StateEquals(s1) && h2 != h1 {
+				t.Fatal("StateEquals true but StateHash differs: the hash mixes state outside the equality relation")
+			}
+			// Strict equality is stronger still, and must be symmetric.
+			if s1.Equal(s2) != s2.Equal(s1) {
+				t.Fatal("CoreState.Equal not symmetric")
+			}
+			if !s2.Equal(s2) {
+				t.Fatal("CoreState.Equal not reflexive on a perturbed state")
+			}
+			if s1.Equal(s2) && h1 != h2 {
+				t.Fatal("strictly equal snapshots hash differently")
+			}
+
+			// Restore is bit-exact: the hash taken at snapshot time and
+			// the hash after restoring that snapshot must match, for the
+			// clean state and the perturbed one alike.
+			m.Core.Restore(s1)
+			if got := m.Core.StateHash(); got != h1 {
+				t.Fatalf("hash after Restore %#x, want %#x", got, h1)
+			}
+			if !m.Core.StateEquals(s1) {
+				t.Fatal("core not state-equal to the snapshot it was just restored from")
+			}
+			s3 := m.Core.Snapshot()
+			if !s3.Equal(s1) {
+				t.Fatal("restore round trip not bit-exact")
+			}
+			s3.Release()
+			m.Core.Restore(s2)
+			if got := m.Core.StateHash(); got != h2 {
+				t.Fatalf("hash after restoring perturbed state %#x, want %#x", got, h2)
+			}
+			s1.Release()
+			s2.Release()
 		}
 	})
 }

@@ -33,16 +33,18 @@ type CacheStats struct {
 	Evictions  uint64
 }
 
-type cacheLine struct {
-	tag   uint64
-	valid bool
-	dirty bool
-	data  []byte // allocated on first fill (or first injected flip)
-	lru   uint64 // last-use timestamp for LRU replacement
-}
-
 // Cache is a set-associative write-back write-allocate cache with
 // authoritative tag and data arrays.
+//
+// Line state is struct-of-arrays: one flat slice per attribute, indexed
+// by line number (set*ways + way, row-major by set), with the data
+// array one contiguous slab of lines*LineSize bytes allocated at
+// construction. A snapshot is then five flat copies, the strict
+// comparison five flat compares, and a restore can be a *delta*: the
+// cache tracks which lines it has touched since the last restore, and
+// restoring the same snapshot again copies back only those lines — the
+// dominant case in an injection campaign, where thousands of short
+// faulty runs restart from one checkpoint.
 type Cache struct {
 	// Geometry, derived from the config at construction and immutable
 	// after; snapshotcover (cmd/sevlint) checks every other field is
@@ -52,9 +54,36 @@ type Cache struct {
 	offBits  int         //snapshot:skip immutable geometry, derived at construction
 	setBits  int         //snapshot:skip immutable geometry, derived at construction
 	tagWidth int         //snapshot:skip immutable geometry, derived at construction
-	lines    []cacheLine // sets*ways, row-major by set
 	lower    Backend     //snapshot:skip hierarchy wiring; the lower level is snapshotted separately
-	clock    uint64
+
+	tags  []uint64 // per line: stored tag
+	lru   []uint64 // per line: last-use timestamp for LRU replacement
+	valid []uint8  // per line: 1 when resident
+	dirty []uint8  // per line: 1 when modified since fill
+	data  []byte   // lines*LineSize contiguous line bytes
+	clock uint64
+
+	// Delta-restore bookkeeping: which lines changed since the last
+	// Restore, so restoring the same snapshot again copies only those.
+	// lastRestore+lastGen identify that snapshot; the generation guards
+	// against a pooled CacheState being released and reused at the same
+	// address. None of this is checkpoint state: it describes the
+	// relation between the live cache and one snapshot, and Restore
+	// rebuilds it.
+	lastRestore *CacheState //snapshot:skip delta-restore bookkeeping, rebuilt by Restore itself
+	lastGen     uint64      //snapshot:skip delta-restore bookkeeping, rebuilt by Restore itself
+	touched     []int32     //snapshot:skip delta-restore bookkeeping, rebuilt by Restore itself
+	touchedMark []uint8     //snapshot:skip delta-restore bookkeeping, rebuilt by Restore itself
+
+	// Convergence-compare memo: the behavioral line difference between
+	// the delta-restore base snapshot and each convergence-watch
+	// snapshot StateEquals has been asked about. Both snapshots are
+	// immutable while alive, so the diff is computed once per pair and
+	// reused across every injection run rewinding to the same base; a
+	// full restore (new base) resets it, and the generation stamps guard
+	// against pooled snapshot reuse.
+	diffs []watchDiff //snapshot:skip convergence-compare memo over immutable snapshots, reset on full restore
+
 	//equality:dead event counters; never fed back into execution or classification
 	Stats CacheStats
 }
@@ -69,13 +98,19 @@ func NewCache(cfg CacheConfig, lower Backend) *Cache {
 	if cfg.LineSize&(cfg.LineSize-1) != 0 {
 		simerr.Assertf("cache %s: line size %d not a power of two", cfg.Name, cfg.LineSize)
 	}
+	lines := sets * cfg.Ways
 	c := &Cache{
-		cfg:     cfg,
-		sets:    sets,
-		offBits: bits.TrailingZeros(uint(cfg.LineSize)),
-		setBits: bits.TrailingZeros(uint(sets)),
-		lines:   make([]cacheLine, sets*cfg.Ways),
-		lower:   lower,
+		cfg:         cfg,
+		sets:        sets,
+		offBits:     bits.TrailingZeros(uint(cfg.LineSize)),
+		setBits:     bits.TrailingZeros(uint(sets)),
+		tags:        make([]uint64, lines),
+		lru:         make([]uint64, lines),
+		valid:       make([]uint8, lines),
+		dirty:       make([]uint8, lines),
+		data:        make([]byte, lines*cfg.LineSize),
+		touchedMark: make([]uint8, lines),
+		lower:       lower,
 	}
 	c.tagWidth = cfg.AddrBits - c.offBits - c.setBits
 	if c.tagWidth <= 0 {
@@ -98,6 +133,45 @@ func (c *Cache) tagOf(addr uint64) uint64 {
 	return (addr >> (c.offBits + c.setBits)) & ((1 << c.tagWidth) - 1)
 }
 
+// lineData returns the data bytes of one line within the flat slab.
+func (c *Cache) lineData(line int) []byte {
+	off := line * c.cfg.LineSize
+	return c.data[off : off+c.cfg.LineSize]
+}
+
+// Touched-line marks for delta restore. A read hit only advances the
+// line's LRU stamp, so restoring it is one scalar store; a fill, write,
+// or fault flip can change any line byte and needs the full copy.
+const (
+	markClean uint8 = iota // untouched since the last restore
+	markLRU                // only the LRU stamp changed (read hit)
+	markLine               // tag/valid/dirty/data may have changed
+)
+
+// markLRUOnly records that a line's LRU stamp changed since the last
+// restore. A cache that has never been restored (the golden run) skips
+// the tracking entirely. A line already fully marked stays full.
+func (c *Cache) markLRUOnly(line int) {
+	if c.lastRestore == nil || c.touchedMark[line] != markClean {
+		return
+	}
+	c.touchedMark[line] = markLRU
+	c.touched = append(c.touched, int32(line))
+}
+
+// markFull records that a line's state beyond the LRU stamp may have
+// changed, upgrading an LRU-only mark in place (the line is already in
+// the touched list).
+func (c *Cache) markFull(line int) {
+	if c.lastRestore == nil || c.touchedMark[line] == markLine {
+		return
+	}
+	if c.touchedMark[line] == markClean {
+		c.touched = append(c.touched, int32(line))
+	}
+	c.touchedMark[line] = markLine
+}
+
 // lineAddr reconstructs the base address of a resident line from its set
 // index and stored tag. A corrupted tag reconstructs to a different —
 // possibly unmapped — address; that is exactly how tag faults escape.
@@ -109,8 +183,7 @@ func (c *Cache) lineAddr(set int, tag uint64) uint64 {
 func (c *Cache) lookup(set int, tag uint64) int {
 	base := set * c.cfg.Ways
 	for w := 0; w < c.cfg.Ways; w++ {
-		ln := &c.lines[base+w]
-		if ln.valid && ln.tag == tag {
+		if c.valid[base+w] != 0 && c.tags[base+w] == tag {
 			return w
 		}
 	}
@@ -123,12 +196,11 @@ func (c *Cache) victim(set int) int {
 	base := set * c.cfg.Ways
 	best, bestLRU := 0, ^uint64(0)
 	for w := 0; w < c.cfg.Ways; w++ {
-		ln := &c.lines[base+w]
-		if !ln.valid {
+		if c.valid[base+w] == 0 {
 			return w
 		}
-		if ln.lru < bestLRU {
-			bestLRU = ln.lru
+		if c.lru[base+w] < bestLRU {
+			bestLRU = c.lru[base+w]
 			best = w
 		}
 	}
@@ -144,44 +216,86 @@ func (c *Cache) fill(addr uint64) (way int, lat int) {
 		c.Stats.Hits++
 		return w, 0
 	}
+	return c.miss(addr, set, tag)
+}
+
+// miss is the fill slow path: write back and replace the victim, then
+// fill the line from the lower level.
+func (c *Cache) miss(addr uint64, set int, tag uint64) (way, lat int) {
 	c.Stats.Misses++
 	w := c.victim(set)
-	ln := &c.lines[set*c.cfg.Ways+w]
-	if ln.valid {
+	line := set*c.cfg.Ways + w
+	c.markFull(line)
+	if c.valid[line] != 0 {
 		c.Stats.Evictions++
-		if ln.dirty {
+		if c.dirty[line] != 0 {
 			c.Stats.Writebacks++
-			lat += c.lower.WriteLine(c.lineAddr(set, ln.tag), ln.data)
+			lat += c.lower.WriteLine(c.lineAddr(set, c.tags[line]), c.lineData(line))
 		}
 	}
-	if ln.data == nil {
-		ln.data = make([]byte, c.cfg.LineSize)
-	}
 	lineBase := addr &^ uint64(c.cfg.LineSize-1)
-	lat += c.lower.ReadLine(lineBase, ln.data)
-	ln.tag = tag
-	ln.valid = true
-	ln.dirty = false
+	lat += c.lower.ReadLine(lineBase, c.lineData(line))
+	c.tags[line] = tag
+	c.valid[line] = 1
+	c.dirty[line] = 0
 	return w, lat
 }
 
 func (c *Cache) touch(set, way int) {
 	c.clock++
-	c.lines[set*c.cfg.Ways+way].lru = c.clock
+	line := set*c.cfg.Ways + way
+	c.markLRUOnly(line)
+	c.lru[line] = c.clock
 }
 
 // Read performs a program-level read of size bytes (1, 4, or 8) that
 // must not cross a line boundary. It returns the little-endian value and
 // the access latency.
+//
+// This is the hottest call in the simulator (every fetch and every
+// load), so the hit path is fused: set, tag, and line index are
+// computed once, the lookup is inlined, and the value is extracted
+// with a direct little-endian load instead of a bounce buffer. Event
+// ordering (hit/miss stats, touched-line marking, the LRU clock)
+// matches the generic fill+touch path bit for bit.
 func (c *Cache) Read(addr uint64, size int) (uint64, int) {
-	way, lat := c.fill(addr)
-	set := c.set(addr)
-	c.touch(set, way)
-	ln := &c.lines[set*c.cfg.Ways+way]
-	off := int(addr) & (c.cfg.LineSize - 1)
-	var buf [8]byte
-	copy(buf[:size], ln.data[off:off+size])
-	return binary.LittleEndian.Uint64(buf[:]), c.cfg.HitLatency + lat
+	set := int(addr>>c.offBits) & (c.sets - 1)
+	tag := (addr >> (c.offBits + c.setBits)) & ((1 << c.tagWidth) - 1)
+	base := set * c.cfg.Ways
+	line := -1
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.valid[base+w] != 0 && c.tags[base+w] == tag {
+			line = base + w
+			break
+		}
+	}
+	lat := 0
+	if line >= 0 {
+		c.Stats.Hits++
+	} else {
+		var w int
+		w, lat = c.miss(addr, set, tag)
+		line = base + w
+	}
+	c.clock++
+	if c.lastRestore != nil && c.touchedMark[line] == markClean {
+		c.touchedMark[line] = markLRU
+		c.touched = append(c.touched, int32(line))
+	}
+	c.lru[line] = c.clock
+	d := c.data[line*c.cfg.LineSize+(int(addr)&(c.cfg.LineSize-1)):]
+	switch size {
+	case 8:
+		return binary.LittleEndian.Uint64(d[:8]), c.cfg.HitLatency + lat
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(d[:4])), c.cfg.HitLatency + lat
+	case 1:
+		return uint64(d[0]), c.cfg.HitLatency + lat
+	default:
+		var buf [8]byte
+		copy(buf[:size], d[:size])
+		return binary.LittleEndian.Uint64(buf[:]), c.cfg.HitLatency + lat
+	}
 }
 
 // Write performs a program-level write of size bytes. Write-allocate:
@@ -193,12 +307,13 @@ func (c *Cache) Write(addr uint64, size int, val uint64) int {
 	way, lat := c.fill(addr)
 	set := c.set(addr)
 	c.touch(set, way)
-	ln := &c.lines[set*c.cfg.Ways+way]
+	line := set*c.cfg.Ways + way
+	c.markFull(line) // data and dirty change below; an LRU-only mark is not enough
 	off := int(addr) & (c.cfg.LineSize - 1)
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], val)
-	copy(ln.data[off:off+size], buf[:size])
-	ln.dirty = true
+	copy(c.lineData(line)[off:off+size], buf[:size])
+	c.dirty[line] = 1
 	return c.cfg.HitLatency + lat
 }
 
@@ -208,14 +323,13 @@ func (c *Cache) ReadLine(addr uint64, dst []byte) int {
 	way, lat := c.fill(addr)
 	set := c.set(addr)
 	c.touch(set, way)
-	ln := &c.lines[set*c.cfg.Ways+way]
 	// The upper cache's line size can be at most ours; a naturally
 	// aligned smaller line sits inside one of our lines.
 	off := int(addr) & (c.cfg.LineSize - 1)
 	if off+len(dst) > c.cfg.LineSize {
 		simerr.Assertf("cache %s: line read spans lines at %#x", c.cfg.Name, addr)
 	}
-	copy(dst, ln.data[off:off+len(dst)])
+	copy(dst, c.lineData(set*c.cfg.Ways+way)[off:off+len(dst)])
 	return c.cfg.HitLatency + lat
 }
 
@@ -224,13 +338,14 @@ func (c *Cache) WriteLine(addr uint64, src []byte) int {
 	way, lat := c.fill(addr)
 	set := c.set(addr)
 	c.touch(set, way)
-	ln := &c.lines[set*c.cfg.Ways+way]
+	line := set*c.cfg.Ways + way
+	c.markFull(line) // data and dirty change below; an LRU-only mark is not enough
 	off := int(addr) & (c.cfg.LineSize - 1)
 	if off+len(src) > c.cfg.LineSize {
 		simerr.Assertf("cache %s: line write spans lines at %#x", c.cfg.Name, addr)
 	}
-	copy(ln.data[off:off+len(src)], src)
-	ln.dirty = true
+	copy(c.lineData(line)[off:off+len(src)], src)
+	c.dirty[line] = 1
 	return c.cfg.HitLatency + lat
 }
 
@@ -238,7 +353,7 @@ func (c *Cache) WriteLine(addr uint64, src []byte) int {
 
 // DataBitCount returns the number of injectable bits in the data array.
 func (c *Cache) DataBitCount() uint64 {
-	return uint64(c.sets) * uint64(c.cfg.Ways) * uint64(c.cfg.LineSize) * 8
+	return uint64(len(c.data)) * 8
 }
 
 // TagBitCount returns the number of injectable bits in the tag array.
@@ -251,14 +366,8 @@ func (c *Cache) TagBitCount() uint64 {
 // FlipDataBit flips one bit of the data array, addressed by a global bit
 // index in [0, DataBitCount).
 func (c *Cache) FlipDataBit(bit uint64) {
-	lineBits := uint64(c.cfg.LineSize) * 8
-	idx := bit / lineBits
-	ln := &c.lines[idx]
-	if ln.data == nil {
-		ln.data = make([]byte, c.cfg.LineSize)
-	}
-	b := bit % lineBits
-	ln.data[b/8] ^= 1 << (b % 8)
+	c.markFull(int(bit / (uint64(c.cfg.LineSize) * 8)))
+	c.data[bit/8] ^= 1 << (bit % 8)
 }
 
 // FlipTagBit flips one bit of the tag array, addressed by a global bit
@@ -266,25 +375,20 @@ func (c *Cache) FlipDataBit(bit uint64) {
 // valid, then dirty.
 func (c *Cache) FlipTagBit(bit uint64) {
 	per := uint64(c.tagWidth + 2)
-	ln := &c.lines[bit/per]
+	line := int(bit / per)
+	c.markFull(line)
 	switch b := bit % per; {
 	case b < uint64(c.tagWidth):
-		ln.tag ^= 1 << b
+		c.tags[line] ^= 1 << b
 	case b == uint64(c.tagWidth):
-		ln.valid = !ln.valid
-		if ln.valid && ln.data == nil {
-			ln.data = make([]byte, c.cfg.LineSize)
-		}
+		c.valid[line] ^= 1
 	default:
-		ln.dirty = !ln.dirty
-		if ln.dirty && ln.data == nil {
-			ln.data = make([]byte, c.cfg.LineSize)
-		}
+		c.dirty[line] ^= 1
 	}
 }
 
 // LineState exposes one line's metadata for tests.
 func (c *Cache) LineState(set, way int) (tag uint64, valid, dirty bool) {
-	ln := &c.lines[set*c.cfg.Ways+way]
-	return ln.tag, ln.valid, ln.dirty
+	line := set*c.cfg.Ways + way
+	return c.tags[line], c.valid[line] != 0, c.dirty[line] != 0
 }

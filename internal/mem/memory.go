@@ -155,6 +155,19 @@ func (m *Memory) CheckFetch(addr uint64) *Fault {
 	return &Fault{Kind: FaultUnmapped, Addr: addr}
 }
 
+// ExecSpan returns the bounds of the executable region containing the
+// 4-byte word at addr. The address map is immutable after program
+// load, so callers may memoize the span and skip CheckFetch for
+// aligned fetches inside it.
+func (m *Memory) ExecSpan(addr uint64) (base, size uint64, ok bool) {
+	for _, r := range m.regions {
+		if r.Contains(addr, 4) && r.Perm&PermX != 0 {
+			return r.Base, r.Size, true
+		}
+	}
+	return 0, 0, false
+}
+
 func (m *Memory) mapped(addr, size uint64) bool {
 	for _, r := range m.regions {
 		if r.Contains(addr, size) {

@@ -2,83 +2,144 @@ package mem
 
 // Snapshot and restore for the memory hierarchy, the cache/memory half
 // of the machine checkpoints used by the injection engine. Cache
-// snapshots are deep copies (the data arrays are authoritative fault
-// targets and small); physical memory snapshots are copy-on-write at
-// page granularity — the snapshot aliases the live page arrays and the
-// live memory clones a page on the first store after the snapshot — so
-// K checkpoints of a large-footprint benchmark cost one page copy per
-// written page, not K full memory copies.
+// snapshots are flat-slab deep copies drawn from a pool (the data
+// arrays are authoritative fault targets and small); physical memory
+// snapshots are copy-on-write at page granularity — the snapshot
+// aliases the live page arrays and the live memory clones a page on
+// the first store after the snapshot — so K checkpoints of a
+// large-footprint benchmark cost one page copy per written page, not K
+// full memory copies.
+//
+// Restoring the same cache snapshot repeatedly — the shape of an
+// injection campaign, where every faulty run of a batch rewinds to one
+// checkpoint — is a delta: the cache copies back only the lines it
+// touched since the previous restore (see Cache.mark). A generation
+// stamp on each snapshot makes the pointer identity test safe against
+// pooled CacheState reuse; whether the delta or the full path runs can
+// never change the outcome, since both produce the bit-exact snapshot
+// state.
 //
 // Like the core layer (internal/cpu/snapshot.go), each structure offers
 // a strict Equal on the snapshot (bit-for-bit, for round-trip tests)
 // and a behavioral StateEquals on the live structure (skips dead state,
 // for the early-convergence Masked exit).
 
-import "sevsim/internal/simerr"
+import (
+	"bytes"
+	"slices"
+	"sync"
+	"sync/atomic"
 
-// CacheLineState is one line of a cache snapshot. Data is nil when the
-// line has never been filled or flipped (its bytes read as zero only
-// through a fill, which overwrites them anyway).
-type CacheLineState struct {
-	Tag   uint64
-	Valid bool
-	Dirty bool
-	LRU   uint64
-	Data  []byte
-}
+	"sevsim/internal/simerr"
+)
 
 // CacheState is a point-in-time copy of one cache's authoritative
-// arrays plus the LRU clock and event counters. It shares no memory
-// with the cache, so it may be restored concurrently into many caches.
+// arrays plus the LRU clock and event counters, in the same flat
+// struct-of-arrays layout as the live cache. It shares no memory with
+// the cache, so it may be restored concurrently into many caches. It
+// is immutable from Snapshot until Release.
 type CacheState struct {
 	Clock uint64
 	Stats CacheStats
-	Lines []CacheLineState
+
+	gen   uint64 // pool-reuse guard for the delta-restore identity test
+	tags  []uint64
+	lru   []uint64
+	valid []uint8
+	dirty []uint8
+	data  []byte
 }
 
-// Snapshot captures the cache's complete state.
+// cacheGen stamps every snapshot with a process-unique generation, so a
+// cache holding a stale lastRestore pointer can detect that the pooled
+// CacheState behind it was released and reused.
+var cacheGen atomic.Uint64
+
+var cacheStatePool = sync.Pool{New: func() any { return new(CacheState) }}
+
+// Release returns the snapshot's buffers to the pool. The caller must
+// be the last holder; Release must not be called twice. Caches that
+// used this snapshot for delta restore detect the reuse through the
+// generation stamp.
+func (s *CacheState) Release() {
+	cacheStatePool.Put(s)
+}
+
+// snapCopy copies src into dst, reusing dst's backing array when its
+// capacity suffices (pooled-buffer length/capacity discipline).
+func snapCopy[T any](dst, src []T) []T {
+	if cap(dst) < len(src) {
+		dst = make([]T, len(src))
+	} else {
+		dst = dst[:len(src)]
+	}
+	copy(dst, src)
+	return dst
+}
+
+// Snapshot captures the cache's complete state into a pooled
+// CacheState: five flat copies plus the scalars.
 func (c *Cache) Snapshot() *CacheState {
-	s := &CacheState{
-		Clock: c.clock,
-		Stats: c.Stats,
-		Lines: make([]CacheLineState, len(c.lines)),
-	}
-	for i := range c.lines {
-		ln := &c.lines[i]
-		s.Lines[i] = CacheLineState{Tag: ln.tag, Valid: ln.valid, Dirty: ln.dirty, LRU: ln.lru}
-		if ln.data != nil {
-			s.Lines[i].Data = append([]byte(nil), ln.data...)
-		}
-	}
+	s := cacheStatePool.Get().(*CacheState)
+	s.Clock = c.clock
+	s.Stats = c.Stats
+	s.gen = cacheGen.Add(1)
+	s.tags = snapCopy(s.tags, c.tags)
+	s.lru = snapCopy(s.lru, c.lru)
+	s.valid = snapCopy(s.valid, c.valid)
+	s.dirty = snapCopy(s.dirty, c.dirty)
+	s.data = snapCopy(s.data, c.data)
 	return s
 }
 
+// restoreLine copies one line's full state back from the snapshot.
+func (c *Cache) restoreLine(s *CacheState, line int) {
+	c.tags[line] = s.tags[line]
+	c.lru[line] = s.lru[line]
+	c.valid[line] = s.valid[line]
+	c.dirty[line] = s.dirty[line]
+	off := line * c.cfg.LineSize
+	copy(c.data[off:off+c.cfg.LineSize], s.data[off:off+c.cfg.LineSize])
+}
+
 // Restore overwrites the cache's state with the snapshot's, reusing the
-// cache's existing line buffers. When the snapshot line has no data
-// buffer but the cache does, the buffer is zeroed rather than dropped:
-// a later FlipTagBit or FlipDataBit reuses whatever buffer exists, and
-// stale bytes from a previous injection would otherwise leak into the
-// restored run and break bit-exact equivalence.
+// cache's existing backing arrays. Restoring the snapshot the cache was
+// last restored from copies back only the lines touched since then;
+// any other snapshot takes the full flat-copy path and becomes the new
+// delta base. Both paths leave the cache bit-identical to the
+// snapshot — the delta is a pure optimization.
 func (c *Cache) Restore(s *CacheState) {
-	if len(s.Lines) != len(c.lines) {
-		simerr.Assertf("mem: cache restore from a differently configured cache snapshot")
+	if len(s.tags) != len(c.tags) || len(s.data) != len(c.data) {
+		simerr.Assertf("mem: cache restore from a differently configured cache snapshot: %d lines / %d data bytes, cache has %d / %d",
+			len(s.tags), len(s.data), len(c.tags), len(c.data))
 	}
 	c.clock = s.Clock
 	c.Stats = s.Stats
-	for i := range c.lines {
-		ln := &c.lines[i]
-		src := &s.Lines[i]
-		ln.tag, ln.valid, ln.dirty, ln.lru = src.Tag, src.Valid, src.Dirty, src.LRU
-		switch {
-		case src.Data == nil && ln.data != nil:
-			clear(ln.data)
-		case src.Data != nil:
-			if ln.data == nil {
-				ln.data = make([]byte, len(src.Data))
+	if c.lastRestore == s && c.lastGen == s.gen {
+		for _, line := range c.touched {
+			if c.touchedMark[line] == markLine {
+				c.restoreLine(s, int(line))
+			} else {
+				// Read hit: only the LRU stamp moved.
+				c.lru[line] = s.lru[line]
 			}
-			copy(ln.data, src.Data)
+			c.touchedMark[line] = markClean
 		}
+		c.touched = c.touched[:0]
+		return
 	}
+	copy(c.tags, s.tags)
+	copy(c.lru, s.lru)
+	copy(c.valid, s.valid)
+	copy(c.dirty, s.dirty)
+	copy(c.data, s.data)
+	for _, line := range c.touched {
+		c.touchedMark[line] = markClean
+	}
+	c.touched = c.touched[:0]
+	c.lastRestore = s
+	c.lastGen = s.gen
+	c.diffs = c.diffs[:0]
 }
 
 // Clock returns the LRU clock, the cheap per-cache component of the
@@ -89,78 +150,128 @@ func (c *Cache) Restore(s *CacheState) {
 // subset of the exact comparison.
 func (c *Cache) Clock() uint64 { return c.clock }
 
-// dataEqual compares two line buffers treating nil as all-zero, which
-// is exactly how a missing buffer behaves (it is only ever observed
-// after a fill overwrites it, or as zeroes via flips that allocate).
-func dataEqual(a, b []byte, size int) bool {
-	if a == nil && b == nil {
-		return true
-	}
-	for i := 0; i < size; i++ {
-		var av, bv byte
-		if a != nil {
-			av = a[i]
-		}
-		if b != nil {
-			bv = b[i]
-		}
-		if av != bv {
-			return false
-		}
-	}
-	return true
-}
-
 // StateEquals reports whether the cache's behavioral state equals the
 // snapshot's. Invalid lines compare only their valid bit: fill
-// overwrites tag, dirty, and the whole data buffer before the line can
+// overwrites tag, dirty, and the whole data range before the line can
 // be observed, and touch assigns the line a fresh LRU stamp before the
 // next victim scan can read it, so everything but the valid bit of an
 // invalid line is dead state. Valid lines compare in full, and so does
 // the LRU clock (it steers future victim selection). Stats are
 // excluded: they never feed back into execution or classification, and
 // a behaviorally converged run may carry different event counts from
-// its pre-convergence excursion.
+// its pre-convergence excursion. The flat slab compare runs first:
+// identical slabs are sufficient, so the per-line dead-state walk only
+// runs when some byte differs.
 func (c *Cache) StateEquals(s *CacheState) bool {
-	if c.clock != s.Clock {
+	if c.clock != s.Clock || len(c.tags) != len(s.tags) || len(c.data) != len(s.data) {
 		return false
 	}
-	for i := range c.lines {
-		ln := &c.lines[i]
-		src := &s.Lines[i]
-		if ln.valid != src.Valid {
-			return false
+	if c.lastRestore != nil && c.lastGen == c.lastRestore.gen && len(c.lastRestore.tags) == len(c.tags) {
+		// Delta path: outside the touched set the live cache is
+		// bit-identical to its restore base, so it can differ from s
+		// only where the base does (the memoized diff) or where it was
+		// touched since the restore. Equality therefore holds iff every
+		// base/s difference was touched (untouched lines pin the live
+		// cache to the base side of the difference) and every touched
+		// line behaviorally matches s.
+		for _, line := range c.diffFor(s) {
+			if c.touchedMark[line] == markClean {
+				return false
+			}
 		}
-		if !ln.valid {
-			continue
+		for _, line := range c.touched {
+			if !c.liveLineEquals(s, int(line)) {
+				return false
+			}
 		}
-		if ln.tag != src.Tag || ln.dirty != src.Dirty || ln.lru != src.LRU {
-			return false
-		}
-		if !dataEqual(ln.data, src.Data, c.cfg.LineSize) {
+		return true
+	}
+	if slices.Equal(c.valid, s.valid) && slices.Equal(c.dirty, s.dirty) &&
+		slices.Equal(c.tags, s.tags) && slices.Equal(c.lru, s.lru) &&
+		bytes.Equal(c.data, s.data) {
+		return true
+	}
+	for line := range c.tags {
+		if !c.liveLineEquals(s, line) {
 			return false
 		}
 	}
 	return true
 }
 
-// Equal is the strict comparison of two cache snapshots, including dead
-// state, with nil data buffers equivalent to all-zero buffers.
-func (s *CacheState) Equal(o *CacheState) bool {
-	if s.Clock != o.Clock || s.Stats != o.Stats || len(s.Lines) != len(o.Lines) {
+// liveLineEquals is the per-line behavioral comparison of the live
+// cache against a snapshot: invalid lines compare only the valid bit
+// (the rest is dead state, see StateEquals), valid lines in full.
+func (c *Cache) liveLineEquals(s *CacheState, line int) bool {
+	if c.valid[line] != s.valid[line] {
 		return false
 	}
-	for i := range s.Lines {
-		a, b := &s.Lines[i], &o.Lines[i]
-		if a.Tag != b.Tag || a.Valid != b.Valid || a.Dirty != b.Dirty || a.LRU != b.LRU {
-			return false
-		}
-		size := max(len(a.Data), len(b.Data))
-		if !dataEqual(a.Data, b.Data, size) {
-			return false
+	if c.valid[line] == 0 {
+		return true
+	}
+	if c.tags[line] != s.tags[line] || c.dirty[line] != s.dirty[line] || c.lru[line] != s.lru[line] {
+		return false
+	}
+	off := line * c.cfg.LineSize
+	return bytes.Equal(c.data[off:off+c.cfg.LineSize], s.data[off:off+c.cfg.LineSize])
+}
+
+// watchDiff records, for one convergence-watch snapshot, the lines
+// where it behaviorally differs from the cache's delta-restore base.
+type watchDiff struct {
+	watch    *CacheState
+	watchGen uint64
+	lines    []int32
+}
+
+// diffFor returns the behavioral line difference between the cache's
+// delta-restore base snapshot and s, memoized per (base, s) pair. Both
+// snapshots are immutable, so the memo stays valid until the base
+// changes (Restore resets c.diffs) or either pooled snapshot is reused
+// (generation mismatch). Only called from StateEquals' delta path, so
+// the base is known valid and same-geometry.
+func (c *Cache) diffFor(s *CacheState) []int32 {
+	for i := range c.diffs {
+		if c.diffs[i].watch == s && c.diffs[i].watchGen == s.gen {
+			return c.diffs[i].lines
 		}
 	}
-	return true
+	base := c.lastRestore
+	var lines []int32
+	ls := c.cfg.LineSize
+	for line := range base.tags {
+		if base.valid[line] != s.valid[line] {
+			lines = append(lines, int32(line))
+			continue
+		}
+		if base.valid[line] == 0 {
+			continue
+		}
+		off := line * ls
+		if base.tags[line] != s.tags[line] || base.dirty[line] != s.dirty[line] ||
+			base.lru[line] != s.lru[line] || !bytes.Equal(base.data[off:off+ls], s.data[off:off+ls]) {
+			lines = append(lines, int32(line))
+		}
+	}
+	if len(c.diffs) >= 32 {
+		// Stale pooled-reuse entries could otherwise pile up; watch sets
+		// are far smaller than this in practice.
+		c.diffs = c.diffs[:0]
+	}
+	c.diffs = append(c.diffs, watchDiff{watch: s, watchGen: s.gen, lines: lines})
+	return lines
+}
+
+// Equal is the strict comparison of two cache snapshots, including dead
+// state: every slab bit, the clock, and the counters. The flat layout
+// makes it five slice compares — there is no per-line tail that could
+// escape comparison (the old per-line buffers compared only a prefix
+// of each buffer, so trailing bytes could differ silently).
+func (s *CacheState) Equal(o *CacheState) bool {
+	return s.Clock == o.Clock && s.Stats == o.Stats &&
+		slices.Equal(s.tags, o.tags) && slices.Equal(s.lru, o.lru) &&
+		slices.Equal(s.valid, o.valid) && slices.Equal(s.dirty, o.dirty) &&
+		bytes.Equal(s.data, o.data)
 }
 
 // MemoryState is a copy-on-write snapshot of physical memory: it
@@ -168,6 +279,9 @@ func (s *CacheState) Equal(o *CacheState) bool {
 // are immutable from then on — the live memory clones any aliased page
 // before writing to it (writablePage) and Restore only copies pointers
 // — so one snapshot can be shared read-only across concurrent workers.
+// MemoryState is not pooled: its cost is the map, which Restore reuses
+// on the live-memory side already, and pooling shared COW pages would
+// need reference counting for no measured gain.
 type MemoryState struct {
 	pages map[uint64]*[PageSize]byte
 }

@@ -107,6 +107,83 @@ func TestCacheRestoreZeroesStaleBuffers(t *testing.T) {
 	}
 }
 
+// TestCacheComparisonCoversWholeLine: no byte of a line's data may
+// escape the equality relations. The old per-line buffers were
+// compared only over a prefix length, so a differing trailing byte
+// could slip through; the flat slab layout compares every byte, and
+// this pins it: flipping the LAST bit of the LAST line's data must
+// break both StateEquals and strict Equal against a prior snapshot.
+func TestCacheComparisonCoversWholeLine(t *testing.T) {
+	_, _, l1 := newHierarchy()
+	// Make the last line valid so StateEquals compares its data.
+	cfg := l1.Config()
+	lastLine := uint64(l1.Sets()*cfg.Ways - 1)
+	per := uint64(l1.TagWidth() + 2)
+	l1.FlipTagBit(lastLine*per + uint64(l1.TagWidth())) // set its valid bit
+	s := l1.Snapshot()
+	if !l1.StateEquals(s) || !l1.Snapshot().Equal(s) {
+		t.Fatal("cache must equal its own snapshot")
+	}
+	l1.FlipDataBit(l1.DataBitCount() - 1) // last bit of the last line
+	if l1.StateEquals(s) {
+		t.Error("StateEquals missed a flipped tail byte of the last line")
+	}
+	if l1.Snapshot().Equal(s) {
+		t.Error("strict Equal missed a flipped tail byte of the last line")
+	}
+	l1.FlipDataBit(l1.DataBitCount() - 1)
+	if !l1.StateEquals(s) {
+		t.Error("flipping the bit back must restore equality")
+	}
+}
+
+// TestCacheDeltaRestoreBitExact: repeated restores from one snapshot
+// take the delta path (only touched lines copied back) and must be
+// indistinguishable from a full restore, including when the
+// interleaved work evicts, writes back, and flips bits; and a restore
+// from a *different* snapshot must invalidate the delta base.
+func TestCacheDeltaRestoreBitExact(t *testing.T) {
+	_, _, l1 := newHierarchy()
+	for i := uint64(0); i < 16; i++ {
+		l1.Write(0x100000+i*64, 8, i|0xa0)
+	}
+	s := l1.Snapshot()
+	for round := 0; round < 3; round++ {
+		// Dirty a different slice of state each round.
+		for i := uint64(0); i < 32; i++ {
+			l1.Write(0x110000+i*64+uint64(round)*0x2000, 8, ^i)
+		}
+		l1.FlipDataBit(uint64(round) * 131)
+		l1.FlipTagBit(uint64(round) * 7)
+		l1.Restore(s)
+		if !l1.Snapshot().Equal(s) {
+			t.Fatalf("round %d: delta restore is not bit-exact", round)
+		}
+	}
+	// Restore from a different snapshot, then from s again: the delta
+	// base must switch correctly both times.
+	l1.Write(0x140000, 8, 0x1234)
+	s2 := l1.Snapshot()
+	l1.Write(0x150000, 8, 0x5678)
+	l1.Restore(s2)
+	if !l1.Snapshot().Equal(s2) {
+		t.Fatal("restore from second snapshot not bit-exact")
+	}
+	l1.Restore(s)
+	if !l1.Snapshot().Equal(s) {
+		t.Fatal("switching back to first snapshot not bit-exact")
+	}
+	// A released-and-reused snapshot must not be mistaken for the delta
+	// base: gen differs even if the pool hands back the same pointer.
+	s2.Release()
+	s3 := l1.Snapshot()
+	l1.Write(0x160000, 8, 0x9abc)
+	l1.Restore(s3)
+	if !l1.Snapshot().Equal(s3) {
+		t.Fatal("restore from pooled-reuse snapshot not bit-exact")
+	}
+}
+
 // TestCacheSnapshotRoundTrip: dirty the hierarchy, snapshot, keep
 // running, restore, and require strict snapshot equality plus
 // behavioral equality.

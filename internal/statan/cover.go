@@ -127,6 +127,47 @@ func packageStructs(pkg *Package) []*structDecl {
 	return order
 }
 
+// structsByName indexes a packageStructs result for embedded-struct
+// expansion.
+func structsByName(sds []*structDecl) map[string]*structDecl {
+	byName := make(map[string]*structDecl, len(sds))
+	for _, sd := range sds {
+		byName[sd.Name] = sd
+	}
+	return byName
+}
+
+// expandFields returns the struct's effective field list with embedded
+// same-package struct fields expanded in place (promotion-aware
+// coverage): an embedded struct like cpu.Core's soa contributes its
+// own fields — with their own annotations — instead of appearing as a
+// single opaque field, because methods reference the promoted names
+// (c.u64, c.prf), never the embedded field itself. Only plain embedded
+// same-package structs expand; named fields, pointers, and external
+// types stay as declared. Cyclic embedding (impossible for value
+// embedding, which Go rejects) is guarded anyway.
+func expandFields(sd *structDecl, byName map[string]*structDecl) []*ast.Field {
+	var out []*ast.Field
+	seen := map[string]bool{sd.Name: true}
+	var expand func(st *ast.StructType)
+	expand = func(st *ast.StructType) {
+		for _, field := range st.Fields.List {
+			if len(field.Names) == 0 {
+				if id, ok := field.Type.(*ast.Ident); ok {
+					if inner, ok := byName[id.Name]; ok && !seen[id.Name] {
+						seen[id.Name] = true
+						expand(inner.Struct)
+						continue
+					}
+				}
+			}
+			out = append(out, field)
+		}
+	}
+	expand(sd.Struct)
+	return out
+}
+
 // receiverName returns the declared receiver identifier of a method
 // ("" for an anonymous receiver, which can reference no field).
 func receiverName(fd *ast.FuncDecl) string {

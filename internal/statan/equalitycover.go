@@ -36,7 +36,9 @@ func equalityCoverPass() *Pass {
 		Name: "equalitycover",
 		Doc:  "snapshot-authoritative fields are compared by StateEquals/Converged or annotated //equality:dead <reason>; StateHash mixes only compared fields",
 		Run: func(pkg *Package, r *Reporter) {
-			for _, sd := range packageStructs(pkg) {
+			sds := packageStructs(pkg)
+			byName := structsByName(sds)
+			for _, sd := range sds {
 				if sd.Methods["Snapshot"] == nil {
 					continue
 				}
@@ -56,15 +58,18 @@ func equalityCoverPass() *Pass {
 				if sd.Methods["StateHash"] != nil {
 					hash = sd.methodFieldRefs("StateHash")
 				}
-				for _, field := range sd.Struct.Fields.List {
+				for _, field := range expandFields(sd, byName) {
 					skip := fieldAnnotation(pkg.Fset, field, AnnSnapshotSkip)
+					flat := fieldAnnotation(pkg.Fset, field, AnnSnapshotFlat)
 					dead := fieldAnnotation(pkg.Fset, field, AnnEqualityDead)
 					if dead != nil && dead.Reason == "" {
 						r.Report(field.Pos(), "annotation-reason",
 							fmt.Sprintf("//%s annotation needs a reason (//%s <why this state is dead>)", AnnEqualityDead, AnnEqualityDead))
 					}
 					for _, name := range fieldNames(field) {
-						authoritative := snap[name.Name] && skip == nil
+						// A //snapshot:flat view is checkpoint-authoritative
+						// exactly when its backing slab is captured.
+						authoritative := (snap[name.Name] || snap[flatBacking(flat)]) && skip == nil
 						compared := eq[name.Name]
 						switch {
 						case authoritative && !compared && dead == nil:

@@ -122,7 +122,7 @@ func renderAll(ds []Diagnostic) string {
 func TestSnapshotCoverCatchesDroppedSnapshotCopy(t *testing.T) {
 	dir := copyPackage(t, filepath.Join("..", "cpu"))
 	requireClean(t, dir)
-	mutate(t, dir, "snapshot.go", "FetchStall:  c.fetchStall,", "")
+	mutate(t, dir, "snapshot.go", "s.FetchStall = c.fetchStall", "")
 	requireFinding(t, analyze(t, dir), "snapshotcover", "missing-field", "fetchStall")
 }
 

@@ -36,3 +36,52 @@ func (c *Core) StateEquals(s *State) bool {
 func (c *Core) StateHash() uint64 {
 	return uint64(c.x ^ c.h)
 }
+
+// Flat exercises the equality rules for //snapshot:flat views promoted
+// from an embedded slab: a view is checkpoint-authoritative when its
+// backing is captured, so an uncompared view is flagged even though
+// Snapshot never names it, and hashing one breaks the subset rule.
+type slab struct {
+	u64   []uint64
+	live  []uint64 //snapshot:flat u64
+	ghost []uint64 //snapshot:flat u64  authoritative via u64 but never compared: flagged
+}
+
+type Flat struct {
+	slab
+	w int
+}
+
+type FlatState struct {
+	U64 []uint64
+	W   int
+}
+
+func (f *Flat) Snapshot() *FlatState {
+	return &FlatState{U64: f.u64, W: f.w}
+}
+
+func (f *Flat) Restore(s *FlatState) {
+	f.u64 = append(f.u64[:0], s.U64...)
+	f.w = s.W
+}
+
+func (f *Flat) StateEquals(s *FlatState) bool {
+	if len(f.u64) != len(s.U64) {
+		return false
+	}
+	for i := range f.live {
+		if f.live[i] != s.U64[i] {
+			return false
+		}
+	}
+	return f.w == s.W
+}
+
+func (f *Flat) StateHash() uint64 {
+	h := uint64(len(f.u64))
+	for _, v := range f.ghost {
+		h ^= v
+	}
+	return h
+}

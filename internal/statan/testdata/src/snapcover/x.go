@@ -25,3 +25,36 @@ func (m *Machine) Restore(s *State) {
 	m.a = s.A
 	m.d = s.D
 }
+
+// Flat exercises the //snapshot:flat view rules over an embedded
+// struct-of-arrays slab: a clean view riding a covered backing, a view
+// whose backing Restore drops, a view naming a nonexistent backing,
+// and a view naming no backing at all.
+type slab struct {
+	u64     []uint64
+	u16     []uint16 // read by Snapshot, not written by Restore: flagged
+	good    []uint64 //snapshot:flat u64
+	dropped []uint16 //snapshot:flat u16  rides a half-copied backing: flagged
+	orphan  []uint64 //snapshot:flat nosuch
+	unnamed []uint64 //snapshot:flat
+}
+
+type Flat struct {
+	slab
+	scalar int
+}
+
+type FlatState struct {
+	U64    []uint64
+	U16    []uint16
+	Scalar int
+}
+
+func (f *Flat) Snapshot() *FlatState {
+	return &FlatState{U64: f.u64, U16: f.u16, Scalar: f.scalar}
+}
+
+func (f *Flat) Restore(s *FlatState) {
+	f.u64 = append(f.u64[:0], s.U64...)
+	f.scalar = s.Scalar
+}
