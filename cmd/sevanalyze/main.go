@@ -12,13 +12,17 @@
 //	sevanalyze -march a72 -bounds=false         # static-only pass, no simulation
 //	sevanalyze -bench qsort -O O2 -dump cfg     # CFG of one binary
 //	sevanalyze -bench sha -O O3 -dump live      # per-instruction liveness
+//	sevanalyze -bench sha -O O3 -dump bits      # bit-granular dead masks
 //	sevanalyze -bench fft -O O1 -dump lifetimes # value-lifetime histogram
+//	sevanalyze -quick -golden cmd/sevanalyze/testdata/bounds_a15.golden
+//	                                            # regression-check static bounds
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"sync"
 
 	"sevsim/internal/binanalysis"
@@ -26,6 +30,7 @@ import (
 	"sevsim/internal/compiler"
 	"sevsim/internal/faultinj"
 	"sevsim/internal/isa"
+	"sevsim/internal/journal"
 	"sevsim/internal/machine"
 	"sevsim/internal/report"
 	"sevsim/internal/workloads"
@@ -36,8 +41,11 @@ func main() {
 	benchFlag := flag.String("bench", "", "benchmark name (default: all)")
 	levelFlag := flag.String("O", "", "optimization level O0..O3 (default: all)")
 	size := flag.Int("size", 0, "benchmark scale (0 = default)")
+	quick := flag.Bool("quick", false, "use each benchmark's reduced test scale (fast golden runs, e.g. for -golden in CI)")
 	bounds := flag.Bool("bounds", true, "run golden simulations and report static Masked/AVF bounds")
-	dump := flag.String("dump", "", "detail dump for a single -bench/-O binary: cfg, live, lifetimes")
+	dump := flag.String("dump", "", "detail dump for a single -bench/-O binary: cfg, live, bits, lifetimes")
+	goldenPath := flag.String("golden", "", "compare the static bounds against this golden file and fail on drift")
+	update := flag.Bool("update", false, "rewrite the -golden file with the current bounds instead of comparing")
 	par := flag.Int("parallel", 0, "concurrent golden runs (0 = GOMAXPROCS)")
 	flag.Parse()
 
@@ -75,37 +83,115 @@ func main() {
 			dumpCFG(prog.Name, a)
 		case "live":
 			dumpLiveness(a, cfg.CPU.NumArchRegs)
+		case "bits":
+			dumpBits(a, cfg.CPU.XLEN, cfg.CPU.NumArchRegs)
 		case "lifetimes":
 			dumpLifetimes(a)
 		default:
-			cli.Fatal(fmt.Errorf("unknown -dump %q (use cfg, live, lifetimes)", *dump))
+			cli.Fatal(fmt.Errorf("unknown -dump %q (use cfg, live, bits, lifetimes)", *dump))
 		}
 		return
 	}
 
-	type unit struct {
-		bench workloads.Benchmark
-		level compiler.OptLevel
+	units := analyzeSuite(cfg, benches, levels, suiteOptions{
+		Size: *size, Quick: *quick, Bounds: *bounds, Parallel: cli.Parallelism(*par),
+	})
 
-		words      int
-		blocks     int
-		funcs      int
-		deadWrites int
-		violations []binanalysis.Violation
-		bound      binanalysis.RFBound
-		cycles     uint64
-		err        error
+	headers := []string{"benchmark", "level", "words", "blocks", "funcs", "dead-writes", "invariants"}
+	if *bounds {
+		headers = append(headers, "cycles", "reg Masked>=", "bit Masked>=", "static AVF<=")
 	}
+	rows := [][]string{}
+	failed := false
+	for _, u := range units {
+		if u.err != nil {
+			failed = true
+			fmt.Fprintf(os.Stderr, "error: %s %s: %v\n", u.bench.Name, u.level, u.err)
+			continue
+		}
+		inv := "ok"
+		if len(u.violations) > 0 {
+			inv = fmt.Sprintf("%d violations", len(u.violations))
+		}
+		row := []string{u.bench.Name, u.level.String(),
+			fmt.Sprint(u.words), fmt.Sprint(u.blocks), fmt.Sprint(u.funcs),
+			fmt.Sprint(u.deadWrites), inv}
+		if *bounds {
+			row = append(row, fmt.Sprint(u.cycles),
+				report.Pct(u.bound.RegMaskedLB), report.Pct(u.bound.MaskedLB),
+				report.Pct(u.bound.AVFUpperBound))
+		}
+		rows = append(rows, row)
+	}
+	fmt.Printf("Static ACE analysis: %d binaries on %s\n", len(rows), cfg.Name)
+	report.Table(os.Stdout, headers, rows)
+	for _, u := range units {
+		for _, v := range u.violations {
+			fmt.Printf("%s %s: %s\n", u.bench.Name, u.level, v)
+		}
+	}
+	if failed {
+		os.Exit(1) //lint:exit process boundary: non-zero verdict when invariant checks fail
+	}
+
+	if *goldenPath != "" {
+		if !*bounds {
+			cli.Fatal(fmt.Errorf("-golden needs -bounds"))
+		}
+		text := boundsText(cfg.Name, units)
+		if *update {
+			if err := journal.AtomicWriteFile(*goldenPath, []byte(text)); err != nil {
+				cli.Fatal(err)
+			}
+			fmt.Printf("updated %s\n", *goldenPath)
+			return
+		}
+		want, err := os.ReadFile(*goldenPath)
+		if err != nil {
+			cli.Fatal(fmt.Errorf("reading golden (run with -update to create it): %w", err))
+		}
+		if diff := diffLines(string(want), text); diff != "" {
+			fmt.Fprintf(os.Stderr, "static bounds drifted from %s:\n%s", *goldenPath, diff)
+			fmt.Fprintln(os.Stderr, "if the change is intended and sound, refresh with -update")
+			os.Exit(1) //lint:exit process boundary: non-zero verdict on golden-bounds drift
+		}
+		fmt.Printf("static bounds match %s\n", *goldenPath)
+	}
+}
+
+// unit is one (bench, level) analysis result.
+type unit struct {
+	bench workloads.Benchmark
+	level compiler.OptLevel
+
+	words      int
+	blocks     int
+	funcs      int
+	deadWrites int
+	violations []binanalysis.Violation
+	bound      binanalysis.RFBound
+	cycles     uint64
+	err        error
+}
+
+type suiteOptions struct {
+	Size     int  // explicit scale override (0 = benchmark default)
+	Quick    bool // use each benchmark's TestSize
+	Bounds   bool // run golden simulations for static bounds
+	Parallel int
+}
+
+// analyzeSuite compiles and analyzes every (bench, level) pair with
+// bounded fan-out: compiles are cheap but each Bounds unit runs a full
+// golden simulation.
+func analyzeSuite(cfg machine.Config, benches []workloads.Benchmark, levels []compiler.OptLevel, opts suiteOptions) []*unit {
 	var units []*unit
 	for _, b := range benches {
 		for _, l := range levels {
 			units = append(units, &unit{bench: b, level: l})
 		}
 	}
-
-	// Bounded fan-out: compiles are cheap but each -bounds unit runs a
-	// full golden simulation.
-	sem := make(chan struct{}, cli.Parallelism(*par))
+	sem := make(chan struct{}, opts.Parallel)
 	var wg sync.WaitGroup
 	for _, u := range units {
 		wg.Add(1)
@@ -114,8 +200,11 @@ func main() {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			sz := u.bench.DefaultSize
-			if *size > 0 {
-				sz = *size
+			if opts.Quick {
+				sz = u.bench.TestSize
+			}
+			if opts.Size > 0 {
+				sz = opts.Size
 			}
 			prog, err := compiler.Compile(u.bench.Source(sz), u.bench.Name, u.level, cli.Target(cfg))
 			if err != nil {
@@ -136,13 +225,13 @@ func main() {
 				}
 			}
 			u.violations = binanalysis.CheckInvariants(a)
-			if *bounds {
+			if opts.Bounds {
 				exp, err := faultinj.NewTracedExperiment(cfg, prog)
 				if err != nil {
 					u.err = err
 					return
 				}
-				pr, err := binanalysis.NewRFPruner(a, exp)
+				pr, err := binanalysis.NewBitPruner(a, exp)
 				if err != nil {
 					u.err = err
 					return
@@ -153,42 +242,56 @@ func main() {
 		}(u)
 	}
 	wg.Wait()
+	return units
+}
 
-	headers := []string{"benchmark", "level", "words", "blocks", "funcs", "dead-writes", "invariants"}
-	if *bounds {
-		headers = append(headers, "cycles", "static Masked>=", "static AVF<=")
-	}
-	rows := [][]string{}
-	failed := false
+// boundsText renders the static bounds in the canonical golden-file
+// format: one line per unit, fully deterministic (fixed order, fixed
+// precision), so any transfer-function change that moves a bound —
+// loosening precision or unsoundly tightening it — shows up as a
+// byte-level diff.
+func boundsText(march string, units []*unit) string {
+	var b strings.Builder
 	for _, u := range units {
 		if u.err != nil {
-			failed = true
-			fmt.Fprintf(os.Stderr, "error: %s %s: %v\n", u.bench.Name, u.level, u.err)
 			continue
 		}
-		inv := "ok"
-		if len(u.violations) > 0 {
-			inv = fmt.Sprintf("%d violations", len(u.violations))
-		}
-		row := []string{u.bench.Name, u.level.String(),
-			fmt.Sprint(u.words), fmt.Sprint(u.blocks), fmt.Sprint(u.funcs),
-			fmt.Sprint(u.deadWrites), inv}
-		if *bounds {
-			row = append(row, fmt.Sprint(u.cycles),
-				report.Pct(u.bound.MaskedLB), report.Pct(u.bound.AVFUpperBound))
-		}
-		rows = append(rows, row)
+		fmt.Fprintf(&b, "%s %s %s cycles=%d reg_masked_lb=%.9f bit_masked_lb=%.9f reg_prunable=%d bit_prunable=%d space=%d\n",
+			march, u.bench.Name, u.level,
+			u.cycles, u.bound.RegMaskedLB, u.bound.MaskedLB,
+			u.bound.RegPrunableBits, u.bound.PrunableBits, u.bound.SpaceBits)
 	}
-	fmt.Printf("Static ACE analysis: %d binaries on %s\n", len(rows), cfg.Name)
-	report.Table(os.Stdout, headers, rows)
-	for _, u := range units {
-		for _, v := range u.violations {
-			fmt.Printf("%s %s: %s\n", u.bench.Name, u.level, v)
+	return b.String()
+}
+
+// diffLines reports the first divergent lines between two texts, or ""
+// when identical.
+func diffLines(want, got string) string {
+	if want == got {
+		return ""
+	}
+	wl := strings.Split(want, "\n")
+	gl := strings.Split(got, "\n")
+	var b strings.Builder
+	n := len(wl)
+	if len(gl) > n {
+		n = len(gl)
+	}
+	shown := 0
+	for i := 0; i < n && shown < 8; i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			fmt.Fprintf(&b, "  line %d:\n    golden: %s\n    got:    %s\n", i+1, w, g)
+			shown++
 		}
 	}
-	if failed {
-		os.Exit(1) //lint:exit process boundary: non-zero verdict when invariant checks fail
-	}
+	return b.String()
 }
 
 func analyzeOne(cfg machine.Config, b workloads.Benchmark, l compiler.OptLevel, size int) (*machine.Program, *binanalysis.Analysis) {
@@ -229,6 +332,28 @@ func dumpLiveness(a *binanalysis.Analysis, nregs int) {
 	for i, in := range a.CFG.Code {
 		fmt.Printf("%4d  %-28s live-out %-30s dead %s\n",
 			i, in.String(), a.LiveOut[i], a.DeadOut(i, nregs))
+	}
+}
+
+// dumpBits prints the bit-granular dead masks: for each instruction,
+// the fully dead registers (as in -dump live) plus every live register
+// that still has individually dead bits, with the dead-bit mask in
+// hex. These masks are exactly what BitPruner consults per injection.
+func dumpBits(a *binanalysis.Analysis, xlen, nregs int) {
+	b := a.Bits(xlen)
+	hexDigits := (xlen + 3) / 4
+	for i, in := range a.CFG.Code {
+		var parts []string
+		for r := uint8(1); int(r) < nregs; r++ {
+			if !a.LiveOut[i].Has(r) {
+				continue // whole register dead; shown in the dead set
+			}
+			if db := b.DeadOutBits(i, r); db != 0 {
+				parts = append(parts, fmt.Sprintf("%s:%0*x", isa.RegName(r), hexDigits, db))
+			}
+		}
+		fmt.Printf("%4d  %-28s dead %-24s dead-bits %s\n",
+			i, in.String(), a.DeadOut(i, nregs), strings.Join(parts, " "))
 	}
 }
 

@@ -70,14 +70,14 @@ func main() {
 		if err != nil {
 			cli.Fatal(err)
 		}
-		rf, err := binanalysis.NewRFPruner(a, exp)
+		bp, err := binanalysis.NewBitPruner(a, exp)
 		if err != nil {
 			cli.Fatal(err)
 		}
-		pruner = rf
-		b := rf.Bound()
-		fmt.Printf("static RF bound: Masked >= %.2f%%, AVF <= %.2f%%\n",
-			b.MaskedLB*100, b.AVFUpperBound*100)
+		pruner = bp
+		b := bp.Bound()
+		fmt.Printf("static RF bound: Masked >= %.2f%% (register-granular %.2f%%), AVF <= %.2f%%\n",
+			b.MaskedLB*100, b.RegMaskedLB*100, b.AVFUpperBound*100)
 	}
 	model := faultinj.SingleBit
 	switch *modelFlag {
@@ -137,7 +137,8 @@ func main() {
 			r.ClassRate(faultinj.Timeout)*100,
 			r.ClassRate(faultinj.Assert)*100)
 		if r.Counts.Pruned > 0 {
-			fmt.Printf("  pruned: %d/%d proven Masked statically (never simulated)\n", r.Counts.Pruned, r.Faults)
+			fmt.Printf("  pruned: %d/%d proven Masked statically (%d register-granular, %d bit-granular; never simulated)\n",
+				r.Counts.Pruned, r.Faults, r.Counts.PrunedReg, r.Counts.PrunedBit)
 		}
 		if r.Counts.Unexpected > 0 {
 			fmt.Printf("  WARNING: %d unexpected simulator panics\n", r.Counts.Unexpected)

@@ -151,7 +151,8 @@ func main() {
 		fatal(err)
 	}
 	headers := []string{"march", "bench", "level", "target", "faults",
-		"masked", "sdc", "crash", "timeout", "assert", "pruned", "unexpected",
+		"masked", "sdc", "crash", "timeout", "assert",
+		"pruned", "pruned_reg", "pruned_bit", "unexpected",
 		"golden_cycles", "struct_bits"}
 	rows := make([][]string, 0, len(st.Results))
 	for _, r := range st.Results {
@@ -159,13 +160,33 @@ func main() {
 			r.March, r.Bench, r.Level, r.Target,
 			fmt.Sprint(r.Faults), fmt.Sprint(r.Counts.Masked), fmt.Sprint(r.Counts.SDC),
 			fmt.Sprint(r.Counts.Crash), fmt.Sprint(r.Counts.Timeout), fmt.Sprint(r.Counts.Assert),
-			fmt.Sprint(r.Counts.Pruned), fmt.Sprint(r.Counts.Unexpected),
+			fmt.Sprint(r.Counts.Pruned), fmt.Sprint(r.Counts.PrunedReg), fmt.Sprint(r.Counts.PrunedBit),
+			fmt.Sprint(r.Counts.Unexpected),
 			fmt.Sprint(r.GoldenCycles), fmt.Sprint(r.StructBits),
 		})
 	}
 	report.CSV(c, headers, rows)
 	if err := c.Close(); err != nil {
 		fatal(err)
+	}
+
+	// Pruner hit rates: how much simulation the static analyses saved,
+	// split by the granularity that proved each injection.
+	if *prune {
+		var total, pruned, preg, pbit int
+		for _, r := range st.Results {
+			if r.Target != "RF" {
+				continue
+			}
+			total += r.Faults
+			pruned += r.Counts.Pruned
+			preg += r.Counts.PrunedReg
+			pbit += r.Counts.PrunedBit
+		}
+		if total > 0 {
+			fmt.Printf("pruner: %d/%d RF injections proven Masked statically (%.1f%%): %d register-granular, %d bit-granular\n",
+				pruned, total, 100*float64(pruned)/float64(total), preg, pbit)
+		}
 	}
 
 	fmt.Printf("wrote %s and %s\n", figPath, csvPath)

@@ -1,6 +1,10 @@
 package binanalysis
 
-import "sevsim/internal/isa"
+import (
+	"sync"
+
+	"sevsim/internal/isa"
+)
 
 // Analysis bundles every static result for one binary.
 type Analysis struct {
@@ -11,6 +15,12 @@ type Analysis struct {
 	// instructions over CFG edges) the defined value travels to its
 	// furthest reached use.
 	Lifetimes []Lifetime
+
+	// bits caches the bit-granular analyses by XLEN so every consumer
+	// of the same Analysis (pruner construction across cells, the
+	// sevanalyze bounds table) pays for the fixpoints once.
+	bitsMu sync.Mutex
+	bits   map[int]*BitAnalysis
 }
 
 // Analyze reconstructs the CFG of an assembled binary and runs the

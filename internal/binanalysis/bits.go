@@ -1,0 +1,99 @@
+package binanalysis
+
+// BitAnalysis joins the forward known-bits interpretation with the
+// backward bit-level liveness into per-instruction dead-bit masks. It
+// strictly subsumes the register-granular results: a register that
+// DeadOut reports dead contributes a full dead mask, and a live
+// register may still expose individual provably dead bits (masked-off
+// lanes, shift-count high bits, compare inputs with decided outcomes).
+
+import "sevsim/internal/isa"
+
+// BitAnalysis holds the bit-granular results for one binary at one
+// machine word width. Obtain it via Analysis.Bits.
+type BitAnalysis struct {
+	XLEN int
+	Mask uint64 // low-XLEN-bits value mask
+
+	a *Analysis
+
+	// Flattened [instruction*32 + register] masks. kz/ko are the
+	// known-zero/known-one masks in effect BEFORE the instruction;
+	// liveIn/liveOut are the live-bit masks before/after it.
+	kz, ko  []uint64
+	liveIn  []uint64
+	liveOut []uint64
+}
+
+// Bits returns the bit-granular analysis for the given word width,
+// computing it on first use and caching it on the Analysis. Safe for
+// concurrent use.
+func (a *Analysis) Bits(xlen int) *BitAnalysis {
+	a.bitsMu.Lock()
+	defer a.bitsMu.Unlock()
+	if b, ok := a.bits[xlen]; ok {
+		return b
+	}
+	kz, ko := computeKnownBits(a.CFG, xlen)
+	liveIn, liveOut := computeBitLiveness(a.CFG, kz, ko, xlen)
+	b := &BitAnalysis{
+		XLEN:    xlen,
+		Mask:    xlenMask(xlen),
+		a:       a,
+		kz:      kz,
+		ko:      ko,
+		liveIn:  liveIn,
+		liveOut: liveOut,
+	}
+	if a.bits == nil {
+		a.bits = make(map[int]*BitAnalysis)
+	}
+	a.bits[xlen] = b
+	return b
+}
+
+// KnownIn returns the known-bits state of register r immediately
+// before instruction i executes, on fault-free executions.
+func (b *BitAnalysis) KnownIn(i int, r uint8) KnownBits {
+	if r >= 32 {
+		return kbTop(b.Mask)
+	}
+	return KnownBits{Zero: b.kz[i*32+int(r)], One: b.ko[i*32+int(r)]}
+}
+
+// LiveOutBits returns the live-bit mask of register r immediately
+// after instruction i.
+func (b *BitAnalysis) LiveOutBits(i int, r uint8) uint64 {
+	if r >= 32 {
+		return b.Mask
+	}
+	return b.liveOut[i*32+int(r)]
+}
+
+// DeadOutBits returns the bits of register r provably dead immediately
+// after instruction i: flipping any of them in a committed state
+// cannot change any architecturally visible outcome. Register-granular
+// deadness is OR'd in, so the result always contains (and may strictly
+// exceed) what DeadOut implies; register 0 is excluded for the same
+// reason DeadOut excludes it.
+func (b *BitAnalysis) DeadOutBits(i int, r uint8) uint64 {
+	if r == uint8(isa.RegZero) || r >= 32 {
+		return 0
+	}
+	if !b.a.LiveOut[i].Has(r) {
+		return b.Mask
+	}
+	return ^b.liveOut[i*32+int(r)] & b.Mask
+}
+
+// EntryDeadBits mirrors DeadOutBits for the state before the first
+// instruction commits.
+func (b *BitAnalysis) EntryDeadBits(r uint8) uint64 {
+	if r == uint8(isa.RegZero) || r >= 32 {
+		return 0
+	}
+	if !b.a.LiveIn[0].Has(r) {
+		return b.Mask
+	}
+	return ^b.liveIn[r] & b.Mask
+}

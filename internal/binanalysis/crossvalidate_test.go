@@ -95,3 +95,98 @@ func TestPrunerSoundnessAgainstSimulation(t *testing.T) {
 		}
 	})
 }
+
+// TestBitPrunerSoundnessAgainstSimulation is the bit-granular mirror:
+// every injection the BitPruner proves masked — including the ones only
+// bit-level liveness can prune — is simulated end to end and must come
+// back Masked, with the concrete (benchmark, level, cycle, phys, bit)
+// witness and the pruner's own reasoning printed on failure. It also
+// checks the bound-domination acceptance criterion: the bit-granular
+// Masked lower bound must be at least the register-granular one on
+// every cell, and strictly greater somewhere at O2/O3 (the levels
+// where masking idioms — byte truncation, shift counts, compares —
+// survive into tight code).
+func TestBitPrunerSoundnessAgainstSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates every pruned injection; skipped in -short")
+	}
+	cfg := machine.CortexA15Like()
+	rf, ok := faultinj.TargetByName("RF")
+	if !ok {
+		t.Fatal("RF target missing")
+	}
+	const samplesPerCell = 400
+
+	benches := []string{"qsort", "gsm", "sha"}
+	var totalBitPruned, strictlyTighterHighOpt atomic.Int64
+	for _, name := range benches {
+		bench, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, level := range compiler.Levels {
+			level := level
+			t.Run(fmt.Sprintf("%s-%s", name, level), func(t *testing.T) {
+				t.Parallel()
+				prog, err := compiler.Compile(bench.Source(bench.TestSize), bench.Name, level,
+					compiler.Target{XLEN: cfg.CPU.XLEN, NumArchRegs: cfg.CPU.NumArchRegs})
+				if err != nil {
+					t.Fatal(err)
+				}
+				exp, err := faultinj.NewTracedExperiment(cfg, prog)
+				if err != nil {
+					t.Fatal(err)
+				}
+				a, err := binanalysis.AnalyzeWords(prog.Code)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pruner, err := binanalysis.NewBitPruner(a, exp)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b := pruner.Bound()
+				if b.MaskedLB <= 0 || b.MaskedLB >= 1 || b.PrunableBits > b.SpaceBits {
+					t.Fatalf("implausible bound: %+v", b)
+				}
+				// Bit granularity must dominate register granularity.
+				if b.MaskedLB < b.RegMaskedLB || b.PrunableBits < b.RegPrunableBits {
+					t.Fatalf("bit bound below register bound: %+v", b)
+				}
+				if b.PrunableBits > b.RegPrunableBits &&
+					(level == compiler.O2 || level == compiler.O3) {
+					strictlyTighterHighOpt.Add(1)
+				}
+				injections, err := exp.Sample(rf, samplesPerCell, 13)
+				if err != nil {
+					t.Fatal(err)
+				}
+				bitPruned := 0
+				for _, inj := range injections {
+					kind, reason := pruner.PrunableKind(rf, inj)
+					if kind == faultinj.PruneNone {
+						continue
+					}
+					if kind == faultinj.PruneBit {
+						bitPruned++
+					}
+					if r := exp.Inject(rf, inj); r.Outcome != faultinj.Masked {
+						t.Errorf("%s %s: cycle %d phys %d bit %d pruned at %s granularity (%s) but simulated as %s (%s)",
+							bench.Name, level, inj.Cycle,
+							inj.Bit/uint64(cfg.CPU.XLEN), inj.Bit%uint64(cfg.CPU.XLEN),
+							kind, reason, r.Outcome, r.Reason)
+					}
+				}
+				totalBitPruned.Add(int64(bitPruned))
+			})
+		}
+	}
+	t.Cleanup(func() {
+		if totalBitPruned.Load() == 0 {
+			t.Error("no injection was pruned at bit granularity across any cell; the bit extension is vacuous")
+		}
+		if strictlyTighterHighOpt.Load() == 0 {
+			t.Error("bit-granular bound never strictly exceeded the register-granular bound at O2/O3")
+		}
+	})
+}

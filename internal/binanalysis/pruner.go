@@ -155,37 +155,33 @@ func (p *RFPruner) Prunable(t faultinj.Target, inj faultinj.Injection) (bool, st
 // (config, binary) pair: the fraction of the (cycle x bit) injection
 // space the pruner proves Masked lower-bounds the Masked rate, so its
 // complement upper-bounds the AVF.
+//
+// The Reg-prefixed fields carry the register-granular bound alongside
+// the headline one. For an RFPruner the pairs coincide; for a
+// BitPruner the headline fields are the (tighter) bit-granular bound
+// and the Reg fields record what register granularity alone proves —
+// the gap is the precision bought by known-bits + bit liveness.
 type RFBound struct {
 	MaskedLB      float64 // provably-masked fraction of the space
 	AVFUpperBound float64 // 1 - MaskedLB
 	PrunableBits  uint64  // provably-masked (cycle x bit) points
 	SpaceBits     uint64  // total (cycle x bit) points
+
+	RegMaskedLB     float64 // register-granular provably-masked fraction
+	RegPrunableBits uint64  // register-granular provably-masked points
 }
 
-// Bound computes the static RF bound by interval-walking the commit
-// trace: the committed state after k events is in effect for every
-// injection cycle in (cycle of event k-1, cycle of event k], and for
-// each such cycle every bit of every dead mapped register is provably
-// masked. The per-cycle criterion is exactly Prunable's, so the bound
-// equals the pruned fraction of an exhaustive campaign.
-func (p *RFPruner) Bound() RFBound {
+// walkIntervals visits the commit trace as a sequence of
+// constant-state cycle intervals: the committed state after k events
+// is in effect for every injection cycle in (cycle of event k-1, cycle
+// of event k], clipped to the golden run's cycle count. f receives
+// each interval's event count k and its width in cycles.
+func (p *RFPruner) walkIntervals(f func(k int, cycles uint64)) {
 	g := p.goldenCycles
-	b := RFBound{SpaceBits: g * uint64(p.numPhys) * uint64(p.xlen)}
-	if g == 0 || b.SpaceBits == 0 {
-		return b
-	}
-	deadBits := func(k int) uint64 {
-		dead, ok := p.deadAfter(k)
-		if !ok {
-			return 0
-		}
-		// Every architectural register is always mapped to exactly one
-		// physical register, so each dead register contributes XLEN
-		// prunable bits regardless of which physical slot holds it.
-		return uint64(dead.Count()) * uint64(p.xlen)
+	if g == 0 {
+		return
 	}
 	last := g - 1
-	var sum uint64
 	c0 := uint64(0) // first injection cycle governed by the current state
 	k := 0
 	for k < len(p.events) {
@@ -199,16 +195,40 @@ func (p *RFPruner) Bound() RFBound {
 			hi = last
 		}
 		if c0 <= hi {
-			sum += deadBits(k) * (hi - c0 + 1)
+			f(k, hi-c0+1)
 		}
 		c0 = cy + 1
 		k = j
 	}
 	if c0 <= last {
-		sum += deadBits(len(p.events)) * (g - c0)
+		f(len(p.events), g-c0)
 	}
+}
+
+// Bound computes the static RF bound by interval-walking the commit
+// trace: within an interval every bit of every dead mapped register is
+// provably masked. The per-cycle criterion is exactly Prunable's, so
+// the bound equals the pruned fraction of an exhaustive campaign.
+func (p *RFPruner) Bound() RFBound {
+	b := RFBound{SpaceBits: p.goldenCycles * uint64(p.numPhys) * uint64(p.xlen)}
+	if b.SpaceBits == 0 {
+		return b
+	}
+	var sum uint64
+	p.walkIntervals(func(k int, cycles uint64) {
+		dead, ok := p.deadAfter(k)
+		if !ok {
+			return
+		}
+		// Every architectural register is always mapped to exactly one
+		// physical register, so each dead register contributes XLEN
+		// prunable bits regardless of which physical slot holds it.
+		sum += uint64(dead.Count()) * uint64(p.xlen) * cycles
+	})
 	b.PrunableBits = sum
 	b.MaskedLB = float64(sum) / float64(b.SpaceBits)
 	b.AVFUpperBound = 1 - b.MaskedLB
+	b.RegPrunableBits = sum
+	b.RegMaskedLB = b.MaskedLB
 	return b
 }

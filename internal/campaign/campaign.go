@@ -78,8 +78,13 @@ type Counts struct {
 	// panics rather than modelled invariant checks (should stay zero).
 	Unexpected int
 	// Pruned counts the Masked outcomes that were proven statically and
-	// never simulated (subset of Masked).
-	Pruned int
+	// never simulated (subset of Masked). PrunedReg and PrunedBit split
+	// it by proof granularity: whole-register deadness vs bit-level
+	// deadness of a live register (PrunedReg + PrunedBit == Pruned when
+	// the pruner reports kinds; a plain Pruner counts as register).
+	Pruned    int
+	PrunedReg int
+	PrunedBit int
 }
 
 // Total returns the number of injections behind the counts.
@@ -106,7 +111,27 @@ func (c *Counts) Add(r faultinj.InjectResult) {
 	}
 	if r.Pruned {
 		c.Pruned++
+		switch r.PruneKind {
+		case faultinj.PruneBit:
+			c.PrunedBit++
+		default:
+			c.PrunedReg++
+		}
 	}
+}
+
+// consultPruner asks the pruner about one injection, preferring the
+// granularity-aware interface; a plain Pruner's proofs count as
+// register-granular (the only granularity that existed before kinds).
+func consultPruner(p faultinj.Pruner, t faultinj.Target, inj faultinj.Injection) (faultinj.PruneKind, string) {
+	if kp, ok := p.(faultinj.KindPruner); ok {
+		return kp.PrunableKind(t, inj)
+	}
+	ok, reason := p.Prunable(t, inj)
+	if ok {
+		return faultinj.PruneReg, reason
+	}
+	return faultinj.PruneNone, reason
 }
 
 // Of returns the count of one outcome class.
@@ -252,11 +277,13 @@ dispatch:
 						return
 					}
 					if opts.Pruner != nil && opts.Model.Width() <= 1 {
-						if ok, reason := opts.Pruner.Prunable(target, injections[i]); ok {
+						kind, reason := consultPruner(opts.Pruner, target, injections[i])
+						if kind != faultinj.PruneNone {
 							outcomes[i] = faultinj.InjectResult{
-								Outcome: faultinj.Masked,
-								Reason:  "pruned: " + reason,
-								Pruned:  true,
+								Outcome:   faultinj.Masked,
+								Reason:    "pruned: " + reason,
+								Pruned:    true,
+								PruneKind: kind,
 							}
 							ran[i] = true
 							continue

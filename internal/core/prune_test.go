@@ -1,6 +1,8 @@
 package core
 
 import (
+	"bytes"
+	"encoding/json"
 	"testing"
 
 	"sevsim/internal/compiler"
@@ -57,7 +59,12 @@ func TestPruneEquivalence(t *testing.T) {
 	for i := range base.Results {
 		b, p := base.Results[i], pruned.Results[i]
 		bc, pc := b.Counts, p.Counts
-		pc.Pruned = 0 // the only field allowed to differ
+		if pc.PrunedReg+pc.PrunedBit != pc.Pruned {
+			t.Errorf("cell %s/%s/%s: pruned split %d+%d != total %d",
+				p.Bench, p.Level, p.Target, pc.PrunedReg, pc.PrunedBit, pc.Pruned)
+		}
+		// the only fields allowed to differ from the unpruned run
+		pc.Pruned, pc.PrunedReg, pc.PrunedBit = 0, 0, 0
 		if bc != pc {
 			t.Errorf("cell %s/%s/%s/%s classification changed: %+v -> %+v",
 				b.March, b.Bench, b.Level, b.Target, b.Counts, p.Counts)
@@ -94,6 +101,37 @@ func TestPruneEquivalence(t *testing.T) {
 			t.Errorf("%s/%s: static AVF bound %.4f below injected AVF %.4f",
 				s.Bench, s.Level, s.AVFUpperBound, avf)
 		}
+	}
+}
+
+// TestPruneDeterminismAcrossParallelism: a pruned study's saved JSON —
+// including the static-bound records and the reg/bit pruned splits the
+// shared analysis cache feeds — is byte-identical between the serial
+// run and a parallel one.
+func TestPruneDeterminismAcrossParallelism(t *testing.T) {
+	spec := pruneSpec(t)
+	spec.Benchmarks = spec.Benchmarks[:1]
+	spec.Prune = true
+	spec.Parallelism = 1
+	base, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseJSON, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Parallelism = 8
+	st, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j, baseJSON) {
+		t.Error("pruned study JSON not byte-identical between parallelism 1 and 8")
 	}
 }
 

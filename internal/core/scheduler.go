@@ -64,6 +64,7 @@ type prepUnit struct {
 	retries     int
 	checkpoints int
 	noFastExit  bool
+	analyses    *analysisCache // shared across the study's prune units
 
 	exp      *faultinj.Experiment
 	golden   Golden
@@ -130,12 +131,15 @@ func (u *prepUnit) prepOnce() {
 	u.golden = goldenOf(u.cfg, u.bench.Name, u.level, prog, exp)
 	if u.prune {
 		u.stage = "analyze"
-		a, err := binanalysis.AnalyzeWords(prog.Code)
+		a, err := u.analyses.get(analysisKey{
+			bench: u.bench.Name, size: u.size, level: u.level,
+			xlen: tgt.XLEN, nregs: tgt.NumArchRegs,
+		}, prog.Code)
 		if err != nil {
 			u.err = fmt.Errorf("analyze %s %v for %s: %w", u.bench.Name, u.level, u.cfg.Name, err)
 			return
 		}
-		pr, err := binanalysis.NewRFPruner(a, exp)
+		pr, err := binanalysis.NewBitPruner(a, exp)
 		if err != nil {
 			u.err = fmt.Errorf("pruner %s %v for %s: %w", u.bench.Name, u.level, u.cfg.Name, err)
 			return
@@ -146,8 +150,52 @@ func (u *prepUnit) prepOnce() {
 			March: u.cfg.Name, Bench: u.bench.Name, Level: u.level.String(),
 			MaskedLB: b.MaskedLB, AVFUpperBound: b.AVFUpperBound,
 			PrunableBits: b.PrunableBits, SpaceBits: b.SpaceBits,
+			RegMaskedLB: b.RegMaskedLB, RegAVFUpperBound: 1 - b.RegMaskedLB,
+			RegPrunableBits: b.RegPrunableBits,
 		}
 	}
+}
+
+// analysisKey identifies one compiled binary: the compiler is
+// deterministic, so units sharing (bench, size, level, target) share
+// code and can share one static analysis. Two marches with the same
+// XLEN and register count (or repeated preps after quarantine retries)
+// hit the cache instead of re-running the CFG + fixpoints.
+type analysisKey struct {
+	bench string
+	size  int
+	level compiler.OptLevel
+	xlen  int
+	nregs int
+}
+
+// analysisCache deduplicates binanalysis.AnalyzeWords calls across the
+// prep units of one study. Safe for concurrent use; each entry is
+// computed exactly once even when two units race for it.
+type analysisCache struct {
+	mu sync.Mutex
+	m  map[analysisKey]*analysisEntry
+}
+
+type analysisEntry struct {
+	once sync.Once
+	a    *binanalysis.Analysis
+	err  error
+}
+
+func (c *analysisCache) get(key analysisKey, words []uint32) (*binanalysis.Analysis, error) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[analysisKey]*analysisEntry)
+	}
+	e := c.m[key]
+	if e == nil {
+		e = &analysisEntry{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.a, e.err = binanalysis.AnalyzeWords(words) })
+	return e.a, e.err
 }
 
 // isCancel reports whether err is context cancellation rather than a
@@ -263,13 +311,14 @@ func (s Spec) RunContext(ctx context.Context) (*Study, error) {
 	// Enumerate prep units in the serial loop's order; unit i owns
 	// Goldens[i] and Results[i*len(Targets) ... (i+1)*len(Targets)).
 	sizes := s.resolveSizes()
+	analyses := &analysisCache{}
 	var units []*prepUnit
 	for _, cfg := range s.Machines {
 		for bi, bench := range s.Benchmarks {
 			for _, level := range s.Levels {
 				units = append(units, &prepUnit{
 					cfg: cfg, bench: bench, size: sizes[bi], level: level,
-					prune: s.Prune, retries: s.Retries,
+					prune: s.Prune, retries: s.Retries, analyses: analyses,
 					checkpoints: s.Checkpoints, noFastExit: s.NoFastExit,
 					ready:        make(chan struct{}),
 					replayed:     make([]*campaign.Result, len(s.Targets)),

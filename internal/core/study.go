@@ -191,10 +191,18 @@ type StaticRF struct {
 	Bench string
 	Level string
 
+	// Headline (bit-granular) bound: known-bits + bit-level liveness.
 	MaskedLB      float64
 	AVFUpperBound float64
 	PrunableBits  uint64
 	SpaceBits     uint64
+
+	// Register-granular bound from the same dead-register analysis the
+	// original RFPruner used; MaskedLB >= RegMaskedLB on every unit by
+	// construction, and the gap measures what bit granularity bought.
+	RegMaskedLB      float64
+	RegAVFUpperBound float64
+	RegPrunableBits  uint64
 }
 
 // Failure is one quarantined unit or cell: the error that removed it

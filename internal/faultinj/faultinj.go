@@ -261,6 +261,37 @@ type Pruner interface {
 	Prunable(t Target, inj Injection) (bool, string)
 }
 
+// PruneKind records at which analysis granularity a pruner proved an
+// injection masked.
+type PruneKind uint8
+
+const (
+	PruneNone PruneKind = iota // not provably masked
+	PruneReg                   // the whole mapped register is dead
+	PruneBit                   // only bit-granular analysis proves the bit dead
+)
+
+// String names the granularity for reports.
+func (k PruneKind) String() string {
+	switch k {
+	case PruneReg:
+		return "reg"
+	case PruneBit:
+		return "bit"
+	}
+	return "none"
+}
+
+// KindPruner is an optional Pruner refinement that also reports the
+// granularity of each proof, so campaigns can split pruner hit rates
+// into register-granular vs bit-granular counts.
+type KindPruner interface {
+	Pruner
+	// PrunableKind classifies the injection: PruneNone when it cannot
+	// be proven masked, otherwise the granularity of the proof.
+	PrunableKind(t Target, inj Injection) (PruneKind, string)
+}
+
 // GoldenError reports a fault-free run that did not complete.
 type GoldenError struct{ Result machine.Result }
 
@@ -339,6 +370,9 @@ type InjectResult struct {
 	Cycles     uint64
 	Unexpected bool // assert came from a recovered non-modelled panic
 	Pruned     bool // Masked proven statically; the run was never simulated
+	// PruneKind records the proof granularity when Pruned is set
+	// (PruneReg or PruneBit); PruneNone otherwise.
+	PruneKind PruneKind
 }
 
 // Inject runs one end-to-end fault injection: the machine is

@@ -161,3 +161,81 @@ func TestFingerprintCoverCatchesDroppedSpecField(t *testing.T) {
 	mutate(t, dir, "journal.go", "Prune:  s.Prune,", "")
 	requireFinding(t, analyze(t, dir), "fingerprintcover", "missing-field", "Prune")
 }
+
+// copyModuleTree replicates the module layout transfercover's universe
+// resolution needs: a go.mod root with internal/isa and
+// internal/binanalysis copied from the real repo, so the pass resolves
+// the opcode universe exactly as it does in CI.
+func copyModuleTree(t *testing.T) (root, binDir string) {
+	t.Helper()
+	root = t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module sevsim\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range []string{"isa", "binanalysis"} {
+		dst := filepath.Join(root, "internal", sub)
+		if err := os.MkdirAll(dst, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		src := filepath.Join("..", sub)
+		entries, err := os.ReadDir(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(src, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dst, name), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return root, filepath.Join(root, "internal", "binanalysis")
+}
+
+// analyzeTransfer runs just the transfercover pass over dir.
+func analyzeTransfer(t *testing.T, dir string) []Diagnostic {
+	t.Helper()
+	pkgs, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := PassByName("transfercover")
+	if p == nil {
+		t.Fatal("transfercover pass missing")
+	}
+	var ds []Diagnostic
+	for _, pkg := range pkgs {
+		ds = append(ds, Run(pkg, RunOptions{Passes: []*Pass{p}})...)
+	}
+	return ds
+}
+
+// TestTransferCoverCatchesDeletedCase removes one opcode from the
+// known-bits transfer switch — exactly what forgetting to extend the
+// transfers for a new instruction looks like — and asserts the pass
+// reports the uncovered opcode against the real binanalysis sources.
+func TestTransferCoverCatchesDeletedCase(t *testing.T) {
+	_, binDir := copyModuleTree(t)
+	if ds := analyzeTransfer(t, binDir); len(ds) != 0 {
+		t.Fatalf("unmutated copy is not clean:\n%s", renderAll(ds))
+	}
+	mutate(t, binDir, "knownbits.go",
+		"isa.OpSrli, isa.OpSrai, isa.OpSlti", "isa.OpSrli, isa.OpSlti")
+	requireFinding(t, analyzeTransfer(t, binDir), "transfercover", "missing-op", "OpSrai")
+}
+
+// TestTransferCoverCatchesDeletedDemandCase does the same for the
+// backward bit-liveness demand switch.
+func TestTransferCoverCatchesDeletedDemandCase(t *testing.T) {
+	_, binDir := copyModuleTree(t)
+	mutate(t, binDir, "bitlive.go",
+		"case isa.OpXor, isa.OpXori:", "case isa.OpXor:")
+	requireFinding(t, analyzeTransfer(t, binDir), "transfercover", "missing-op", "OpXori")
+}

@@ -1,0 +1,56 @@
+// Package transfercover exercises the transfercover pass with a local
+// opcode universe that mirrors internal/isa's naming convention, so
+// the fixture stays stable when the real ISA grows.
+package transfercover
+
+type Opcode uint8
+
+const (
+	OpAdd Opcode = iota + 1
+	OpSub
+	OpDiv
+	OpSra
+	OpNop
+)
+
+// evalGood covers the whole universe: four opcodes in case clauses and
+// one documented conservative fallback.
+//
+//bitflow:transfer
+func evalGood(op Opcode) int {
+	//bitflow:conservative OpSra arithmetic shift falls back to top
+	switch op {
+	case OpAdd, OpSub:
+		return 1
+	case OpDiv:
+		return 2
+	case OpNop:
+		return 0
+	}
+	return 0
+}
+
+// evalBad misses OpNop, annotates the handled OpDiv, gives OpSra no
+// reason, and names an opcode that does not exist.
+//
+//bitflow:transfer
+func evalBad(op Opcode) int {
+	//bitflow:conservative OpDiv division is handled below
+	//bitflow:conservative OpSra
+	//bitflow:conservative OpBogus not a real opcode
+	switch op {
+	case OpAdd, OpSub, OpDiv:
+		return 1
+	}
+	return 0
+}
+
+// ignored has an incomplete switch but no marker, so the pass leaves
+// it alone.
+func ignored(op Opcode) int {
+	switch op {
+	case OpAdd:
+		return 1
+	}
+	return 0
+}

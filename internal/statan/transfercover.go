@@ -1,0 +1,285 @@
+package statan
+
+// transfercover enforces opcode-universe completeness for the
+// bit-granular transfer functions in internal/binanalysis: a function
+// whose doc comment carries the "bitflow:transfer" marker must switch
+// over every isa.Op* constant — each opcode either appears in a case
+// clause or carries an in-function "//bitflow:conservative Op<X>
+// <reason>" annotation documenting the deliberately conservative
+// fallback. Without this, adding an opcode to the ISA would let it
+// fall through to whatever default the transfer switch has, silently
+// giving the new instruction unsound bit semantics; with it, the
+// omission is a lint error at the function that needs the new case.
+//
+// The opcode universe is resolved syntactically, not through the type
+// checker: the stub importer satisfies cross-package imports with
+// empty packages, so isa.OpAdd never resolves to a constant object.
+// Instead the pass reads the Op* constant declarations straight from
+// the analyzed package itself when it declares any (the isa package
+// and self-contained fixtures), and otherwise from the module's
+// internal/isa directory, found by walking up from the analyzed
+// package to go.mod.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// MarkerTransfer is the doc-comment marker naming a function whose
+// switch must cover the opcode universe.
+const MarkerTransfer = "bitflow:transfer"
+
+// AnnConservative is the in-function annotation exempting one opcode
+// from a transfer switch with a mandatory reason.
+const AnnConservative = "bitflow:conservative"
+
+func transferCoverPass() *Pass {
+	return &Pass{
+		Name: "transfercover",
+		Doc:  "every //" + MarkerTransfer + " switch handles each isa.Op* constant or annotates //" + AnnConservative + " Op<X> <reason>",
+		Run: func(pkg *Package, r *Reporter) {
+			marked := markedTransferFuncs(pkg)
+			if len(marked) == 0 {
+				return
+			}
+			universe := opcodeUniverse(pkg)
+			for _, fn := range marked {
+				if len(universe) == 0 {
+					r.Report(fn.decl.Name.Pos(), "no-universe",
+						fmt.Sprintf("function %s is marked //%s but no isa.Op* constant universe could be resolved (no local Op* consts and no <module>/internal/isa)",
+							fn.decl.Name.Name, MarkerTransfer))
+					continue
+				}
+				checkTransferFunc(r, fn, universe)
+			}
+		},
+	}
+}
+
+// transferFunc is one marked function plus the file holding it (needed
+// to scan its comment span for annotations).
+type transferFunc struct {
+	decl *ast.FuncDecl
+	file *ast.File
+}
+
+// markedTransferFuncs returns the functions whose doc comments carry
+// the transfer marker.
+func markedTransferFuncs(pkg *Package) []*transferFunc {
+	var out []*transferFunc
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Doc == nil || fn.Body == nil {
+				continue
+			}
+			for _, c := range fn.Doc.List {
+				if strings.Contains(c.Text, MarkerTransfer) {
+					out = append(out, &transferFunc{decl: fn, file: file})
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// isOpcodeName reports whether a name follows the isa opcode constant
+// convention: "Op" followed by an exported mnemonic (OpAdd, OpSltiu).
+// This excludes the Opcode type name itself ("code" is lowercase).
+func isOpcodeName(name string) bool {
+	return len(name) > 2 && strings.HasPrefix(name, "Op") &&
+		unicode.IsUpper(rune(name[2]))
+}
+
+// opcodeUniverse resolves the set of opcode constant names the
+// transfer switches must cover. Preference order: constants declared
+// in the analyzed package itself, then the module's internal/isa
+// package. Returns nil when neither yields any.
+func opcodeUniverse(pkg *Package) map[string]bool {
+	if u := constOpNames(pkg.Files); len(u) > 0 {
+		return u
+	}
+	root, ok := moduleRoot(pkg.Dir)
+	if !ok {
+		return nil
+	}
+	isaDir := filepath.Join(root, "internal", "isa")
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, isaDir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil
+	}
+	var files []*ast.File
+	for _, p := range pkgs {
+		var names []string
+		for name := range p.Files { //lint:ordered sorted on the next line
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			files = append(files, p.Files[name])
+		}
+	}
+	return constOpNames(files)
+}
+
+// constOpNames collects top-level Op* constant names from files.
+func constOpNames(files []*ast.File) map[string]bool {
+	u := make(map[string]bool)
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if isOpcodeName(name.Name) {
+						u[name.Name] = true
+					}
+				}
+			}
+		}
+	}
+	if len(u) == 0 {
+		return nil
+	}
+	return u
+}
+
+// moduleRoot walks up from dir to the directory holding go.mod.
+func moduleRoot(dir string) (string, bool) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", false
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, true
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", false
+		}
+		d = parent
+	}
+}
+
+// conservativeAnn is one //bitflow:conservative annotation.
+type conservativeAnn struct {
+	op     string
+	reason string
+	pos    token.Pos
+}
+
+// transferAnnotations collects the conservative annotations lexically
+// inside the function (body span or doc comment).
+func transferAnnotations(fn *transferFunc) []conservativeAnn {
+	var out []conservativeAnn
+	lo, hi := fn.decl.Pos(), fn.decl.End()
+	if fn.decl.Doc != nil {
+		lo = fn.decl.Doc.Pos()
+	}
+	for _, cg := range fn.file.Comments {
+		if cg.End() < lo || cg.Pos() > hi {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, AnnConservative) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(text, AnnConservative))
+			op, reason, _ := strings.Cut(rest, " ")
+			out = append(out, conservativeAnn{
+				op: op, reason: strings.TrimSpace(reason), pos: c.Pos(),
+			})
+		}
+	}
+	return out
+}
+
+// caseOpNames collects the opcode identifiers appearing in case
+// clauses of switch statements in the function body — bare (OpAdd,
+// inside the isa package itself) or selector-qualified (isa.OpAdd).
+func caseOpNames(fn *ast.FuncDecl) map[string]bool {
+	handled := make(map[string]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		cc, ok := n.(*ast.CaseClause)
+		if !ok {
+			return true
+		}
+		for _, e := range cc.List {
+			switch e := e.(type) {
+			case *ast.Ident:
+				if isOpcodeName(e.Name) {
+					handled[e.Name] = true
+				}
+			case *ast.SelectorExpr:
+				if isOpcodeName(e.Sel.Name) {
+					handled[e.Sel.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	return handled
+}
+
+// checkTransferFunc reports coverage violations for one marked
+// function against the opcode universe.
+func checkTransferFunc(r *Reporter, fn *transferFunc, universe map[string]bool) {
+	handled := caseOpNames(fn.decl)
+	anns := transferAnnotations(fn)
+	annotated := make(map[string]bool)
+	for _, a := range anns {
+		switch {
+		case a.op == "" || !isOpcodeName(a.op):
+			r.Report(a.pos, "annotation-op",
+				fmt.Sprintf("//%s needs an opcode (//%s Op<X> <reason>)", AnnConservative, AnnConservative))
+			continue
+		case !universe[a.op]:
+			r.Report(a.pos, "unknown-op",
+				fmt.Sprintf("//%s names %s, which is not an isa opcode constant", AnnConservative, a.op))
+			continue
+		case a.reason == "":
+			r.Report(a.pos, "annotation-reason",
+				fmt.Sprintf("//%s %s needs a reason (<why the conservative fallback is sound>)", AnnConservative, a.op))
+		}
+		if handled[a.op] {
+			r.Report(a.pos, "stale-annotation",
+				fmt.Sprintf("%s is annotated //%s but %s handles it in a case clause; delete the annotation",
+					a.op, AnnConservative, fn.decl.Name.Name))
+		}
+		annotated[a.op] = true
+	}
+
+	var missing []string
+	for op := range universe { //lint:ordered sorted on the next line
+		if !handled[op] && !annotated[op] {
+			missing = append(missing, op)
+		}
+	}
+	sort.Strings(missing)
+	for _, op := range missing {
+		r.Report(fn.decl.Name.Pos(), "missing-op",
+			fmt.Sprintf("transfer function %s handles no case for %s and has no //%s %s annotation; the opcode would silently get the default's (possibly unsound) bit semantics",
+				fn.decl.Name.Name, op, AnnConservative, op))
+	}
+}
