@@ -8,7 +8,10 @@
 //	determinism      no map ranges, wall-clock reads, or global
 //	                 math/rand in result-producing code
 //	robustness       no os.Exit outside marked process boundaries,
-//	                 no bare signal.Notify
+//	                 no bare signal.Notify, no http.Server without
+//	                 ReadHeaderTimeout or served without Shutdown
+//	                 wiring, no time.Sleep polling loops in dispatch
+//	                 code (use the shared backoff policy)
 //	snapshotcover    every field of a Snapshot/Restore struct is
 //	                 checkpointed, or //snapshot:skip <reason>
 //	equalitycover    every checkpointed field is compared by the

@@ -1,0 +1,395 @@
+// Cell-granular work items: the interface the study engine exposes to
+// distributed execution. A Spec decomposes into CellRefs (the exact
+// cells Run would compute, in Run's deterministic order); RunCells
+// executes any subset of them — preparing only the units those cells
+// need — and returns self-contained CellOutcomes; and an Assembler
+// merges outcomes arriving from any mix of workers, leases, and
+// journal replays, in any completion order, back into a Study whose
+// saved bytes are identical to a clean single-process Run of the same
+// spec. The local scheduler and the remote coordinator/worker pair
+// (internal/dispatch) both speak this interface.
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"sevsim/internal/campaign"
+)
+
+// CellRef addresses one campaign cell of a spec by name. It is the
+// work-item key of the distributed engine: cell identity — not lease
+// identity — is what completion is deduplicated on, so a cell computed
+// twice by racing workers merges to one deterministic result.
+type CellRef struct {
+	March  string
+	Bench  string
+	Level  string
+	Target string
+}
+
+// Key renders the ref as a stable "march/bench/level/target" string.
+func (r CellRef) Key() string {
+	return r.March + "/" + r.Bench + "/" + r.Level + "/" + r.Target
+}
+
+func (r CellRef) String() string { return r.Key() }
+
+// unit returns the ref's (march, bench, level) unit key.
+func (r CellRef) unit() cellKey {
+	return cellKey{r.March, r.Bench, r.Level, ""}
+}
+
+func (r CellRef) cell() cellKey {
+	return cellKey{r.March, r.Bench, r.Level, r.Target}
+}
+
+// Cells enumerates every campaign cell of the spec in the
+// deterministic order Run computes them: machines, then benchmarks,
+// then levels, then targets. Slicing this list is how a coordinator
+// decomposes a study into lease-able work items.
+func (s Spec) Cells() []CellRef {
+	out := make([]CellRef, 0, len(s.Machines)*len(s.Benchmarks)*len(s.Levels)*len(s.Targets))
+	for _, cfg := range s.Machines {
+		for _, bench := range s.Benchmarks {
+			for _, level := range s.Levels {
+				for _, t := range s.Targets {
+					out = append(out, CellRef{
+						March: cfg.Name, Bench: bench.Name,
+						Level: level.String(), Target: t.Name(),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CellOutcome is one completed work item: the cell's campaign result
+// plus, on the first outcome of each (march, bench, level) unit in a
+// RunCells call, the unit's golden record (and static bound, for prune
+// studies) so the receiver can reassemble the full Study without
+// re-running anything. Failures ride along instead of results when the
+// spec runs keep-going: UnitFailure for a quarantined preparation
+// (Result is then the deterministic skipped placeholder), CellFailure
+// for a stuck or panicking cell.
+type CellOutcome struct {
+	Cell   CellRef
+	Result campaign.Result
+
+	Golden *Golden   `json:",omitempty"`
+	Static *StaticRF `json:",omitempty"`
+
+	UnitFailure *Failure `json:",omitempty"`
+	CellFailure *Failure `json:",omitempty"`
+}
+
+// RunCells executes just the requested cells of the spec (in any
+// order, duplicates rejected) and returns one outcome per request, in
+// the spec's deterministic enumeration order. Only the units the cells
+// touch are compiled and golden-run; every knob of the spec —
+// parallelism, journaling with replay, keep-going quarantine, pruning,
+// checkpoints — applies exactly as in Run, and each outcome is
+// byte-identical to the corresponding slice of a full Run. A worker
+// process given a lease of cells calls this with a local journal path,
+// so a worker killed mid-lease resumes its own partial work on
+// restart.
+func (s Spec) RunCells(ctx context.Context, cells []CellRef) ([]CellOutcome, error) {
+	if len(cells) == 0 {
+		return nil, nil
+	}
+	valid := make(map[cellKey]bool, len(s.Machines)*len(s.Benchmarks)*len(s.Levels)*len(s.Targets))
+	for _, ref := range s.Cells() {
+		valid[ref.cell()] = true
+	}
+	sel := make(selection, len(cells))
+	for _, ref := range cells {
+		k := ref.cell()
+		if !valid[k] {
+			return nil, fmt.Errorf("core: cell %s is not in the spec", ref)
+		}
+		if sel[k] {
+			return nil, fmt.Errorf("core: cell %s requested twice", ref)
+		}
+		sel[k] = true
+	}
+
+	st, units, err := s.run(ctx, sel)
+	if err != nil {
+		return nil, err
+	}
+
+	nt := len(s.Targets)
+	out := make([]CellOutcome, 0, len(cells))
+	for ui, u := range units {
+		goldenAttached := false
+		for ti, t := range s.Targets {
+			if !u.want[ti] {
+				continue
+			}
+			o := CellOutcome{
+				Cell: CellRef{
+					March: u.cfg.Name, Bench: u.bench.Name,
+					Level: u.level.String(), Target: t.Name(),
+				},
+				Result: st.Results[ui*nt+ti],
+			}
+			switch {
+			case u.failure != nil:
+				o.UnitFailure = u.failure
+			case !goldenAttached:
+				g := st.Goldens[ui]
+				o.Golden = &g
+				if st.Static != nil {
+					sc := st.Static[ui]
+					o.Static = &sc
+				}
+				goldenAttached = true
+			}
+			if cf := u.cellFailures[ti]; cf != nil {
+				o.CellFailure = cf
+			}
+			out = append(out, o)
+		}
+	}
+	return out, nil
+}
+
+// goldenKind tracks what filled a unit's golden slot during assembly.
+type goldenKind int
+
+const (
+	goldenNone        goldenKind = iota
+	goldenPlaceholder            // quarantine placeholder (names only)
+	goldenReal                   // a worker-computed golden record
+)
+
+// Assembler merges CellOutcomes back into a Study. Outcomes may arrive
+// in any order, from any number of workers, and more than once (a
+// lease-expiry race can make two workers compute the same cell): the
+// first outcome per cell wins and later ones are reported as
+// duplicates, so no cell is ever double-counted. When every cell of
+// the spec is accounted for, Study returns a result whose saved bytes
+// are identical to a clean single-process Run — the merge-determinism
+// guarantee the distributed service rests on (values land at canonical
+// slice indices, quarantines assemble in unit-enumeration order, and
+// every value is itself deterministic given the spec).
+type Assembler struct {
+	spec Spec
+	nt   int
+	st   *Study
+
+	cellIdx map[cellKey]int // cell -> flat result index
+	unitIdx map[cellKey]int // unit -> unit index
+
+	have        []bool // per flat index: outcome or quarantine recorded
+	remaining   int
+	haveGolden  []goldenKind
+	unitFailure []*Failure
+	cellFailure [][]*Failure
+}
+
+// NewAssembler prepares an empty assembly for the spec's full study.
+func NewAssembler(spec Spec) *Assembler {
+	st := &Study{Faults: spec.Faults}
+	for _, m := range spec.Machines {
+		st.MachineNames = append(st.MachineNames, m.Name)
+	}
+	for _, b := range spec.Benchmarks {
+		st.BenchNames = append(st.BenchNames, b.Name)
+	}
+	for _, l := range spec.Levels {
+		st.LevelNames = append(st.LevelNames, l.String())
+	}
+	for _, t := range spec.Targets {
+		st.TargetNames = append(st.TargetNames, t.Name())
+	}
+	nt := len(spec.Targets)
+	a := &Assembler{
+		spec:    spec,
+		nt:      nt,
+		st:      st,
+		cellIdx: map[cellKey]int{},
+		unitIdx: map[cellKey]int{},
+	}
+	cells := spec.Cells()
+	units := 0
+	for i, ref := range cells {
+		a.cellIdx[ref.cell()] = i
+		if _, ok := a.unitIdx[ref.unit()]; !ok {
+			a.unitIdx[ref.unit()] = units
+			units++
+		}
+	}
+	st.Goldens = make([]Golden, units)
+	st.Results = make([]campaign.Result, len(cells))
+	if spec.Prune {
+		st.Static = make([]StaticRF, units)
+	}
+	a.have = make([]bool, len(cells))
+	a.remaining = len(cells)
+	a.haveGolden = make([]goldenKind, units)
+	a.unitFailure = make([]*Failure, units)
+	a.cellFailure = make([][]*Failure, units)
+	for i := range a.cellFailure {
+		a.cellFailure[i] = make([]*Failure, nt)
+	}
+	return a
+}
+
+// resolve maps an outcome/quarantine cell to its indices.
+func (a *Assembler) resolve(ref CellRef) (idx, ui, ti int, err error) {
+	idx, ok := a.cellIdx[ref.cell()]
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("core: cell %s is not in the spec", ref)
+	}
+	ui, ok = a.unitIdx[ref.unit()]
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("core: unit of cell %s is not in the spec", ref)
+	}
+	return idx, ui, idx % a.nt, nil
+}
+
+// Add merges one outcome. It reports whether the outcome was accepted:
+// false with a nil error means the cell was already complete (the
+// deduplicated double-completion of a lease-expiry race) and the new
+// outcome was discarded.
+func (a *Assembler) Add(o CellOutcome) (accepted bool, err error) {
+	idx, ui, ti, err := a.resolve(o.Cell)
+	if err != nil {
+		return false, err
+	}
+	if a.have[idx] {
+		return false, nil
+	}
+	a.have[idx] = true
+	a.remaining--
+
+	if f := o.UnitFailure; f != nil {
+		// A quarantined preparation: this cell contributes the unit's
+		// failure record (once) and the deterministic placeholder a
+		// keep-going Run would record.
+		if a.unitFailure[ui] == nil {
+			a.unitFailure[ui] = f
+		}
+		a.st.Results[idx] = skippedCell(*f, o.Cell.Target)
+		if a.haveGolden[ui] == goldenNone {
+			a.st.Goldens[ui] = Golden{March: f.March, Bench: f.Bench, Level: f.Level}
+			if a.st.Static != nil {
+				a.st.Static[ui] = StaticRF{March: f.March, Bench: f.Bench, Level: f.Level}
+			}
+			a.haveGolden[ui] = goldenPlaceholder
+		}
+		return true, nil
+	}
+
+	a.st.Results[idx] = o.Result
+	if o.Golden != nil && a.haveGolden[ui] != goldenReal {
+		a.st.Goldens[ui] = *o.Golden
+		if a.st.Static != nil && o.Static != nil {
+			a.st.Static[ui] = *o.Static
+		}
+		a.haveGolden[ui] = goldenReal
+	}
+	if o.CellFailure != nil {
+		a.cellFailure[ui][ti] = o.CellFailure
+	}
+	return true, nil
+}
+
+// Quarantine records a cell that will never complete — its leases
+// expired or failed past the retry budget — with the failure that
+// removed it from the study. Like Add it is first-wins idempotent, so
+// a late completion racing a quarantine (or vice versa) resolves
+// deterministically to whichever was recorded first.
+func (a *Assembler) Quarantine(ref CellRef, f Failure) (accepted bool, err error) {
+	idx, ui, ti, err := a.resolve(ref)
+	if err != nil {
+		return false, err
+	}
+	if a.have[idx] {
+		return false, nil
+	}
+	a.have[idx] = true
+	a.remaining--
+	if f.Target == "" {
+		// A unit-level failure quarantining this cell: record it once
+		// and fill the unit placeholders, as a keep-going Run would.
+		if a.unitFailure[ui] == nil {
+			a.unitFailure[ui] = &f
+		}
+		a.st.Results[idx] = skippedCell(f, ref.Target)
+		if a.haveGolden[ui] == goldenNone {
+			a.st.Goldens[ui] = Golden{March: f.March, Bench: f.Bench, Level: f.Level}
+			if a.st.Static != nil {
+				a.st.Static[ui] = StaticRF{March: f.March, Bench: f.Bench, Level: f.Level}
+			}
+			a.haveGolden[ui] = goldenPlaceholder
+		}
+		return true, nil
+	}
+	a.cellFailure[ui][ti] = &f
+	a.st.Results[idx] = campaign.Result{
+		March: ref.March, Bench: ref.Bench, Level: ref.Level, Target: ref.Target,
+		Skipped: "cell failed: " + f.Err,
+	}
+	return true, nil
+}
+
+// Done returns how many of the spec's cells are accounted for.
+func (a *Assembler) Done() int { return len(a.have) - a.remaining }
+
+// Total returns the spec's cell count.
+func (a *Assembler) Total() int { return len(a.have) }
+
+// Complete reports whether every cell is accounted for.
+func (a *Assembler) Complete() bool { return a.remaining == 0 }
+
+// Missing lists the cells not yet accounted for, in enumeration order.
+func (a *Assembler) Missing() []CellRef {
+	var out []CellRef
+	for i, ref := range a.spec.Cells() {
+		if !a.have[i] {
+			out = append(out, ref)
+		}
+	}
+	return out
+}
+
+// Study finalizes the assembly. It fails if any cell is still missing:
+// a partial study must never masquerade as a complete one.
+func (a *Assembler) Study() (*Study, error) {
+	if a.remaining > 0 {
+		missing := a.Missing()
+		keys := make([]string, 0, min(len(missing), 5))
+		for i, ref := range missing {
+			if i == 5 {
+				break
+			}
+			keys = append(keys, ref.Key())
+		}
+		return nil, fmt.Errorf("core: assembly incomplete: %d of %d cells missing (first: %s)",
+			a.remaining, len(a.have), strings.Join(keys, ", "))
+	}
+	// Quarantine records assemble in unit-enumeration order, unit
+	// failure first then per-target cell failures — exactly the order
+	// the scheduler's final pass uses.
+	st := a.st
+	st.Failed = nil
+	for _, ref := range a.spec.Cells() {
+		if ref.Target != a.spec.Targets[0].Name() {
+			continue // walk units once, via their first target
+		}
+		ui := a.unitIdx[ref.unit()]
+		if f := a.unitFailure[ui]; f != nil {
+			st.Failed = append(st.Failed, *f)
+		}
+		for _, cf := range a.cellFailure[ui] {
+			if cf != nil {
+				st.Failed = append(st.Failed, *cf)
+			}
+		}
+	}
+	return st, nil
+}

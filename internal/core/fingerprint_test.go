@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"sevsim/internal/dispatch/backoff"
 	"sevsim/internal/workloads"
 )
 
@@ -25,6 +26,7 @@ func TestFingerprintIgnoresEphemeralKnobs(t *testing.T) {
 	knobs.Journal = "elsewhere.jsonl"
 	knobs.KeepGoing = true
 	knobs.Retries = 3
+	knobs.RetryBackoff = &backoff.Policy{Base: time.Second, Max: time.Minute}
 	knobs.CellTimeout = time.Minute
 	if got := knobs.fingerprint(); !reflect.DeepEqual(got, want) {
 		t.Errorf("fingerprint changed by ephemeral knobs:\n got %+v\nwant %+v", got, want)

@@ -9,7 +9,7 @@ package core
 import (
 	"encoding/json"
 	"fmt"
-	"reflect"
+	"strings"
 	"sync"
 
 	"sevsim/internal/campaign"
@@ -180,9 +180,10 @@ func openStudyJournal(path string, meta metaRecord, cancel func()) (*studyJourna
 		w.Close()
 		return nil, nil, fmt.Errorf("study journal %s: meta record: %w", path, err)
 	}
-	if !reflect.DeepEqual(got, meta) {
+	if diff := diffMeta(got, meta); len(diff) > 0 {
 		w.Close()
-		return nil, nil, fmt.Errorf("study journal %s was recorded under a different spec; remove it or pass a different -journal path", path)
+		return nil, nil, fmt.Errorf("study journal %s was recorded under a different spec:\n  %s\nremove the journal, or pass a different -journal path, or restore the knobs above",
+			path, strings.Join(diff, "\n  "))
 	}
 	for _, r := range recs[1:] {
 		switch r.Kind {
@@ -213,4 +214,51 @@ func openStudyJournal(path string, meta metaRecord, cancel func()) (*studyJourna
 		}
 	}
 	return &studyJournal{w: w, cancel: cancel}, rs, nil
+}
+
+// diffMeta renders a field-level diff of a journal's stored spec
+// fingerprint against the current one, one line per differing knob, so
+// a rejected resume says exactly which knob changed instead of an
+// opaque "fingerprint mismatch". Empty when the fingerprints match.
+func diffMeta(stored, current metaRecord) []string {
+	var out []string
+	scalar := func(field string, s, c any) {
+		if s != c {
+			out = append(out, fmt.Sprintf("%s: journal has %v, current spec has %v", field, s, c))
+		}
+	}
+	list := func(field string, s, c []string) {
+		if len(s) != len(c) {
+			out = append(out, fmt.Sprintf("%s: journal has %d entries [%s], current spec has %d [%s]",
+				field, len(s), strings.Join(s, " "), len(c), strings.Join(c, " ")))
+			return
+		}
+		for i := range s {
+			if s[i] != c[i] {
+				out = append(out, fmt.Sprintf("%s[%d]: journal has %q, current spec has %q", field, i, s[i], c[i]))
+			}
+		}
+	}
+	list("Machines", stored.Machines, current.Machines)
+	list("Benches", stored.Benches, current.Benches)
+	if len(stored.Sizes) != len(current.Sizes) {
+		out = append(out, fmt.Sprintf("Sizes: journal has %d entries %v, current spec has %d %v",
+			len(stored.Sizes), stored.Sizes, len(current.Sizes), current.Sizes))
+	} else {
+		for i := range stored.Sizes {
+			if stored.Sizes[i] != current.Sizes[i] {
+				bench := fmt.Sprintf("Sizes[%d]", i)
+				if i < len(current.Benches) {
+					bench = fmt.Sprintf("Sizes[%d] (%s)", i, current.Benches[i])
+				}
+				scalar(bench, stored.Sizes[i], current.Sizes[i])
+			}
+		}
+	}
+	list("Levels", stored.Levels, current.Levels)
+	list("Targets", stored.Targets, current.Targets)
+	scalar("Faults", stored.Faults, current.Faults)
+	scalar("Seed", stored.Seed, current.Seed)
+	scalar("Prune", stored.Prune, current.Prune)
+	return out
 }

@@ -15,7 +15,9 @@ import (
 	"time"
 
 	"sevsim/internal/compiler"
+	"sevsim/internal/dispatch/backoff"
 	"sevsim/internal/machine"
+	"sevsim/internal/workloads"
 )
 
 // resumeSpec is tinySpec narrowed to one machine: 4 prep units and 12
@@ -403,5 +405,86 @@ func TestRunContextPreCancelled(t *testing.T) {
 	spec := resumeSpec(t)
 	if _, err := spec.RunContext(ctx); !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRetryBackoffPacingPreservesResults: the retry backoff policy is
+// an ephemeral execution knob — cranking it to near-zero (so tests
+// stay fast) or leaving the default must produce identical studies.
+func TestRetryBackoffPacingPreservesResults(t *testing.T) {
+	clean, err := resumeSpec(t).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCompileFailure(t, "gsm", compiler.O0, 2)
+	spec := resumeSpec(t)
+	spec.KeepGoing = true
+	spec.Retries = 3
+	spec.RetryBackoff = &backoff.Policy{Base: time.Microsecond, Max: 10 * time.Microsecond}
+	st, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Failed) != 0 {
+		t.Fatalf("transient failure not retried away under custom backoff: %+v", st.Failed)
+	}
+	if !bytes.Equal(saveBytes(t, clean), saveBytes(t, st)) {
+		t.Error("retry backoff changed study bytes")
+	}
+}
+
+// TestJournalMismatchExplainsDiff pins the shape of the
+// fingerprint-mismatch error: it must name each differing knob with
+// the stored and current values, not just say "different spec".
+func TestJournalMismatchExplainsDiff(t *testing.T) {
+	spec := resumeSpec(t)
+	spec.Benchmarks = spec.Benchmarks[:1]
+	spec.Levels = spec.Levels[:1]
+	spec.Journal = filepath.Join(t.TempDir(), "journal.jsonl")
+	if _, err := spec.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	changed := spec
+	changed.Seed += 35
+	changed.Faults++
+	changed.Prune = !changed.Prune
+	_, err := changed.Run()
+	if err == nil {
+		t.Fatal("changed spec not rejected")
+	}
+	msg := err.Error()
+	for _, want := range []string{
+		fmt.Sprintf("Seed: journal has %d, current spec has %d", spec.Seed, changed.Seed),
+		fmt.Sprintf("Faults: journal has %d, current spec has %d", spec.Faults, changed.Faults),
+		fmt.Sprintf("Prune: journal has %v, current spec has %v", spec.Prune, changed.Prune),
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error missing %q:\n%s", want, msg)
+		}
+	}
+	if strings.Contains(msg, "Machines:") {
+		t.Errorf("error diffs an unchanged knob:\n%s", msg)
+	}
+
+	// Structural changes diff by entry, with the benchmark named on a
+	// size change.
+	resized := spec
+	resized.Size = func(b workloads.Benchmark) int { return b.TestSize + 1 }
+	_, err = resized.Run()
+	if err == nil || !strings.Contains(err.Error(), "Sizes[0] (qsort): journal has") {
+		t.Errorf("size change not diffed by benchmark: %v", err)
+	}
+	relevel := spec
+	relevel.Levels = []compiler.OptLevel{compiler.O2}
+	_, err = relevel.Run()
+	if err == nil || !strings.Contains(err.Error(), `Levels[0]: journal has "O0", current spec has "O2"`) {
+		t.Errorf("level change not diffed per entry: %v", err)
+	}
+	wider := spec
+	wider.Levels = []compiler.OptLevel{compiler.O0, compiler.O2}
+	_, err = wider.Run()
+	if err == nil || !strings.Contains(err.Error(), "Levels: journal has 1 entries [O0], current spec has 2 [O0 O2]") {
+		t.Errorf("level list growth not diffed: %v", err)
 	}
 }

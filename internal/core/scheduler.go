@@ -28,6 +28,7 @@ import (
 	"sevsim/internal/binanalysis"
 	"sevsim/internal/campaign"
 	"sevsim/internal/compiler"
+	"sevsim/internal/dispatch/backoff"
 	"sevsim/internal/faultinj"
 	"sevsim/internal/machine"
 	"sevsim/internal/workloads"
@@ -66,6 +67,17 @@ type prepUnit struct {
 	noFastExit  bool
 	analyses    *analysisCache // shared across the study's prune units
 
+	// want selects the unit's targets to campaign (parallel to the
+	// spec's Targets); RunContext wants everything, RunCells only the
+	// requested subset.
+	want []bool
+
+	// Retry pacing between failed preparation attempts: the shared
+	// exponential-backoff policy, jittered from a deterministic
+	// per-unit seed so retry schedules reproduce run to run.
+	backoff backoff.Policy
+	jitter  *backoff.Source
+
 	exp      *faultinj.Experiment
 	golden   Golden
 	pruner   faultinj.Pruner // non-nil only for prune units
@@ -84,7 +96,11 @@ type prepUnit struct {
 }
 
 // run prepares the unit with up to retries extra attempts; a cancelled
-// context short-circuits pending units.
+// context short-circuits pending units. Attempts after the first wait
+// out an exponential backoff with jitter (the shared
+// internal/dispatch/backoff policy), so a transiently failing compile
+// — a briefly full disk, an overloaded host — gets time to clear
+// instead of burning every retry back to back.
 func (u *prepUnit) run(ctx context.Context) {
 	defer close(u.ready)
 	for attempt := 0; ; attempt++ {
@@ -95,6 +111,10 @@ func (u *prepUnit) run(ctx context.Context) {
 		}
 		u.prepOnce()
 		if u.err == nil || attempt >= u.retries {
+			return
+		}
+		if err := u.backoff.Sleep(ctx, attempt, u.jitter); err != nil {
+			u.err, u.stage = err, "cancelled"
 			return
 		}
 	}
@@ -237,6 +257,9 @@ func (s Spec) replayInto(st *Study, units []*prepUnit, rs *replayState) int {
 	nt := len(s.Targets)
 	replayed := 0
 	for ui, u := range units {
+		if u.skip {
+			continue // no selected targets; nothing to replay into
+		}
 		ukey := cellKey{u.cfg.Name, u.bench.Name, u.level.String(), ""}
 		if f, ok := rs.failures[ukey]; ok {
 			f := f
@@ -251,7 +274,9 @@ func (s Spec) replayInto(st *Study, units []*prepUnit, rs *replayState) int {
 			ckey := cellKey{u.cfg.Name, u.bench.Name, u.level.String(), t.Name()}
 			c, ok := rs.cells[ckey]
 			if !ok {
-				complete = false
+				if u.want[ti] {
+					complete = false
+				}
 				continue
 			}
 			u.replayed[ti] = &c
@@ -294,6 +319,23 @@ func (s Spec) Run() (*Study, error) { return s.RunContext(context.Background()) 
 // subsequent run with the same spec and journal resumes from the last
 // durable record.
 func (s Spec) RunContext(ctx context.Context) (*Study, error) {
+	st, _, err := s.run(ctx, nil)
+	return st, err
+}
+
+// selection picks a subset of a spec's campaign cells (keyed with an
+// empty Target field never set). nil selects everything — the
+// historical full-study behavior.
+type selection map[cellKey]bool
+
+// run is the engine shared by RunContext (sel nil: the whole study)
+// and RunCells (sel restricts the work to the requested cells' units
+// and targets). The returned Study always has the full canonical
+// layout — unit i owns Goldens[i] and Results[i*nt ... (i+1)*nt) — so
+// a partial run's outcomes land at the exact indices a full run would
+// use; unselected slots are left zero. The returned units expose
+// per-unit failure and replay bookkeeping for outcome extraction.
+func (s Spec) run(ctx context.Context, sel selection) (*Study, []*prepUnit, error) {
 	st := &Study{Faults: s.Faults}
 	for _, m := range s.Machines {
 		st.MachineNames = append(st.MachineNames, m.Name)
@@ -310,25 +352,36 @@ func (s Spec) RunContext(ctx context.Context) (*Study, error) {
 
 	// Enumerate prep units in the serial loop's order; unit i owns
 	// Goldens[i] and Results[i*len(Targets) ... (i+1)*len(Targets)).
+	// A unit none of whose targets are selected is skipped outright.
 	sizes := s.resolveSizes()
 	analyses := &analysisCache{}
 	var units []*prepUnit
 	for _, cfg := range s.Machines {
 		for bi, bench := range s.Benchmarks {
 			for _, level := range s.Levels {
-				units = append(units, &prepUnit{
+				u := &prepUnit{
 					cfg: cfg, bench: bench, size: sizes[bi], level: level,
 					prune: s.Prune, retries: s.Retries, analyses: analyses,
 					checkpoints: s.Checkpoints, noFastExit: s.NoFastExit,
+					backoff:      s.retryBackoff(),
+					jitter:       backoff.NewSource(cellSeed(s.Seed, cfg.Name, bench.Name, level.String(), "retry-jitter")),
 					ready:        make(chan struct{}),
+					want:         make([]bool, len(s.Targets)),
 					replayed:     make([]*campaign.Result, len(s.Targets)),
 					cellFailures: make([]*Failure, len(s.Targets)),
-				})
+				}
+				any := false
+				for ti, t := range s.Targets {
+					u.want[ti] = sel == nil || sel[cellKey{cfg.Name, bench.Name, level.String(), t.Name()}]
+					any = any || u.want[ti]
+				}
+				u.skip = !any
+				units = append(units, u)
 			}
 		}
 	}
 	if len(units) == 0 {
-		return st, nil
+		return st, units, nil
 	}
 	nt := len(s.Targets)
 	st.Goldens = make([]Golden, len(units))
@@ -349,7 +402,7 @@ func (s Spec) RunContext(ctx context.Context) (*Study, error) {
 		var err error
 		jn, rs, err = openStudyJournal(s.Journal, s.fingerprint(), cancelRun)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		defer jn.close()
 		if n := s.replayInto(st, units, rs); n > 0 {
@@ -432,6 +485,9 @@ func (s Spec) RunContext(ctx context.Context) (*Study, error) {
 				u.cfg.Name, u.bench.Name, u.level, u.exp.GoldenCycles, u.exp.GoldenStats.Stats.IPC())
 			var cells sync.WaitGroup
 			for ti, target := range s.Targets {
+				if !u.want[ti] {
+					continue // not selected by this run
+				}
 				if u.replayed[ti] != nil {
 					continue // landed in st.Results during replay
 				}
@@ -520,24 +576,24 @@ func (s Spec) RunContext(ctx context.Context) (*Study, error) {
 	// A journal that stopped persisting invalidates the run's
 	// durability guarantee; surface it over everything else.
 	if err := jn.firstErr(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// Abort mode: the first failing unit or cell in enumeration order
 	// determines the returned error, matching the serial loop.
 	if !s.KeepGoing {
 		for ui, u := range units {
 			if u.err != nil && !isCancel(u.err) {
-				return nil, u.err
+				return nil, nil, u.err
 			}
 			for ti := 0; ti < nt; ti++ {
 				if err := cellPanics[ui*nt+ti]; err != nil {
-					return nil, err
+					return nil, nil, err
 				}
 			}
 		}
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("study interrupted (completed cells are journaled; rerun with the same spec and journal to resume): %w", err)
+		return nil, nil, fmt.Errorf("study interrupted (completed cells are journaled; rerun with the same spec and journal to resume): %w", err)
 	}
 	// Assemble quarantine records in deterministic unit order.
 	for _, u := range units {
@@ -550,5 +606,14 @@ func (s Spec) RunContext(ctx context.Context) (*Study, error) {
 			}
 		}
 	}
-	return st, nil
+	return st, units, nil
+}
+
+// retryBackoff resolves the preparation-retry pacing policy:
+// Spec.RetryBackoff when set, else the shared default.
+func (s Spec) retryBackoff() backoff.Policy {
+	if s.RetryBackoff != nil {
+		return *s.RetryBackoff
+	}
+	return backoff.Default
 }

@@ -16,6 +16,7 @@ import (
 
 	"sevsim/internal/campaign"
 	"sevsim/internal/compiler"
+	"sevsim/internal/dispatch/backoff"
 	"sevsim/internal/faultinj"
 	"sevsim/internal/journal"
 	"sevsim/internal/machine"
@@ -105,9 +106,20 @@ type Spec struct {
 	// Retries is the number of additional preparation attempts after a
 	// unit's first failure, for riding out transient faults (0: fail on
 	// the first error). The attempt count is recorded in the Failure.
+	// Attempts after the first wait out the shared exponential backoff
+	// with jitter (RetryBackoff), so a transient fault gets time to
+	// clear instead of burning every retry back to back.
 	//
 	//journal:ephemeral retry budget for transient host faults; successful results are independent of it
 	Retries int
+
+	// RetryBackoff overrides the pacing between preparation retries
+	// (nil: backoff.Default). The jitter is sampled from a
+	// deterministic per-unit seed, so retry schedules — like results —
+	// reproduce run to run.
+	//
+	//journal:ephemeral retry pacing only; it shapes when attempts happen, never what they produce
+	RetryBackoff *backoff.Policy
 
 	// CellTimeout, when positive, arms a per-cell watchdog: a campaign
 	// cell that exceeds this wall-clock budget is abandoned (in-flight

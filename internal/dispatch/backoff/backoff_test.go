@@ -1,0 +1,84 @@
+package backoff
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestDelayGrowsExponentiallyAndCaps(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Max: 1 * time.Second, Factor: 2, Jitter: 0}
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1 * time.Second,
+		1 * time.Second, // capped
+	}
+	for attempt, w := range want {
+		if got := p.Delay(attempt, 0); got != w {
+			t.Errorf("attempt %d: delay %v, want %v", attempt, got, w)
+		}
+	}
+}
+
+func TestDelayJitterStaysInBand(t *testing.T) {
+	p := Policy{Base: 1 * time.Second, Max: time.Minute, Factor: 2, Jitter: 0.5}
+	src := NewSource(42)
+	for i := 0; i < 200; i++ {
+		d := p.Delay(0, src.Float64())
+		if d < 500*time.Millisecond || d >= 1*time.Second {
+			t.Fatalf("jittered delay %v outside [500ms, 1s)", d)
+		}
+	}
+	// The band is actually sampled, not pinned to one edge.
+	lo := p.Delay(0, 0)
+	hi := p.Delay(0, 0.999)
+	if lo == hi {
+		t.Fatalf("jitter has no effect: %v == %v", lo, hi)
+	}
+}
+
+func TestDelayIsDeterministicPerSeed(t *testing.T) {
+	p := Default
+	a, b := NewSource(7), NewSource(7)
+	for i := 0; i < 32; i++ {
+		if da, db := p.Delay(i%5, a.Float64()), p.Delay(i%5, b.Float64()); da != db {
+			t.Fatalf("same seed diverged at step %d: %v vs %v", i, da, db)
+		}
+	}
+}
+
+func TestZeroPolicyUsesDefaults(t *testing.T) {
+	var p Policy
+	if got := p.Delay(0, 0); got != Default.Base/2 {
+		// Default jitter is 0.5, so u=0 lands at half the base.
+		t.Errorf("zero policy first delay %v, want %v", got, Default.Base/2)
+	}
+}
+
+func TestWaitHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := Wait(ctx, time.Hour); err != context.Canceled {
+		t.Fatalf("Wait on cancelled ctx: err %v, want context.Canceled", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("Wait did not return promptly on cancellation")
+	}
+}
+
+func TestWaitElapses(t *testing.T) {
+	if err := Wait(context.Background(), time.Millisecond); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+}
+
+func TestSleepUsesSource(t *testing.T) {
+	p := Policy{Base: time.Millisecond, Max: time.Millisecond, Factor: 2, Jitter: 0.5}
+	if err := p.Sleep(context.Background(), 0, NewSource(1)); err != nil {
+		t.Fatalf("Sleep: %v", err)
+	}
+}

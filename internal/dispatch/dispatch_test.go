@@ -1,0 +1,481 @@
+package dispatch
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sevsim/internal/core"
+)
+
+// testWire is a fast one-machine study: 12 cells across two prep
+// units per level.
+func testWire() StudySpec {
+	return StudySpec{
+		Machines: []string{"Cortex-A15-like"},
+		Benches:  []string{"qsort", "gsm"},
+		Sizes:    []int{24, 2},
+		Levels:   []string{"O0", "O2"},
+		Targets:  []string{"RF", "ROB.pc", "L1D.data"},
+		Faults:   8,
+		Seed:     7,
+	}
+}
+
+// localBytes runs the wire spec in-process and returns its Save bytes
+// — the reference every distributed run must reproduce exactly.
+func localBytes(t *testing.T, wire StudySpec) []byte {
+	t.Helper()
+	spec, err := wire.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.MarshalIndent(st, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestSpecNormalizeAndID(t *testing.T) {
+	wire := testWire()
+	n1, err := wire.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Normalizing is idempotent and fills the target default.
+	n2, err := n1.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1.ID() != n2.ID() {
+		t.Fatal("normalize is not idempotent")
+	}
+	elided := wire
+	elided.Sizes = nil
+	defaulted := wire
+	defaulted.Sizes = []int{300, 3} // the benchmarks' default sizes
+	ne, err := elided.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd, err := defaulted.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ne.ID() != nd.ID() {
+		t.Fatal("elided and explicit defaults hash to different studies")
+	}
+	if ne.ID() == n1.ID() {
+		t.Fatal("different sizes hash to the same study")
+	}
+	bad := wire
+	bad.Benches = []string{"no-such-bench"}
+	if _, err := bad.Normalize(); err == nil {
+		t.Fatal("unknown benchmark not rejected")
+	}
+	// Wire round trip through a resolved spec is lossless.
+	spec, err := n1.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := WireSpec(spec).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ID() != n1.ID() {
+		t.Fatal("spec -> wire round trip changed the study ID")
+	}
+}
+
+// TestDistributedStudyEndToEnd is the tentpole acceptance at package
+// level: a study submitted over HTTP, computed by three concurrent
+// workers, merges to bytes identical to the single-process run.
+func TestDistributedStudyEndToEnd(t *testing.T) {
+	wire := testWire()
+	want := localBytes(t, wire)
+
+	coord, err := OpenCoordinator(Options{
+		Dir:        t.TempDir(),
+		LeaseTTL:   time.Minute,
+		LeaseCells: 3,
+		Logf:       t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	ts := httptest.NewServer(NewServer(coord, "unused").Handler)
+	defer ts.Close()
+
+	// Submit over HTTP; resubmission is idempotent.
+	var sub SubmitResponse
+	postJSON(t, ts.URL+"/studies", wire, &sub)
+	if sub.Existing || sub.Cells != 12 {
+		t.Fatalf("submit: %+v", sub)
+	}
+	var again SubmitResponse
+	postJSON(t, ts.URL+"/studies", wire, &again)
+	if !again.Existing || again.ID != sub.ID {
+		t.Fatalf("resubmit: %+v", again)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, name := range []string{"w1", "w2", "w3"} {
+		w, err := NewWorker(WorkerOptions{
+			Coordinator: ts.URL,
+			Name:        name,
+			Workdir:     t.TempDir(),
+			Logf:        t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Run(ctx)
+		}()
+	}
+
+	// The progress stream ends when the study completes.
+	resp, err := http.Get(ts.URL + "/studies/" + sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var last StatusEvent
+	lines := 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			t.Fatalf("progress line %d: %v", lines, err)
+		}
+		lines++
+	}
+	if lines == 0 || last.State != "complete" || last.Done != 12 {
+		t.Fatalf("progress stream ended at %+v after %d lines", last, lines)
+	}
+	cancel()
+	wg.Wait()
+
+	got := getBytes(t, ts.URL+"/studies/"+sub.ID+"/result")
+	if !bytes.Equal(got, want) {
+		t.Fatalf("distributed result differs from single-process run (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// TestCoordinatorKillAndResume closes the coordinator mid-study and
+// reopens it on the same state directory: journaled completions
+// survive, the in-flight lease's cells return to the pool, and the
+// finished study still matches the single-process bytes.
+func TestCoordinatorKillAndResume(t *testing.T) {
+	wire := testWire()
+	want := localBytes(t, wire)
+	spec, err := func() (core.Spec, error) {
+		w, err := wire.Normalize()
+		if err != nil {
+			return core.Spec{}, err
+		}
+		return w.Spec()
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	opt := Options{Dir: dir, LeaseTTL: time.Minute, LeaseCells: 4, Logf: t.Logf}
+
+	coord, err := OpenCoordinator(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := coord.Submit(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Complete one lease, leave a second one in flight, then kill.
+	g1, err := coord.Lease(LeaseRequest{Worker: "w1"})
+	if err != nil || g1 == nil {
+		t.Fatalf("lease: %v %v", g1, err)
+	}
+	out, err := spec.RunCells(context.Background(), g1.Cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.Complete(CompleteRequest{Worker: "w1", LeaseID: g1.LeaseID, StudyID: sub.ID, Outcomes: out}); err != nil {
+		t.Fatal(err)
+	}
+	if g2, err := coord.Lease(LeaseRequest{Worker: "w1"}); err != nil || g2 == nil {
+		t.Fatalf("second lease: %v %v", g2, err)
+	}
+	done := len(g1.Cells)
+	coord.Close()
+
+	coord, err = OpenCoordinator(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	ev, ok := coord.Status(sub.ID)
+	if !ok || ev.Done != done || ev.Leased != 0 {
+		t.Fatalf("resumed status: %+v (want Done=%d, Leased=0)", ev, done)
+	}
+
+	// Finish the study through the reopened coordinator.
+	for {
+		g, err := coord.Lease(LeaseRequest{Worker: "w2"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g == nil {
+			break
+		}
+		out, err := spec.RunCells(context.Background(), g.Cells)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := coord.Complete(CompleteRequest{Worker: "w2", LeaseID: g.LeaseID, StudyID: sub.ID, Outcomes: out})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Duplicates != 0 {
+			t.Fatalf("resumed run recomputed %d already-journaled cells", resp.Duplicates)
+		}
+	}
+	got, ok := coord.Result(sub.ID)
+	if !ok {
+		t.Fatal("study not complete after resumed leases")
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("resumed coordinator result differs from single-process run")
+	}
+	if hb := coord.Heartbeat(HeartbeatRequest{Worker: "w2", LeaseID: sub.ID + "/l-999"}); !hb.Cancel {
+		t.Fatalf("heartbeat after completion: %+v, want Cancel", hb)
+	}
+}
+
+// TestPersistentFailureQuarantine drives a cell through the fail path
+// to quarantine: the study still completes, with the cell recorded in
+// Study.Failed instead of hanging the campaign forever.
+func TestPersistentFailureQuarantine(t *testing.T) {
+	wire := testWire()
+	coord, err := OpenCoordinator(Options{
+		Dir: t.TempDir(), LeaseTTL: time.Minute, LeaseCells: 12,
+		MaxAttempts: 2, WorkerBudget: 100, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	sub, err := coord.Submit(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := coord.studies[sub.ID].wire.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fail one cell twice (MaxAttempts), completing the rest.
+	poison := spec.Cells()[5]
+	for attempt := 0; ; attempt++ {
+		g, err := coord.Lease(LeaseRequest{Worker: "w"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g == nil {
+			break
+		}
+		var good []core.CellRef
+		bad := false
+		for _, ref := range g.Cells {
+			if ref == poison {
+				bad = true
+			} else {
+				good = append(good, ref)
+			}
+		}
+		if len(good) > 0 {
+			out, err := spec.RunCells(context.Background(), good)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := coord.Complete(CompleteRequest{Worker: "w", LeaseID: g.LeaseID, StudyID: sub.ID, Outcomes: out}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if bad {
+			err := coord.Fail(FailRequest{Worker: "w", LeaseID: g.LeaseID, StudyID: sub.ID,
+				Cells: []core.CellRef{poison}, Err: "injected worker crash"})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if attempt > 10 {
+			t.Fatal("study did not settle")
+		}
+	}
+	data, ok := coord.Result(sub.ID)
+	if !ok {
+		t.Fatal("study with a quarantined cell never completed")
+	}
+	var st core.Study
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Failed) != 1 {
+		t.Fatalf("Failed has %d entries, want 1: %+v", len(st.Failed), st.Failed)
+	}
+	f := st.Failed[0]
+	if f.Target != poison.Target || f.Stage != "dispatch" || !strings.Contains(f.Err, "injected worker crash") {
+		t.Fatalf("quarantine record: %+v", f)
+	}
+	ev, _ := coord.Status(sub.ID)
+	if ev.Quarantined != 1 || ev.State != "complete" {
+		t.Fatalf("status: %+v", ev)
+	}
+}
+
+// TestLeaseExpiryReassignsOverHTTP covers the dead-worker path with a
+// synthetic clock: a worker leases cells and vanishes; the sweep
+// expires the lease and a live worker finishes the study.
+func TestLeaseExpiryReassigns(t *testing.T) {
+	wire := testWire()
+	want := localBytes(t, wire)
+	var mu sync.Mutex
+	now := time.Unix(0, 0)
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+
+	coord, err := OpenCoordinator(Options{
+		Dir: t.TempDir(), LeaseTTL: 30 * time.Second, LeaseCells: 6,
+		WorkerBudget: 100, Clock: clock, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	sub, err := coord.Submit(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := coord.studies[sub.ID].wire.Spec()
+
+	// The doomed worker takes half the study and dies silently.
+	gDead, err := coord.Lease(LeaseRequest{Worker: "doomed"})
+	if err != nil || gDead == nil || len(gDead.Cells) != 6 {
+		t.Fatalf("doomed lease: %+v %v", gDead, err)
+	}
+	// Its lease has not expired yet: the live worker gets the rest.
+	gLive, err := coord.Lease(LeaseRequest{Worker: "live", Max: 12})
+	if err != nil || gLive == nil || len(gLive.Cells) != 6 {
+		t.Fatalf("live lease: %+v %v", gLive, err)
+	}
+	out, err := spec.RunCells(context.Background(), gLive.Cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.Complete(CompleteRequest{Worker: "live", LeaseID: gLive.LeaseID, StudyID: sub.ID, Outcomes: out}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Heartbeats keep the doomed lease alive across the TTL...
+	advance(20 * time.Second)
+	if hb := coord.Heartbeat(HeartbeatRequest{Worker: "doomed", LeaseID: gDead.LeaseID}); !hb.Known {
+		t.Fatalf("heartbeat: %+v", hb)
+	}
+	advance(20 * time.Second)
+	coord.Sweep()
+	if g, _ := coord.Lease(LeaseRequest{Worker: "live"}); g != nil {
+		t.Fatalf("heartbeated lease reassigned early: %+v", g)
+	}
+	// ...until they stop: the sweep reclaims the cells.
+	advance(31 * time.Second)
+	coord.Sweep()
+	g, err := coord.Lease(LeaseRequest{Worker: "live", Max: 12})
+	if err != nil || g == nil || len(g.Cells) != 6 {
+		t.Fatalf("reassigned lease: %+v %v", g, err)
+	}
+	out, err = spec.RunCells(context.Background(), g.Cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := coord.Complete(CompleteRequest{Worker: "live", LeaseID: g.LeaseID, StudyID: sub.ID, Outcomes: out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != 6 {
+		t.Fatalf("reassigned completion: %+v", resp)
+	}
+
+	// The zombie reports its (re-)computed cells after all: all dups.
+	outDead, err := spec.RunCells(context.Background(), gDead.Cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	respDead, err := coord.Complete(CompleteRequest{Worker: "doomed", LeaseID: gDead.LeaseID, StudyID: sub.ID, Outcomes: outDead})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if respDead.Accepted != 0 || respDead.Duplicates != 6 {
+		t.Fatalf("zombie completion not fully deduplicated: %+v", respDead)
+	}
+
+	got, ok := coord.Result(sub.ID)
+	if !ok {
+		t.Fatal("study incomplete")
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("result with expiry/reassignment differs from single-process run")
+	}
+}
+
+func postJSON(t *testing.T, url string, req, resp any) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: %s", url, r.Status)
+	}
+	if err := json.NewDecoder(r.Body).Decode(resp); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func getBytes(t *testing.T, url string) []byte {
+	t.Helper()
+	r, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, r.Status)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}

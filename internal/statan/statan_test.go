@@ -21,6 +21,7 @@ var fixtures = []struct {
 }{
 	{name: "determinism", passes: []string{"determinism"}},
 	{name: "robustness", passes: []string{"robustness"}},
+	{name: "dispatch", passes: []string{"robustness"}},
 	{name: "snapcover", passes: []string{"snapshotcover"}},
 	{name: "eqcover", passes: []string{"equalitycover"}},
 	{name: "fpcover", passes: []string{"fingerprintcover"}},

@@ -20,11 +20,14 @@ import (
 // suppressionKeys maps each key to the rule it suppresses, for the
 // hygiene check's error messages.
 var suppressionKeys = map[string]string{
-	"ordered": "map-range",
-	"clock":   "wall-clock",
-	"rand":    "global-rand",
-	"exit":    "os-exit",
-	"signal":  "signal-notify",
+	"ordered":  "map-range",
+	"clock":    "wall-clock",
+	"rand":     "global-rand",
+	"exit":     "os-exit",
+	"signal":   "signal-notify",
+	"http":     "http-server",
+	"shutdown": "http-shutdown",
+	"sleep":    "sleep-poll",
 }
 
 // Anchored at the start of the comment token: prose that merely
@@ -107,7 +110,7 @@ func reportSuppressionHygiene(pkg *Package, out *[]Diagnostic) {
 			*out = append(*out, Diagnostic{
 				Pos: e.Pos, File: e.Pos.Filename, Line: e.Pos.Line, Col: e.Pos.Column,
 				Pass: "suppress", Rule: "unknown-key",
-				Msg: fmt.Sprintf("unknown suppression key %q; known keys: ordered, clock, rand, exit, signal", e.Key),
+				Msg: fmt.Sprintf("unknown suppression key %q; known keys: ordered, clock, rand, exit, signal, http, shutdown, sleep", e.Key),
 			})
 		case !e.used:
 			*out = append(*out, Diagnostic{

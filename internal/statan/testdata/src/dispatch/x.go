@@ -1,0 +1,42 @@
+// Package dispatch is a sevlint fixture for the sleep-poll rule: the
+// directory name carries the "dispatch" segment that scopes the rule.
+package dispatch
+
+import (
+	"context"
+	"time"
+)
+
+func pollLoop(done func() bool) {
+	for !done() {
+		time.Sleep(100 * time.Millisecond) // flagged: sleep-poll
+	}
+}
+
+func rangePoll(items []int) {
+	for range items {
+		time.Sleep(time.Millisecond) // flagged: sleep-poll
+	}
+}
+
+func settleOnce() {
+	time.Sleep(time.Millisecond) // clean: not a loop
+}
+
+func suppressedPoll(done func() bool) {
+	for !done() {
+		time.Sleep(time.Second) //lint:sleep fixture: paced by an external rate limit
+	}
+}
+
+func tickerPoll(ctx context.Context, done func() bool) {
+	t := time.NewTicker(100 * time.Millisecond) // clean: cancellable pacing
+	defer t.Stop()
+	for !done() {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}

@@ -1,11 +1,14 @@
-// Package robustness is a sevlint fixture for the os-exit and
-// signal-notify rules.
+// Package robustness is a sevlint fixture for the os-exit,
+// signal-notify, http-server, and http-shutdown rules.
 package robustness
 
 import (
 	"context"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"time"
 )
 
 func exits() {
@@ -23,4 +26,25 @@ func notify() {
 
 func notifyContext() (context.Context, context.CancelFunc) {
 	return signal.NotifyContext(context.Background(), os.Interrupt) // clean
+}
+
+func bareServer() *http.Server {
+	return &http.Server{Addr: ":0"} // flagged: http-server (no ReadHeaderTimeout)
+}
+
+func guardedServer() *http.Server {
+	return &http.Server{Addr: ":0", ReadHeaderTimeout: 10 * time.Second} // clean
+}
+
+func suppressedServer() *http.Server {
+	return &http.Server{Addr: ":0"} //lint:http fixture: unix-socket server, no slow clients
+}
+
+func helperServe() error {
+	return http.ListenAndServe(":0", nil) // flagged: http-server (no Shutdown handle)
+}
+
+func serveWithoutShutdown(ln net.Listener) error {
+	srv := guardedServer()
+	return srv.Serve(ln) // flagged: http-shutdown (package never calls Shutdown)
 }
