@@ -24,6 +24,7 @@ import (
 	"testing"
 	"time"
 
+	"sevsim/internal/artcache"
 	"sevsim/internal/binanalysis"
 	"sevsim/internal/campaign"
 	"sevsim/internal/compiler"
@@ -467,6 +468,99 @@ func BenchmarkPrunedStudy(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		campaign.Run(exp, rf, campaign.Options{Faults: 8, Seed: int64(i), Pruner: pruner})
+	}
+}
+
+// BenchmarkCachedStudy quantifies the prep-artifact cache
+// (internal/artcache): the printed figure runs the same small study
+// uncached, cold-cached (empty cache directory), and warm-cached
+// (second run on the same directory), asserts all three produce
+// byte-identical study JSON, and reports the warm-over-cold wall-clock
+// speedup. The timed unit prepares one experiment (compile + golden
+// run + checkpoint recording vs one cache load) as the direct/warm
+// sub-benchmarks that BENCH_cache.json records and CI gates.
+func BenchmarkCachedStudy(b *testing.B) {
+	cachedSpec := func(c *artcache.Cache) core.Spec {
+		qsort, _ := workloads.ByName("qsort")
+		gsm, _ := workloads.ByName("gsm")
+		rf, _ := faultinj.TargetByName("RF")
+		robPC, _ := faultinj.TargetByName("ROB.pc")
+		l1d, _ := faultinj.TargetByName("L1D.data")
+		return core.Spec{
+			Machines:    []machine.Config{machine.CortexA15Like(), machine.CortexA72Like()},
+			Benchmarks:  []workloads.Benchmark{qsort, gsm},
+			Levels:      []compiler.OptLevel{compiler.O0, compiler.O2},
+			Targets:     []faultinj.Target{rf, robPC, l1d},
+			Faults:      envInt("SEV_FAULTS", 8),
+			Seed:        2021,
+			Size:        func(bm workloads.Benchmark) int { return bm.TestSize },
+			Parallelism: runtime.GOMAXPROCS(0),
+			Cache:       c,
+		}
+	}
+	runStudy := func(c *artcache.Cache) ([]byte, time.Duration) {
+		t0 := time.Now()
+		st, err := cachedSpec(c).Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		d := time.Since(t0)
+		j, err := json.Marshal(st)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return j, d
+	}
+	printFigure("cached-study", func() {
+		base, baseD := runStudy(nil)
+		cache, err := artcache.Open(b.TempDir(), artcache.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cold, coldD := runStudy(cache)
+		warm, warmD := runStudy(cache)
+		if !bytes.Equal(base, cold) || !bytes.Equal(base, warm) {
+			b.Fatal("cached study results differ from the uncached run")
+		}
+		s := cache.Stats()
+		fmt.Printf("\nCached study: uncached %v, cold %v, warm %v (%.2fx warm over cold; %d hits, %d misses, byte-identical results)\n",
+			baseD.Round(time.Millisecond), coldD.Round(time.Millisecond), warmD.Round(time.Millisecond),
+			float64(coldD)/float64(warmD), s.Hits, s.Misses)
+	})
+
+	// Unit: one experiment preparation, direct vs warm cache hit. gsm's
+	// golden run is tens of thousands of cycles — prep cost here is
+	// dominated by simulation, as in real studies, not by the compile.
+	bench, _ := workloads.ByName("gsm")
+	prog, err := compiler.Compile(bench.Source(bench.TestSize), "gsm", compiler.O2,
+		compiler.Target{XLEN: 32, NumArchRegs: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := machine.CortexA15Like()
+	cache, err := artcache.Open(b.TempDir(), artcache.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prime, err := core.CachedExperiment(cache, cfg, prog, faultinj.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prime.Close()
+	for _, sub := range []struct {
+		name  string
+		cache *artcache.Cache
+	}{{"direct", nil}, {"warm", cache}} {
+		b.Run(sub.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				exp, err := core.CachedExperiment(sub.cache, cfg, prog, faultinj.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				exp.Close()
+			}
+		})
 	}
 }
 

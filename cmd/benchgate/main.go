@@ -1,16 +1,22 @@
 // Command benchgate turns a benchmark run into a pass/fail regression
 // gate. It reads `go test -bench` output on stdin, extracts the ns/op
-// of one benchmark, and compares it against the number recorded in a
-// bench trajectory file (BENCH_checkpoint.json / BENCH_layout.json):
+// of one benchmark, and compares it against a number recorded in a
+// bench trajectory file (BENCH_checkpoint.json / BENCH_cache.json),
+// addressed by a dotted JSON path:
 //
 //	go test -run '^$' -bench 'BenchmarkInjectionCell' -benchtime=1x . |
 //	    go run ./cmd/benchgate -baseline BENCH_checkpoint.json -max-regression 2
+//
+//	go test -run '^$' -bench 'BenchmarkCachedStudy' -benchtime=1x . |
+//	    go run ./cmd/benchgate -baseline BENCH_cache.json \
+//	        -bench 'BenchmarkCachedStudy/warm' -metric per_prep.warm.ns_per_op
 //
 // The gate fails (exit 1) when the measured time exceeds the baseline
 // by more than the allowed factor. The factor is deliberately loose:
 // CI runners are noisy and -benchtime=1x is a single iteration, so the
 // gate is a tripwire for order-of-magnitude regressions (a lost fast
-// path, an accidental full-copy restore), not a microbenchmark judge.
+// path, an accidental full-copy restore, a cache miss where a hit
+// belongs), not a microbenchmark judge.
 package main
 
 import (
@@ -23,20 +29,10 @@ import (
 	"strings"
 )
 
-// trajectory mirrors the per-injection section of the BENCH_*.json
-// files; unknown fields are ignored so the schema can grow.
-type trajectory struct {
-	Benchmark    string `json:"benchmark"`
-	PerInjection struct {
-		Fastpath struct {
-			NsPerOp float64 `json:"ns_per_op"`
-		} `json:"fastpath"`
-	} `json:"per_injection"`
-}
-
 func main() {
 	baseline := flag.String("baseline", "BENCH_checkpoint.json", "bench trajectory file holding the recorded ns/op")
 	bench := flag.String("bench", "BenchmarkInjectionCell/fastpath", "benchmark name to gate on (prefix match on the output line)")
+	metric := flag.String("metric", "per_injection.fastpath.ns_per_op", "dotted JSON path of the baseline ns/op inside the trajectory file")
 	maxRegression := flag.Float64("max-regression", 2, "fail when measured ns/op exceeds baseline by more than this factor")
 	flag.Parse()
 
@@ -44,13 +40,13 @@ func main() {
 	if err != nil {
 		fatalf("read baseline: %v", err)
 	}
-	var t trajectory
-	if err := json.Unmarshal(raw, &t); err != nil {
+	var doc any
+	if err := json.Unmarshal(raw, &doc); err != nil {
 		fatalf("parse %s: %v", *baseline, err)
 	}
-	base := t.PerInjection.Fastpath.NsPerOp
-	if base <= 0 {
-		fatalf("%s: no per_injection.fastpath.ns_per_op recorded", *baseline)
+	base, err := metricValue(doc, *metric)
+	if err != nil {
+		fatalf("%s: %v", *baseline, err)
 	}
 
 	measured, err := scanNsPerOp(os.Stdin, *bench)
@@ -59,11 +55,36 @@ func main() {
 	}
 
 	ratio := measured / base
-	fmt.Printf("benchgate: %s measured %.0f ns/op, baseline %.0f ns/op (%s), ratio %.2fx (limit %.2fx)\n",
-		*bench, measured, base, *baseline, ratio, *maxRegression)
+	fmt.Printf("benchgate: %s measured %.0f ns/op, baseline %.0f ns/op (%s %s), ratio %.2fx (limit %.2fx)\n",
+		*bench, measured, base, *baseline, *metric, ratio, *maxRegression)
 	if ratio > *maxRegression {
 		fatalf("regression: %.2fx exceeds the %.2fx limit", ratio, *maxRegression)
 	}
+}
+
+// metricValue walks a decoded JSON document by a dotted path
+// ("per_prep.warm.ns_per_op") and returns the positive number at the
+// end of it.
+func metricValue(doc any, path string) (float64, error) {
+	cur := doc
+	for _, part := range strings.Split(path, ".") {
+		m, ok := cur.(map[string]any)
+		if !ok {
+			return 0, fmt.Errorf("metric %s: %q is not an object", path, part)
+		}
+		cur, ok = m[part]
+		if !ok {
+			return 0, fmt.Errorf("metric %s: no field %q", path, part)
+		}
+	}
+	v, ok := cur.(float64)
+	if !ok {
+		return 0, fmt.Errorf("metric %s: not a number", path)
+	}
+	if v <= 0 {
+		return 0, fmt.Errorf("metric %s: %v is not a positive ns/op", path, v)
+	}
+	return v, nil
 }
 
 // scanNsPerOp echoes stdin through (so the CI log keeps the full

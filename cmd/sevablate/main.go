@@ -19,6 +19,7 @@ import (
 	"sevsim/internal/campaign"
 	"sevsim/internal/cli"
 	"sevsim/internal/compiler"
+	"sevsim/internal/core"
 	"sevsim/internal/faultinj"
 	"sevsim/internal/machine"
 )
@@ -35,6 +36,8 @@ func main() {
 	par := flag.Int("parallel", 0, "concurrent measurements (0 = GOMAXPROCS)")
 	ckpts := flag.Int("checkpoints", faultinj.DefaultCheckpoints, "golden checkpoints per row for injection fast-forward (0 disables); results are identical at any setting")
 	fastExit := flag.Bool("fastexit", true, "classify Masked at the first provable state convergence with golden; results are identical either way")
+	cacheDir := flag.String("cache", "", "prep-artifact cache directory; repeat sweeps skip golden simulations (results are byte-identical either way)")
+	cacheMax := flag.Int64("cache-max-mb", 0, "cache size bound in MB (0 = unbounded)")
 	flag.Parse()
 
 	cfg, err := cli.March(*marchFlag)
@@ -51,6 +54,10 @@ func main() {
 	}
 	tgt := cli.Target(cfg)
 	base := compiler.LevelPasses(level, tgt)
+	cache, err := cli.Cache(*cacheDir, *cacheMax)
+	if err != nil {
+		cli.Fatal(err)
+	}
 
 	var avfTarget *faultinj.Target
 	if *targetFlag != "" {
@@ -126,7 +133,7 @@ func main() {
 				<-sem
 				return
 			}
-			exp, err := faultinj.NewExperimentOptions(cfg, prog, faultinj.Options{
+			exp, err := core.CachedExperiment(cache, cfg, prog, faultinj.Options{
 				Checkpoints: cli.Checkpoints(*ckpts),
 				NoFastExit:  !*fastExit,
 			})
@@ -169,6 +176,7 @@ func main() {
 		}
 		fmt.Println()
 	}
+	cli.CacheSummary(cache)
 	if interrupted {
 		fmt.Fprintln(os.Stderr, "interrupted: AVF columns marked interrupted are incomplete")
 		os.Exit(cli.ExitInterrupted) //lint:exit process boundary: interrupted-run exit after partial output is printed

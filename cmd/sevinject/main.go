@@ -19,6 +19,7 @@ import (
 	"sevsim/internal/campaign"
 	"sevsim/internal/cli"
 	"sevsim/internal/compiler"
+	"sevsim/internal/core"
 	"sevsim/internal/faultinj"
 	"sevsim/internal/stats"
 )
@@ -38,6 +39,8 @@ func main() {
 	prune := flag.Bool("prune", false, "statically prune provably-masked RF injections (identical outcomes, less simulation)")
 	ckpts := flag.Int("checkpoints", faultinj.DefaultCheckpoints, "golden checkpoints for injection fast-forward (0 disables); results are identical at any setting")
 	fastExit := flag.Bool("fastexit", true, "classify Masked at the first provable state convergence with golden; results are identical either way")
+	cacheDir := flag.String("cache", "", "prep-artifact cache directory; repeat runs skip the golden simulation (results are byte-identical either way)")
+	cacheMax := flag.Int64("cache-max-mb", 0, "cache size bound in MB (0 = unbounded)")
 	flag.Parse()
 
 	cfg, err := cli.March(*marchFlag)
@@ -56,7 +59,11 @@ func main() {
 	if err != nil {
 		cli.Fatal(err)
 	}
-	exp, err := faultinj.NewExperimentOptions(cfg, prog, faultinj.Options{
+	cache, err := cli.Cache(*cacheDir, *cacheMax)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	exp, err := core.CachedExperiment(cache, cfg, prog, faultinj.Options{
 		Traced:      *prune,
 		Checkpoints: cli.Checkpoints(*ckpts),
 		NoFastExit:  !*fastExit,
@@ -144,6 +151,7 @@ func main() {
 			fmt.Printf("  WARNING: %d unexpected simulator panics\n", r.Counts.Unexpected)
 		}
 	}
+	cli.CacheSummary(cache)
 	margin := stats.ErrorMargin(*faults, 1<<40, 0.99)
 	fmt.Printf("\nsampling error margin: ±%.2f%% at 99%% confidence\n", margin*100)
 	if interrupted {

@@ -49,6 +49,8 @@ func main() {
 	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell wall-clock watchdog (0 = off); stuck cells are recorded and skipped")
 	ckpts := flag.Int("checkpoints", faultinj.DefaultCheckpoints, "golden checkpoints per cell for injection fast-forward (0 disables); results are identical at any setting")
 	fastExit := flag.Bool("fastexit", true, "classify Masked at the first provable state convergence with golden; results are identical either way")
+	cacheDir := flag.String("cache", "", "prep-artifact cache directory; repeat runs skip compiles and golden simulations (results are byte-identical either way)")
+	cacheMax := flag.Int64("cache-max-mb", 0, "cache size bound in MB (0 = unbounded); least-recently-used entries are evicted")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	quiet := flag.Bool("q", false, "suppress progress output")
@@ -84,6 +86,10 @@ func main() {
 		spec.CellTimeout = *cellTimeout
 		spec.Checkpoints = cli.Checkpoints(*ckpts)
 		spec.NoFastExit = !*fastExit
+		spec.Cache, err = cli.Cache(*cacheDir, *cacheMax)
+		if err != nil {
+			fatal(err)
+		}
 		switch *jpath {
 		case "off":
 		case "":
@@ -130,6 +136,23 @@ func main() {
 		}
 		if len(st.Failed) > 0 {
 			fmt.Printf("note: %d units/cells quarantined; see the failures table in figures.txt\n", len(st.Failed))
+		}
+		cli.CacheSummary(spec.Cache)
+		if spec.Cache != nil {
+			// Per-study cache effectiveness as CSV, next to campaigns.csv,
+			// for sweep dashboards.
+			cc, err := os.Create(filepath.Join(*outDir, "cache.csv"))
+			if err != nil {
+				fatal(err)
+			}
+			cs := spec.Cache.Stats()
+			report.CSV(cc,
+				[]string{"cache_hits", "cache_misses", "cache_puts", "cache_evictions", "cache_corrupt"},
+				[][]string{{fmt.Sprint(cs.Hits), fmt.Sprint(cs.Misses), fmt.Sprint(cs.Puts),
+					fmt.Sprint(cs.Evictions), fmt.Sprint(cs.Corrupt)}})
+			if err := cc.Close(); err != nil {
+				fatal(err)
+			}
 		}
 	}
 

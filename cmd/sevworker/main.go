@@ -33,6 +33,8 @@ func main() {
 	name := flag.String("name", "", "worker name for leases and error budgets (default host.pid)")
 	cells := flag.Int("cells", 0, "cells to request per lease (0 = coordinator default)")
 	parallel := flag.Int("parallel", 0, "campaign parallelism per cell (0 = GOMAXPROCS); results are identical at any setting")
+	cacheDir := flag.String("cache", "", "prep-artifact cache directory, kept across leases and studies; re-leased cells skip compiles and golden simulations (results are byte-identical either way)")
+	cacheMax := flag.Int64("cache-max-mb", 0, "cache size bound in MB (0 = adopt the study's advice, else unbounded)")
 	quiet := flag.Bool("q", false, "suppress log output")
 	flag.Parse()
 
@@ -56,6 +58,8 @@ func main() {
 		Workdir:     *workdir,
 		MaxCells:    *cells,
 		Parallelism: *parallel,
+		CacheDir:    *cacheDir,
+		CacheMaxMB:  *cacheMax,
 		Logf: func(format string, args ...any) {
 			if !*quiet {
 				fmt.Printf("sevworker %s: "+format+"\n", append([]any{*name}, args...)...)
@@ -71,4 +75,5 @@ func main() {
 	if err := w.Run(ctx); err != nil {
 		cli.Fatal(err)
 	}
+	cli.CacheSummary(w.Cache())
 }

@@ -1,0 +1,87 @@
+package checkpoint
+
+import (
+	"testing"
+
+	"sevsim/internal/binio"
+	"sevsim/internal/machine"
+)
+
+// TestStreamEncodeRoundTrip records a real stream mid-run on both
+// machine configurations, serializes it, decodes it, and asserts
+// every checkpoint is strictly bit-for-bit Equal — the property the
+// prep-artifact cache's correctness rests on.
+func TestStreamEncodeRoundTrip(t *testing.T) {
+	for _, cfg := range machine.Configs() {
+		t.Run(cfg.Name, func(t *testing.T) {
+			golden := machine.New(cfg, testProgram()).Run(1 << 30)
+			stream, _ := Record(machine.New(cfg, testProgram()), 1<<30, Cycles(golden.Cycles, 5))
+			defer stream.Release()
+
+			var w binio.Writer
+			stream.EncodeTo(&w)
+			blob := w.Bytes()
+
+			r := binio.NewReader(blob)
+			got, err := DecodeStream(r, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer got.Release()
+			if r.Len() != 0 {
+				t.Fatalf("%d bytes left over after decode", r.Len())
+			}
+			if got.Len() != stream.Len() {
+				t.Fatalf("decoded %d snaps, want %d", got.Len(), stream.Len())
+			}
+			for i, sn := range stream.Snaps() {
+				if !got.Snaps()[i].Equal(sn) {
+					t.Fatalf("snap %d not strictly equal after round trip", i)
+				}
+			}
+
+			// The decoded stream must *work*: restoring its snapshots
+			// and running to completion reproduces the golden result,
+			// and its rebuilt convergence watches recognize the golden
+			// machine at the watch cycle.
+			for i, sn := range got.Snaps() {
+				m := machine.New(cfg, testProgram())
+				m.Restore(sn)
+				if !m.Converged(sn) {
+					t.Fatalf("snap %d: restored machine does not converge to its own snapshot", i)
+				}
+				res := m.Run(1 << 30)
+				if res.Outcome != golden.Outcome || res.Cycles != golden.Cycles {
+					t.Fatalf("snap %d: run from decoded checkpoint ended %v at cycle %d, want %v at %d",
+						i, res.Outcome, res.Cycles, golden.Outcome, golden.Cycles)
+				}
+			}
+		})
+	}
+}
+
+// TestDecodeStreamRejectsDamage truncates and corrupts a serialized
+// stream and asserts DecodeStream returns an error instead of a
+// usable-looking stream.
+func TestDecodeStreamRejectsDamage(t *testing.T) {
+	cfg := machine.Configs()[0]
+	golden := machine.New(cfg, testProgram()).Run(1 << 30)
+	stream, _ := Record(machine.New(cfg, testProgram()), 1<<30, Cycles(golden.Cycles, 3))
+	defer stream.Release()
+	var w binio.Writer
+	stream.EncodeTo(&w)
+	blob := w.Bytes()
+
+	for _, n := range []int{0, 1, len(blob) / 2, len(blob) - 1} {
+		if _, err := DecodeStream(binio.NewReader(blob[:n]), cfg); err == nil {
+			t.Fatalf("truncation to %d bytes decoded without error", n)
+		}
+	}
+
+	// Decoding against the wrong machine configuration must fail the
+	// geometry validation, not fabricate a stream.
+	other := machine.Configs()[1]
+	if _, err := DecodeStream(binio.NewReader(blob), other); err == nil {
+		t.Fatal("decode under mismatched config succeeded")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"syscall"
 
+	"sevsim/internal/artcache"
 	"sevsim/internal/compiler"
 	"sevsim/internal/lang"
 	"sevsim/internal/machine"
@@ -138,6 +139,25 @@ func Checkpoints(n int) int {
 		return -1
 	}
 	return n
+}
+
+// Cache opens the prep-artifact cache behind a -cache flag: dir ""
+// leaves caching disabled (a nil cache is valid everywhere), maxMB 0
+// leaves the size unbounded.
+func Cache(dir string, maxMB int64) (*artcache.Cache, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	return artcache.Open(dir, artcache.Options{MaxBytes: maxMB << 20})
+}
+
+// CacheSummary prints the cache's effectiveness counters; a disabled
+// cache prints nothing.
+func CacheSummary(c *artcache.Cache) {
+	if c == nil {
+		return
+	}
+	fmt.Printf("cache: %s\n", c.Stats())
 }
 
 // StartProfiles starts CPU and/or heap profiling for a CLI run. Either

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sevsim/internal/artcache"
+)
+
+// cacheSpec is tinySpec shrunk to one machine so the cache tests stay
+// fast while still exercising prune analysis and every prep product.
+func cacheSpec(t *testing.T) Spec {
+	t.Helper()
+	spec := tinySpec(t)
+	spec.Machines = spec.Machines[:1]
+	spec.Prune = true
+	return spec
+}
+
+func openCache(t *testing.T, dir string) *artcache.Cache {
+	t.Helper()
+	c, err := artcache.Open(dir, artcache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestCacheEquivalenceByteIdentical is the cache's core correctness
+// claim: disabled, cold, and warm runs — at serial and high
+// parallelism — produce byte-identical study.json.
+func TestCacheEquivalenceByteIdentical(t *testing.T) {
+	spec := cacheSpec(t)
+	baseline, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := saveBytes(t, baseline)
+
+	dir := t.TempDir()
+	for _, par := range []int{1, 8} {
+		for _, label := range []string{"cold", "warm"} {
+			if label == "cold" {
+				os.RemoveAll(dir)
+			}
+			s := spec
+			s.Parallelism = par
+			s.Cache = openCache(t, dir)
+			st, err := s.Run()
+			if err != nil {
+				t.Fatalf("parallel %d %s: %v", par, label, err)
+			}
+			if !bytes.Equal(saveBytes(t, st), want) {
+				t.Fatalf("parallel %d %s cache run differs from uncached baseline", par, label)
+			}
+			stats := s.Cache.Stats()
+			units := len(spec.Machines) * len(spec.Benchmarks) * len(spec.Levels)
+			if label == "cold" && stats.Puts != uint64(units) {
+				t.Fatalf("cold run stored %d bundles, want %d", stats.Puts, units)
+			}
+			if label == "warm" && (stats.Hits != uint64(units) || stats.Misses != 0) {
+				t.Fatalf("warm run: %s, want %d pure hits", stats, units)
+			}
+		}
+	}
+}
+
+// TestCacheCorruptEntriesRebuilt damages every cached bundle — bit
+// flips in one, truncation in another, all of them on the second pass
+// — and asserts the study is still byte-identical: damaged entries are
+// detected, discarded, and transparently rebuilt.
+func TestCacheCorruptEntriesRebuilt(t *testing.T) {
+	spec := cacheSpec(t)
+	baseline, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := saveBytes(t, baseline)
+
+	dir := t.TempDir()
+	s := spec
+	s.Cache = openCache(t, dir)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	damaged := 0
+	for i, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".art") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			raw[len(raw)/2] ^= 0x41 // payload bit flip
+		} else {
+			raw = raw[:len(raw)-7] // torn write
+		}
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		damaged++
+	}
+	if damaged == 0 {
+		t.Fatal("no cache entries to damage")
+	}
+
+	s = spec
+	s.Parallelism = 8
+	s.Cache = openCache(t, dir)
+	st, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(saveBytes(t, st), want) {
+		t.Fatal("run over damaged cache differs from baseline")
+	}
+	if stats := s.Cache.Stats(); stats.Corrupt != uint64(damaged) {
+		t.Fatalf("discarded %d corrupt entries, want %d (%s)", stats.Corrupt, damaged, stats)
+	}
+}
+
+// TestCacheEvictionMidStudy bounds the cache far below one bundle, so
+// every Put immediately evicts its predecessors; the study must still
+// match the baseline and never error.
+func TestCacheEvictionMidStudy(t *testing.T) {
+	spec := cacheSpec(t)
+	baseline, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := saveBytes(t, baseline)
+
+	dir := t.TempDir()
+	c, err := artcache.Open(dir, artcache.Options{MaxBytes: 1}) // nothing survives
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := spec
+	s.Parallelism = 4
+	s.Cache = c
+	st, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(saveBytes(t, st), want) {
+		t.Fatal("eviction-pressured run differs from baseline")
+	}
+	if stats := c.Stats(); stats.Evictions == 0 {
+		t.Fatalf("expected evictions under a 1-byte bound, got %s", stats)
+	}
+	// A second run over the starved cache still works (all misses).
+	st2, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(saveBytes(t, st2), want) {
+		t.Fatal("second eviction-pressured run differs from baseline")
+	}
+}
+
+// TestCacheSharedAcrossResume checks the satellite bugfix: a journaled
+// study killed after its goldens are recorded used to re-run the full
+// prep (compile + two golden passes) for every unit with pending
+// cells. With a cache the re-prep is a pure artifact load.
+func TestCacheSharedAcrossResume(t *testing.T) {
+	spec := cacheSpec(t)
+	baseline, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := saveBytes(t, baseline)
+
+	dir := t.TempDir()
+	s := spec
+	s.Journal = filepath.Join(t.TempDir(), "journal.jsonl")
+	s.Cache = openCache(t, dir)
+	units := len(spec.Machines) * len(spec.Benchmarks) * len(spec.Levels)
+
+	// The shared helper kills and resumes the journaled study until it
+	// completes. Every resume re-preps units whose cells are pending —
+	// the path that used to re-run the full prep — so with the cache,
+	// each unit's bundle must have been *built* exactly once across all
+	// attempts, no matter where the kills landed.
+	st, _ := runWithRandomKills(t, s, 3)
+	if !bytes.Equal(saveBytes(t, st), want) {
+		t.Fatal("killed-and-resumed cached study differs from baseline")
+	}
+	if stats := s.Cache.Stats(); stats.Puts != uint64(units) {
+		t.Fatalf("units re-prepped despite warm cache: %s (want %d puts)", stats, units)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"runtime"
 	"sync"
 
+	"sevsim/internal/artcache"
 	"sevsim/internal/binanalysis"
 	"sevsim/internal/campaign"
 	"sevsim/internal/compiler"
@@ -65,7 +66,8 @@ type prepUnit struct {
 	retries     int
 	checkpoints int
 	noFastExit  bool
-	analyses    *analysisCache // shared across the study's prune units
+	analyses    *analysisCache  // shared across the study's prune units
+	cache       *artcache.Cache // nil: prep directly, nothing persisted
 
 	// want selects the unit's targets to campaign (parallel to the
 	// spec's Targets); RunContext wants everything, RunCells only the
@@ -121,8 +123,9 @@ func (u *prepUnit) run(ctx context.Context) {
 }
 
 // prepOnce performs one compile + golden-run + (for prune units)
-// analysis attempt. Panics from any stage are recovered into errors so
-// one bad unit cannot take down the study.
+// analysis attempt, consulting the artifact cache when the study has
+// one. Panics from any stage are recovered into errors so one bad unit
+// cannot take down the study.
 func (u *prepUnit) prepOnce() {
 	u.err, u.exp, u.pruner = nil, nil, nil
 	u.stage = "compile"
@@ -131,6 +134,16 @@ func (u *prepUnit) prepOnce() {
 			u.err = fmt.Errorf("%s %s %v for %s: panic: %v", u.stage, u.bench.Name, u.level, u.cfg.Name, r)
 		}
 	}()
+	if u.cache == nil {
+		u.prepDirect()
+		return
+	}
+	u.prepCached()
+}
+
+// prepDirect is the uncached prep path: compile, golden passes, and
+// analysis run in-process with nothing persisted.
+func (u *prepUnit) prepDirect() {
 	tgt := compilerTarget(u.cfg)
 	prog, err := compileUnit(u.bench.Source(u.size), u.bench.Name, u.level, tgt)
 	if err != nil {
@@ -147,32 +160,131 @@ func (u *prepUnit) prepOnce() {
 		u.err = fmt.Errorf("golden %s %v on %s: %w", u.bench.Name, u.level, u.cfg.Name, err)
 		return
 	}
-	u.exp = exp
-	u.golden = goldenOf(u.cfg, u.bench.Name, u.level, prog, exp)
+	u.finishPrep(prog, exp, nil)
+}
+
+// prepCached preps through the artifact cache: one unit per key builds
+// the bundle (concurrent requesters share it via single-flight), and
+// *both* hit and fill paths decode the serialized bundle, so a warm
+// study runs its campaign from exactly the same decoded state a cold
+// one does. A bundle that passed the cache's checksum but fails
+// semantic validation here (stale layout, mismatched geometry) is
+// dropped and rebuilt once before giving up.
+func (u *prepUnit) prepCached() {
+	src := u.bench.Source(u.size)
+	key := u.cacheConfig(src).cacheKey()
+	for attempt := 0; ; attempt++ {
+		blob, err := u.cache.GetOrFill(key, func() ([]byte, error) {
+			return u.buildBundle(src)
+		})
+		if err != nil {
+			u.err = err
+			return
+		}
+		u.stage = "golden"
+		prog, art, static, err := decodePrepBundle(blob, u.cfg)
+		if err == nil {
+			var exp *faultinj.Experiment
+			exp, err = faultinj.NewExperimentFromArtifacts(u.cfg, prog, art, faultinj.Options{NoFastExit: u.noFastExit})
+			if err == nil {
+				u.finishPrep(prog, exp, static)
+				return
+			}
+		}
+		u.cache.Drop(key)
+		if attempt > 0 {
+			u.err = fmt.Errorf("golden %s %v on %s: cached prep bundle unusable after rebuild: %w",
+				u.bench.Name, u.level, u.cfg.Name, err)
+			return
+		}
+	}
+}
+
+// buildBundle is the cache fill: it runs the full prep (compile,
+// golden passes, analysis) and serializes the products. The experiment
+// built here is closed — the caller decodes the bundle and rebuilds
+// its own, keeping warm and cold paths structurally identical.
+func (u *prepUnit) buildBundle(src string) ([]byte, error) {
+	u.stage = "compile"
+	tgt := compilerTarget(u.cfg)
+	prog, err := compileUnit(src, u.bench.Name, u.level, tgt)
+	if err != nil {
+		return nil, fmt.Errorf("compile %s %v for %s: %w", u.bench.Name, u.level, u.cfg.Name, err)
+	}
+	u.stage = "golden"
+	exp, err := faultinj.NewExperimentOptions(u.cfg, prog, faultinj.Options{
+		Traced:      u.prune,
+		Checkpoints: u.checkpoints,
+		NoFastExit:  u.noFastExit,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("golden %s %v on %s: %w", u.bench.Name, u.level, u.cfg.Name, err)
+	}
+	defer exp.Close()
+	var static *StaticRF
 	if u.prune {
 		u.stage = "analyze"
-		a, err := u.analyses.get(analysisKey{
-			bench: u.bench.Name, size: u.size, level: u.level,
-			xlen: tgt.XLEN, nregs: tgt.NumArchRegs,
-		}, prog.Code)
+		pr, err := u.buildPruner(prog, exp)
 		if err != nil {
-			u.err = fmt.Errorf("analyze %s %v for %s: %w", u.bench.Name, u.level, u.cfg.Name, err)
-			return
+			return nil, err
 		}
-		pr, err := binanalysis.NewBitPruner(a, exp)
-		if err != nil {
-			u.err = fmt.Errorf("pruner %s %v for %s: %w", u.bench.Name, u.level, u.cfg.Name, err)
-			return
-		}
-		u.pruner = pr
-		b := pr.Bound()
-		u.static = StaticRF{
-			March: u.cfg.Name, Bench: u.bench.Name, Level: u.level.String(),
-			MaskedLB: b.MaskedLB, AVFUpperBound: b.AVFUpperBound,
-			PrunableBits: b.PrunableBits, SpaceBits: b.SpaceBits,
-			RegMaskedLB: b.RegMaskedLB, RegAVFUpperBound: 1 - b.RegMaskedLB,
-			RegPrunableBits: b.RegPrunableBits,
-		}
+		s := staticOf(u.cfg, u.bench.Name, u.level, pr)
+		static = &s
+	}
+	return encodePrepBundle(prog, exp.Artifacts(), static), nil
+}
+
+// finishPrep installs a prepared experiment and derives the unit's
+// golden record, pruner, and static bound. static, when non-nil, is
+// the cached bound (bit-identical to a fresh computation — the pruner
+// bound is deterministic — so either source yields the same study).
+func (u *prepUnit) finishPrep(prog *machine.Program, exp *faultinj.Experiment, static *StaticRF) {
+	u.exp = exp
+	u.golden = goldenOf(u.cfg, u.bench.Name, u.level, prog, exp)
+	if !u.prune {
+		return
+	}
+	u.stage = "analyze"
+	pr, err := u.buildPruner(prog, exp)
+	if err != nil {
+		u.err = err
+		return
+	}
+	u.pruner = pr
+	if static != nil {
+		u.static = *static
+	} else {
+		u.static = staticOf(u.cfg, u.bench.Name, u.level, pr)
+	}
+}
+
+// buildPruner runs (or reuses, via the shared analysis cache) the
+// binary ACE analysis and wraps it in the unit's bit pruner.
+func (u *prepUnit) buildPruner(prog *machine.Program, exp *faultinj.Experiment) (*binanalysis.BitPruner, error) {
+	tgt := compilerTarget(u.cfg)
+	a, err := u.analyses.get(analysisKey{
+		bench: u.bench.Name, size: u.size, level: u.level,
+		xlen: tgt.XLEN, nregs: tgt.NumArchRegs,
+	}, prog.Code)
+	if err != nil {
+		return nil, fmt.Errorf("analyze %s %v for %s: %w", u.bench.Name, u.level, u.cfg.Name, err)
+	}
+	pr, err := binanalysis.NewBitPruner(a, exp)
+	if err != nil {
+		return nil, fmt.Errorf("pruner %s %v for %s: %w", u.bench.Name, u.level, u.cfg.Name, err)
+	}
+	return pr, nil
+}
+
+// staticOf renders a pruner's bound as the study's static RF record.
+func staticOf(cfg machine.Config, bench string, level compiler.OptLevel, pr *binanalysis.BitPruner) StaticRF {
+	b := pr.Bound()
+	return StaticRF{
+		March: cfg.Name, Bench: bench, Level: level.String(),
+		MaskedLB: b.MaskedLB, AVFUpperBound: b.AVFUpperBound,
+		PrunableBits: b.PrunableBits, SpaceBits: b.SpaceBits,
+		RegMaskedLB: b.RegMaskedLB, RegAVFUpperBound: 1 - b.RegMaskedLB,
+		RegPrunableBits: b.RegPrunableBits,
 	}
 }
 
@@ -363,6 +475,7 @@ func (s Spec) run(ctx context.Context, sel selection) (*Study, []*prepUnit, erro
 					cfg: cfg, bench: bench, size: sizes[bi], level: level,
 					prune: s.Prune, retries: s.Retries, analyses: analyses,
 					checkpoints: s.Checkpoints, noFastExit: s.NoFastExit,
+					cache:        s.Cache,
 					backoff:      s.retryBackoff(),
 					jitter:       backoff.NewSource(cellSeed(s.Seed, cfg.Name, bench.Name, level.String(), "retry-jitter")),
 					ready:        make(chan struct{}),

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"sevsim/internal/artcache"
 	"sevsim/internal/campaign"
 	"sevsim/internal/compiler"
 	"sevsim/internal/dispatch/backoff"
@@ -130,6 +131,18 @@ type Spec struct {
 	//
 	//journal:ephemeral wall-clock watchdog for unattended runs; deliberately outside the reproducibility contract
 	CellTimeout time.Duration
+
+	// Cache, when non-nil, memoizes prep artifacts on disk (compiled
+	// binary, golden result, commit trace, checkpoint stream, static RF
+	// bound) keyed by everything that determines them — see
+	// prepConfig.cacheKey. A warm unit skips its compile and both
+	// golden passes. Cold, warm, and disabled runs produce byte-
+	// identical studies: a hit decodes to state strictly equal to a
+	// fresh prep, and corrupt or stale entries are discarded and
+	// rebuilt (TestCacheEquivalenceByteIdentical).
+	//
+	//journal:ephemeral artifact source only; a cache hit decodes to state bit-identical to a fresh prep, so no classification can depend on it
+	Cache *artcache.Cache
 }
 
 // DefaultSpec returns the full study of the paper at a configurable

@@ -1,0 +1,45 @@
+package cpu
+
+import (
+	"slices"
+	"testing"
+
+	"sevsim/internal/binio"
+)
+
+func TestCommitEventsRoundTrip(t *testing.T) {
+	cases := [][]CommitEvent{
+		nil,
+		{},
+		{{Cycle: 1, PC: 0x1000, DestArch: 5, DestPhys: 42}},
+		{
+			{Cycle: 10, PC: 0x2000, DestArch: 0xFF, DestPhys: 0},
+			{Cycle: 11, PC: 0x2004, DestArch: 1, DestPhys: 65535},
+			{Cycle: 999999999, PC: 0xFFFFFFFFFFFFFFFF, DestArch: 31, DestPhys: 128},
+		},
+	}
+	for i, evs := range cases {
+		var w binio.Writer
+		EncodeCommitEvents(&w, evs)
+		r := binio.NewReader(w.Bytes())
+		got := DecodeCommitEvents(r)
+		if r.Err() != nil {
+			t.Fatalf("case %d: %v", i, r.Err())
+		}
+		if len(got) != len(evs) || (len(evs) > 0 && !slices.Equal(got, evs)) {
+			t.Fatalf("case %d: round trip mismatch: %v vs %v", i, got, evs)
+		}
+		if r.Len() != 0 {
+			t.Fatalf("case %d: %d bytes left", i, r.Len())
+		}
+	}
+}
+
+func TestCommitEventsCorruptLengthFails(t *testing.T) {
+	var w binio.Writer
+	w.Uvarint(1 << 40)
+	r := binio.NewReader(w.Bytes())
+	if got := DecodeCommitEvents(r); len(got) != 0 || r.Err() == nil {
+		t.Fatalf("corrupt trace length accepted: %d events, err %v", len(got), r.Err())
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"sevsim/internal/artcache"
 	"sevsim/internal/core"
 	"sevsim/internal/journal"
 )
@@ -110,6 +111,11 @@ type studyRun struct {
 
 	result []byte // the study's Save bytes; nil while incomplete
 	subs   map[chan StatusEvent]struct{}
+
+	// cacheByWorker accumulates the prep-artifact cache deltas each
+	// worker reported with its completions — observability only, never
+	// part of the merged study.
+	cacheByWorker map[string]artcache.Stats
 }
 
 func (r *studyRun) state() string {
@@ -209,12 +215,13 @@ func (c *Coordinator) newRun(id string, wire StudySpec) (*studyRun, error) {
 		return nil, err
 	}
 	return &studyRun{
-		id:    id,
-		wire:  wire,
-		spec:  spec,
-		asm:   core.NewAssembler(spec),
-		table: newLeaseTable(spec.Cells(), c.opt.LeaseTTL, c.opt.MaxAttempts, c.opt.WorkerBudget),
-		subs:  map[chan StatusEvent]struct{}{},
+		id:            id,
+		wire:          wire,
+		spec:          spec,
+		asm:           core.NewAssembler(spec),
+		table:         newLeaseTable(spec.Cells(), c.opt.LeaseTTL, c.opt.MaxAttempts, c.opt.WorkerBudget),
+		subs:          map[chan StatusEvent]struct{}{},
+		cacheByWorker: map[string]artcache.Stats{},
 	}, nil
 }
 
@@ -323,6 +330,11 @@ func (c *Coordinator) Complete(req CompleteRequest) (CompleteResponse, error) {
 	r, ok := c.studies[req.StudyID]
 	if !ok {
 		return CompleteResponse{}, fmt.Errorf("dispatch: unknown study %s", req.StudyID)
+	}
+	if !req.Cache.Empty() && req.Worker != "" {
+		s := r.cacheByWorker[req.Worker]
+		s.Add(req.Cache)
+		r.cacheByWorker[req.Worker] = s
 	}
 	var resp CompleteResponse
 	for _, o := range req.Outcomes {
@@ -467,11 +479,21 @@ func (c *Coordinator) notify(r *studyRun, cell, worker string) {
 
 func (c *Coordinator) status(r *studyRun) StatusEvent {
 	done, leased, quarantined, workers := r.table.counts()
-	return StatusEvent{
+	ev := StatusEvent{
 		Study: r.id, State: r.state(),
 		Done: done, Total: r.asm.Total(),
 		Leased: leased, Quarantined: quarantined, Workers: workers,
 	}
+	if len(r.cacheByWorker) > 0 {
+		// Copy the map: the event outlives c.mu (subscribers marshal it
+		// later) while Complete keeps mutating the original.
+		ev.CacheByWorker = make(map[string]artcache.Stats, len(r.cacheByWorker))
+		for name, s := range r.cacheByWorker { //lint:ordered commutative sum into a copied map
+			ev.Cache.Add(s)
+			ev.CacheByWorker[name] = s
+		}
+	}
+	return ev
 }
 
 // Status returns a study's progress snapshot.

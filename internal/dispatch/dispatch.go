@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"time"
 
+	"sevsim/internal/artcache"
 	"sevsim/internal/compiler"
 	"sevsim/internal/core"
 	"sevsim/internal/faultinj"
@@ -53,6 +54,13 @@ type StudySpec struct {
 	// byte-identically to a local keep-going run's.
 	KeepGoing bool
 	Retries   int
+
+	// CacheMaxMB advises workers how much disk their prep-artifact
+	// cache may use for this study (0: no advice). It is pure execution
+	// policy — a cache hit decodes to state bit-identical to a fresh
+	// prep — so ID() excludes it: the same study submitted with a
+	// different cache bound is the same study.
+	CacheMaxMB int64 `json:",omitempty"`
 }
 
 // Normalize fills defaults (benchmark sizes, the full target set) and
@@ -93,6 +101,9 @@ func (w StudySpec) Normalize() (StudySpec, error) {
 // ID derives the study's content-addressed identity from the
 // normalized spec, so resubmitting the same study is idempotent.
 func (w StudySpec) ID() string {
+	// Cache policy shapes worker disk use, never results; zeroing it on
+	// this value-receiver copy keeps it out of the identity.
+	w.CacheMaxMB = 0
 	data, err := json.Marshal(w)
 	if err != nil {
 		// Marshalling a struct of strings and ints cannot fail.
@@ -246,6 +257,11 @@ type CompleteRequest struct {
 	LeaseID  string
 	StudyID  string
 	Outcomes []core.CellOutcome
+
+	// Cache is the worker's prep-artifact cache delta over this lease
+	// (zero when the worker runs uncached), so the coordinator can
+	// aggregate cache effectiveness per worker and per study.
+	Cache artcache.Stats
 }
 
 // CompleteResponse reports how many outcomes were newly merged and how
@@ -277,4 +293,11 @@ type StatusEvent struct {
 	Workers     int    // workers currently holding leases of this study
 	Cell        string `json:",omitempty"` // last merged cell, on change events
 	Worker      string `json:",omitempty"` // who completed it
+
+	// Cache aggregates the prep-artifact cache deltas reported with
+	// this study's completions; CacheByWorker splits the same counters
+	// by worker name. Both stay zero/absent when every worker runs
+	// uncached.
+	Cache         artcache.Stats
+	CacheByWorker map[string]artcache.Stats `json:",omitempty"`
 }

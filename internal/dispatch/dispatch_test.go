@@ -80,6 +80,11 @@ func TestSpecNormalizeAndID(t *testing.T) {
 	if ne.ID() == n1.ID() {
 		t.Fatal("different sizes hash to the same study")
 	}
+	policy := n1
+	policy.CacheMaxMB = 512
+	if policy.ID() != n1.ID() {
+		t.Fatal("cache policy changed the study ID; it is execution advice, not identity")
+	}
 	bad := wire
 	bad.Benches = []string{"no-such-bench"}
 	if _, err := bad.Normalize(); err == nil {
@@ -478,4 +483,90 @@ func getBytes(t *testing.T, url string) []byte {
 		t.Fatal(err)
 	}
 	return buf.Bytes()
+}
+
+// TestDistributedSharedWarmCache runs two studies back to back through
+// three workers sharing one prep-artifact cache directory: the first
+// (cold) study fills the cache, the second — same prep configurations,
+// different sampling seed — must be served entirely warm. Both merge to
+// bytes identical to single-process runs, and the coordinator's status
+// reports the per-worker cache counters the workers attach to their
+// completions.
+func TestDistributedSharedWarmCache(t *testing.T) {
+	wireA := testWire()
+	wireB := testWire()
+	wireB.Seed = wireA.Seed + 1 // different sampling, identical prep units
+	wantA := localBytes(t, wireA)
+	wantB := localBytes(t, wireB)
+
+	coord, err := OpenCoordinator(Options{
+		Dir:        t.TempDir(),
+		LeaseTTL:   time.Minute,
+		LeaseCells: 3,
+		Logf:       t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	ts := httptest.NewServer(NewServer(coord, "unused").Handler)
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+	cacheDir := t.TempDir()
+	var wg sync.WaitGroup
+	for _, name := range []string{"w1", "w2", "w3"} {
+		w, err := NewWorker(WorkerOptions{
+			Coordinator: ts.URL,
+			Name:        name,
+			Workdir:     t.TempDir(),
+			CacheDir:    cacheDir, // one cache shared by all three
+			Logf:        t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Run(ctx)
+		}()
+	}
+
+	waitStudy := func(wire StudySpec, want []byte) StatusEvent {
+		t.Helper()
+		var sub SubmitResponse
+		start := time.Now()
+		postJSON(t, ts.URL+"/studies", wire, &sub)
+		deadline := start.Add(3 * time.Minute)
+		for time.Now().Before(deadline) {
+			if got, ok := coord.Result(sub.ID); ok {
+				if !bytes.Equal(got, want) {
+					t.Fatalf("cached distributed result differs from single-process run (%d vs %d bytes)", len(got), len(want))
+				}
+				ev, _ := coord.Status(sub.ID)
+				t.Logf("study %s: %v submit-to-result, cache %s", sub.ID, time.Since(start).Round(time.Millisecond), ev.Cache)
+				return ev
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+		t.Fatalf("study %s never completed", sub.ID)
+		return StatusEvent{}
+	}
+
+	evA := waitStudy(wireA, wantA)
+	if evA.Cache.Misses == 0 || evA.Cache.Puts == 0 {
+		t.Fatalf("cold study reported no cache fills: %+v", evA.Cache)
+	}
+	if len(evA.CacheByWorker) == 0 {
+		t.Fatalf("cold study reported no per-worker cache stats: %+v", evA)
+	}
+
+	evB := waitStudy(wireB, wantB)
+	if evB.Cache.Misses != 0 || evB.Cache.Hits == 0 {
+		t.Fatalf("second study was not served warm: %+v", evB.Cache)
+	}
+	cancel()
+	wg.Wait()
 }

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"sevsim/internal/artcache"
 	"sevsim/internal/dispatch/backoff"
 	"sevsim/internal/journal"
 )
@@ -38,6 +39,17 @@ type WorkerOptions struct {
 	// semantics; <= 0: GOMAXPROCS).
 	Parallelism int
 
+	// CacheDir, when set, opens a prep-artifact cache shared across
+	// every lease and study this worker executes: a re-leased or
+	// resubmitted cell loads its compiled binary, golden result, and
+	// checkpoint stream instead of recomputing them. Results are
+	// byte-identical either way.
+	CacheDir string
+
+	// CacheMaxMB bounds the cache size (0: adopt the per-study advice
+	// in StudySpec.CacheMaxMB, or stay unbounded).
+	CacheMaxMB int64
+
 	// Logf receives operational log lines (default: discard).
 	Logf func(format string, args ...any)
 
@@ -60,6 +72,7 @@ type Worker struct {
 	client *http.Client
 	poll   backoff.Policy
 	jitter *backoff.Source
+	cache  *artcache.Cache // nil: uncached; shared across leases and studies
 }
 
 // NewWorker validates the options and returns a ready worker.
@@ -78,6 +91,14 @@ func NewWorker(opt WorkerOptions) (*Worker, error) {
 	if opt.Poll != nil {
 		poll = *opt.Poll
 	}
+	var cache *artcache.Cache
+	if opt.CacheDir != "" {
+		var err error
+		cache, err = artcache.Open(opt.CacheDir, artcache.Options{MaxBytes: opt.CacheMaxMB << 20})
+		if err != nil {
+			return nil, fmt.Errorf("dispatch: worker cache: %w", err)
+		}
+	}
 	h := fnv.New64a()
 	io.WriteString(h, opt.Name)
 	return &Worker{
@@ -85,6 +106,7 @@ func NewWorker(opt WorkerOptions) (*Worker, error) {
 		client: client,
 		poll:   poll,
 		jitter: backoff.NewSource(int64(h.Sum64())),
+		cache:  cache,
 	}, nil
 }
 
@@ -131,6 +153,17 @@ func (w *Worker) execute(ctx context.Context, g *LeaseGrant) {
 	spec.Progress = func(format string, args ...any) {
 		w.opt.Logf("  "+format, args...)
 	}
+	var cacheBefore artcache.Stats
+	if w.cache != nil {
+		// The study may advise a disk bound; the worker's own flag wins
+		// when set (the operator knows the machine better than the
+		// submitter does).
+		if g.Spec.CacheMaxMB > 0 && w.opt.CacheMaxMB <= 0 {
+			w.cache.LimitBytes(g.Spec.CacheMaxMB << 20)
+		}
+		spec.Cache = w.cache
+		cacheBefore = w.cache.Stats()
+	}
 
 	leaseCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -150,9 +183,14 @@ func (w *Worker) execute(ctx context.Context, g *LeaseGrant) {
 		w.fail(ctx, g, err)
 		return
 	}
+	var cacheDelta artcache.Stats
+	if w.cache != nil {
+		cacheDelta = w.cache.Stats().Minus(cacheBefore)
+	}
 	var resp CompleteResponse
 	err = w.call(ctx, "/v1/complete", CompleteRequest{
 		Worker: w.opt.Name, LeaseID: g.LeaseID, StudyID: g.StudyID, Outcomes: outcomes,
+		Cache: cacheDelta,
 	}, &resp)
 	if err != nil {
 		w.opt.Logf("lease %s: report failed: %v", g.LeaseID, err)
@@ -288,6 +326,12 @@ func (w *Worker) call(ctx context.Context, path string, req, resp any) error {
 		return nil
 	}
 	return last
+}
+
+// Cache exposes the worker's prep-artifact cache (nil when the worker
+// runs uncached), for lifetime summaries at shutdown.
+func (w *Worker) Cache() *artcache.Cache {
+	return w.cache
 }
 
 // RemoveStudyJournal deletes the worker's local journal for a study,

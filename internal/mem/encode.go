@@ -1,0 +1,121 @@
+package mem
+
+// Binary serialization of the memory-hierarchy snapshot halves of a
+// machine checkpoint, for the prep-artifact cache. Cache data slabs
+// are overwhelmingly zero for the bundled benchmarks, so they go
+// through binio's zero-run encoding; memory pages are stored sparsely
+// (only allocated pages, in ascending page order — the canonical order
+// content addressing requires). Both encodings are bit-complete with
+// respect to the strict Equal comparisons in snapshot.go.
+
+import (
+	"fmt"
+	"sort"
+
+	"sevsim/internal/binio"
+)
+
+// EncodeTo appends the cache snapshot's complete state to w. The pool
+// generation stamp is deliberately excluded: it is process-local
+// identity for delta restores, not cache state, and DecodeCacheState
+// stamps a fresh one.
+func (s *CacheState) EncodeTo(w *binio.Writer) {
+	w.U64(s.Clock)
+	w.U64(s.Stats.Hits)
+	w.U64(s.Stats.Misses)
+	w.U64(s.Stats.Writebacks)
+	w.U64(s.Stats.Evictions)
+	w.U64s(s.tags)
+	w.U64s(s.lru)
+	w.RLE(s.valid)
+	w.RLE(s.dirty)
+	w.RLE(s.data)
+}
+
+// DecodeCacheState reads one CacheState written by EncodeTo into a
+// pooled snapshot. Geometry is validated against cfg (lines and data
+// bytes) the same way Cache.Restore validates a live restore. The
+// caller owns the result and must Release it.
+func DecodeCacheState(r *binio.Reader, cfg CacheConfig) (*CacheState, error) {
+	s := cacheStatePool.Get().(*CacheState)
+	fail := func(err error) (*CacheState, error) {
+		cacheStatePool.Put(s)
+		return nil, err
+	}
+	s.Clock = r.U64()
+	s.Stats.Hits = r.U64()
+	s.Stats.Misses = r.U64()
+	s.Stats.Writebacks = r.U64()
+	s.Stats.Evictions = r.U64()
+	s.gen = cacheGen.Add(1) // fresh identity: never delta-matches a pre-decode restore base
+	s.tags = r.U64sInto(s.tags)
+	s.lru = r.U64sInto(s.lru)
+	s.valid = r.RLEInto(s.valid)
+	s.dirty = r.RLEInto(s.dirty)
+	s.data = r.RLEInto(s.data)
+	if err := r.Err(); err != nil {
+		return fail(err)
+	}
+	lines := 0
+	if cfg.Ways > 0 && cfg.LineSize > 0 {
+		// Mirror newCache's geometry derivation exactly.
+		lines = cfg.Size / (cfg.Ways * cfg.LineSize) * cfg.Ways
+	}
+	if len(s.tags) != lines || len(s.lru) != lines || len(s.valid) != lines ||
+		len(s.dirty) != lines || len(s.data) != lines*cfg.LineSize {
+		return fail(fmt.Errorf("mem: decode: cache geometry %d lines / %d data bytes does not match config (want %d / %d)",
+			len(s.tags), len(s.data), lines, lines*cfg.LineSize))
+	}
+	return s, nil
+}
+
+// EncodeTo appends the memory snapshot to w: allocated pages only, in
+// ascending page order, each zero-run compressed.
+func (s *MemoryState) EncodeTo(w *binio.Writer) {
+	keys := make([]uint64, 0, len(s.pages))
+	for k := range s.pages { //lint:ordered keys are sorted below before any byte is emitted
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	w.Uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		w.U64(k)
+		w.RLE(s.pages[k][:])
+	}
+}
+
+// DecodeMemoryState reads one MemoryState written by EncodeTo. Pages
+// are freshly allocated (MemoryState is not pooled); the snapshot is
+// immediately shareable copy-on-write like any live-taken snapshot.
+func DecodeMemoryState(r *binio.Reader) (*MemoryState, error) {
+	n := int(r.Uvarint())
+	// Each non-empty page costs at least the key plus one run pair.
+	if n < 0 || n > r.Len()/10+1 {
+		r.Fail(fmt.Errorf("mem: decode: page count %d exceeds remaining input", n))
+		return nil, r.Err()
+	}
+	s := &MemoryState{pages: make(map[uint64]*[PageSize]byte, n)}
+	var scratch []byte
+	for i := 0; i < n; i++ {
+		k := r.U64()
+		scratch = r.RLEInto(scratch)
+		if r.Err() != nil {
+			break
+		}
+		if len(scratch) != PageSize {
+			r.Fail(fmt.Errorf("mem: decode: page %#x has %d bytes, want %d", k, len(scratch), PageSize))
+			break
+		}
+		if _, dup := s.pages[k]; dup {
+			r.Fail(fmt.Errorf("mem: decode: duplicate page %#x", k))
+			break
+		}
+		page := new([PageSize]byte)
+		copy(page[:], scratch)
+		s.pages[k] = page
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,53 @@
+package statan
+
+import "fmt"
+
+// AnnCacheEphemeral marks a prep-config field deliberately excluded
+// from the artifact-cache key: a knob that shapes how cached artifacts
+// are *consumed* (e.g. the fast-exit toggle), never what they contain,
+// so two runs differing only in it may safely share an entry. The
+// mandatory reason records why the artifacts provably cannot depend on
+// the field.
+const AnnCacheEphemeral = "cache:ephemeral"
+
+// cacheKeyCoverPass enforces key completeness for every struct with a
+// method named "cacheKey" (core.prepConfig): each field either feeds
+// the key — referenced by cacheKey or by a sibling method it calls on
+// its receiver — or is annotated "//cache:ephemeral <reason>". Without
+// this, adding an artifact-shaping knob and forgetting to key it would
+// let a warm cache serve artifacts built under different semantics —
+// the one failure mode a content-addressed cache cannot detect,
+// because the stored bytes are perfectly intact.
+func cacheKeyCoverPass() *Pass {
+	return &Pass{
+		Name: "cachekeycover",
+		Doc:  "every field of a struct with a cacheKey method feeds the key or is annotated //cache:ephemeral <reason>",
+		Run: func(pkg *Package, r *Reporter) {
+			for _, sd := range packageStructs(pkg) {
+				if sd.Methods["cacheKey"] == nil {
+					continue
+				}
+				refs := sd.methodFieldRefs("cacheKey")
+				for _, field := range sd.Struct.Fields.List {
+					ann := fieldAnnotation(pkg.Fset, field, AnnCacheEphemeral)
+					if ann != nil && ann.Reason == "" {
+						r.Report(field.Pos(), "annotation-reason",
+							fmt.Sprintf("//%s annotation needs a reason (//%s <why the artifacts cannot depend on this field>)", AnnCacheEphemeral, AnnCacheEphemeral))
+					}
+					for _, name := range fieldNames(field) {
+						switch {
+						case ann == nil && !refs[name.Name]:
+							r.Report(name.Pos(), "missing-field", fmt.Sprintf(
+								"field %s.%s does not feed the artifact cache key; a warm cache could serve artifacts built under a different %s — key it, or annotate //%s <reason>",
+								sd.Name, name.Name, name.Name, AnnCacheEphemeral))
+						case ann != nil && refs[name.Name]:
+							r.Report(name.Pos(), "stale-annotation", fmt.Sprintf(
+								"field %s.%s is annotated //%s but feeds the cache key; delete the annotation",
+								sd.Name, name.Name, AnnCacheEphemeral))
+						}
+					}
+				}
+			}
+		},
+	}
+}

@@ -88,6 +88,7 @@ func Passes() []*Pass {
 		snapshotCoverPass(),
 		equalityCoverPass(),
 		fingerprintCoverPass(),
+		cacheKeyCoverPass(),
 		transferCoverPass(),
 	}
 }

@@ -1,0 +1,21 @@
+// Package ckcover is a sevlint fixture for the cachekeycover pass: a
+// prepConfig-shaped struct with a cacheKey method whose fields
+// exercise every diagnostic (un-keyed knob, transitive reference
+// through a sibling method, clean and stale //cache:ephemeral
+// annotations, annotation without a reason).
+package ckcover
+
+type prepConfig struct {
+	Version int
+	Source  string // referenced via the sourceKey helper: clean
+	Knob    int    // neither keyed nor annotated: flagged
+	FastOff bool   //cache:ephemeral fixture consumption knob; artifacts identical either way
+	Stale   int    //cache:ephemeral stale: cacheKey references it
+	Bare    int    //cache:ephemeral
+}
+
+func (pc prepConfig) cacheKey() string {
+	return string(rune(pc.Version)) + pc.sourceKey() + string(rune(pc.Stale))
+}
+
+func (pc prepConfig) sourceKey() string { return pc.Source }
