@@ -108,7 +108,7 @@ func main() {
 
 	headers := []string{"benchmark", "level", "words", "blocks", "funcs", "dead-writes", "invariants"}
 	if *bounds {
-		headers = append(headers, "cycles", "reg Masked>=", "bit Masked>=", "static AVF<=")
+		headers = append(headers, "cycles", "reg Masked>=", "bit Masked>=", "DUE>=", "SDC<=", "static AVF<=")
 	}
 	rows := [][]string{}
 	failed := false
@@ -128,6 +128,7 @@ func main() {
 		if *bounds {
 			row = append(row, fmt.Sprint(u.cycles),
 				report.Pct(u.bound.RegMaskedLB), report.Pct(u.bound.MaskedLB),
+				report.Pct(u.bound.DueLB), report.Pct(u.bound.SDCUpperBound),
 				report.Pct(u.bound.AVFUpperBound))
 		}
 		rows = append(rows, row)
@@ -241,7 +242,7 @@ func analyzeSuite(cfg machine.Config, benches []workloads.Benchmark, levels []co
 					u.err = err
 					return
 				}
-				pr, err := binanalysis.NewBitPruner(a, exp)
+				pr, err := binanalysis.NewDUEPruner(a, exp)
 				if err != nil {
 					u.err = err
 					return
@@ -266,10 +267,11 @@ func boundsText(march string, units []*unit) string {
 		if u.err != nil {
 			continue
 		}
-		fmt.Fprintf(&b, "%s %s %s cycles=%d reg_masked_lb=%.9f bit_masked_lb=%.9f reg_prunable=%d bit_prunable=%d space=%d\n",
+		fmt.Fprintf(&b, "%s %s %s cycles=%d reg_masked_lb=%.9f bit_masked_lb=%.9f due_lb=%.9f sdc_ub=%.9f reg_prunable=%d bit_prunable=%d due_prunable=%d space=%d\n",
 			march, u.bench.Name, u.level,
 			u.cycles, u.bound.RegMaskedLB, u.bound.MaskedLB,
-			u.bound.RegPrunableBits, u.bound.PrunableBits, u.bound.SpaceBits)
+			u.bound.DueLB, u.bound.SDCUpperBound,
+			u.bound.RegPrunableBits, u.bound.PrunableBits, u.bound.DuePrunableBits, u.bound.SpaceBits)
 	}
 	return b.String()
 }

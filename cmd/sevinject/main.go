@@ -77,14 +77,14 @@ func main() {
 		if err != nil {
 			cli.Fatal(err)
 		}
-		bp, err := binanalysis.NewBitPruner(a, exp)
+		bp, err := binanalysis.NewDUEPruner(a, exp)
 		if err != nil {
 			cli.Fatal(err)
 		}
 		pruner = bp
 		b := bp.Bound()
-		fmt.Printf("static RF bound: Masked >= %.2f%% (register-granular %.2f%%), AVF <= %.2f%%\n",
-			b.MaskedLB*100, b.RegMaskedLB*100, b.AVFUpperBound*100)
+		fmt.Printf("static RF bound: Masked >= %.2f%% (register-granular %.2f%%), DUE >= %.2f%%, SDC <= %.2f%%\n",
+			b.MaskedLB*100, b.RegMaskedLB*100, b.DueLB*100, b.SDCUpperBound*100)
 	}
 	model := faultinj.SingleBit
 	switch *modelFlag {
@@ -144,8 +144,8 @@ func main() {
 			r.ClassRate(faultinj.Timeout)*100,
 			r.ClassRate(faultinj.Assert)*100)
 		if r.Counts.Pruned > 0 {
-			fmt.Printf("  pruned: %d/%d proven Masked statically (%d register-granular, %d bit-granular; never simulated)\n",
-				r.Counts.Pruned, r.Faults, r.Counts.PrunedReg, r.Counts.PrunedBit)
+			fmt.Printf("  pruned: %d/%d proven statically (%d register-granular + %d bit-granular Masked, %d crash-certain DUE; never simulated)\n",
+				r.Counts.Pruned, r.Faults, r.Counts.PrunedReg, r.Counts.PrunedBit, r.Counts.PrunedDUE)
 		}
 		if r.Counts.Unexpected > 0 {
 			fmt.Printf("  WARNING: %d unexpected simulator panics\n", r.Counts.Unexpected)

@@ -175,7 +175,7 @@ func main() {
 	}
 	headers := []string{"march", "bench", "level", "target", "faults",
 		"masked", "sdc", "crash", "timeout", "assert",
-		"pruned", "pruned_reg", "pruned_bit", "unexpected",
+		"pruned", "pruned_reg", "pruned_bit", "pruned_due", "unexpected",
 		"golden_cycles", "struct_bits"}
 	rows := make([][]string, 0, len(st.Results))
 	for _, r := range st.Results {
@@ -184,7 +184,7 @@ func main() {
 			fmt.Sprint(r.Faults), fmt.Sprint(r.Counts.Masked), fmt.Sprint(r.Counts.SDC),
 			fmt.Sprint(r.Counts.Crash), fmt.Sprint(r.Counts.Timeout), fmt.Sprint(r.Counts.Assert),
 			fmt.Sprint(r.Counts.Pruned), fmt.Sprint(r.Counts.PrunedReg), fmt.Sprint(r.Counts.PrunedBit),
-			fmt.Sprint(r.Counts.Unexpected),
+			fmt.Sprint(r.Counts.PrunedDUE), fmt.Sprint(r.Counts.Unexpected),
 			fmt.Sprint(r.GoldenCycles), fmt.Sprint(r.StructBits),
 		})
 	}
@@ -194,9 +194,9 @@ func main() {
 	}
 
 	// Pruner hit rates: how much simulation the static analyses saved,
-	// split by the granularity that proved each injection.
+	// split by the granularity/class that proved each injection.
 	if *prune {
-		var total, pruned, preg, pbit int
+		var total, pruned, preg, pbit, pdue int
 		for _, r := range st.Results {
 			if r.Target != "RF" {
 				continue
@@ -205,10 +205,11 @@ func main() {
 			pruned += r.Counts.Pruned
 			preg += r.Counts.PrunedReg
 			pbit += r.Counts.PrunedBit
+			pdue += r.Counts.PrunedDUE
 		}
 		if total > 0 {
-			fmt.Printf("pruner: %d/%d RF injections proven Masked statically (%.1f%%): %d register-granular, %d bit-granular\n",
-				pruned, total, 100*float64(pruned)/float64(total), preg, pbit)
+			fmt.Printf("pruner: %d/%d RF injections proven statically (%.1f%%): %d register-granular + %d bit-granular Masked, %d crash-certain DUE\n",
+				pruned, total, 100*float64(pruned)/float64(total), preg, pbit, pdue)
 		}
 	}
 

@@ -169,13 +169,33 @@ func shiftDemandExact(op isa.Opcode, L uint64, k, xlen int) uint64 {
 // computeKnownBits (indexed the same way), consulted for demand
 // refinement of the other operand.
 //
+// The fixpoint runs twice when the static memory model helps: the
+// first pass treats every stored bit as demanded (sd nil); its load
+// destination live masks feed storeDemands (propagate.go), whose
+// refined store-data demands — sound over-approximations derived from
+// the FIRST pass's liveness, which dominates the second's — drive a
+// second pass in which a store demands of its data register only the
+// bits some live load may actually observe. The returned sd is the
+// mask the final pass used (nil when no store was refinable), so the
+// must-DUE analysis can apply the identical demand transfer.
+func computeBitLiveness(g *CFG, kz, ko []uint64, xlen int) (liveIn, liveOut, sd []uint64) {
+	liveIn, liveOut = bitLivenessFixpoint(g, kz, ko, nil, xlen)
+	if sd = storeDemands(g, kz, ko, liveOut, xlen); sd != nil {
+		liveIn, liveOut = bitLivenessFixpoint(g, kz, ko, sd, xlen)
+	}
+	return liveIn, liveOut, sd
+}
+
+// bitLivenessFixpoint is one run of the backward fixpoint under a
+// fixed store-data demand refinement (nil: full store windows).
+//
 // Unlike register liveness there are no block gen/kill summaries: the
 // demand an instruction places on its sources depends on its
 // destination's live mask, which changes between iterations, so each
 // block is re-walked backward from its current out-state until the
 // fixpoint settles. The masks only grow (union transfer over a finite
 // domain), so termination is guaranteed.
-func computeBitLiveness(g *CFG, kz, ko []uint64, xlen int) (liveIn, liveOut []uint64) {
+func bitLivenessFixpoint(g *CFG, kz, ko, sd []uint64, xlen int) (liveIn, liveOut []uint64) {
 	n := len(g.Code)
 	nb := len(g.Blocks)
 	m := xlenMask(xlen)
@@ -225,7 +245,7 @@ func computeBitLiveness(g *CFG, kz, ko []uint64, xlen int) (liveIn, liveOut []ui
 		blockOut[bi] = out
 		cur := out
 		for i := b.End - 1; i >= b.Start; i-- {
-			walkOne(g, i, &cur, kz, ko, xlen)
+			walkOne(g, i, &cur, kz, ko, sd, xlen)
 		}
 		if cur != blockIn[bi] {
 			blockIn[bi] = cur
@@ -245,7 +265,7 @@ func computeBitLiveness(g *CFG, kz, ko []uint64, xlen int) (liveIn, liveOut []ui
 			for r := 0; r < 32; r++ {
 				liveOut[i*32+r] = cur[r]
 			}
-			walkOne(g, i, &cur, kz, ko, xlen)
+			walkOne(g, i, &cur, kz, ko, sd, xlen)
 			for r := 0; r < 32; r++ {
 				liveIn[i*32+r] = cur[r]
 			}
@@ -254,8 +274,10 @@ func computeBitLiveness(g *CFG, kz, ko []uint64, xlen int) (liveIn, liveOut []ui
 	return liveIn, liveOut
 }
 
-// walkOne applies the backward transfer of a single instruction.
-func walkOne(g *CFG, i int, cur *[32]uint64, kz, ko []uint64, xlen int) {
+// walkOne applies the backward transfer of a single instruction. sd,
+// when non-nil, post-masks the data demand of stores with the static
+// memory model's refined per-store demand.
+func walkOne(g *CFG, i int, cur *[32]uint64, kz, ko, sd []uint64, xlen int) {
 	m := xlenMask(xlen)
 	in := g.Code[i]
 	var L uint64
@@ -274,6 +296,9 @@ func walkOne(g *CFG, i int, cur *[32]uint64, kz, ko []uint64, xlen int) {
 		return KnownBits{Zero: kz[i*32+int(r)], One: ko[i*32+int(r)]}
 	}
 	d1, d2 := demandMasks(in, L, kb(s1), kb(s2), xlen)
+	if sd != nil && in.Op.IsStore() {
+		d2 &= sd[i]
+	}
 	if s1 != 0xff && s1 != uint8(isa.RegZero) {
 		cur[s1] |= d1 & m
 	}

@@ -124,5 +124,6 @@ func (p *BitPruner) Bound() RFBound {
 	b.AVFUpperBound = 1 - b.MaskedLB
 	b.RegPrunableBits = regSum
 	b.RegMaskedLB = float64(regSum) / float64(b.SpaceBits)
+	b.SDCUpperBound = b.AVFUpperBound // no DUE proof at this tier
 	return b
 }

@@ -19,10 +19,14 @@ type BitAnalysis struct {
 
 	// Flattened [instruction*32 + register] masks. kz/ko are the
 	// known-zero/known-one masks in effect BEFORE the instruction;
-	// liveIn/liveOut are the live-bit masks before/after it.
+	// liveIn/liveOut are the live-bit masks before/after it; dueIn and
+	// dueOut are the crash-certain (must-DUE) masks from the
+	// fault-propagation analysis (propagate.go).
 	kz, ko  []uint64
 	liveIn  []uint64
 	liveOut []uint64
+	dueIn   []uint64
+	dueOut  []uint64
 }
 
 // Bits returns the bit-granular analysis for the given word width,
@@ -35,7 +39,8 @@ func (a *Analysis) Bits(xlen int) *BitAnalysis {
 		return b
 	}
 	kz, ko := computeKnownBits(a.CFG, xlen)
-	liveIn, liveOut := computeBitLiveness(a.CFG, kz, ko, xlen)
+	liveIn, liveOut, sd := computeBitLiveness(a.CFG, kz, ko, xlen)
+	dueIn, dueOut := computeDueBits(a.CFG, kz, ko, liveOut, sd, xlen)
 	b := &BitAnalysis{
 		XLEN:    xlen,
 		Mask:    xlenMask(xlen),
@@ -44,6 +49,8 @@ func (a *Analysis) Bits(xlen int) *BitAnalysis {
 		ko:      ko,
 		liveIn:  liveIn,
 		liveOut: liveOut,
+		dueIn:   dueIn,
+		dueOut:  dueOut,
 	}
 	if a.bits == nil {
 		a.bits = make(map[int]*BitAnalysis)
@@ -96,4 +103,29 @@ func (b *BitAnalysis) EntryDeadBits(r uint8) uint64 {
 		return b.Mask
 	}
 	return ^b.liveIn[r] & b.Mask
+}
+
+// DueOutBits returns the bits of register r that are crash-certain
+// immediately after instruction i: flipping any of them in a committed
+// state deterministically reaches a faulting consumer on every static
+// path before any demand — in particular before any output — per the
+// must-DUE analysis in propagate.go. The mask says nothing about
+// pipeline state; callers must separately ensure no in-flight reader
+// can have consumed the clean value (see DUEPruner's reorder-window
+// gate). Crash-certain and dead masks are disjoint by construction
+// (a due bit is demanded by its faulting consumer, hence live).
+func (b *BitAnalysis) DueOutBits(i int, r uint8) uint64 {
+	if r == uint8(isa.RegZero) || r >= 32 {
+		return 0
+	}
+	return b.dueOut[i*32+int(r)]
+}
+
+// EntryDueBits mirrors DueOutBits for the state before the first
+// instruction commits.
+func (b *BitAnalysis) EntryDueBits(r uint8) uint64 {
+	if r == uint8(isa.RegZero) || r >= 32 {
+		return 0
+	}
+	return b.dueIn[r]
 }

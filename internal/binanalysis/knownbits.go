@@ -474,7 +474,15 @@ func computeKnownBits(g *CFG, xlen int) (kz, ko []uint64) {
 			}
 		}
 		entry := g.BlockOf[0]
-		blockIn[entry] = top
+		entrySt := top
+		// The machine initializes the stack pointer to StackTop before
+		// the first instruction (machine.New), so the entry state knows
+		// it exactly. This anchors sp-relative spill/reload addresses
+		// for the static memory model; the single-fault rule still
+		// holds — consumers only ever use these facts about registers
+		// other than the one being judged.
+		entrySt[isa.RegSP] = kbConst(machine.StackTop, m)
+		blockIn[entry] = entrySt
 		visited[entry] = true
 		push(entry)
 		for len(work) > 0 {

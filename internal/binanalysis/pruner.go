@@ -169,6 +169,16 @@ type RFBound struct {
 
 	RegMaskedLB     float64 // register-granular provably-masked fraction
 	RegPrunableBits uint64  // register-granular provably-masked points
+
+	// Three-way refinement (DUEPruner; zero for the Masked-only
+	// pruners): DueLB lower-bounds the crash-certain (DUE) outcome
+	// fraction and SDCUpperBound caps what remains for SDC once both
+	// proof classes are subtracted. The provably-masked and
+	// provably-DUE point sets are disjoint, so the three fractions
+	// partition the space: MaskedLB + DueLB + SDCUpperBound == 1.
+	DueLB           float64
+	SDCUpperBound   float64
+	DuePrunableBits uint64 // provably-DUE (cycle x bit) points
 }
 
 // walkIntervals visits the commit trace as a sequence of
@@ -230,5 +240,6 @@ func (p *RFPruner) Bound() RFBound {
 	b.AVFUpperBound = 1 - b.MaskedLB
 	b.RegPrunableBits = sum
 	b.RegMaskedLB = b.MaskedLB
+	b.SDCUpperBound = b.AVFUpperBound // no DUE proof at this tier
 	return b
 }

@@ -77,14 +77,18 @@ type Counts struct {
 	// Unexpected counts asserts that came from recovered simulator
 	// panics rather than modelled invariant checks (should stay zero).
 	Unexpected int
-	// Pruned counts the Masked outcomes that were proven statically and
-	// never simulated (subset of Masked). PrunedReg and PrunedBit split
-	// it by proof granularity: whole-register deadness vs bit-level
-	// deadness of a live register (PrunedReg + PrunedBit == Pruned when
-	// the pruner reports kinds; a plain Pruner counts as register).
+	// Pruned counts the outcomes that were proven statically and never
+	// simulated. PrunedReg and PrunedBit split the provably-Masked
+	// proofs by granularity — whole-register deadness vs bit-level
+	// deadness of a live register — and are subsets of Masked;
+	// PrunedDUE counts injections the propagation analysis proved
+	// crash-certain, a subset of Crash. PrunedReg + PrunedBit +
+	// PrunedDUE == Pruned when the pruner reports kinds; a plain
+	// Pruner's proofs count as register-granular Masked.
 	Pruned    int
 	PrunedReg int
 	PrunedBit int
+	PrunedDUE int
 }
 
 // Total returns the number of injections behind the counts.
@@ -114,6 +118,8 @@ func (c *Counts) Add(r faultinj.InjectResult) {
 		switch r.PruneKind {
 		case faultinj.PruneBit:
 			c.PrunedBit++
+		case faultinj.PruneDUE:
+			c.PrunedDUE++
 		default:
 			c.PrunedReg++
 		}
@@ -279,8 +285,15 @@ dispatch:
 					if opts.Pruner != nil && opts.Model.Width() <= 1 {
 						kind, reason := consultPruner(opts.Pruner, target, injections[i])
 						if kind != faultinj.PruneNone {
+							// The proof class decides the synthetic
+							// outcome: dead-value proofs are Masked,
+							// crash-certain proofs are Crash.
+							out := faultinj.Masked
+							if kind == faultinj.PruneDUE {
+								out = faultinj.Crash
+							}
 							outcomes[i] = faultinj.InjectResult{
-								Outcome:   faultinj.Masked,
+								Outcome:   out,
 								Reason:    "pruned: " + reason,
 								Pruned:    true,
 								PruneKind: kind,

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"sevsim/internal/artcache"
+	"sevsim/internal/machine"
 )
 
 // cacheSpec is tinySpec shrunk to one machine so the cache tests stay
@@ -166,6 +167,52 @@ func TestCacheEvictionMidStudy(t *testing.T) {
 	}
 	if !bytes.Equal(saveBytes(t, st2), want) {
 		t.Fatal("second eviction-pressured run differs from baseline")
+	}
+}
+
+// TestCacheMissesStaleAnalysisVersion proves a warm cache written
+// under the previous analysis version is never served: the version is
+// part of the prep cache key, so bundles carrying pre-propagation
+// static bounds (no DUE/SDC fields) miss instead of leaking stale
+// bounds into a new study.
+func TestCacheMissesStaleAnalysisVersion(t *testing.T) {
+	if analysisVersion < 2 {
+		t.Fatalf("analysisVersion = %d, want >= 2 (fault-propagation bound fields)", analysisVersion)
+	}
+	pc := prepConfig{
+		Version:     prepBundleVersion,
+		Analysis:    analysisVersion,
+		Machine:     machine.CortexA15Like(),
+		Bench:       "matmul",
+		Size:        8,
+		Source:      "int main() { return 0; }",
+		Level:       "O2",
+		XLEN:        64,
+		NumRegs:     32,
+		Traced:      true,
+		Checkpoints: 4,
+	}
+	old := pc
+	old.Analysis = analysisVersion - 1
+	if pc.cacheKey() == old.cacheKey() {
+		t.Fatal("analysis version does not feed the prep cache key")
+	}
+
+	// A cache warmed exclusively under the old version's key must miss
+	// for the current key (and still hit for its own, proving the
+	// version is the only discriminator here).
+	c := openCache(t, t.TempDir())
+	if err := c.Put(old.cacheKey(), []byte("stale version-1 bundle")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(pc.cacheKey()); ok {
+		t.Fatal("current analysis version was served a stale bundle")
+	}
+	if _, ok := c.Get(old.cacheKey()); !ok {
+		t.Fatal("old-version entry should still hit its own key")
+	}
+	if stats := c.Stats(); stats.Misses != 1 || stats.Hits != 1 {
+		t.Fatalf("stats = %s, want exactly 1 miss (new key) and 1 hit (old key)", stats)
 	}
 }
 

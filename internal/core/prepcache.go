@@ -42,7 +42,13 @@ const prepBundleVersion = 1
 // analysisVersion versions the binanalysis semantics behind the cached
 // static RF bound. Bump it when the ACE analysis or the pruner bound
 // computation changes.
-const analysisVersion = 1
+//
+// Version 2: fault-propagation (must-DUE) analysis added the DueLB /
+// SDCUpperBound / DuePrunableBits bound fields, the static memory
+// model refined store-data liveness, and the entry known-bits state
+// anchors the stack pointer — all of which change the serialized
+// static bound, so version-1 bundles must miss.
+const analysisVersion = 2
 
 // prepConfig is everything that determines one prep unit's artifacts.
 // Every field must feed cacheKey or be annotated //cache:ephemeral
@@ -253,6 +259,9 @@ func encodePrepBundle(prog *machine.Program, art faultinj.Artifacts, static *Sta
 		w.U64(math.Float64bits(static.RegMaskedLB))
 		w.U64(math.Float64bits(static.RegAVFUpperBound))
 		w.U64(static.RegPrunableBits)
+		w.U64(math.Float64bits(static.DueLB))
+		w.U64(math.Float64bits(static.SDCUpperBound))
+		w.U64(static.DuePrunableBits)
 	}
 
 	art.EncodeTo(&w)
@@ -301,6 +310,9 @@ func decodePrepBundle(blob []byte, cfg machine.Config) (*machine.Program, faulti
 			RegMaskedLB:      math.Float64frombits(r.U64()),
 			RegAVFUpperBound: math.Float64frombits(r.U64()),
 			RegPrunableBits:  r.U64(),
+			DueLB:            math.Float64frombits(r.U64()),
+			SDCUpperBound:    math.Float64frombits(r.U64()),
+			DuePrunableBits:  r.U64(),
 		}
 	}
 	if err := r.Err(); err != nil {

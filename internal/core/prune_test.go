@@ -59,20 +59,24 @@ func TestPruneEquivalence(t *testing.T) {
 	for i := range base.Results {
 		b, p := base.Results[i], pruned.Results[i]
 		bc, pc := b.Counts, p.Counts
-		if pc.PrunedReg+pc.PrunedBit != pc.Pruned {
-			t.Errorf("cell %s/%s/%s: pruned split %d+%d != total %d",
-				p.Bench, p.Level, p.Target, pc.PrunedReg, pc.PrunedBit, pc.Pruned)
+		if pc.PrunedReg+pc.PrunedBit+pc.PrunedDUE != pc.Pruned {
+			t.Errorf("cell %s/%s/%s: pruned split %d+%d+%d != total %d",
+				p.Bench, p.Level, p.Target, pc.PrunedReg, pc.PrunedBit, pc.PrunedDUE, pc.Pruned)
 		}
 		// the only fields allowed to differ from the unpruned run
-		pc.Pruned, pc.PrunedReg, pc.PrunedBit = 0, 0, 0
+		pc.Pruned, pc.PrunedReg, pc.PrunedBit, pc.PrunedDUE = 0, 0, 0, 0
 		if bc != pc {
 			t.Errorf("cell %s/%s/%s/%s classification changed: %+v -> %+v",
 				b.March, b.Bench, b.Level, b.Target, b.Counts, p.Counts)
 		}
 		totalPruned += p.Counts.Pruned
-		if p.Counts.Pruned > p.Counts.Masked {
-			t.Errorf("cell %s/%s/%s: pruned %d exceeds masked %d",
-				p.Bench, p.Level, p.Target, p.Counts.Pruned, p.Counts.Masked)
+		if m := p.Counts.PrunedReg + p.Counts.PrunedBit; m > p.Counts.Masked {
+			t.Errorf("cell %s/%s/%s: masked-pruned %d exceeds masked %d",
+				p.Bench, p.Level, p.Target, m, p.Counts.Masked)
+		}
+		if p.Counts.PrunedDUE > p.Counts.Crash {
+			t.Errorf("cell %s/%s/%s: DUE-pruned %d exceeds crashes %d",
+				p.Bench, p.Level, p.Target, p.Counts.PrunedDUE, p.Counts.Crash)
 		}
 	}
 	if totalPruned == 0 {
@@ -100,6 +104,14 @@ func TestPruneEquivalence(t *testing.T) {
 		if avf := r.AVF(); s.AVFUpperBound < avf {
 			t.Errorf("%s/%s: static AVF bound %.4f below injected AVF %.4f",
 				s.Bench, s.Level, s.AVFUpperBound, avf)
+		}
+		// The three-way bound must partition the space; the DUE slice
+		// records only when the propagation analysis recorded anything.
+		if sum := s.MaskedLB + s.DueLB + s.SDCUpperBound; sum < 0.999999 || sum > 1.000001 {
+			t.Errorf("%s/%s: three-way bound does not partition: %.9f", s.Bench, s.Level, sum)
+		}
+		if s.DueLB < 0 || s.DuePrunableBits > s.SpaceBits {
+			t.Errorf("%s/%s: implausible DUE bound %+v", s.Bench, s.Level, s)
 		}
 	}
 }

@@ -259,8 +259,8 @@ func (u *prepUnit) finishPrep(prog *machine.Program, exp *faultinj.Experiment, s
 }
 
 // buildPruner runs (or reuses, via the shared analysis cache) the
-// binary ACE analysis and wraps it in the unit's bit pruner.
-func (u *prepUnit) buildPruner(prog *machine.Program, exp *faultinj.Experiment) (*binanalysis.BitPruner, error) {
+// binary ACE analysis and wraps it in the unit's three-way pruner.
+func (u *prepUnit) buildPruner(prog *machine.Program, exp *faultinj.Experiment) (*binanalysis.DUEPruner, error) {
 	tgt := compilerTarget(u.cfg)
 	a, err := u.analyses.get(analysisKey{
 		bench: u.bench.Name, size: u.size, level: u.level,
@@ -269,7 +269,7 @@ func (u *prepUnit) buildPruner(prog *machine.Program, exp *faultinj.Experiment) 
 	if err != nil {
 		return nil, fmt.Errorf("analyze %s %v for %s: %w", u.bench.Name, u.level, u.cfg.Name, err)
 	}
-	pr, err := binanalysis.NewBitPruner(a, exp)
+	pr, err := binanalysis.NewDUEPruner(a, exp)
 	if err != nil {
 		return nil, fmt.Errorf("pruner %s %v for %s: %w", u.bench.Name, u.level, u.cfg.Name, err)
 	}
@@ -277,7 +277,7 @@ func (u *prepUnit) buildPruner(prog *machine.Program, exp *faultinj.Experiment) 
 }
 
 // staticOf renders a pruner's bound as the study's static RF record.
-func staticOf(cfg machine.Config, bench string, level compiler.OptLevel, pr *binanalysis.BitPruner) StaticRF {
+func staticOf(cfg machine.Config, bench string, level compiler.OptLevel, pr *binanalysis.DUEPruner) StaticRF {
 	b := pr.Bound()
 	return StaticRF{
 		March: cfg.Name, Bench: bench, Level: level.String(),
@@ -285,6 +285,9 @@ func staticOf(cfg machine.Config, bench string, level compiler.OptLevel, pr *bin
 		PrunableBits: b.PrunableBits, SpaceBits: b.SpaceBits,
 		RegMaskedLB: b.RegMaskedLB, RegAVFUpperBound: 1 - b.RegMaskedLB,
 		RegPrunableBits: b.RegPrunableBits,
+		DueLB:           b.DueLB,
+		SDCUpperBound:   b.SDCUpperBound,
+		DuePrunableBits: b.DuePrunableBits,
 	}
 }
 

@@ -208,9 +208,12 @@ type Study struct {
 	goldenIdx map[cellKey]int
 }
 
-// StaticRF is the static ACE bound for one unit's register file: the
-// provably-masked fraction of the (cycle x bit) space lower-bounds the
-// Masked rate, so its complement upper-bounds the injected RF AVF.
+// StaticRF is the static three-way outcome bound for one unit's
+// register file: the provably-masked fraction of the (cycle x bit)
+// space lower-bounds the Masked rate, the provably-crash-certain
+// fraction lower-bounds the DUE rate, and what neither proof class
+// covers upper-bounds the SDC rate (MaskedLB + DueLB + SDCUpperBound
+// == 1). The Masked complement upper-bounds the injected RF AVF.
 type StaticRF struct {
 	March string
 	Bench string
@@ -228,6 +231,15 @@ type StaticRF struct {
 	RegMaskedLB      float64
 	RegAVFUpperBound float64
 	RegPrunableBits  uint64
+
+	// Three-way refinement from the fault-propagation (must-DUE)
+	// analysis: DueLB lower-bounds the crash-certain fraction and
+	// SDCUpperBound caps what remains for SDC once both proof classes
+	// are subtracted. Zero on records written before the propagation
+	// analysis existed.
+	DueLB           float64
+	SDCUpperBound   float64
+	DuePrunableBits uint64
 }
 
 // Failure is one quarantined unit or cell: the error that removed it

@@ -113,9 +113,12 @@ type studyRun struct {
 	subs   map[chan StatusEvent]struct{}
 
 	// cacheByWorker accumulates the prep-artifact cache deltas each
-	// worker reported with its completions — observability only, never
-	// part of the merged study.
-	cacheByWorker map[string]artcache.Stats
+	// worker reported with its completions, and prunedDUEByWorker the
+	// crash-certain injections each worker's static pruner classified
+	// without simulating — observability only, never part of the merged
+	// study.
+	cacheByWorker     map[string]artcache.Stats
+	prunedDUEByWorker map[string]int
 }
 
 func (r *studyRun) state() string {
@@ -215,13 +218,14 @@ func (c *Coordinator) newRun(id string, wire StudySpec) (*studyRun, error) {
 		return nil, err
 	}
 	return &studyRun{
-		id:            id,
-		wire:          wire,
-		spec:          spec,
-		asm:           core.NewAssembler(spec),
-		table:         newLeaseTable(spec.Cells(), c.opt.LeaseTTL, c.opt.MaxAttempts, c.opt.WorkerBudget),
-		subs:          map[chan StatusEvent]struct{}{},
-		cacheByWorker: map[string]artcache.Stats{},
+		id:                id,
+		wire:              wire,
+		spec:              spec,
+		asm:               core.NewAssembler(spec),
+		table:             newLeaseTable(spec.Cells(), c.opt.LeaseTTL, c.opt.MaxAttempts, c.opt.WorkerBudget),
+		subs:              map[chan StatusEvent]struct{}{},
+		cacheByWorker:     map[string]artcache.Stats{},
+		prunedDUEByWorker: map[string]int{},
 	}, nil
 }
 
@@ -360,6 +364,9 @@ func (c *Coordinator) Complete(req CompleteRequest) (CompleteResponse, error) {
 			continue
 		}
 		resp.Accepted++
+		if n := o.Result.Counts.PrunedDUE; n > 0 && req.Worker != "" {
+			r.prunedDUEByWorker[req.Worker] += n
+		}
 		c.notify(r, key, req.Worker)
 	}
 	c.finalize(r)
@@ -491,6 +498,13 @@ func (c *Coordinator) status(r *studyRun) StatusEvent {
 		for name, s := range r.cacheByWorker { //lint:ordered commutative sum into a copied map
 			ev.Cache.Add(s)
 			ev.CacheByWorker[name] = s
+		}
+	}
+	if len(r.prunedDUEByWorker) > 0 {
+		ev.PrunedDUEByWorker = make(map[string]int, len(r.prunedDUEByWorker))
+		for name, n := range r.prunedDUEByWorker { //lint:ordered commutative sum into a copied map
+			ev.PrunedDUE += n
+			ev.PrunedDUEByWorker[name] = n
 		}
 	}
 	return ev

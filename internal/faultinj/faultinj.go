@@ -261,23 +261,29 @@ type Pruner interface {
 	Prunable(t Target, inj Injection) (bool, string)
 }
 
-// PruneKind records at which analysis granularity a pruner proved an
-// injection masked.
+// PruneKind records which static proof class a pruner assigned an
+// injection: provably masked at register or bit granularity, or
+// provably a deterministic crash (DUE). The kind decides the synthetic
+// outcome a pruned injection records — Masked for the dead-value
+// proofs, Crash for PruneDUE.
 type PruneKind uint8
 
 const (
-	PruneNone PruneKind = iota // not provably masked
-	PruneReg                   // the whole mapped register is dead
-	PruneBit                   // only bit-granular analysis proves the bit dead
+	PruneNone PruneKind = iota // no static proof; must simulate
+	PruneReg                   // masked: the whole mapped register is dead
+	PruneBit                   // masked: bit-granular analysis proves the bit dead
+	PruneDUE                   // crash-certain: fault propagation proves a deterministic fault
 )
 
-// String names the granularity for reports.
+// String names the proof class for reports.
 func (k PruneKind) String() string {
 	switch k {
 	case PruneReg:
 		return "reg"
 	case PruneBit:
 		return "bit"
+	case PruneDUE:
+		return "due"
 	}
 	return "none"
 }

@@ -233,10 +233,13 @@ func Fig12ECC(w io.Writer, st *core.Study) {
 // or above the measured AVF on every cell (soundness), and the gap
 // shows how much of the masking only the dynamic campaign can see
 // (speculative state, timing, values masked by arithmetic). Both
-// granularities of the static bound are shown — the register-level
+// granularities of the Masked bound are shown — the register-level
 // dead-set bound and the bit-level known-bits + bit-liveness bound
-// (always at least as tight) — and the pruned column splits the
-// statically proven injections by which granularity proved them.
+// (always at least as tight) — alongside the fault-propagation
+// analysis's DUE lower bound and SDC upper bound (DUE>= must sit at or
+// below the measured crash rate, SDC<= at or above the measured SDC
+// rate), and the pruned column splits the statically proven injections
+// by proof class: register-dead, bit-dead, crash-certain.
 func StaticVsDynamic(w io.Writer, st *core.Study) {
 	if len(st.Static) == 0 {
 		return
@@ -245,8 +248,8 @@ func StaticVsDynamic(w io.Writer, st *core.Study) {
 	for _, march := range st.MachineNames {
 		fmt.Fprintf(w, "\n[%s]\n", march)
 		headers := []string{"benchmark", "level",
-			"reg Masked>=", "bit Masked>=", "static AVF<=",
-			"injected AVF", "pruned(reg+bit)"}
+			"reg Masked>=", "bit Masked>=", "DUE>=", "SDC<=", "static AVF<=",
+			"injected AVF", "pruned(reg+bit+due)"}
 		rows := [][]string{}
 		for _, bench := range st.BenchNames {
 			for _, level := range st.LevelNames {
@@ -255,11 +258,12 @@ func StaticVsDynamic(w io.Writer, st *core.Study) {
 					continue
 				}
 				row := []string{bench, level,
-					Pct(s.RegMaskedLB), Pct(s.MaskedLB), Pct(s.AVFUpperBound)}
+					Pct(s.RegMaskedLB), Pct(s.MaskedLB),
+					Pct(s.DueLB), Pct(s.SDCUpperBound), Pct(s.AVFUpperBound)}
 				if r, ok := st.Result(march, bench, level, "RF"); ok && r.Faults > 0 {
 					row = append(row, Pct(r.AVF()),
-						fmt.Sprintf("%d/%d (%d+%d)", r.Counts.Pruned, r.Faults,
-							r.Counts.PrunedReg, r.Counts.PrunedBit))
+						fmt.Sprintf("%d/%d (%d+%d+%d)", r.Counts.Pruned, r.Faults,
+							r.Counts.PrunedReg, r.Counts.PrunedBit, r.Counts.PrunedDUE))
 				} else {
 					row = append(row, "-", "-")
 				}

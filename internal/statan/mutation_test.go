@@ -250,3 +250,14 @@ func TestTransferCoverCatchesDeletedDemandCase(t *testing.T) {
 		"case isa.OpXor, isa.OpXori:", "case isa.OpXor:")
 	requireFinding(t, analyzeTransfer(t, binDir), "transfercover", "missing-op", "OpXori")
 }
+
+// TestTransferCoverCatchesDeletedCrashMaskCase does the same for the
+// fault-propagation crash-certain mask switch: dropping a store opcode
+// from its case is exactly how an unclassified instruction would
+// silently inherit a zero crash mask.
+func TestTransferCoverCatchesDeletedCrashMaskCase(t *testing.T) {
+	_, binDir := copyModuleTree(t)
+	mutate(t, binDir, "propagate.go",
+		"case isa.OpLw, isa.OpSw:", "case isa.OpLw:")
+	requireFinding(t, analyzeTransfer(t, binDir), "transfercover", "missing-op", "OpSw")
+}

@@ -54,3 +54,32 @@ func ignored(op Opcode) int {
 	}
 	return 0
 }
+
+// evalMask mirrors the fault-propagation crash-mask shape: the ops
+// with interesting results in leading cases and the rest of the
+// universe enumerated in one explicit zero case before the fallback.
+//
+//bitflow:transfer
+func evalMask(op Opcode) int {
+	switch op {
+	case OpDiv:
+		return 3
+	case OpAdd, OpSub, OpSra, OpNop:
+		return 0
+	}
+	return 0
+}
+
+// evalMaskBad drops OpSub from the enumerated zero case — the exact
+// mistake of adding an opcode without classifying its crash mask.
+//
+//bitflow:transfer
+func evalMaskBad(op Opcode) int {
+	switch op {
+	case OpDiv:
+		return 3
+	case OpAdd, OpSra, OpNop:
+		return 0
+	}
+	return 0
+}
